@@ -1,0 +1,283 @@
+(* Benchmark harness.
+
+   Running `dune exec bench/main.exe` does two things:
+
+   1. REPRODUCTION - prints every table and figure of the paper
+      (same output as bin/reproduce) so the numbers and the shape of the
+      results can be compared against the published ones; and
+
+   2. PERFORMANCE - runs one Bechamel micro-benchmark per paper artifact
+      (Tables 1-6, Figure 2) plus ablation benches for the design choices
+      called out in DESIGN.md (fault collapsing on/off, state encodings,
+      bit-parallel vs naive fault simulation).
+
+   Options: the Driver options (--tier, --k, --k2, --seed, --quiet) plus
+   --no-perf / --no-repro to skip a phase. *)
+
+open Bechamel
+open Toolkit
+module Driver = Ndetect_harness.Driver
+module Analysis = Ndetect_core.Analysis
+module Detection_table = Ndetect_core.Detection_table
+module Worst_case = Ndetect_core.Worst_case
+module Procedure1 = Ndetect_core.Procedure1
+module Registry = Ndetect_suite.Registry
+module Example = Ndetect_suite.Example
+module Encode = Ndetect_synth.Encode
+module Fsm_synth = Ndetect_synth.Fsm_synth
+module Multilevel = Ndetect_synth.Multilevel
+module Stuck = Ndetect_faults.Stuck
+module Bridge = Ndetect_faults.Bridge
+module Good = Ndetect_sim.Good
+module Fault_sim = Ndetect_sim.Fault_sim
+module Naive = Ndetect_sim.Naive
+
+let circuit name = Registry.circuit (Option.get (Registry.find name))
+
+(* Pre-built workloads shared by the timed closures; construction cost is
+   excluded from the measurements. *)
+let example_table = lazy (Detection_table.build (Example.circuit ()))
+let mc_net = lazy (circuit "mc")
+let mc_table = lazy (Detection_table.build (Lazy.force mc_net))
+let dk27_net = lazy (circuit "dk27")
+let dk27_table = lazy (Detection_table.build (Lazy.force dk27_net))
+let dk27_good = lazy (Good.compute (Lazy.force dk27_net))
+let bbtas_table = lazy (Detection_table.build (circuit "bbtas"))
+let ex4_analysis = lazy (Analysis.analyze ~name:"ex4" (circuit "ex4"))
+
+(* One benchmark per paper artifact. Each closure runs the computation
+   that regenerates the artifact's data, on a suite circuit small enough
+   for a micro-benchmark. *)
+
+let bench_table1 =
+  Test.make ~name:"table1-worst-case-example"
+    (Staged.stage (fun () ->
+         let table = Lazy.force example_table in
+         let worst = Worst_case.compute table in
+         ignore (Detection_table.overlapping_targets table ~gj:0);
+         ignore (Worst_case.nmin worst 0)))
+
+let bench_table2 =
+  Test.make ~name:"table2-worst-case-small-n(mc)"
+    (Staged.stage (fun () ->
+         let worst = Worst_case.compute (Lazy.force mc_table) in
+         ignore
+           (List.map (Worst_case.percent_below worst) [ 1; 2; 3; 4; 5; 10 ])))
+
+let bench_table3 =
+  Test.make ~name:"table3-worst-case-large-n(dk27)"
+    (Staged.stage (fun () ->
+         let worst = Worst_case.compute (Lazy.force dk27_table) in
+         ignore (List.map (Worst_case.count_at_least worst) [ 100; 20; 11 ])))
+
+let bench_figure2 =
+  Test.make ~name:"figure2-nmin-distribution(ex4)"
+    (Staged.stage (fun () ->
+         let a = Lazy.force ex4_analysis in
+         ignore (Worst_case.histogram a.Analysis.worst ~min_value:11)))
+
+let bench_table4 =
+  Test.make ~name:"table4-procedure1-example(K=10,n=2)"
+    (Staged.stage (fun () ->
+         ignore
+           (Procedure1.run (Lazy.force example_table)
+              {
+                Procedure1.seed = 1;
+                set_count = 10;
+                nmax = 2;
+                mode = Procedure1.Definition1;
+              })))
+
+let bench_table5 =
+  Test.make ~name:"table5-average-case(bbtas,K=50)"
+    (Staged.stage (fun () ->
+         ignore
+           (Procedure1.run (Lazy.force bbtas_table)
+              {
+                Procedure1.seed = 1;
+                set_count = 50;
+                nmax = 10;
+                mode = Procedure1.Definition1;
+              })))
+
+let bench_table6 =
+  Test.make ~name:"table6-def2(bbtas,K=10)"
+    (Staged.stage (fun () ->
+         ignore
+           (Procedure1.run (Lazy.force bbtas_table)
+              {
+                Procedure1.seed = 1;
+                set_count = 10;
+                nmax = 10;
+                mode = Procedure1.Definition2;
+              })))
+
+(* Ablations (DESIGN.md section 5). *)
+
+let bench_ablation_collapse_on =
+  Test.make ~name:"ablation-collapse-on(mc)"
+    (Staged.stage (fun () ->
+         ignore (Detection_table.build ~collapse:true (Lazy.force mc_net))))
+
+let bench_ablation_collapse_off =
+  Test.make ~name:"ablation-collapse-off(mc)"
+    (Staged.stage (fun () ->
+         ignore (Detection_table.build ~collapse:false (Lazy.force mc_net))))
+
+let lion_fsm = lazy (Registry.fsm (Option.get (Registry.find "lion")))
+
+let bench_encoding scheme =
+  Test.make
+    ~name:
+      (Printf.sprintf "ablation-encoding-%s(lion)" (Encode.to_string scheme))
+    (Staged.stage (fun () ->
+         let net = Fsm_synth.synthesize ~scheme (Lazy.force lion_fsm) in
+         let net = Multilevel.decompose net in
+         let table = Detection_table.build net in
+         ignore (Worst_case.compute table)))
+
+let bench_sim_parallel =
+  Test.make ~name:"sim-bitparallel-stuck(dk27)"
+    (Staged.stage (fun () ->
+         let good = Lazy.force dk27_good in
+         let faults = Stuck.collapse (Lazy.force dk27_net) in
+         ignore (Fault_sim.stuck_detection_set good faults.(0))))
+
+let bench_sim_naive =
+  Test.make ~name:"sim-naive-stuck(dk27)"
+    (Staged.stage (fun () ->
+         let net = Lazy.force dk27_net in
+         let faults = Stuck.collapse net in
+         ignore (Naive.stuck_detection_set net faults.(0))))
+
+let bench_bridge_sim =
+  Test.make ~name:"sim-bridge-enumerate+simulate(mc)"
+    (Staged.stage (fun () ->
+         let net = Lazy.force mc_net in
+         let good = Good.compute net in
+         ignore (Fault_sim.bridge_detection_sets good (Bridge.enumerate net))))
+
+let bench_untargeted_model model name =
+  Test.make ~name:(Printf.sprintf "ablation-untargeted-%s(mc)" name)
+    (Staged.stage (fun () ->
+         let table = Detection_table.build ~model (Lazy.force mc_net) in
+         ignore (Worst_case.compute table)))
+
+let bench_transition =
+  Test.make ~name:"extension-transition-analysis(mc)"
+    (Staged.stage (fun () ->
+         ignore (Ndetect_core.Transition_analysis.compute (Lazy.force mc_net))))
+
+let bench_defect_level =
+  Test.make ~name:"extension-defect-level(mc,32 tests)"
+    (Staged.stage (fun () ->
+         let net = Lazy.force mc_net in
+         let vectors = Array.init 32 (fun i -> i * 7 mod 256) in
+         let dl = Ndetect_core.Defect_level.compute net ~vectors in
+         ignore (Ndetect_core.Defect_level.defect_level dl)))
+
+let bench_dictionary =
+  Test.make ~name:"extension-diagnosis-dictionary(mc,16 tests)"
+    (Staged.stage (fun () ->
+         let net = Lazy.force mc_net in
+         let faults = Stuck.collapse net in
+         let vectors = Array.init 16 (fun i -> i * 2) in
+         ignore (Ndetect_diag.Dictionary.build net ~vectors ~faults)))
+
+let bench_partition =
+  Test.make ~name:"extension-partition-analysis(mc)"
+    (Staged.stage (fun () ->
+         ignore
+           (Ndetect_core.Partition.analyze ~max_inputs:4 ~name:"mc"
+              (Lazy.force mc_net))))
+
+let all_benches =
+  Test.make_grouped ~name:"ndetect"
+    [
+      bench_table1;
+      bench_table2;
+      bench_table3;
+      bench_figure2;
+      bench_table4;
+      bench_table5;
+      bench_table6;
+      bench_ablation_collapse_on;
+      bench_ablation_collapse_off;
+      bench_encoding Encode.Binary;
+      bench_encoding Encode.Gray;
+      bench_encoding Encode.One_hot;
+      bench_sim_parallel;
+      bench_sim_naive;
+      bench_bridge_sim;
+      bench_untargeted_model Detection_table.Four_way "four-way";
+      bench_untargeted_model
+        (Detection_table.Wired Ndetect_faults.Wired.Wired_and)
+        "wired-and";
+      bench_untargeted_model
+        (Detection_table.Wired Ndetect_faults.Wired.Wired_or)
+        "wired-or";
+      bench_transition;
+      bench_defect_level;
+      bench_dictionary;
+      bench_partition;
+    ]
+
+let run_perf () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances =
+    Instance.[ minor_allocated; major_allocated; monotonic_clock ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true
+      ~compaction:false ()
+  in
+  let raw_results = Benchmark.all cfg instances all_benches in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  Analyze.merge ols instances results
+
+let img (window, results) =
+  Bechamel_notty.Multiple.image_of_ols_results ~rect:window
+    ~predictor:Measure.run results
+
+open Notty_unix
+
+let print_perf results =
+  List.iter
+    (fun v -> Bechamel_notty.Unit.add v (Measure.unit v))
+    Instance.[ minor_allocated; major_allocated; monotonic_clock ];
+  let window =
+    match winsize Unix.stdout with
+    | Some (w, h) -> { Bechamel_notty.w; h }
+    | None -> { Bechamel_notty.w = 120; h = 1 }
+  in
+  img (window, results) |> eol |> output_image
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let no_perf = List.mem "--no-perf" args in
+  let no_repro = List.mem "--no-repro" args in
+  let driver_args =
+    List.filter (fun a -> a <> "--no-perf" && a <> "--no-repro") args
+  in
+  let options =
+    match Driver.parse_args driver_args with
+    | options -> options
+    | exception Failure message ->
+      prerr_endline message;
+      exit 2
+  in
+  if not no_repro then begin
+    print_endline "=== Reproduction: paper tables and figures ===";
+    print_newline ();
+    Driver.run_all (Driver.create options)
+  end;
+  if not no_perf then begin
+    print_endline
+      "=== Performance: one bench per table/figure + ablations ===";
+    print_newline ();
+    print_perf (run_perf ())
+  end

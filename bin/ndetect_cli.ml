@@ -1,0 +1,680 @@
+(* ndetect: command-line interface to the n-detection analysis library.
+
+   Subcommands: list, analyze, average, atpg, tables, synth, dot,
+   evaluate, partition, transition, equiv, scoap. *)
+
+module Netlist = Ndetect_circuit.Netlist
+module Dot = Ndetect_circuit.Dot
+module Bench_format = Ndetect_netparse.Bench_format
+module Kiss2 = Ndetect_netparse.Kiss2
+module Encode = Ndetect_synth.Encode
+module Fsm_synth = Ndetect_synth.Fsm_synth
+module Multilevel = Ndetect_synth.Multilevel
+module Stuck = Ndetect_faults.Stuck
+module Analysis = Ndetect_core.Analysis
+module Detection_table = Ndetect_core.Detection_table
+module Worst_case = Ndetect_core.Worst_case
+module Procedure1 = Ndetect_core.Procedure1
+module Average_case = Ndetect_core.Average_case
+module Registry = Ndetect_suite.Registry
+module Paper_tables = Ndetect_report.Paper_tables
+module Ascii_table = Ndetect_report.Ascii_table
+module Ndet_atpg = Ndetect_tgen.Ndet_atpg
+module Driver = Ndetect_harness.Driver
+open Cmdliner
+
+(* A circuit argument is a suite name or a .bench / .kiss2 / .pla /
+   .blif file (chosen by extension; anything else parses as .bench). *)
+let load_circuit ?(scheme = Encode.Binary) spec =
+  match Registry.find spec with
+  | Some entry -> Ok (Registry.circuit ~scheme entry)
+  | None ->
+    if not (Sys.file_exists spec) then
+      Error
+        (Printf.sprintf
+           "%s is neither a suite circuit nor a file; try `ndetect list`"
+           spec)
+    else if Filename.check_suffix spec ".kiss2" then
+      match Kiss2.parse_file spec with
+      | fsm -> Ok (Multilevel.decompose (Fsm_synth.synthesize ~scheme fsm))
+      | exception Kiss2.Parse_error { line; message } ->
+        Error (Printf.sprintf "%s:%d: %s" spec line message)
+    else if Filename.check_suffix spec ".pla" then
+      match Ndetect_netparse.Pla.parse_file spec with
+      | pla -> Ok (Ndetect_synth.Pla_synth.synthesize pla)
+      | exception Ndetect_netparse.Pla.Parse_error { line; message } ->
+        Error (Printf.sprintf "%s:%d: %s" spec line message)
+    else if Filename.check_suffix spec ".blif" then
+      match Ndetect_netparse.Blif.parse_file spec with
+      | net -> Ok net
+      | exception Ndetect_netparse.Blif.Parse_error { line; message } ->
+        Error (Printf.sprintf "%s:%d: %s" spec line message)
+    else
+      match Bench_format.parse_file spec with
+      | net -> Ok net
+      | exception Bench_format.Parse_error { line; message } ->
+        Error (Printf.sprintf "%s:%d: %s" spec line message)
+
+let circuit_arg =
+  let doc =
+    "Circuit to analyze: a suite benchmark name (see $(b,ndetect list)) or \
+     a netlist/FSM file (.bench, .kiss2, .pla, .blif)."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+let scheme_arg =
+  let parse s =
+    match Encode.of_string s with
+    | Some scheme -> Ok scheme
+    | None -> Error (`Msg (Printf.sprintf "unknown encoding %s" s))
+  in
+  let print ppf s = Format.pp_print_string ppf (Encode.to_string s) in
+  let scheme_conv = Arg.conv (parse, print) in
+  Arg.(
+    value
+    & opt scheme_conv Encode.Binary
+    & info [ "encoding" ] ~docv:"SCHEME"
+        ~doc:"State encoding: binary, gray or one-hot.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+(* list *)
+
+let list_cmd =
+  let run () =
+    let rows =
+      List.map
+        (fun e ->
+          let tier =
+            match e.Registry.tier with
+            | Registry.Small -> "small"
+            | Registry.Medium -> "medium"
+            | Registry.Large -> "large"
+          in
+          let dims =
+            match e.Registry.source with
+            | Registry.Kiss2_text _ -> "classic (embedded KISS2)"
+            | Registry.Bench_text _ -> "combinational (embedded .bench)"
+            | Registry.Synthetic { inputs; outputs; states; products } ->
+              Printf.sprintf "i=%d o=%d s=%d p=%d" inputs outputs states
+                products
+          in
+          [ e.Registry.name; tier; string_of_int (Registry.pi_count e); dims ])
+        Registry.all
+    in
+    print_string
+      (Ascii_table.render
+         ~header:[ "circuit"; "tier"; "PI"; "dimensions" ]
+         ~align:
+           [ Ascii_table.Left; Ascii_table.Left; Ascii_table.Right;
+             Ascii_table.Left ]
+         rows)
+  in
+  let doc = "List the embedded benchmark suite." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* analyze *)
+
+let analyze_run spec scheme csv =
+  match load_circuit ~scheme spec with
+  | Error message ->
+    prerr_endline message;
+    exit 1
+  | Ok net ->
+    let a = Analysis.analyze ~name:spec net in
+    let s = a.Analysis.summary in
+    Format.printf "circuit: %s (%a)@." spec Netlist.pp_stats
+      (Netlist.stats net);
+    Printf.printf
+      "target faults (collapsed stuck-at): %d\n\
+       untargeted faults (4-way bridging): %d\n\n"
+      s.Analysis.target_faults s.Analysis.untargeted_faults;
+    let header =
+      "n" :: List.map (fun (n, _) -> string_of_int n) s.Analysis.percent_below
+    in
+    let row =
+      "% guaranteed"
+      :: List.map
+           (fun (_, pct) -> Printf.sprintf "%.2f" pct)
+           s.Analysis.percent_below
+    in
+    if csv then print_string (Ascii_table.render_csv ~header [ row ])
+    else print_string (Ascii_table.render ~header [ row ]);
+    print_newline ();
+    (match s.Analysis.max_finite_nmin with
+    | Some m ->
+      Printf.printf
+        "every detectable bridging fault is guaranteed by n = %d\n" m
+    | None -> print_endline "no untargeted faults");
+    let hard = Analysis.hard_faults a ~nmax:10 in
+    if Array.length hard > 0 then begin
+      Printf.printf "%d faults need n > 10; distribution:\n"
+        (Array.length hard);
+      print_string (Paper_tables.figure2 a.Analysis.worst ~min_value:11)
+    end
+
+let analyze_cmd =
+  let csv =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit the coverage row as CSV.")
+  in
+  let doc = "Worst-case analysis: guaranteed bridging-fault coverage vs n." in
+  Cmd.v
+    (Cmd.info "analyze" ~doc)
+    Term.(const analyze_run $ circuit_arg $ scheme_arg $ csv)
+
+(* average *)
+
+let average_run spec scheme k nmax def2 seed =
+  match load_circuit ~scheme spec with
+  | Error message ->
+    prerr_endline message;
+    exit 1
+  | Ok net ->
+    let a = Analysis.analyze ~name:spec net in
+    let hard = Analysis.hard_faults a ~nmax in
+    if Array.length hard = 0 then begin
+      Printf.printf
+        "every untargeted fault is guaranteed by an n = %d detection test \
+         set; nothing to estimate\n"
+        nmax;
+      exit 0
+    end;
+    let mode =
+      if def2 then Procedure1.Definition2 else Procedure1.Definition1
+    in
+    let outcome =
+      Procedure1.run ~report_faults:hard a.Analysis.table
+        { Procedure1.seed; set_count = k; nmax; mode }
+    in
+    let row =
+      {
+        Paper_tables.circuit = spec;
+        hard_faults = Array.length hard;
+        row = Average_case.summarize outcome ~n:nmax;
+      }
+    in
+    print_string (Paper_tables.table5 ~nmax [ row ])
+
+let average_cmd =
+  let k =
+    Arg.(
+      value & opt int 1000
+      & info [ "k"; "sets" ] ~docv:"K" ~doc:"Number of random test sets.")
+  in
+  let nmax =
+    Arg.(
+      value & opt int 10
+      & info [ "nmax" ] ~docv:"N" ~doc:"Largest number of detections.")
+  in
+  let def2 =
+    Arg.(
+      value & flag
+      & info [ "def2" ]
+          ~doc:
+            "Count detections with Definition 2 (pairwise-different tests).")
+  in
+  let doc =
+    "Average-case analysis: probability that an arbitrary n-detection test \
+     set detects each hard fault (Procedure 1)."
+  in
+  Cmd.v
+    (Cmd.info "average" ~doc)
+    Term.(
+      const average_run $ circuit_arg $ scheme_arg $ k $ nmax $ def2
+      $ seed_arg)
+
+(* atpg *)
+
+let atpg_run spec scheme n seed =
+  match load_circuit ~scheme spec with
+  | Error message ->
+    prerr_endline message;
+    exit 1
+  | Ok net ->
+    let faults = Stuck.collapse net in
+    let report = Ndet_atpg.generate ~seed net ~n faults in
+    Printf.printf "generated %d tests for %d collapsed faults (n = %d)\n"
+      (Array.length report.Ndet_atpg.tests)
+      (Array.length faults) n;
+    let count flags =
+      Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 flags
+    in
+    Printf.printf "untestable: %d, aborted: %d\n"
+      (count report.Ndet_atpg.untestable)
+      (count report.Ndet_atpg.aborted);
+    Array.iteri
+      (fun i v -> Printf.printf "t%-3d %d\n" i v)
+      report.Ndet_atpg.tests
+
+let atpg_cmd =
+  let n =
+    Arg.(
+      value & opt int 1
+      & info [ "n" ] ~docv:"N" ~doc:"Detections required per fault.")
+  in
+  let doc = "Generate an n-detection test set with PODEM." in
+  Cmd.v
+    (Cmd.info "atpg" ~doc)
+    Term.(const atpg_run $ circuit_arg $ scheme_arg $ n $ seed_arg)
+
+(* evaluate *)
+
+(* Test vectors, one per line: a decimal vector value or a 0/1 bit string
+   (MSB first, input order). Blank lines and '#' comments are skipped. *)
+let read_vectors net path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let pi = Netlist.input_count net in
+      let vectors = ref [] in
+      let lineno = ref 0 in
+      (try
+         while true do
+           incr lineno;
+           let line = String.trim (input_line ic) in
+           if line <> "" && line.[0] <> '#' then
+             let v =
+               if String.length line = pi
+                  && String.for_all (fun c -> c = '0' || c = '1') line
+               then
+                 String.fold_left
+                   (fun acc c -> (acc lsl 1) lor if c = '1' then 1 else 0)
+                   0 line
+               else
+                 match int_of_string_opt line with
+                 | Some v when v >= 0 && (pi >= 62 || v < 1 lsl pi) -> v
+                 | Some _ | None ->
+                   failwith
+                     (Printf.sprintf "%s:%d: bad vector %S" path !lineno line)
+             in
+             vectors := v :: !vectors
+         done
+       with End_of_file -> ());
+      Array.of_list (List.rev !vectors))
+
+let evaluate_run spec scheme vectors_path n def2 =
+  match load_circuit ~scheme spec with
+  | Error message ->
+    prerr_endline message;
+    exit 1
+  | Ok net ->
+    let vectors = read_vectors net vectors_path in
+    if Array.length vectors = 0 then begin
+      prerr_endline "no vectors in file";
+      exit 1
+    end;
+    let ev = Ndetect_core.Test_eval.evaluate net ~vectors in
+    let module Test_eval = Ndetect_core.Test_eval in
+    Printf.printf "vectors: %d (after deduplication)\n"
+      (Array.length (Test_eval.vectors ev));
+    Printf.printf "stuck-at coverage:  %.2f%% of %d collapsed faults\n"
+      (Test_eval.stuck_coverage ev)
+      (Test_eval.target_count ev);
+    Printf.printf "bridging coverage:  %.2f%% of %d four-way faults\n"
+      (Test_eval.bridge_coverage ev)
+      (Test_eval.untargeted_count ev);
+    Printf.printf "n-detection check (n = %d, %s): %s\n" n
+      (if def2 then "Definition 2" else "Definition 1")
+      (if Test_eval.is_n_detection ev ~n ~def2 then "PASS" else "FAIL");
+    let counts =
+      if def2 then Test_eval.detections_def2 ev
+      else Test_eval.detections_def1 ev
+    in
+    let histogram = Hashtbl.create 16 in
+    Array.iter
+      (fun c ->
+        let key = min c n in
+        Hashtbl.replace histogram key
+          (1 + Option.value (Hashtbl.find_opt histogram key) ~default:0))
+      counts;
+    Printf.printf "detections per target fault (capped at n):\n";
+    for c = 0 to n do
+      match Hashtbl.find_opt histogram c with
+      | Some k ->
+        Printf.printf "  %s%d detections: %d faults\n"
+          (if c = n then ">= " else "")
+          c k
+      | None -> ()
+    done;
+    let dl = Ndetect_core.Defect_level.compute net ~vectors in
+    Printf.printf
+      "defect-level model: escape probability %.4f (q = 0.4), weakest site \
+       observed %d times\n"
+      (Ndetect_core.Defect_level.escape_probability dl)
+      (Ndetect_core.Defect_level.min_observations dl)
+
+let evaluate_cmd =
+  let vectors_path =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"VECTORS"
+          ~doc:"File of test vectors (decimal values or 0/1 strings).")
+  in
+  let n =
+    Arg.(
+      value & opt int 1
+      & info [ "n" ] ~docv:"N" ~doc:"Check for n detections per fault.")
+  in
+  let def2 =
+    Arg.(
+      value & flag
+      & info [ "def2" ] ~doc:"Count detections under Definition 2.")
+  in
+  let doc =
+    "Evaluate an explicit test set: fault coverage, per-fault detection \
+     counts, defect-level estimate. Works for circuits too large for the \
+     exhaustive analysis."
+  in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc)
+    Term.(
+      const evaluate_run $ circuit_arg $ scheme_arg $ vectors_path $ n $ def2)
+
+(* partition *)
+
+let partition_run spec scheme max_inputs =
+  match load_circuit ~scheme spec with
+  | Error message ->
+    prerr_endline message;
+    exit 1
+  | Ok net ->
+    let module Partition = Ndetect_core.Partition in
+    let results = Partition.analyze ~max_inputs ~name:spec net in
+    Printf.printf "%d blocks analyzed (max support %d)\n\n"
+      (List.length results) max_inputs;
+    List.iter
+      (fun (block, a) ->
+        let s = a.Analysis.summary in
+        Printf.printf
+          "%-14s outputs=%-3d support=%-3d |F|=%-5d |G|=%-6d max nmin=%s\n"
+          s.Analysis.circuit
+          (Array.length block.Partition.outputs)
+          (Array.length block.Partition.support)
+          s.Analysis.target_faults s.Analysis.untargeted_faults
+          (match s.Analysis.max_finite_nmin with
+          | Some m -> string_of_int m
+          | None -> "-"))
+      results;
+    print_newline ();
+    let combined = Partition.combined_summary ~name:(spec ^ "-combined") results in
+    print_string (Paper_tables.table2 [ combined ])
+
+let partition_cmd =
+  let max_inputs =
+    Arg.(
+      value & opt int 14
+      & info [ "max-inputs" ] ~docv:"N"
+          ~doc:"Largest input support per block.")
+  in
+  let doc =
+    "Partition a circuit into output cones and run the worst-case analysis \
+     per block (the paper's Section 4 recipe for large designs)."
+  in
+  Cmd.v
+    (Cmd.info "partition" ~doc)
+    Term.(const partition_run $ circuit_arg $ scheme_arg $ max_inputs)
+
+(* equiv *)
+
+let equiv_run spec1 spec2 scheme =
+  match load_circuit ~scheme spec1, load_circuit ~scheme spec2 with
+  | Error m, _ | _, Error m ->
+    prerr_endline m;
+    exit 1
+  | Ok left, Ok right ->
+    let result = Ndetect_circuit.Equiv.check left right in
+    Format.printf "%a@." Ndetect_circuit.Equiv.pp_result result;
+    (match result with
+    | Ndetect_circuit.Equiv.Equivalent -> ()
+    | Ndetect_circuit.Equiv.Counterexample _
+    | Ndetect_circuit.Equiv.Interface_mismatch _ ->
+      exit 1)
+
+let equiv_cmd =
+  let spec2 =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"CIRCUIT2" ~doc:"Second circuit.")
+  in
+  let doc = "Exhaustive combinational equivalence check of two circuits." in
+  Cmd.v
+    (Cmd.info "equiv" ~doc)
+    Term.(const equiv_run $ circuit_arg $ spec2 $ scheme_arg)
+
+(* scoap *)
+
+let scoap_run spec scheme worst_count =
+  match load_circuit ~scheme spec with
+  | Error message ->
+    prerr_endline message;
+    exit 1
+  | Ok net ->
+    let module Scoap = Ndetect_circuit.Scoap in
+    let module Line = Ndetect_circuit.Line in
+    let s = Scoap.compute net in
+    let lines = Line.enumerate net in
+    let rows =
+      Array.to_list lines
+      |> List.map (fun line ->
+           let driver = Line.driver net line in
+           let eff v = Scoap.fault_effort s line ~value:v in
+           ( max (eff false) (eff true),
+             [
+               Line.to_string net line;
+               string_of_int (Scoap.cc0 s driver);
+               string_of_int (Scoap.cc1 s driver);
+               string_of_int (Scoap.line_co s line);
+               string_of_int (eff false);
+               string_of_int (eff true);
+             ] ))
+      |> List.sort (fun (a, _) (b, _) -> Int.compare b a)
+    in
+    let rows =
+      (if worst_count > 0 then List.filteri (fun i _ -> i < worst_count) rows
+       else rows)
+      |> List.map snd
+    in
+    Printf.printf "SCOAP testability (worst lines first):\n";
+    print_string
+      (Ascii_table.render
+         ~header:[ "line"; "cc0"; "cc1"; "co"; "effort sa0"; "effort sa1" ]
+         rows)
+
+let scoap_cmd =
+  let worst =
+    Arg.(
+      value & opt int 20
+      & info [ "worst" ] ~docv:"N"
+          ~doc:"Show only the N hardest lines (0 = all).")
+  in
+  let doc = "SCOAP controllability/observability report." in
+  Cmd.v
+    (Cmd.info "scoap" ~doc)
+    Term.(const scoap_run $ circuit_arg $ scheme_arg $ worst)
+
+(* transition *)
+
+let transition_run spec scheme =
+  match load_circuit ~scheme spec with
+  | Error message ->
+    prerr_endline message;
+    exit 1
+  | Ok net ->
+    let module Transition_analysis = Ndetect_core.Transition_analysis in
+    let stuck = Analysis.analyze ~name:spec net in
+    let transition = Transition_analysis.compute net in
+    Printf.printf
+      "targets: %d transition faults (vs %d stuck-at); %d untargeted \
+       bridging faults\n\n"
+      (Transition_analysis.target_count transition)
+      stuck.Analysis.summary.Analysis.target_faults
+      (Transition_analysis.untargeted_count transition);
+    let thresholds = [ 1; 2; 5; 10; 100; 1000; 10000 ] in
+    let row label value = label :: List.map value thresholds in
+    print_string
+      (Ascii_table.render
+         ~header:("guaranteed %" :: List.map string_of_int thresholds)
+         [
+           row "stuck-at n-detect" (fun n ->
+               Printf.sprintf "%.2f"
+                 (Worst_case.percent_below stuck.Analysis.worst n));
+           row "transition n-detect" (fun n ->
+               Printf.sprintf "%.2f"
+                 (Transition_analysis.percent_below transition n));
+         ]);
+    match
+      ( Worst_case.max_finite_nmin stuck.Analysis.worst,
+        Transition_analysis.max_finite_nmin transition )
+    with
+    | Some s, Some t ->
+      Printf.printf
+        "\nfull guarantee: n = %d (stuck-at) vs n = %d (transition)\n" s t
+    | _ -> ()
+
+let transition_cmd =
+  let doc =
+    "Worst-case analysis with transition-fault (two-pattern) n-detection \
+     targets."
+  in
+  Cmd.v
+    (Cmd.info "transition" ~doc)
+    Term.(const transition_run $ circuit_arg $ scheme_arg)
+
+(* tables *)
+
+let tables_run tier k k2 seed only quiet =
+  let tier =
+    match String.lowercase_ascii tier with
+    | "small" -> Registry.Small
+    | "medium" -> Registry.Medium
+    | "large" -> Registry.Large
+    | other ->
+      prerr_endline ("unknown tier " ^ other);
+      exit 2
+  in
+  Driver.run_all
+    (Driver.create
+       { Driver.tier; k; k2; seed; only; quiet; csv_dir = None })
+
+let tables_cmd =
+  let tier =
+    Arg.(
+      value & opt string "medium"
+      & info [ "tier" ] ~docv:"TIER" ~doc:"small, medium or large.")
+  in
+  let k =
+    Arg.(
+      value & opt int 1000 & info [ "k"; "sets" ] ~docv:"K" ~doc:"Sets for Table 5.")
+  in
+  let k2 =
+    Arg.(
+      value & opt int 200 & info [ "k2" ] ~docv:"K" ~doc:"Sets for Table 6.")
+  in
+  let only =
+    Arg.(
+      value & opt string "all"
+      & info [ "only" ] ~docv:"WHAT"
+          ~doc:"One of table1..table6, figure2, or all.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress timing lines.")
+  in
+  let doc = "Reproduce the paper's tables and figures." in
+  Cmd.v
+    (Cmd.info "tables" ~doc)
+    Term.(const tables_run $ tier $ k $ k2 $ seed_arg $ only $ quiet)
+
+(* synth *)
+
+let synth_run file scheme out format =
+  match Kiss2.parse_file file with
+  | exception Kiss2.Parse_error { line; message } ->
+    Printf.eprintf "%s:%d: %s\n" file line message;
+    exit 1
+  | fsm ->
+    let net = Multilevel.decompose (Fsm_synth.synthesize ~scheme fsm) in
+    let text =
+      match format with
+      | "bench" -> Bench_format.print net
+      | "blif" -> Ndetect_netparse.Blif.print net ()
+      | "verilog" -> Ndetect_netparse.Verilog.print net
+      | other ->
+        Printf.eprintf "unknown format %s (bench, blif, verilog)\n" other;
+        exit 2
+    in
+    (match out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Format.printf "wrote %s (%a)@." path Netlist.pp_stats
+        (Netlist.stats net)
+    | None -> print_string text)
+
+let synth_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE.kiss2" ~doc:"KISS2 FSM description.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let format =
+    Arg.(
+      value & opt string "bench"
+      & info [ "format" ] ~docv:"FMT" ~doc:"bench, blif or verilog.")
+  in
+  let doc = "Synthesize an FSM's combinational logic to a netlist." in
+  Cmd.v
+    (Cmd.info "synth" ~doc)
+    Term.(const synth_run $ file $ scheme_arg $ out $ format)
+
+(* dot *)
+
+let dot_run spec scheme out =
+  match load_circuit ~scheme spec with
+  | Error message ->
+    prerr_endline message;
+    exit 1
+  | Ok net ->
+    (match out with
+    | Some path ->
+      Dot.write_file net ~path;
+      Printf.printf "wrote %s\n" path
+    | None -> print_string (Dot.to_dot net))
+
+let dot_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output .dot path.")
+  in
+  let doc = "Export a circuit as Graphviz DOT." in
+  Cmd.v
+    (Cmd.info "dot" ~doc)
+    Term.(const dot_run $ circuit_arg $ scheme_arg $ out)
+
+let main_cmd =
+  let doc =
+    "worst-case and average-case analysis of n-detection test sets \
+     (Pomeranz & Reddy, DATE 2005)"
+  in
+  Cmd.group
+    (Cmd.info "ndetect" ~version:"1.0.0" ~doc)
+    [
+      list_cmd; analyze_cmd; average_cmd; atpg_cmd; tables_cmd; synth_cmd;
+      dot_cmd; evaluate_cmd; partition_cmd; transition_cmd; equiv_cmd;
+      scoap_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,17 @@
+(* Reproduction harness: regenerates every table and figure of the paper.
+
+   Usage: reproduce [--tier small|medium|large] [--k N] [--k2 N]
+                    [--seed N] [--only tableN|figure2] [--quiet]
+
+   Defaults are sized so a medium-tier run finishes in about a minute;
+   pass --tier large --k 10000 --k2 1000 for the paper-scale experiment
+   (see EXPERIMENTS.md for recorded timings). *)
+
+module Driver = Ndetect_harness.Driver
+
+let () =
+  match Driver.parse_args (List.tl (Array.to_list Sys.argv)) with
+  | options -> Driver.run_all (Driver.create options)
+  | exception Failure message ->
+    prerr_endline message;
+    exit 2

@@ -1,0 +1,107 @@
+(* Structural testability vs the paper's worst-case analysis.
+
+   Two side studies that contextualize nmin:
+
+   1. SCOAP: is a bridge's nmin explained by how structurally hard the
+      bridge is to detect? Measurably NO - mean SCOAP effort is nearly
+      identical across nmin strata. nmin is a property of how the bridge's
+      tests overlap the target faults' test sets (the adversary's
+      freedom), not of the bridge's own detectability; this is exactly
+      why the paper's analysis cannot be replaced by a testability
+      heuristic.
+
+   2. LFSR baseline: pseudorandom patterns (the BIST baseline) reach high
+      bridging coverage only slowly compared with deterministic
+      n-detection sets of equal size.
+
+   Run with: dune exec examples/testability_study.exe [-- circuit] *)
+
+module Netlist = Ndetect_circuit.Netlist
+module Line = Ndetect_circuit.Line
+module Scoap = Ndetect_circuit.Scoap
+module Stuck = Ndetect_faults.Stuck
+module Analysis = Ndetect_core.Analysis
+module Detection_table = Ndetect_core.Detection_table
+module Worst_case = Ndetect_core.Worst_case
+module Test_eval = Ndetect_core.Test_eval
+module Lfsr = Ndetect_tgen.Lfsr
+module Ndet_atpg = Ndetect_tgen.Ndet_atpg
+module Registry = Ndetect_suite.Registry
+
+(* SCOAP effort of a four-way bridge: control both activation values and
+   observe the victim. *)
+let bridge_effort scoap (table : Detection_table.t) gj =
+  match Detection_table.untargeted_fault table gj with
+  | Detection_table.Wired_fault _ -> Scoap.infinite
+  | Detection_table.Bridge_fault b ->
+    let control node value =
+      if value then Scoap.cc1 scoap node else Scoap.cc0 scoap node
+    in
+    control b.Ndetect_faults.Bridge.victim b.Ndetect_faults.Bridge.victim_value
+    + control b.Ndetect_faults.Bridge.aggressor
+        b.Ndetect_faults.Bridge.aggressor_value
+    + Scoap.co scoap b.Ndetect_faults.Bridge.victim
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "bbara" in
+  let net = Registry.circuit (Option.get (Registry.find name)) in
+  let a = Analysis.analyze ~name net in
+  let table = a.Analysis.table in
+  let scoap = Scoap.compute net in
+
+  (* --- Study 1: SCOAP effort stratified by nmin --- *)
+  let strata = [ (1, 1); (2, 5); (6, max_int) ] in
+  Printf.printf "circuit: %s\n\nSCOAP effort of bridging faults by nmin:\n"
+    name;
+  List.iter
+    (fun (lo, hi) ->
+      let efforts = ref [] in
+      for gj = 0 to Detection_table.untargeted_count table - 1 do
+        let v = Worst_case.nmin a.Analysis.worst gj in
+        if v >= lo && v <= hi then
+          efforts := bridge_effort scoap table gj :: !efforts
+      done;
+      match !efforts with
+      | [] -> ()
+      | es ->
+        let n = List.length es in
+        let mean =
+          float_of_int (List.fold_left ( + ) 0 es) /. float_of_int n
+        in
+        let label =
+          if hi = max_int then Printf.sprintf "nmin >= %d" lo
+          else if lo = hi then Printf.sprintf "nmin = %d" lo
+          else Printf.sprintf "nmin in %d..%d" lo hi
+        in
+        Printf.printf "  %-14s %6d faults, mean SCOAP effort %.1f\n" label n
+          mean)
+    strata;
+  print_newline ();
+
+  (* --- Study 2: LFSR vs deterministic n-detection sets --- *)
+  let faults = Stuck.collapse net in
+  let width = Netlist.input_count net in
+  Printf.printf
+    "bridging coverage: LFSR pseudorandom vs PODEM n-detection sets\n";
+  Printf.printf "%6s  %12s  %18s\n" "tests" "LFSR cov%" "n-detect cov%(n)";
+  List.iter
+    (fun n ->
+      let report = Ndet_atpg.generate ~seed:11 net ~n faults in
+      let atpg_vectors = report.Ndet_atpg.tests in
+      let budget = Array.length atpg_vectors in
+      let lfsr_vectors = Lfsr.patterns ~width ~count:budget () in
+      let coverage vectors =
+        Test_eval.bridge_coverage (Test_eval.evaluate net ~vectors)
+      in
+      Printf.printf "%6d  %12.2f  %15.2f(%d)\n%!" budget
+        (coverage lfsr_vectors)
+        (coverage atpg_vectors)
+        n)
+    [ 1; 2; 5 ];
+  print_newline ();
+  print_endline
+    "Note the SCOAP means barely differ across nmin strata: structural\n\
+     testability does not explain which untargeted faults evade\n\
+     n-detection sets - the overlap analysis is genuinely needed. And\n\
+     deterministic n-detection sets dominate equal-sized pseudorandom\n\
+     sets on untargeted coverage."

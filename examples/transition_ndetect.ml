@@ -1,0 +1,47 @@
+(* The analysis generalized to transition-fault n-detection test sets
+   (two-pattern tests), per the discussion of extending the framework to
+   other fault models. Detection factorizes over (initialization,
+   capture), so the pair universe never needs to be materialized.
+
+   Run with: dune exec examples/transition_ndetect.exe [-- circuit] *)
+
+module Analysis = Ndetect_core.Analysis
+module Transition_analysis = Ndetect_core.Transition_analysis
+module Worst_case = Ndetect_core.Worst_case
+module Registry = Ndetect_suite.Registry
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "mc" in
+  let net = Registry.circuit (Option.get (Registry.find name)) in
+  Printf.printf "circuit: %s\n\n" name;
+  (* Stuck-at targets (the paper's setting)... *)
+  let stuck = Analysis.analyze ~name net in
+  (* ...versus transition-fault targets over two-pattern tests. *)
+  let transition = Transition_analysis.compute net in
+  Printf.printf "targets: %d stuck-at vs %d transition faults\n"
+    stuck.Analysis.summary.Analysis.target_faults
+    (Transition_analysis.target_count transition);
+  Printf.printf "untargeted bridging faults: %d (same set for both)\n\n"
+    (Transition_analysis.untargeted_count transition);
+  Printf.printf "%8s  %22s  %22s\n" "n" "stuck-at guaranteed %"
+    "transition guaranteed %";
+  List.iter
+    (fun n ->
+      Printf.printf "%8d  %22.2f  %22.2f\n" n
+        (Worst_case.percent_below stuck.Analysis.worst n)
+        (Transition_analysis.percent_below transition n))
+    [ 1; 2; 5; 10; 100; 1000; 10000 ];
+  print_newline ();
+  (match
+     ( Worst_case.max_finite_nmin stuck.Analysis.worst,
+       Transition_analysis.max_finite_nmin transition )
+   with
+  | Some s, Some t ->
+    Printf.printf
+      "full guarantee needs n = %d (stuck-at) vs n = %d (transition)\n" s t
+  | _ -> ());
+  print_endline
+    "\nThe escape margin of a transition fault is multiplied by the size\n\
+     of its initialization set, so guaranteeing untargeted coverage with\n\
+     transition-fault n-detection needs dramatically larger n - the\n\
+     paper's conclusion that raising n is not an effective lever, sharpened."

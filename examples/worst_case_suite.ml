@@ -1,0 +1,60 @@
+(* Worst-case analysis across the benchmark suite (the experiment behind
+   Tables 2 and 3 of the paper): for each circuit, the percentage of
+   four-way bridging faults guaranteed to be detected by any n-detection
+   test set, for n up to 10, and the distribution of the hard tail.
+
+   Run with: dune exec examples/worst_case_suite.exe [-- tier] *)
+
+module Analysis = Ndetect_core.Analysis
+module Worst_case = Ndetect_core.Worst_case
+module Registry = Ndetect_suite.Registry
+module Paper_tables = Ndetect_report.Paper_tables
+
+let () =
+  let tier =
+    match Array.to_list Sys.argv with
+    | _ :: "medium" :: _ -> Registry.Medium
+    | _ :: "large" :: _ -> Registry.Large
+    | _ -> Registry.Small
+  in
+  let entries = Registry.of_tier tier in
+  Printf.printf "Analyzing %d circuits...\n%!" (List.length entries);
+  let analyses =
+    List.map
+      (fun e ->
+        let a =
+          Analysis.analyze ~name:e.Registry.name (Registry.circuit e)
+        in
+        Printf.printf "  %-10s |F| = %4d  |G| = %6d  max nmin = %s\n%!"
+          e.Registry.name a.Analysis.summary.Analysis.target_faults
+          a.Analysis.summary.Analysis.untargeted_faults
+          (match a.Analysis.summary.Analysis.max_finite_nmin with
+          | Some m -> string_of_int m
+          | None -> "-");
+        a)
+      entries
+  in
+  print_newline ();
+  let summaries = List.map (fun a -> a.Analysis.summary) analyses in
+  print_string (Paper_tables.table2 summaries);
+  print_newline ();
+  print_string (Paper_tables.table3 summaries);
+  print_newline ();
+  (* Figure-2 style histogram for the circuit with the hardest tail. *)
+  let hardest =
+    List.fold_left
+      (fun acc a ->
+        let tail = Array.length (Analysis.hard_faults a ~nmax:10) in
+        match acc with
+        | Some (_, best) when best >= tail -> acc
+        | _ -> Some (a, tail))
+      None analyses
+  in
+  match hardest with
+  | Some (a, tail) when tail > 0 ->
+    Printf.printf "Hard-tail circuit: %s (%d faults need n > 10)\n"
+      a.Analysis.name tail;
+    print_string (Paper_tables.figure2 a.Analysis.worst ~min_value:11)
+  | Some _ | None ->
+    print_endline
+      "No circuit in this tier has faults requiring n > 10; try `medium`."

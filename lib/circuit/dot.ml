@@ -1,0 +1,29 @@
+let to_dot net =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph netlist {\n  rankdir=LR;\n";
+  for id = 0 to Netlist.node_count net - 1 do
+    let kind = Netlist.kind net id in
+    let shape =
+      match kind with Gate.Input -> "box" | _ -> "ellipse"
+    in
+    let peripheries = if Netlist.is_output net id then 2 else 1 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  n%d [label=\"%s\\n%s\", shape=%s, peripheries=%d];\n" id
+         (Netlist.name net id)
+         (Gate.to_string kind)
+         shape peripheries)
+  done;
+  for id = 0 to Netlist.node_count net - 1 do
+    Array.iter
+      (fun f -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" f id))
+      (Netlist.fanins net id)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file net ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot net))

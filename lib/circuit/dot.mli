@@ -1,0 +1,7 @@
+(** Graphviz export of netlists, for documentation and debugging. *)
+
+val to_dot : Netlist.t -> string
+(** DOT source with inputs as boxes, gates labelled by kind, and doubled
+    borders on primary outputs. *)
+
+val write_file : Netlist.t -> path:string -> unit

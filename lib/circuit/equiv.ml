@@ -1,0 +1,83 @@
+module Word = Ndetect_logic.Word
+
+type result =
+  | Equivalent
+  | Counterexample of { vector : int; output : int; left : bool; right : bool }
+  | Interface_mismatch of string
+
+(* A self-contained bit-parallel sweep (not Ndetect_sim.Good, which lives
+   above this library in the dependency order). *)
+let values_for net ~batch ~universe =
+  let pi = Netlist.input_count net in
+  let live = Word.mask_low (Word.batch_width ~universe ~batch) in
+  let values = Array.make (Netlist.node_count net) Word.zeroes in
+  Array.iter
+    (fun id ->
+      values.(id) <-
+        (match Netlist.kind net id with
+        | Gate.Input ->
+          Word.input_pattern ~universe ~batch ~bit:id ~pi_count:pi
+        | kind ->
+          Gate.eval_word kind
+            (Array.map (fun f -> values.(f)) (Netlist.fanins net id))
+          land live))
+    (Netlist.topo_order net);
+  values
+
+let check left right =
+  if Netlist.input_count left <> Netlist.input_count right then
+    Interface_mismatch
+      (Printf.sprintf "input counts differ: %d vs %d"
+         (Netlist.input_count left)
+         (Netlist.input_count right))
+  else if
+    Array.length (Netlist.outputs left)
+    <> Array.length (Netlist.outputs right)
+  then
+    Interface_mismatch
+      (Printf.sprintf "output counts differ: %d vs %d"
+         (Array.length (Netlist.outputs left))
+         (Array.length (Netlist.outputs right)))
+  else begin
+    let universe = Netlist.universe_size left in
+    let batches = Word.batches ~universe in
+    let outputs_l = Netlist.outputs left and outputs_r = Netlist.outputs right in
+    let rec sweep batch =
+      if batch >= batches then Equivalent
+      else begin
+        let vl = values_for left ~batch ~universe in
+        let vr = values_for right ~batch ~universe in
+        let rec outputs k =
+          if k >= Array.length outputs_l then sweep (batch + 1)
+          else begin
+            let diff = vl.(outputs_l.(k)) lxor vr.(outputs_r.(k)) in
+            if diff = Word.zeroes then outputs (k + 1)
+            else begin
+              let rec lane i = if Word.get diff i then i else lane (i + 1) in
+              let l = lane 0 in
+              let vector = (batch * Word.width) + l in
+              Counterexample
+                {
+                  vector;
+                  output = k;
+                  left = Word.get vl.(outputs_l.(k)) l;
+                  right = Word.get vr.(outputs_r.(k)) l;
+                }
+            end
+          end
+        in
+        outputs 0
+      end
+    in
+    sweep 0
+  end
+
+let equivalent left right = check left right = Equivalent
+
+let pp_result ppf = function
+  | Equivalent -> Format.fprintf ppf "equivalent"
+  | Counterexample { vector; output; left; right } ->
+    Format.fprintf ppf
+      "counterexample: vector %d, output %d: %b vs %b" vector output left
+      right
+  | Interface_mismatch msg -> Format.fprintf ppf "interface mismatch: %s" msg

@@ -1,0 +1,26 @@
+(** Combinational equivalence checking between two netlists.
+
+    Exhaustive bit-parallel comparison over the shared input universe —
+    the right tool at this project's circuit sizes, and the oracle behind
+    the synthesis/restructuring property tests. Inputs are matched
+    positionally (both circuits must agree on input count and output
+    count); names are not consulted. *)
+
+type result =
+  | Equivalent
+  | Counterexample of {
+      vector : int;  (** First differing input vector. *)
+      output : int;  (** Index of a differing primary output. *)
+      left : bool;  (** Value in the first circuit. *)
+      right : bool;
+    }
+  | Interface_mismatch of string  (** Input/output arity disagreement. *)
+
+val check : Netlist.t -> Netlist.t -> result
+(** Raises [Invalid_argument] if the input count exceeds the exhaustive
+    limit (24). *)
+
+val equivalent : Netlist.t -> Netlist.t -> bool
+(** [check] reduced to a boolean. *)
+
+val pp_result : Format.formatter -> result -> unit

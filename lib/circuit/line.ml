@@ -1,0 +1,71 @@
+type t = Stem of int | Branch of { gate : int; pin : int }
+
+let equal a b =
+  match a, b with
+  | Stem x, Stem y -> x = y
+  | Branch { gate = g1; pin = p1 }, Branch { gate = g2; pin = p2 } ->
+    g1 = g2 && p1 = p2
+  | Stem _, Branch _ | Branch _, Stem _ -> false
+
+let compare a b =
+  match a, b with
+  | Stem x, Stem y -> Int.compare x y
+  | Stem _, Branch _ -> -1
+  | Branch _, Stem _ -> 1
+  | Branch { gate = g1; pin = p1 }, Branch { gate = g2; pin = p2 } ->
+    (match Int.compare g1 g2 with 0 -> Int.compare p1 p2 | c -> c)
+
+let driver net = function
+  | Stem n -> n
+  | Branch { gate; pin } -> (Netlist.fanins net gate).(pin)
+
+(* A stem with a single consumer and no separate observation IS that
+   consumer's input line; otherwise each consuming pin is a distinct
+   branch. A primary output counts as an extra observation point. *)
+let has_branches net node =
+  Netlist.fanout_count net node + (if Netlist.is_output net node then 1 else 0)
+  > 1
+
+let pin_line net ~gate ~pin =
+  let driver = (Netlist.fanins net gate).(pin) in
+  if has_branches net driver then Branch { gate; pin } else Stem driver
+
+let branches_of net node acc =
+  if has_branches net node then
+    Array.fold_left
+      (fun acc (gate, pin) -> Branch { gate; pin } :: acc)
+      acc
+      (Netlist.fanouts net node)
+  else acc
+
+let enumerate net =
+  let acc = ref [] in
+  let push l = acc := l :: !acc in
+  Array.iter (fun pi -> push (Stem pi)) (Netlist.inputs net);
+  Array.iter
+    (fun pi -> acc := branches_of net pi !acc)
+    (Netlist.inputs net);
+  Array.iter
+    (fun g ->
+      push (Stem g);
+      acc := branches_of net g !acc)
+    (Netlist.gate_ids net);
+  Array.of_list (List.rev !acc)
+
+let display_number net line =
+  let lines = enumerate net in
+  let rec find i =
+    if i >= Array.length lines then
+      invalid_arg "Line.display_number: line not in circuit"
+    else if equal lines.(i) line then i + 1
+    else find (i + 1)
+  in
+  find 0
+
+let to_string net = function
+  | Stem n -> Netlist.name net n
+  | Branch { gate; pin } ->
+    let src = (Netlist.fanins net gate).(pin) in
+    Printf.sprintf "%s>%s" (Netlist.name net src) (Netlist.name net gate)
+
+let pp net ppf line = Format.pp_print_string ppf (to_string net line)

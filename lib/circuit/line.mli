@@ -1,0 +1,43 @@
+(** Circuit lines: the sites where faults live.
+
+    Every node has a {e stem} (its output wire); a node whose value feeds
+    more than one consumer additionally has one {e branch} line per
+    consumer pin. This matches the paper's Figure 1, where inputs 2 and 3
+    each fan out to two gates and the branches are numbered as separate
+    lines (5-8). *)
+
+type t =
+  | Stem of int  (** Output of the given node. *)
+  | Branch of { gate : int; pin : int }
+      (** The wire feeding fanin [pin] of node [gate]; only enumerated when
+          the driving stem is observed elsewhere too — it feeds more than
+          one pin, or it is also a primary output. *)
+
+val has_branches : Netlist.t -> int -> bool
+(** Whether the node's consumers see branch lines distinct from its stem. *)
+
+val pin_line : Netlist.t -> gate:int -> pin:int -> t
+(** The line feeding the given fanin pin: a [Branch] when the driver
+    {!has_branches}, otherwise the driver's [Stem]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val driver : Netlist.t -> t -> int
+(** The node whose value the line carries. *)
+
+val enumerate : Netlist.t -> t array
+(** Canonical line order: primary-input stems, then primary-input branches
+    (grouped by driving input), then for each gate in topological order its
+    stem followed by its branches. With the paper's example circuit this
+    reproduces the numbering 1-11 exactly. *)
+
+val display_number : Netlist.t -> t -> int
+(** 1-based position in {!enumerate}. O(lines); cache the enumeration for
+    bulk use. *)
+
+val to_string : Netlist.t -> t -> string
+(** Human-readable name, e.g. ["9"] for a stem (node name) or ["2>10"] for
+    the branch of node 2 feeding node 10. *)
+
+val pp : Netlist.t -> Format.formatter -> t -> unit

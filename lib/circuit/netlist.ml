@@ -1,0 +1,223 @@
+type t = {
+  kinds : Gate.kind array;
+  fanins : int array array;
+  fanouts : (int * int) array array;
+  names : string array;
+  by_name : (string, int) Hashtbl.t;
+  inputs : int array;
+  outputs : int array;
+  output_set : bool array;
+  topo : int array;
+  levels : int array;
+}
+
+module Builder = struct
+  type builder = {
+    mutable b_kinds : Gate.kind list;  (* reversed *)
+    mutable b_fanins : int array list;  (* reversed *)
+    mutable b_names : string list;  (* reversed *)
+    mutable b_count : int;
+    mutable b_input_count : int;
+    mutable b_outputs : int array option;
+    mutable b_gates_started : bool;
+  }
+
+  type t = builder
+
+  let create () =
+    {
+      b_kinds = [];
+      b_fanins = [];
+      b_names = [];
+      b_count = 0;
+      b_input_count = 0;
+      b_outputs = None;
+      b_gates_started = false;
+    }
+
+  let add_node b kind fanins name =
+    b.b_kinds <- kind :: b.b_kinds;
+    b.b_fanins <- fanins :: b.b_fanins;
+    b.b_names <- name :: b.b_names;
+    let id = b.b_count in
+    b.b_count <- b.b_count + 1;
+    id
+
+  let add_input b ~name =
+    if b.b_gates_started then
+      invalid_arg "Netlist.Builder.add_input: inputs must precede gates";
+    b.b_input_count <- b.b_input_count + 1;
+    add_node b Gate.Input [||] name
+
+  let add_gate b ~kind ~fanins ~name =
+    (match kind with
+    | Gate.Input -> invalid_arg "Netlist.Builder.add_gate: use add_input"
+    | Gate.Const0 | Gate.Const1 | Gate.Buf | Gate.Not | Gate.And | Gate.Nand
+    | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor -> ());
+    if not (Gate.arity_ok kind (Array.length fanins)) then
+      invalid_arg
+        (Printf.sprintf "Netlist.Builder.add_gate %s: bad arity %d"
+           (Gate.to_string kind) (Array.length fanins));
+    Array.iter
+      (fun f ->
+        if f < 0 || f >= b.b_count then
+          invalid_arg "Netlist.Builder.add_gate: unknown fanin")
+      fanins;
+    b.b_gates_started <- true;
+    add_node b kind fanins name
+
+  let set_outputs b outs = b.b_outputs <- Some (Array.copy outs)
+
+  let finalize b =
+    let n = b.b_count in
+    let kinds = Array.of_list (List.rev b.b_kinds) in
+    let fanins = Array.of_list (List.rev b.b_fanins) in
+    let names = Array.of_list (List.rev b.b_names) in
+    if b.b_input_count = 0 then
+      invalid_arg "Netlist.Builder.finalize: no primary inputs";
+    let outputs =
+      match b.b_outputs with
+      | None | Some [||] ->
+        invalid_arg "Netlist.Builder.finalize: no primary outputs"
+      | Some outs ->
+        Array.iter
+          (fun o ->
+            if o < 0 || o >= n then
+              invalid_arg "Netlist.Builder.finalize: unknown output")
+          outs;
+        outs
+    in
+    (* Fanins always point to earlier nodes, so node order is already a
+       topological order. *)
+    let topo = Array.init n Fun.id in
+    let levels = Array.make n 0 in
+    Array.iter
+      (fun id ->
+        let lvl =
+          Array.fold_left (fun acc f -> max acc (levels.(f) + 1)) 0 fanins.(id)
+        in
+        levels.(id) <- (if kinds.(id) = Gate.Input then 0 else lvl))
+      topo;
+    let fanout_lists = Array.make n [] in
+    for id = n - 1 downto 0 do
+      Array.iteri
+        (fun pin f -> fanout_lists.(f) <- (id, pin) :: fanout_lists.(f))
+        fanins.(id)
+    done;
+    let fanouts = Array.map Array.of_list fanout_lists in
+    let by_name = Hashtbl.create (2 * n) in
+    Array.iteri (fun id nm -> Hashtbl.replace by_name nm id) names;
+    let output_set = Array.make n false in
+    Array.iter (fun o -> output_set.(o) <- true) outputs;
+    let inputs = Array.init b.b_input_count Fun.id in
+    {
+      kinds;
+      fanins;
+      fanouts;
+      names;
+      by_name;
+      inputs;
+      outputs = Array.copy outputs;
+      output_set;
+      topo;
+      levels;
+    }
+end
+
+let node_count t = Array.length t.kinds
+let input_count t = Array.length t.inputs
+let inputs t = t.inputs
+let outputs t = t.outputs
+let kind t id = t.kinds.(id)
+let fanins t id = t.fanins.(id)
+let fanouts t id = t.fanouts.(id)
+let fanout_count t id = Array.length t.fanouts.(id)
+let name t id = t.names.(id)
+let find_by_name t nm = Hashtbl.find_opt t.by_name nm
+let topo_order t = t.topo
+let level t id = t.levels.(id)
+let max_level t = Array.fold_left max 0 t.levels
+let is_output t id = t.output_set.(id)
+
+let gate_ids t =
+  Array.of_seq
+    (Seq.filter (fun id -> t.kinds.(id) <> Gate.Input)
+       (Array.to_seq t.topo))
+
+let universe_size t =
+  let pi = input_count t in
+  if pi > 24 then
+    invalid_arg
+      (Printf.sprintf
+         "Netlist.universe_size: %d inputs exceed the exhaustive-analysis \
+          limit of 24"
+         pi);
+  1 lsl pi
+
+let transitive_fanout t n =
+  let reach = Array.make (node_count t) false in
+  reach.(n) <- true;
+  Array.iter
+    (fun id ->
+      if not reach.(id) then
+        reach.(id) <- Array.exists (fun f -> reach.(f)) t.fanins.(id))
+    t.topo;
+  reach
+
+let transitive_fanin t n =
+  let reach = Array.make (node_count t) false in
+  reach.(n) <- true;
+  for i = Array.length t.topo - 1 downto 0 do
+    let id = t.topo.(i) in
+    if reach.(id) then Array.iter (fun f -> reach.(f) <- true) t.fanins.(id)
+  done;
+  reach
+
+let fanout_cone_order t n =
+  let reach = transitive_fanout t n in
+  let count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 reach in
+  let cone = Array.make count 0 in
+  let j = ref 0 in
+  Array.iter
+    (fun id ->
+      if reach.(id) then begin
+        cone.(!j) <- id;
+        incr j
+      end)
+    t.topo;
+  cone
+
+type stats = {
+  inputs_n : int;
+  outputs_n : int;
+  gates_n : int;
+  multi_input_gates_n : int;
+  literals_n : int;
+  depth : int;
+}
+
+let stats t =
+  let gates_n = ref 0 and multi = ref 0 and lits = ref 0 in
+  Array.iteri
+    (fun id k ->
+      if k <> Gate.Input then begin
+        incr gates_n;
+        let a = Array.length t.fanins.(id) in
+        lits := !lits + a;
+        if a >= 2 then incr multi
+      end)
+    t.kinds;
+  {
+    inputs_n = input_count t;
+    outputs_n = Array.length t.outputs;
+    gates_n = !gates_n;
+    multi_input_gates_n = !multi;
+    literals_n = !lits;
+    depth = max_level t;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "inputs=%d outputs=%d gates=%d multi-input=%d literals=%d depth=%d"
+    s.inputs_n s.outputs_n s.gates_n s.multi_input_gates_n s.literals_n
+    s.depth

@@ -1,0 +1,89 @@
+(** Combinational gate-level netlists.
+
+    A netlist is a directed acyclic graph of nodes. Node 0..k-1 are the
+    primary inputs (in order); the remaining nodes are gates. Primary
+    outputs are a designated list of nodes (a node may be both an internal
+    driver and an output, as in the paper's example circuit where all three
+    gates are observed). *)
+
+type t
+
+(** {2 Construction} *)
+
+module Builder : sig
+  type netlist := t
+  type t
+
+  val create : unit -> t
+
+  val add_input : t -> name:string -> int
+  (** Returns the new node's id. Input ids are assigned in call order and
+      define the vector bit order (first input = most significant bit of
+      the decimal vector encoding). *)
+
+  val add_gate : t -> kind:Gate.kind -> fanins:int array -> name:string -> int
+  (** Fanin ids must already exist. Raises [Invalid_argument] on arity
+      violation or unknown fanin. *)
+
+  val set_outputs : t -> int array -> unit
+  (** Output ids, in observation order. *)
+
+  val finalize : t -> netlist
+  (** Validates the circuit (non-empty inputs and outputs, acyclic by
+      construction, arities) and freezes it. *)
+end
+
+(** {2 Accessors} *)
+
+val node_count : t -> int
+val input_count : t -> int
+val inputs : t -> int array
+val outputs : t -> int array
+val kind : t -> int -> Gate.kind
+val fanins : t -> int -> int array
+val fanouts : t -> int -> (int * int) array
+(** [(gate, pin)] pairs consuming this node's value, in increasing
+    [(gate, pin)] order. Does not include primary-output observations. *)
+
+val fanout_count : t -> int -> int
+val name : t -> int -> string
+val find_by_name : t -> string -> int option
+val topo_order : t -> int array
+(** All nodes, inputs first, each gate after its fanins. *)
+
+val level : t -> int -> int
+(** Logic depth: inputs at level 0. *)
+
+val max_level : t -> int
+val is_output : t -> int -> bool
+val gate_ids : t -> int array
+(** Non-input nodes in topological order. *)
+
+val universe_size : t -> int
+(** [2^(input_count)]. Raises [Invalid_argument] when the circuit has more
+    than 24 inputs (the exhaustive analysis is only meant for small input
+    counts, as in the paper). *)
+
+val transitive_fanout : t -> int -> bool array
+(** [transitive_fanout t n].(m) iff [m] is reachable from [n] (inclusive of
+    [n]). Used for feedback-bridge filtering and cone simulation. *)
+
+val transitive_fanin : t -> int -> bool array
+
+val fanout_cone_order : t -> int -> int array
+(** Nodes in the transitive fanout of [n] (including [n]) in topological
+    order: the update schedule for differential fault simulation. *)
+
+(** {2 Statistics} *)
+
+type stats = {
+  inputs_n : int;
+  outputs_n : int;
+  gates_n : int;
+  multi_input_gates_n : int;
+  literals_n : int;  (** Total fanin connections of gates. *)
+  depth : int;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

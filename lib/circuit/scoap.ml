@@ -1,0 +1,120 @@
+type t = {
+  net : Netlist.t;
+  cc0 : int array;
+  cc1 : int array;
+  co : int array;  (* stem observability per node *)
+  co_pins : int array array;  (* per gate, per pin *)
+}
+
+let infinite = max_int / 4
+
+let sat_add a b = if a >= infinite || b >= infinite then infinite else a + b
+
+let sat_sum = Array.fold_left sat_add 0
+
+(* XOR controllability: dynamic program over the parity of chosen input
+   values, tracking the cheapest cost of each parity. *)
+let xor_controllability cc0s cc1s =
+  let cost_even = ref 0 and cost_odd = ref infinite in
+  Array.iteri
+    (fun i c0 ->
+      let c1 = cc1s.(i) in
+      let even' =
+        min (sat_add !cost_even c0) (sat_add !cost_odd c1)
+      in
+      let odd' = min (sat_add !cost_odd c0) (sat_add !cost_even c1) in
+      cost_even := even';
+      cost_odd := odd')
+    cc0s;
+  (!cost_even, !cost_odd)
+
+let compute net =
+  let n = Netlist.node_count net in
+  let cc0 = Array.make n infinite and cc1 = Array.make n infinite in
+  Array.iter
+    (fun id ->
+      let fanins = Netlist.fanins net id in
+      let c0 = Array.map (fun f -> cc0.(f)) fanins in
+      let c1 = Array.map (fun f -> cc1.(f)) fanins in
+      let min_of arr = Array.fold_left min infinite arr in
+      let set v0 v1 =
+        cc0.(id) <- (if v0 >= infinite then infinite else v0 + 1);
+        cc1.(id) <- (if v1 >= infinite then infinite else v1 + 1)
+      in
+      match Netlist.kind net id with
+      | Gate.Input ->
+        cc0.(id) <- 1;
+        cc1.(id) <- 1
+      | Gate.Const0 ->
+        cc0.(id) <- 1;
+        cc1.(id) <- infinite
+      | Gate.Const1 ->
+        cc0.(id) <- infinite;
+        cc1.(id) <- 1
+      | Gate.Buf -> set c0.(0) c1.(0)
+      | Gate.Not -> set c1.(0) c0.(0)
+      | Gate.And -> set (min_of c0) (sat_sum c1)
+      | Gate.Nand -> set (sat_sum c1) (min_of c0)
+      | Gate.Or -> set (sat_sum c0) (min_of c1)
+      | Gate.Nor -> set (min_of c1) (sat_sum c0)
+      | Gate.Xor ->
+        let even, odd = xor_controllability c0 c1 in
+        set even odd
+      | Gate.Xnor ->
+        let even, odd = xor_controllability c0 c1 in
+        set odd even)
+    (Netlist.topo_order net);
+  (* Observability: walk the topological order backwards; a stem's
+     observability is the cheapest of its observation points (a primary
+     output, or any consuming pin). *)
+  let co = Array.make n infinite in
+  let co_pins =
+    Array.init n (fun id ->
+        Array.make (Array.length (Netlist.fanins net id)) infinite)
+  in
+  let topo = Netlist.topo_order net in
+  for i = Array.length topo - 1 downto 0 do
+    let id = topo.(i) in
+    if Netlist.is_output net id then co.(id) <- 0;
+    Array.iter
+      (fun (gate, pin) -> co.(id) <- min co.(id) co_pins.(gate).(pin))
+      (Netlist.fanouts net id);
+    (* Now that co.(id) is final, push it down to this gate's pins. *)
+    let fanins = Netlist.fanins net id in
+    let arity = Array.length fanins in
+    let side_cost ~pin ~use =
+      (* Sum of the chosen controllability over the other pins. *)
+      let total = ref 0 in
+      for p = 0 to arity - 1 do
+        if p <> pin then total := sat_add !total (use fanins.(p))
+      done;
+      !total
+    in
+    for pin = 0 to arity - 1 do
+      let cost =
+        match Netlist.kind net id with
+        | Gate.Input | Gate.Const0 | Gate.Const1 -> infinite
+        | Gate.Buf | Gate.Not -> 0
+        | Gate.And | Gate.Nand -> side_cost ~pin ~use:(fun f -> cc1.(f))
+        | Gate.Or | Gate.Nor -> side_cost ~pin ~use:(fun f -> cc0.(f))
+        | Gate.Xor | Gate.Xnor ->
+          side_cost ~pin ~use:(fun f -> min cc0.(f) cc1.(f))
+      in
+      co_pins.(id).(pin) <- sat_add co.(id) (sat_add cost 1)
+    done
+  done;
+  { net; cc0; cc1; co; co_pins }
+
+let cc0 t id = t.cc0.(id)
+let cc1 t id = t.cc1.(id)
+let co t id = t.co.(id)
+let co_pin t ~gate ~pin = t.co_pins.(gate).(pin)
+
+let line_co t = function
+  | Line.Stem id -> t.co.(id)
+  | Line.Branch { gate; pin } -> t.co_pins.(gate).(pin)
+
+let fault_effort t line ~value =
+  let driver = Line.driver t.net line in
+  let control = if value then t.cc0.(driver) else t.cc1.(driver) in
+  sat_add control (line_co t line)

@@ -1,0 +1,36 @@
+(** SCOAP combinational testability measures (Goldstein 1979).
+
+    Controllability [cc0]/[cc1] estimates how many line assignments are
+    needed to set a node to 0/1 (primary inputs cost 1); observability
+    [co] estimates the effort to propagate a node's value to a primary
+    output (outputs cost 0). Hard-to-detect faults — and the untargeted
+    bridges with large [nmin] — cluster on nodes with poor measures,
+    which the ablation example demonstrates. *)
+
+type t
+
+val infinite : int
+(** Sentinel for "cannot be achieved" (e.g. [cc1] of constant 0). All
+    arithmetic saturates below this value. *)
+
+val compute : Netlist.t -> t
+
+val cc0 : t -> int -> int
+(** Combinational 0-controllability of a node. *)
+
+val cc1 : t -> int -> int
+
+val co : t -> int -> int
+(** Observability of the node's stem (minimum over its observation
+    paths; 0 for a primary output). *)
+
+val co_pin : t -> gate:int -> pin:int -> int
+(** Observability of a specific fanin pin. *)
+
+val line_co : t -> Line.t -> int
+(** Observability of a line (stem or branch). *)
+
+val fault_effort : t -> Line.t -> value:bool -> int
+(** SCOAP detection effort of the stuck-at-[value] fault on the line:
+    controllability of the opposite value plus the line's
+    observability. *)

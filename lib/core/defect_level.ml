@@ -1,0 +1,41 @@
+module Netlist = Ndetect_circuit.Netlist
+module Stuck = Ndetect_faults.Stuck
+module Bitvec = Ndetect_util.Bitvec
+module Good = Ndetect_sim.Good
+module Fault_sim = Ndetect_sim.Fault_sim
+
+type t = { site_faults : Stuck.t array; counts : int array }
+
+let compute ?sites net ~vectors =
+  if Array.length vectors = 0 then invalid_arg "Defect_level.compute";
+  let site_faults =
+    match sites with Some s -> s | None -> Stuck.all net
+  in
+  let good = Good.of_vectors net vectors in
+  let counts =
+    Array.map
+      (fun fault -> Bitvec.count (Fault_sim.stuck_detection_set good fault))
+      site_faults
+  in
+  { site_faults; counts }
+
+let observation_counts t = Array.copy t.counts
+let sites t = t.site_faults
+
+let escape_probability ?(q = 0.4) t =
+  if q < 0.0 || q > 1.0 then invalid_arg "Defect_level.escape_probability";
+  let n = Array.length t.counts in
+  if n = 0 then 0.0
+  else begin
+    let total =
+      Array.fold_left
+        (fun acc k -> acc +. ((1.0 -. q) ** float_of_int k))
+        0.0 t.counts
+    in
+    total /. float_of_int n
+  end
+
+let defect_level ?(q = 0.4) ?(defect_density = 0.01) t =
+  defect_density *. escape_probability ~q t
+
+let min_observations t = Array.fold_left min max_int t.counts

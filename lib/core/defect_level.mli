@@ -1,0 +1,46 @@
+(** Test-set-dependent defect-level estimation — the baseline the paper
+    contrasts its analysis with (refs [3], [4]: REDO / DO-RE-ME).
+
+    Those models predict the defective-part level after applying a {e
+    given} test set from how often each fault site is excited and
+    observed. This module implements that estimator in a documented,
+    simplified form: the "site observation count" of a stuck-at fault
+    [f] is the number of tests in the set that detect [f] (each such test
+    excites the site to the fault's activation value {e and} observes it);
+    an arbitrary defect at the site escapes each observation independently
+    with probability [1 - q].
+
+    Expected escape probability for a random defect:
+    [escape = mean over sites of (1 - q)^k(site)], and the defective part
+    level after test is [DL = d0 * escape] for a pre-test defect density
+    [d0].
+
+    The paper's point stands out when this is plotted against n: the model
+    answers "how good is THIS set", while the worst-case analysis bounds
+    EVERY possible n-detection set. *)
+
+module Netlist = Ndetect_circuit.Netlist
+module Stuck = Ndetect_faults.Stuck
+
+type t
+
+val compute : ?sites:Stuck.t array -> Netlist.t -> vectors:int array -> t
+(** Fault-simulate the test set once (bit-parallel) and record per-site
+    observation counts. [sites] defaults to the {e uncollapsed} stuck-at
+    list — defects live on physical sites, so collapsing would bias the
+    site weights. *)
+
+val observation_counts : t -> int array
+
+val sites : t -> Stuck.t array
+
+val escape_probability : ?q:float -> t -> float
+(** Mean over sites of [(1 - q)^count]; [q] (per-observation detection
+    probability of an arbitrary defect) defaults to [0.4]. *)
+
+val defect_level : ?q:float -> ?defect_density:float -> t -> float
+(** [defect_density] (fraction of parts with a defect before test)
+    defaults to [0.01]; result is the post-test defective-part level. *)
+
+val min_observations : t -> int
+(** The weakest site: [0] means some site is never observed by the set. *)

@@ -1,0 +1,96 @@
+module Netlist = Ndetect_circuit.Netlist
+module Stuck = Ndetect_faults.Stuck
+module Ternary_sim = Ndetect_sim.Ternary_sim
+
+module Ternary = Ndetect_logic.Ternary
+
+type t = {
+  net : Netlist.t;
+  faults : Stuck.t array;
+  cones : Ternary_sim.cone array Lazy.t;  (* per fault, built on demand *)
+  memo : (int * int * int, bool) Hashtbl.t;  (* (fi, vmin, vmax) -> different *)
+  (* The fault-free ternary values of tij are shared by every fault, so
+     cache them per vector pair (bounded; cleared when oversized). *)
+  good_memo : (int * int, Ternary.t array * Ternary.t array) Hashtbl.t;
+}
+
+let good_memo_limit = 65536
+
+let of_faults net faults =
+  {
+    net;
+    faults;
+    cones = lazy (Array.map (Ternary_sim.stuck_cone net) faults);
+    memo = Hashtbl.create 4096;
+    good_memo = Hashtbl.create 4096;
+  }
+
+let create table =
+  of_faults
+    (Detection_table.net table)
+    (Array.init (Detection_table.target_count table)
+       (Detection_table.target_fault table))
+
+let different t ~fi v1 v2 =
+  if v1 = v2 then false
+  else begin
+    let vmin = min v1 v2 and vmax = max v1 v2 in
+    let key = (fi, vmin, vmax) in
+    match Hashtbl.find_opt t.memo key with
+    | Some r -> r
+    | None ->
+      let tij, good =
+        match Hashtbl.find_opt t.good_memo (vmin, vmax) with
+        | Some cached -> cached
+        | None ->
+          let tij =
+            Ternary_sim.common_test
+              (Ternary_sim.test_of_vector t.net vmin)
+              (Ternary_sim.test_of_vector t.net vmax)
+          in
+          let entry = (tij, Ternary_sim.eval t.net tij) in
+          if Hashtbl.length t.good_memo >= good_memo_limit then
+            Hashtbl.reset t.good_memo;
+          Hashtbl.replace t.good_memo (vmin, vmax) entry;
+          entry
+      in
+      (* Different iff the common part alone does NOT detect the fault;
+         only the fault's cone needs re-evaluation. *)
+      let detects =
+        Ternary_sim.detects_stuck_in_cone t.net t.faults.(fi)
+          (Lazy.force t.cones).(fi) ~good tij
+      in
+      let r = not detects in
+      Hashtbl.replace t.memo key r;
+      r
+  end
+
+let chain_extend t ~fi ~chain v =
+  List.for_all (fun s -> different t ~fi v s) chain
+
+let count_greedy t ~fi tests =
+  let chain =
+    List.fold_left
+      (fun chain v ->
+        if chain_extend t ~fi ~chain v then v :: chain else chain)
+      [] tests
+  in
+  (List.length chain, List.rev chain)
+
+let count_exact t ~fi tests =
+  let arr = Array.of_list tests in
+  let n = Array.length arr in
+  (* Branch and bound over subsets; n stays tiny in tests. *)
+  let rec go i chain best =
+    if i >= n then max best (List.length chain)
+    else
+      let best = go (i + 1) chain best in
+      if
+        List.length chain + (n - i) > best
+        && chain_extend t ~fi ~chain arr.(i)
+      then go (i + 1) (arr.(i) :: chain) best
+      else best
+  in
+  go 0 [] 0
+
+let memo_size t = Hashtbl.length t.memo

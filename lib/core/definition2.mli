@@ -1,0 +1,44 @@
+(** Definition 2 of the paper: two tests [ti], [tj] count as different
+    detections of a fault [f] only if the partially specified test [tij]
+    (specified where [ti] and [tj] agree) does {e not} detect [f] under
+    three-valued simulation.
+
+    Pairwise verdicts are memoized per (fault, vector pair) because
+    Procedure 1 revisits the same pairs across its K test sets. *)
+
+module Detection_table := Detection_table
+
+type t
+
+val create : Detection_table.t -> t
+(** Pairwise verdicts for the table's target faults, indexed as in the
+    table. *)
+
+val of_faults :
+  Ndetect_circuit.Netlist.t -> Ndetect_faults.Stuck.t array -> t
+(** Same, for an explicit fault list — usable without an exhaustive
+    detection table (i.e. for circuits of any input count, as long as a
+    vector still fits an int). *)
+
+val different : t -> fi:int -> int -> int -> bool
+(** [different t ~fi v1 v2]: whether vectors [v1] and [v2] are counted as
+    two detections of target fault [fi]. Both must detect the fault for
+    the question to be meaningful; the verdict is symmetric. Equal vectors
+    are never different. *)
+
+val chain_extend : t -> fi:int -> chain:int list -> int -> bool
+(** Whether a vector is different from {e every} vector of the chain —
+    the incremental greedy counting used by Procedure 1 under
+    Definition 2. *)
+
+val count_greedy : t -> fi:int -> int list -> int * int list
+(** [count_greedy t ~fi tests] scans the tests in order, keeping a vector
+    iff it is different from all kept so far. Returns the count and the
+    kept chain (in scan order). *)
+
+val count_exact : t -> fi:int -> int list -> int
+(** Maximum subset of pairwise-different tests (exact, exponential; for
+    tests and small inputs only). The greedy count is a lower bound. *)
+
+val memo_size : t -> int
+(** Number of cached pairwise verdicts (observability aid). *)

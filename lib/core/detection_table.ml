@@ -1,0 +1,170 @@
+module Bitvec = Ndetect_util.Bitvec
+module Netlist = Ndetect_circuit.Netlist
+module Stuck = Ndetect_faults.Stuck
+module Bridge = Ndetect_faults.Bridge
+module Wired = Ndetect_faults.Wired
+module Good = Ndetect_sim.Good
+module Fault_sim = Ndetect_sim.Fault_sim
+
+type untargeted_model = Four_way | Wired of Wired.semantics
+
+type untargeted_fault = Bridge_fault of Bridge.t | Wired_fault of Wired.t
+
+type t = {
+  net : Netlist.t;
+  universe : int;
+  targets : Stuck.t array;
+  target_sets : Bitvec.t array;
+  target_labels : string array;
+  undetectable_targets : int;
+  untargeted : untargeted_fault array;
+  untargeted_sets : Bitvec.t array;
+  untargeted_labels : string array;
+  undetectable_untargeted : int;
+  good : Good.t;
+  mutable inverted : int array array option;
+  output_sets : (int, Bitvec.t array) Hashtbl.t;
+}
+
+let build ?(keep_undetectable_targets = false) ?(collapse = true)
+    ?(model = Four_way) net =
+  let good = Good.compute net in
+  let universe = Good.universe good in
+  let stuck_list = if collapse then Stuck.collapse net else Stuck.all net in
+  let stuck_sets = Fault_sim.stuck_detection_sets good stuck_list in
+  let keep_target i =
+    keep_undetectable_targets || not (Bitvec.is_empty stuck_sets.(i))
+  in
+  let kept_t =
+    Array.to_list (Array.mapi (fun i f -> (i, f)) stuck_list)
+    |> List.filter (fun (i, _) -> keep_target i)
+  in
+  let targets = Array.of_list (List.map snd kept_t) in
+  let target_sets =
+    Array.of_list (List.map (fun (i, _) -> stuck_sets.(i)) kept_t)
+  in
+  let all_untargeted, all_sets, label =
+    match model with
+    | Four_way ->
+      let bridges = Bridge.enumerate net in
+      ( Array.map (fun b -> Bridge_fault b) bridges,
+        Fault_sim.bridge_detection_sets good bridges,
+        fun f ->
+          match f with
+          | Bridge_fault b -> Bridge.to_string net b
+          | Wired_fault w -> Wired.to_string net w )
+    | Wired semantics ->
+      let wired = Wired.enumerate net semantics in
+      ( Array.map (fun w -> Wired_fault w) wired,
+        Fault_sim.wired_detection_sets good wired,
+        fun f ->
+          match f with
+          | Bridge_fault b -> Bridge.to_string net b
+          | Wired_fault w -> Wired.to_string net w )
+  in
+  let kept_g =
+    Array.to_list (Array.mapi (fun j g -> (j, g)) all_untargeted)
+    |> List.filter (fun (j, _) -> not (Bitvec.is_empty all_sets.(j)))
+  in
+  let untargeted = Array.of_list (List.map snd kept_g) in
+  (* Symmetric bridges often share identical detection sets; keep one
+     physical copy per distinct set (halves memory on the big circuits
+     and lets downstream passes dedup by pointer-or-content). *)
+  let share =
+    let canon : (string, Bitvec.t) Hashtbl.t = Hashtbl.create 1024 in
+    fun set ->
+      let key = Bitvec.content_key set in
+      match Hashtbl.find_opt canon key with
+      | Some c -> c
+      | None ->
+        Hashtbl.replace canon key set;
+        set
+  in
+  let untargeted_sets =
+    Array.of_list (List.map (fun (j, _) -> share all_sets.(j)) kept_g)
+  in
+  {
+    net;
+    universe;
+    targets;
+    target_sets;
+    target_labels = Array.map (Stuck.to_string net) targets;
+    undetectable_targets = Array.length stuck_list - Array.length targets;
+    untargeted;
+    untargeted_sets;
+    untargeted_labels = Array.map label untargeted;
+    undetectable_untargeted =
+      Array.length all_untargeted - Array.length untargeted;
+    good;
+    inverted = None;
+    output_sets = Hashtbl.create 64;
+  }
+
+let net t = t.net
+let universe t = t.universe
+let target_count t = Array.length t.targets
+let target_fault t i = t.targets.(i)
+let target_set t i = t.target_sets.(i)
+let target_n t i = Bitvec.count t.target_sets.(i)
+let target_label t i = t.target_labels.(i)
+let undetectable_target_count t = t.undetectable_targets
+let untargeted_count t = Array.length t.untargeted
+let untargeted_fault t j = t.untargeted.(j)
+let untargeted_set t j = t.untargeted_sets.(j)
+let untargeted_label t j = t.untargeted_labels.(j)
+let undetectable_untargeted_count t = t.undetectable_untargeted
+
+let m t ~gj ~fi = Bitvec.inter_count t.target_sets.(fi) t.untargeted_sets.(gj)
+
+let overlapping_targets t ~gj =
+  let g = t.untargeted_sets.(gj) in
+  let acc = ref [] in
+  for i = Array.length t.target_sets - 1 downto 0 do
+    if Bitvec.intersects t.target_sets.(i) g then acc := i :: !acc
+  done;
+  !acc
+
+let detectors_of_vector t =
+  match t.inverted with
+  | Some idx -> idx
+  | None ->
+    let buckets = Array.make t.universe [] in
+    for i = Array.length t.target_sets - 1 downto 0 do
+      Bitvec.iter_set t.target_sets.(i) (fun v ->
+          buckets.(v) <- i :: buckets.(v))
+    done;
+    let idx = Array.map Array.of_list buckets in
+    t.inverted <- Some idx;
+    idx
+
+let target_output_sets t ~fi =
+  match Hashtbl.find_opt t.output_sets fi with
+  | Some sets -> sets
+  | None ->
+    let sets = Fault_sim.stuck_detection_by_output t.good t.targets.(fi) in
+    Hashtbl.replace t.output_sets fi sets;
+    sets
+
+let output_count t = Array.length (Netlist.outputs t.net)
+
+let find_untargeted t ~victim ~victim_value ~aggressor ~aggressor_value =
+  let node name =
+    match Netlist.find_by_name t.net name with
+    | Some id -> id
+    | None -> invalid_arg ("Detection_table.find_untargeted: " ^ name)
+  in
+  let v = node victim and a = node aggressor in
+  let matches = function
+    | Bridge_fault (b : Bridge.t) ->
+      b.victim = v
+      && Bool.equal b.victim_value victim_value
+      && b.aggressor = a
+      && Bool.equal b.aggressor_value aggressor_value
+    | Wired_fault _ -> false
+  in
+  let rec find j =
+    if j >= Array.length t.untargeted then None
+    else if matches t.untargeted.(j) then Some j
+    else find (j + 1)
+  in
+  find 0

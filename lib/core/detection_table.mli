@@ -1,0 +1,91 @@
+(** Detection tables: the exhaustive relation between faults and input
+    vectors that both analyses of the paper are computed from.
+
+    The target set [F] is the collapsed single stuck-at list (detectable
+    faults only, by default), and the untargeted set [G] is the set of
+    detectable non-feedback four-way bridging faults between outputs of
+    multi-input gates. For every fault [h] the table holds
+    [T(h) ⊆ U = 0 .. 2^PI - 1]. *)
+
+module Bitvec = Ndetect_util.Bitvec
+module Netlist = Ndetect_circuit.Netlist
+module Stuck = Ndetect_faults.Stuck
+module Bridge = Ndetect_faults.Bridge
+module Wired = Ndetect_faults.Wired
+
+type untargeted_model =
+  | Four_way  (** The paper's model. *)
+  | Wired of Wired.semantics  (** Wired-AND / wired-OR ablation. *)
+
+type untargeted_fault =
+  | Bridge_fault of Bridge.t
+  | Wired_fault of Wired.t
+
+type t
+
+val build :
+  ?keep_undetectable_targets:bool ->
+  ?collapse:bool ->
+  ?model:untargeted_model ->
+  Netlist.t ->
+  t
+(** Runs one exhaustive fault-free simulation plus one differential fault
+    simulation per fault. [collapse] (default [true]) applies equivalence
+    collapsing to the stuck-at list — the paper's setting; turning it off,
+    like switching the untargeted [model] (default [Four_way]), is exposed
+    for the ablation benches. *)
+
+val net : t -> Netlist.t
+val universe : t -> int
+
+(** {2 Target faults F} *)
+
+val target_count : t -> int
+val target_fault : t -> int -> Stuck.t
+val target_set : t -> int -> Bitvec.t
+(** [T(f_i)]. *)
+
+val target_n : t -> int -> int
+(** [N(f_i) = |T(f_i)|]. *)
+
+val target_label : t -> int -> string
+val undetectable_target_count : t -> int
+(** Collapsed stuck-at faults dropped because [T(f) = ∅] (when
+    [keep_undetectable_targets] is false). *)
+
+(** {2 Untargeted faults G} *)
+
+val untargeted_count : t -> int
+val untargeted_fault : t -> int -> untargeted_fault
+val untargeted_set : t -> int -> Bitvec.t
+(** [T(g_j)]. *)
+
+val untargeted_label : t -> int -> string
+val undetectable_untargeted_count : t -> int
+(** Bridging faults dropped because [T(g) = ∅]. *)
+
+val m : t -> gj:int -> fi:int -> int
+(** [M(g_j, f_i) = |T(f_i) ∩ T(g_j)|]. *)
+
+val overlapping_targets : t -> gj:int -> int list
+(** [F(g_j)]: indices of target faults whose detection set intersects
+    [T(g_j)]. *)
+
+(** {2 Derived helpers} *)
+
+val target_output_sets : t -> fi:int -> Bitvec.t array
+(** Per primary output, the vectors observing target [fi] at that output
+    (computed on first use and cached). Used by the multi-output
+    detection counting. *)
+
+val output_count : t -> int
+(** Primary outputs of the circuit. *)
+
+val detectors_of_vector : t -> int array array
+(** Inverted index over targets: entry [v] lists the target-fault indices
+    detected by vector [v]. Computed lazily once and cached. *)
+
+val find_untargeted :
+  t -> victim:string -> victim_value:bool -> aggressor:string ->
+  aggressor_value:bool -> int option
+(** Index of a bridging fault by node names, for the worked example. *)

@@ -1,0 +1,42 @@
+(** Cone partitioning for large designs.
+
+    The exhaustive analysis needs [2^PI] vectors, so it is limited to
+    small input counts. Section 4 of the paper proposes the workaround
+    implemented here: partition a larger circuit into output cones whose
+    input supports are small, apply the analysis to every subcircuit, and
+    aggregate. Bridging faults between nodes of different blocks are out
+    of scope by construction (the paper accepts this approximation). *)
+
+module Netlist = Ndetect_circuit.Netlist
+
+type block = {
+  outputs : int array;  (** Original output node ids observed by the block. *)
+  support : int array;  (** Original primary-input ids feeding the block. *)
+  subcircuit : Netlist.t;
+      (** Self-contained copy: inputs are the support (original order),
+          outputs are the block's outputs. *)
+}
+
+val support_of_outputs : Netlist.t -> int array -> int array
+(** Primary inputs in the transitive fanin of the given nodes. *)
+
+val extract : Netlist.t -> outputs:int array -> block
+(** Copy the cone of the given outputs into a standalone netlist. *)
+
+val blocks : Netlist.t -> max_inputs:int -> block list
+(** Greedy grouping: outputs are merged into a block while the union of
+    their supports stays within [max_inputs]. An output whose own support
+    exceeds [max_inputs] gets a singleton block (and will be rejected by
+    the exhaustive analysis downstream — the caller may trim such blocks
+    with {!Netlist.input_count}). *)
+
+val analyze :
+  ?max_inputs:int -> name:string -> Netlist.t -> (block * Analysis.t) list
+(** [blocks] + per-block {!Analysis.analyze}. Blocks whose support still
+    exceeds the exhaustive limit (24 inputs) are skipped. [max_inputs]
+    defaults to 14. *)
+
+val combined_summary :
+  name:string -> (block * Analysis.t) list -> Analysis.worst_summary
+(** Aggregate the per-block worst-case results: fault counts are summed
+    and the Table 2 percentages are recomputed over the union. *)

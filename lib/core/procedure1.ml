@@ -1,0 +1,244 @@
+module Bitvec = Ndetect_util.Bitvec
+module Rng = Ndetect_util.Rng
+
+type mode = Definition1 | Definition2 | Multi_output
+
+type config = { seed : int; set_count : int; nmax : int; mode : mode }
+
+let default_config =
+  { seed = 1; set_count = 1000; nmax = 10; mode = Definition1 }
+
+type test_set = {
+  members : Bitvec.t;  (* membership over the universe *)
+  mutable added : (int * int) list;  (* (vector, iteration), reverse order *)
+  def1_counts : int array;  (* per target fault *)
+  chains : int list array;  (* strict-mode counted detections, reversed *)
+  output_masks : int array;  (* Multi_output: all outputs observing the fault *)
+  chain_masks : int array;  (* Multi_output: outputs covered by the chain *)
+  (* Once no unused test can raise a fault's strict count, none ever will
+     (chains and sets only grow), so the exhausted verdict is permanent. *)
+  strict_exhausted : bool array;
+}
+
+type outcome = {
+  config : config;
+  report : int array;
+  report_pos : (int, int) Hashtbl.t;  (* gj -> position in report *)
+  detected : int array array;  (* detected.(n-1).(pos) = d(n, g) *)
+  sets : test_set array;
+}
+
+let build_report_index table report =
+  let universe = Detection_table.universe table in
+  let buckets = Array.make universe [] in
+  Array.iteri
+    (fun pos gj ->
+      Bitvec.iter_set
+        (Detection_table.untargeted_set table gj)
+        (fun v -> buckets.(v) <- pos :: buckets.(v)))
+    report;
+  Array.map Array.of_list buckets
+
+let run ?report_faults table config =
+  if config.set_count < 1 || config.nmax < 1 then
+    invalid_arg "Procedure1.run: bad config";
+  let rng = Rng.create ~seed:config.seed in
+  let universe = Detection_table.universe table in
+  let f_count = Detection_table.target_count table in
+  let report =
+    match report_faults with
+    | Some r -> Array.copy r
+    | None -> Array.init (Detection_table.untargeted_count table) Fun.id
+  in
+  let report_pos = Hashtbl.create (2 * Array.length report) in
+  Array.iteri (fun pos gj -> Hashtbl.replace report_pos gj pos) report;
+  let report_detectors = build_report_index table report in
+  let target_detectors = Detection_table.detectors_of_vector table in
+  let def2 =
+    match config.mode with
+    | Definition2 -> Some (Definition2.create table)
+    | Definition1 | Multi_output -> None
+  in
+  if config.mode = Multi_output && Detection_table.output_count table > 62
+  then invalid_arg "Procedure1.run: Multi_output limited to 62 outputs";
+  (* Outputs observing target [fi] under vector [v], as a bitmask. *)
+  let observing_mask fi v =
+    let sets = Detection_table.target_output_sets table ~fi in
+    let mask = ref 0 in
+    Array.iteri (fun o set -> if Bitvec.get set v then mask := !mask lor (1 lsl o)) sets;
+    !mask
+  in
+  let sets =
+    Array.init config.set_count (fun _ ->
+        {
+          members = Bitvec.create universe;
+          added = [];
+          def1_counts = Array.make f_count 0;
+          chains = Array.make f_count [];
+          output_masks = Array.make f_count 0;
+          chain_masks = Array.make f_count 0;
+          strict_exhausted = Array.make f_count false;
+        })
+  in
+  (* Monotone per-(set, report fault) detection flags and the running
+     d(n, g) counters they feed. *)
+  let set_detected =
+    Array.init config.set_count (fun _ ->
+        Bitvec.create (max 1 (Array.length report)))
+  in
+  let current_d = Array.make (Array.length report) 0 in
+  let detected = Array.make config.nmax [||] in
+  let add_test ~iteration k v =
+    let s = sets.(k) in
+    Bitvec.set s.members v;
+    s.added <- (v, iteration) :: s.added;
+    Array.iter
+      (fun fi ->
+        s.def1_counts.(fi) <- s.def1_counts.(fi) + 1;
+        (match def2 with
+        | Some def2 ->
+          if
+            List.length s.chains.(fi) < config.nmax
+            && Definition2.chain_extend def2 ~fi ~chain:s.chains.(fi) v
+          then s.chains.(fi) <- v :: s.chains.(fi)
+        | None -> ());
+        if config.mode = Multi_output then begin
+          (* A test joins the fault's counted chain iff it observes the
+             fault on an output the chain has not covered yet, so the
+             count stays a number of distinct tests. *)
+          let m = observing_mask fi v in
+          s.output_masks.(fi) <- s.output_masks.(fi) lor m;
+          if
+            List.length s.chains.(fi) < config.nmax
+            && m land lnot s.chain_masks.(fi) <> 0
+          then begin
+            s.chains.(fi) <- v :: s.chains.(fi);
+            s.chain_masks.(fi) <- s.chain_masks.(fi) lor m
+          end
+        end)
+      target_detectors.(v);
+    Array.iter
+      (fun pos ->
+        if not (Bitvec.get set_detected.(k) pos) then begin
+          Bitvec.set set_detected.(k) pos;
+          current_d.(pos) <- current_d.(pos) + 1
+        end)
+      report_detectors.(v)
+  in
+  let pick_uniform_diff tf members =
+    let available = Bitvec.diff_count tf members in
+    if available = 0 then None
+    else Some (Bitvec.nth_diff tf members (Rng.int rng ~bound:available))
+  in
+  (* Uniform draw from the candidates of T(fi) - Tk satisfying [accepts]:
+     a few rejection samples first, then a scan of the unused tests in a
+     uniformly random order, returning the first acceptable one. Both
+     phases draw uniformly over the candidate set (the first acceptable
+     element of a uniform permutation is uniform over acceptables, by
+     symmetry), and the permutation scan only pays for the full set when
+     no candidate exists at all. *)
+  let pick_candidate ~accepts s tf =
+    let rec sample attempts =
+      if attempts = 0 then None
+      else
+        match pick_uniform_diff tf s.members with
+        | None -> None
+        | Some v -> if accepts v then Some v else sample (attempts - 1)
+    in
+    match sample 8 with
+    | Some v -> Some v
+    | None ->
+      let unused =
+        Bitvec.fold_set tf ~init:[] ~f:(fun acc v ->
+            if Bitvec.get s.members v then acc else v :: acc)
+        |> Array.of_list
+      in
+      Rng.shuffle_in_place rng unused;
+      let rec scan i =
+        if i >= Array.length unused then None
+        else if accepts unused.(i) then Some unused.(i)
+        else scan (i + 1)
+      in
+      scan 0
+  in
+  for n = 1 to config.nmax do
+    for fi = 0 to f_count - 1 do
+      let tf = Detection_table.target_set table fi in
+      for k = 0 to config.set_count - 1 do
+        let s = sets.(k) in
+        let fallback_def1 () =
+          (* The stricter count cannot reach n: fall back to the standard
+             definition so the fault is not left far below n. *)
+          if s.def1_counts.(fi) < n then (
+            match pick_uniform_diff tf s.members with
+            | Some v -> add_test ~iteration:n k v
+            | None -> ())
+        in
+        match config.mode with
+        | Definition1 ->
+          if s.def1_counts.(fi) < n then (
+            match pick_uniform_diff tf s.members with
+            | Some v -> add_test ~iteration:n k v
+            | None -> ())
+        | Definition2 ->
+          if List.length s.chains.(fi) < n then
+            if s.strict_exhausted.(fi) then fallback_def1 ()
+            else begin
+              let accepts v =
+                match def2 with
+                | Some def2 ->
+                  Definition2.chain_extend def2 ~fi ~chain:s.chains.(fi) v
+                | None -> false
+              in
+              match pick_candidate ~accepts s tf with
+              | Some v -> add_test ~iteration:n k v
+              | None ->
+                s.strict_exhausted.(fi) <- true;
+                fallback_def1 ()
+            end
+        | Multi_output ->
+          if List.length s.chains.(fi) < n then
+            if s.strict_exhausted.(fi) then fallback_def1 ()
+            else begin
+              let accepts v =
+                observing_mask fi v land lnot s.chain_masks.(fi) <> 0
+              in
+              match pick_candidate ~accepts s tf with
+              | Some v -> add_test ~iteration:n k v
+              | None ->
+                s.strict_exhausted.(fi) <- true;
+                fallback_def1 ()
+            end
+      done
+    done;
+    detected.(n - 1) <- Array.copy current_d
+  done;
+  { config; report; report_pos; detected; sets }
+
+let config o = o.config
+let report_faults o = Array.copy o.report
+
+let pos_of o gj =
+  match Hashtbl.find_opt o.report_pos gj with
+  | Some pos -> pos
+  | None -> invalid_arg "Procedure1: fault not tracked in report_faults"
+
+let detected_count o ~n ~gj =
+  if n < 1 || n > o.config.nmax then invalid_arg "Procedure1: n out of range";
+  o.detected.(n - 1).(pos_of o gj)
+
+let probability o ~n ~gj =
+  float_of_int (detected_count o ~n ~gj) /. float_of_int o.config.set_count
+
+let test_set o ~k = List.rev_map fst o.sets.(k).added
+
+let test_set_at o ~n ~k =
+  List.filter_map
+    (fun (v, it) -> if it <= n then Some v else None)
+    (List.rev o.sets.(k).added)
+
+let detection_count_def1 o ~k ~fi = o.sets.(k).def1_counts.(fi)
+
+let chain_def2 o ~k ~fi = List.rev o.sets.(k).chains.(fi)
+
+let output_mask o ~k ~fi = o.sets.(k).output_masks.(fi)

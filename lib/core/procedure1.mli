@@ -1,0 +1,67 @@
+(** Procedure 1 of the paper: random construction of K n-detection test
+    sets for n = 1..nmax, used to estimate the probability
+    [p(n, g) = d(n, g) / K] that an arbitrary n-detection test set detects
+    an untargeted fault [g].
+
+    Iteration [n] extends each set so that every target fault [f] with
+    fewer than [n] detections (and with unused tests remaining) receives
+    one uniformly random new test from [T(f) - Tk]. Under Definition 2 the
+    detection count is the greedy chain of pairwise-different tests, a new
+    test must extend the chain, and when no test can extend it the
+    procedure falls back to Definition 1 so that faults are not left far
+    below [n] detections. *)
+
+module Detection_table := Detection_table
+
+type mode =
+  | Definition1  (** Plain distinct-test counting. *)
+  | Definition2  (** Pairwise-different tests (paper Section 4). *)
+  | Multi_output
+      (** A test counts as a new detection only when it observes the
+          fault on a primary output the counted tests have not covered
+          yet (multi-output propagation, the paper's reference [6]);
+          falls back to Definition 1 when no new output can be
+          covered. *)
+
+type config = {
+  seed : int;
+  set_count : int;  (** K. *)
+  nmax : int;
+  mode : mode;
+}
+
+val default_config : config
+(** [seed = 1; set_count = 1000; nmax = 10; mode = Definition1]. *)
+
+type outcome
+
+val run : ?report_faults:int array -> Detection_table.t -> config -> outcome
+(** [report_faults] lists the untargeted-fault indices whose detection
+    probabilities are tracked (default: all of them). *)
+
+val config : outcome -> config
+val report_faults : outcome -> int array
+
+val detected_count : outcome -> n:int -> gj:int -> int
+(** [d(n, g_j)]: how many of the K n-detection test sets detect the fault.
+    [gj] must be in [report_faults]. *)
+
+val probability : outcome -> n:int -> gj:int -> float
+(** [p(n, g_j) = d(n, g_j) / K]. *)
+
+val test_set : outcome -> k:int -> int list
+(** Final (n = nmax) test set [k], in insertion order. *)
+
+val test_set_at : outcome -> n:int -> k:int -> int list
+(** The prefix of set [k] present at the end of iteration [n]. *)
+
+val detection_count_def1 : outcome -> k:int -> fi:int -> int
+(** Distinct tests of the final set [k] detecting target [fi]. *)
+
+val chain_def2 : outcome -> k:int -> fi:int -> int list
+(** Counted detections in the final set [k] (Definition 2 and
+    Multi_output runs). *)
+
+val output_mask : outcome -> k:int -> fi:int -> int
+(** Bitmask of primary outputs on which the final set [k] observes target
+    [fi] (Multi_output runs only). *)

@@ -1,0 +1,106 @@
+module Bitvec = Ndetect_util.Bitvec
+module Netlist = Ndetect_circuit.Netlist
+module Line = Ndetect_circuit.Line
+module Stuck = Ndetect_faults.Stuck
+module Bridge = Ndetect_faults.Bridge
+module Transition = Ndetect_faults.Transition
+module Good = Ndetect_sim.Good
+module Fault_sim = Ndetect_sim.Fault_sim
+
+type target = {
+  fault : Transition.t;
+  init : Bitvec.t;  (* I(f): vectors setting the line to the init value *)
+  detect : Bitvec.t;  (* D(f): vectors detecting the mimicked stuck fault *)
+}
+
+type t = {
+  net : Netlist.t;
+  targets : target array;
+  untargeted_sets : Bitvec.t array;
+  untargeted_labels : string array;
+  nmin : int array;
+}
+
+(* I(f): the line's driver carries the initialization value. *)
+let init_set good net fault =
+  let driver = Line.driver net fault.Transition.line in
+  let want = Transition.initialization_value fault in
+  Good.detection_mask_to_set good (fun ~batch ->
+      let v = Good.value good ~node:driver ~batch in
+      let live = Good.live_mask good ~batch in
+      if want then v else Ndetect_logic.Word.lognot v land live)
+
+let compute net =
+  let good = Good.compute net in
+  let targets =
+    Array.to_list (Transition.enumerate net)
+    |> List.filter_map (fun fault ->
+           let init = init_set good net fault in
+           let detect =
+             Fault_sim.stuck_detection_set good (Transition.as_stuck fault)
+           in
+           if Bitvec.is_empty init || Bitvec.is_empty detect then None
+           else Some { fault; init; detect })
+    |> Array.of_list
+  in
+  let bridges = Bridge.enumerate net in
+  let bridge_sets = Fault_sim.bridge_detection_sets good bridges in
+  let kept =
+    Array.to_list (Array.mapi (fun j s -> (j, s)) bridge_sets)
+    |> List.filter (fun (_, s) -> not (Bitvec.is_empty s))
+  in
+  let untargeted_sets = Array.of_list (List.map snd kept) in
+  let untargeted_labels =
+    Array.of_list
+      (List.map (fun (j, _) -> Bridge.to_string net bridges.(j)) kept)
+  in
+  (* nmin over the pair universe, using the factorized counts. *)
+  let nmin =
+    Array.map
+      (fun tg ->
+        Array.fold_left
+          (fun acc target ->
+            let overlap = Bitvec.inter_count target.detect tg in
+            if overlap = 0 then acc
+            else begin
+              let i = Bitvec.count target.init in
+              let d = Bitvec.count target.detect in
+              let candidate = (i * (d - overlap)) + 1 in
+              min acc candidate
+            end)
+          Worst_case.unbounded targets)
+      untargeted_sets
+  in
+  { net; targets; untargeted_sets; untargeted_labels; nmin }
+
+let net t = t.net
+let target_count t = Array.length t.targets
+let target_fault t i = t.targets.(i).fault
+
+let target_n t i =
+  Bitvec.count t.targets.(i).init * Bitvec.count t.targets.(i).detect
+
+let untargeted_count t = Array.length t.untargeted_sets
+let untargeted_label t j = t.untargeted_labels.(j)
+let nmin t j = t.nmin.(j)
+
+let percent_below t n0 =
+  let total = Array.length t.nmin in
+  if total = 0 then 100.0
+  else
+    100.0
+    *. float_of_int
+         (Array.fold_left
+            (fun acc v -> if v <= n0 then acc + 1 else acc)
+            0 t.nmin)
+    /. float_of_int total
+
+let count_at_least t n0 =
+  Array.fold_left (fun acc v -> if v >= n0 then acc + 1 else acc) 0 t.nmin
+
+let max_finite_nmin t =
+  Array.fold_left
+    (fun acc v ->
+      if v = Worst_case.unbounded then acc
+      else match acc with None -> Some v | Some m -> Some (max m v))
+    None t.nmin

@@ -1,0 +1,53 @@
+(** The paper's worst-case analysis generalized to {e transition-fault}
+    n-detection test sets (the setting of its reference [6]).
+
+    A two-pattern test is a pair [(v1, v2)] from the universe [U x U]
+    (arbitrary two-pattern application, e.g. enhanced scan). Detection of
+    a transition fault [f] factorizes over the pair:
+
+    - [v1] must establish the initialization value on the fault's line —
+      call that set [I(f)] — and
+    - [v2] must detect the corresponding stuck-at fault — the ordinary
+      single-vector set [D(f)],
+
+    so [T(f) = I(f) x D(f)] without ever materializing the quadratic
+    universe. An untargeted bridging fault [g] is observed on the capture
+    pattern: [T(g) = U x T_static(g)]. The worst-case quantities follow:
+
+    {v
+    N(f)       = |I(f)| * |D(f)|
+    M(g, f)    = |I(f)| * |D(f) ∩ T_static(g)|
+    nmin(g, f) = N(f) - M(g, f) + 1
+    v}
+
+    and [nmin(g)] is the minimum over targets with [M > 0]. Because the
+    factor [|I(f)|] multiplies the escape margin, transition-fault
+    n-detection requires far larger [n] to guarantee bridging-fault
+    detection than stuck-at n-detection does — the paper's warning that
+    "very large values of n may be needed" only sharpens. *)
+
+module Netlist = Ndetect_circuit.Netlist
+module Transition = Ndetect_faults.Transition
+
+type t
+
+val compute : Netlist.t -> t
+(** Targets: detectable transition faults (both [I] and [D] non-empty);
+    untargeted: the usual detectable four-way bridges. *)
+
+val net : t -> Netlist.t
+
+val target_count : t -> int
+val target_fault : t -> int -> Transition.t
+val target_n : t -> int -> int
+(** [N(f)] over the pair universe. *)
+
+val untargeted_count : t -> int
+val untargeted_label : t -> int -> string
+
+val nmin : t -> int -> int
+(** [nmin(g)]; {!Worst_case.unbounded} when no target overlaps. *)
+
+val percent_below : t -> int -> float
+val count_at_least : t -> int -> int
+val max_finite_nmin : t -> int option

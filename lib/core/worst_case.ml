@@ -1,0 +1,138 @@
+module Bitvec = Ndetect_util.Bitvec
+
+type t = {
+  table : Detection_table.t;
+  nmin : int array;
+  witness : int array;  (* target index achieving nmin, or -1 *)
+}
+
+let unbounded = max_int
+
+(* nmin(g) = min over f of N(f) - M(g, f) + 1. Scanning targets in
+   increasing N(f) admits a strong early exit: M(g, f) <= |T(g)|, so once
+   N(f) - |T(g)| + 1 is at least the best candidate found, no later target
+   can improve it. Untargeted faults with small detection sets (the
+   interesting, hard ones) additionally use a sparse membership
+   intersection instead of the word-wise popcount. *)
+let sparse_threshold = 64
+
+let compute table =
+  let g_count = Detection_table.untargeted_count table in
+  let f_count = Detection_table.target_count table in
+  let ns = Array.init f_count (Detection_table.target_n table) in
+  let order = Array.init f_count Fun.id in
+  Array.sort (fun a b -> Int.compare ns.(a) ns.(b)) order;
+  (* Per-untargeted-fault scans are independent pure reads of the table,
+     so they run on parallel domains. *)
+  let per_gj gj =
+    let tg = Detection_table.untargeted_set table gj in
+    let tg_count = Bitvec.count tg in
+    let sparse =
+      if tg_count <= sparse_threshold then Some (Bitvec.to_list tg) else None
+    in
+    let m_of fi =
+      match sparse with
+      | Some vectors ->
+        List.fold_left
+          (fun acc v ->
+            if Bitvec.get (Detection_table.target_set table fi) v then
+              acc + 1
+            else acc)
+          0 vectors
+      | None -> Detection_table.m table ~gj ~fi
+    in
+    let rec scan idx best best_witness =
+      if idx >= f_count then (best, best_witness)
+      else begin
+        let fi = order.(idx) in
+        (* Even full overlap cannot beat the current best: stop. *)
+        if ns.(fi) - tg_count + 1 >= best then (best, best_witness)
+        else begin
+          let m = m_of fi in
+          let best, best_witness =
+            if m > 0 && ns.(fi) - m + 1 < best then (ns.(fi) - m + 1, fi)
+            else (best, best_witness)
+          in
+          scan (idx + 1) best best_witness
+        end
+      end
+    in
+    scan 0 unbounded (-1)
+  in
+  (* Untargeted faults frequently share identical detection sets (e.g.
+     symmetric bridges); nmin only depends on T(g), so compute once per
+     distinct set. *)
+  let groups : (string, int) Hashtbl.t = Hashtbl.create (2 * g_count) in
+  let representative = Array.make g_count (-1) in
+  let unique = ref [] and unique_count = ref 0 in
+  for gj = 0 to g_count - 1 do
+    let key =
+      Bitvec.content_key (Detection_table.untargeted_set table gj)
+    in
+    match Hashtbl.find_opt groups key with
+    | Some idx -> representative.(gj) <- idx
+    | None ->
+      Hashtbl.replace groups key !unique_count;
+      representative.(gj) <- !unique_count;
+      unique := gj :: !unique;
+      incr unique_count
+  done;
+  let unique = Array.of_list (List.rev !unique) in
+  let unique_results = Ndetect_util.Parallel.map_array per_gj unique in
+  let nmin = Array.make g_count unbounded in
+  let witness = Array.make g_count (-1) in
+  for gj = 0 to g_count - 1 do
+    let n, w = unique_results.(representative.(gj)) in
+    nmin.(gj) <- n;
+    witness.(gj) <- w
+  done;
+  { table; nmin; witness }
+
+let table t = t.table
+
+let nmin_pair t ~gj ~fi =
+  let m = Detection_table.m t.table ~gj ~fi in
+  if m = 0 then None else Some (Detection_table.target_n t.table fi - m + 1)
+
+let nmin t gj = t.nmin.(gj)
+
+let nmin_witness t gj =
+  if t.witness.(gj) < 0 then None else Some t.witness.(gj)
+
+let count_below t n0 =
+  Array.fold_left (fun acc v -> if v <= n0 then acc + 1 else acc) 0 t.nmin
+
+let count_at_least t n0 =
+  Array.fold_left (fun acc v -> if v >= n0 then acc + 1 else acc) 0 t.nmin
+
+let percent_of t count =
+  let total = Array.length t.nmin in
+  if total = 0 then 0.0 else 100.0 *. float_of_int count /. float_of_int total
+
+let percent_below t n0 = percent_of t (count_below t n0)
+let percent_at_least t n0 = percent_of t (count_at_least t n0)
+
+let coverage_guaranteed t ~n =
+  let total = Array.length t.nmin in
+  if total = 0 then 1.0
+  else float_of_int (count_below t n) /. float_of_int total
+
+let max_finite_nmin t =
+  Array.fold_left
+    (fun acc v ->
+      if v = unbounded then acc
+      else match acc with None -> Some v | Some m -> Some (max m v))
+    None t.nmin
+
+let histogram t ~min_value =
+  let counts = Hashtbl.create 64 in
+  Array.iter
+    (fun v ->
+      if v <> unbounded && v >= min_value then
+        Hashtbl.replace counts v
+          (1 + Option.value (Hashtbl.find_opt counts v) ~default:0))
+    t.nmin;
+  Hashtbl.fold (fun value count acc -> (value, count) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let distribution t = Array.copy t.nmin

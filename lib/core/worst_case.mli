@@ -1,0 +1,56 @@
+(** Worst-case analysis (Section 2 of the paper).
+
+    [nmin g] is the smallest [n] such that {e every} n-detection test set
+    for the target faults necessarily detects the untargeted fault [g]:
+    the adversary can detect [f_i] up to [N(f_i) - M(g, f_i)] times while
+    dodging [T(g)], so [nmin(g, f_i) = N(f_i) - M(g, f_i) + 1] and
+    [nmin(g) = min over F(g)]. *)
+
+module Detection_table := Detection_table
+
+type t
+
+val unbounded : int
+(** Sentinel for a fault no n-detection requirement can guarantee (no
+    target fault's detection set intersects its own): [max_int]. *)
+
+val compute : Detection_table.t -> t
+
+val table : t -> Detection_table.t
+
+val nmin_pair : t -> gj:int -> fi:int -> int option
+(** [nmin(g_j, f_i)], or [None] when [M(g_j, f_i) = 0]. *)
+
+val nmin : t -> int -> int
+(** [nmin(g_j)] ({!unbounded} when [F(g_j)] is empty). *)
+
+val nmin_witness : t -> int -> int option
+(** A target-fault index achieving the minimum. *)
+
+val count_below : t -> int -> int
+(** Number of untargeted faults with [nmin(g) <= n0]. *)
+
+val percent_below : t -> int -> float
+(** Same as a percentage of the untargeted fault count. *)
+
+val count_at_least : t -> int -> int
+(** Number of untargeted faults with [nmin(g) >= n0] ({!unbounded}
+    included). *)
+
+val percent_at_least : t -> int -> float
+
+val coverage_guaranteed : t -> n:int -> float
+(** Fraction (0..1) of untargeted faults guaranteed detected by any
+    n-detection test set. *)
+
+val max_finite_nmin : t -> int option
+(** The value of [n] needed to guarantee the detection of every untargeted
+    fault with a finite requirement. *)
+
+val histogram : t -> min_value:int -> (int * int) list
+(** Sorted [(nmin value, fault count)] pairs over faults whose finite
+    [nmin] is at least [min_value] — the data behind the paper's
+    Figure 2. *)
+
+val distribution : t -> int array
+(** All [nmin(g_j)] values, indexed by [g_j]. *)

@@ -1,0 +1,40 @@
+(** Four-way bridging faults — the paper's untargeted fault set [G].
+
+    A bridging fault [(l1, a1, l2, a2)] is {e activated} by an input vector
+    for which line [l1] carries [a1] and line [l2] carries [a2] in the
+    fault-free circuit; the fault then forces [l1] to the complement of
+    [a1]. For every unordered pair of lines this yields four faults —
+    hence "four-way".
+
+    Following the paper, candidate lines are outputs (stems) of multi-input
+    gates, and feedback pairs (one gate in the transitive fanout of the
+    other) are excluded. *)
+
+module Netlist = Ndetect_circuit.Netlist
+
+type t = {
+  victim : int;  (** Node id of the forced line [l1]. *)
+  victim_value : bool;  (** [a1]: activation value of the victim. *)
+  aggressor : int;  (** Node id of [l2]. *)
+  aggressor_value : bool;  (** [a2]. *)
+}
+
+val equal : t -> t -> bool
+
+val to_string : Netlist.t -> t -> string
+(** ["(l1,a1,l2,a2)"] with node names. *)
+
+val pp : Netlist.t -> Format.formatter -> t -> unit
+
+val candidate_nodes : Netlist.t -> int array
+(** Stems of multi-input gates, in topological order. *)
+
+val enumerate : Netlist.t -> t array
+(** All four-way bridging faults between non-feedback pairs of candidate
+    nodes. Pairs [(u, v)] are visited in lexicographic order of their
+    positions in {!candidate_nodes}; each contributes
+    [(u,0,v,1); (v,0,u,1); (u,1,v,0); (v,1,u,0)] — the order implied by the
+    paper's example fault indices. *)
+
+val is_feedback : Netlist.t -> int -> int -> bool
+(** Whether one node lies in the transitive fanout of the other. *)

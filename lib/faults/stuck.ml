@@ -1,0 +1,114 @@
+module Gate = Ndetect_circuit.Gate
+module Line = Ndetect_circuit.Line
+module Netlist = Ndetect_circuit.Netlist
+
+type t = { line : Line.t; value : bool }
+
+let equal a b = Line.equal a.line b.line && Bool.equal a.value b.value
+
+let compare a b =
+  match Line.compare a.line b.line with
+  | 0 -> Bool.compare a.value b.value
+  | c -> c
+
+let to_string net f =
+  Printf.sprintf "%s/%d" (Line.to_string net f.line) (Bool.to_int f.value)
+
+let pp net ppf f = Format.pp_print_string ppf (to_string net f)
+
+let all net =
+  let lines = Line.enumerate net in
+  Array.init
+    (2 * Array.length lines)
+    (fun i -> { line = lines.(i / 2); value = i mod 2 = 1 })
+
+let pin_line = Line.pin_line
+
+module Uf = struct
+  (* Union-find over fault indices, merging towards the larger canonical
+     index so class representatives sit on gate outputs. *)
+  let create n = Array.init n Fun.id
+
+  let rec find uf i = if uf.(i) = i then i else find uf uf.(i)
+
+  let union uf i j =
+    let ri = find uf i and rj = find uf j in
+    if ri <> rj then if ri < rj then uf.(ri) <- rj else uf.(rj) <- ri
+end
+
+let fault_indices net =
+  let lines = Line.enumerate net in
+  let index : (Line.t * bool, int) Hashtbl.t =
+    Hashtbl.create (4 * Array.length lines)
+  in
+  Array.iteri
+    (fun i line ->
+      Hashtbl.replace index (line, false) (2 * i);
+      Hashtbl.replace index (line, true) ((2 * i) + 1))
+    lines;
+  (lines, index)
+
+let build_classes net =
+  let lines, index = fault_indices net in
+  let n = 2 * Array.length lines in
+  let uf = Uf.create n in
+  let idx line value = Hashtbl.find index (line, value) in
+  let merge l1 v1 l2 v2 = Uf.union uf (idx l1 v1) (idx l2 v2) in
+  Array.iter
+    (fun gate ->
+      let out = Line.Stem gate in
+      let pins =
+        Array.init
+          (Array.length (Netlist.fanins net gate))
+          (fun pin -> pin_line net ~gate ~pin)
+      in
+      match Netlist.kind net gate with
+      | Gate.And -> Array.iter (fun p -> merge p false out false) pins
+      | Gate.Nand -> Array.iter (fun p -> merge p false out true) pins
+      | Gate.Or -> Array.iter (fun p -> merge p true out true) pins
+      | Gate.Nor -> Array.iter (fun p -> merge p true out false) pins
+      | Gate.Buf ->
+        merge pins.(0) false out false;
+        merge pins.(0) true out true
+      | Gate.Not ->
+        merge pins.(0) false out true;
+        merge pins.(0) true out false
+      | Gate.Xor | Gate.Xnor | Gate.Const0 | Gate.Const1 | Gate.Input -> ())
+    (Netlist.gate_ids net);
+  (lines, uf)
+
+let fault_of_index lines i = { line = lines.(i / 2); value = i mod 2 = 1 }
+
+let classes net =
+  let lines, uf = build_classes net in
+  let n = 2 * Array.length lines in
+  let members = Hashtbl.create n in
+  for i = 0 to n - 1 do
+    let r = Uf.find uf i in
+    let existing = Option.value (Hashtbl.find_opt members r) ~default:[] in
+    Hashtbl.replace members r (i :: existing)
+  done;
+  let reps = Hashtbl.fold (fun r _ acc -> r :: acc) members [] in
+  List.sort Int.compare reps
+  |> List.map (fun r ->
+         let mems =
+           Hashtbl.find members r |> List.sort Int.compare
+           |> List.map (fault_of_index lines)
+         in
+         (fault_of_index lines r, mems))
+  |> Array.of_list
+
+let collapse net = Array.map fst (classes net)
+
+let checkpoints net =
+  let lines = Line.enumerate net in
+  let keep = function
+    | Line.Stem n -> Netlist.kind net n = Gate.Input
+    | Line.Branch _ -> true
+  in
+  Array.to_seq lines
+  |> Seq.filter keep
+  |> Seq.concat_map (fun line ->
+         List.to_seq
+           [ { line; value = false }; { line; value = true } ])
+  |> Array.of_seq

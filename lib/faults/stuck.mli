@@ -1,0 +1,47 @@
+(** Single stuck-at faults and structural equivalence collapsing.
+
+    The paper's target fault set [F] is the collapsed single stuck-at fault
+    list of the circuit. Collapsing merges structurally equivalent faults
+    (e.g. any AND input stuck-at-0 with the AND output stuck-at-0) and
+    keeps the gate-output representative, which reproduces the fault
+    numbering of the paper's Table 1 exactly. *)
+
+module Line = Ndetect_circuit.Line
+module Netlist = Ndetect_circuit.Netlist
+
+type t = {
+  line : Line.t;
+  value : bool;  (** [false] = stuck-at-0, [true] = stuck-at-1. *)
+}
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val to_string : Netlist.t -> t -> string
+(** E.g. ["9/1"] in the display-number convention [line/value]. *)
+
+val pp : Netlist.t -> Format.formatter -> t -> unit
+
+val all : Netlist.t -> t array
+(** The full (uncollapsed) fault list: two faults per line, ordered by the
+    canonical line order then stuck value. *)
+
+val collapse : Netlist.t -> t array
+(** Equivalence-collapsed fault list. Rules: AND input s-a-0 = output
+    s-a-0; NAND input s-a-0 = output s-a-1; OR input s-a-1 = output s-a-1;
+    NOR input s-a-1 = output s-a-0; BUF input s-a-v = output s-a-v; NOT
+    input s-a-v = output s-a-(not v). The representative of each class is
+    the fault on the latest line in the canonical order (the gate output),
+    and the result is sorted like {!all}. *)
+
+val classes : Netlist.t -> (t * t list) array
+(** The equivalence classes behind {!collapse}: each representative with
+    all its class members (representative included). *)
+
+val checkpoints : Netlist.t -> t array
+(** Checkpoint faults: both polarities on every primary-input stem and
+    every fanout branch. For circuits of elementary gates (no XOR/XNOR)
+    the checkpoint theorem guarantees that a test set detecting all
+    checkpoint faults detects every single stuck-at fault — a dominance
+    collapsing far smaller than {!collapse}; exposed for the collapsing
+    ablation. *)

@@ -1,0 +1,32 @@
+module Netlist = Ndetect_circuit.Netlist
+module Line = Ndetect_circuit.Line
+
+type slow = Rise | Fall
+
+type t = { line : Line.t; slow : slow }
+
+let equal a b =
+  Line.equal a.line b.line
+  &&
+  match a.slow, b.slow with
+  | Rise, Rise | Fall, Fall -> true
+  | Rise, Fall | Fall, Rise -> false
+
+let to_string net f =
+  Printf.sprintf "%s/%s"
+    (Line.to_string net f.line)
+    (match f.slow with Rise -> "STR" | Fall -> "STF")
+
+let pp net ppf f = Format.pp_print_string ppf (to_string net f)
+
+let enumerate net =
+  let lines = Line.enumerate net in
+  Array.init
+    (2 * Array.length lines)
+    (fun i ->
+      { line = lines.(i / 2); slow = (if i mod 2 = 0 then Rise else Fall) })
+
+let as_stuck f =
+  { Stuck.line = f.line; value = (match f.slow with Rise -> false | Fall -> true) }
+
+let initialization_value f = match f.slow with Rise -> false | Fall -> true

@@ -1,0 +1,36 @@
+(** Transition (gate-delay) faults: slow-to-rise / slow-to-fall on a line.
+
+    A two-pattern test [(v1, v2)] detects slow-to-rise on line [l] iff
+    [v1] sets [l] to 0, [v2] sets [l] to 1, and the late value — which
+    looks like [l] stuck-at-0 — is observed under [v2]. The paper's
+    references use n-detection transition-fault test sets ([6]); this
+    model feeds the generalized analysis in
+    {!Ndetect_core.Transition_analysis}. *)
+
+module Netlist = Ndetect_circuit.Netlist
+module Line = Ndetect_circuit.Line
+
+type slow =
+  | Rise
+  | Fall
+
+type t = { line : Line.t; slow : slow }
+
+val equal : t -> t -> bool
+
+val to_string : Netlist.t -> t -> string
+(** E.g. ["9/STR"] (slow to rise). *)
+
+val pp : Netlist.t -> Format.formatter -> t -> unit
+
+val enumerate : Netlist.t -> t array
+(** Two faults per line, canonical line order. *)
+
+val as_stuck : t -> Stuck.t
+(** The stuck-at fault whose effect the late transition mimics during
+    capture: slow-to-rise behaves as stuck-at-0, slow-to-fall as
+    stuck-at-1. *)
+
+val initialization_value : t -> bool
+(** The value the first pattern must establish on the line: 0 for
+    slow-to-rise, 1 for slow-to-fall. *)

@@ -1,0 +1,32 @@
+module Netlist = Ndetect_circuit.Netlist
+
+type semantics = Wired_and | Wired_or
+
+type t = { a : int; b : int; semantics : semantics }
+
+let equal x y =
+  x.a = y.a && x.b = y.b
+  &&
+  match x.semantics, y.semantics with
+  | Wired_and, Wired_and | Wired_or, Wired_or -> true
+  | Wired_and, Wired_or | Wired_or, Wired_and -> false
+
+let to_string net f =
+  let op = match f.semantics with Wired_and -> "AND" | Wired_or -> "OR" in
+  Printf.sprintf "%s(%s,%s)" op (Netlist.name net f.a) (Netlist.name net f.b)
+
+let pp net ppf f = Format.pp_print_string ppf (to_string net f)
+
+let enumerate net semantics =
+  let nodes = Bridge.candidate_nodes net in
+  let n = Array.length nodes in
+  let reach = Array.map (fun u -> Netlist.transitive_fanout net u) nodes in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let u = nodes.(i) and v = nodes.(j) in
+      if not (reach.(i).(v) || reach.(j).(u)) then
+        acc := { a = min u v; b = max u v; semantics } :: !acc
+    done
+  done;
+  Array.of_list (List.rev !acc)

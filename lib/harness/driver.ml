@@ -1,0 +1,308 @@
+module Analysis = Ndetect_core.Analysis
+module Detection_table = Ndetect_core.Detection_table
+module Worst_case = Ndetect_core.Worst_case
+module Procedure1 = Ndetect_core.Procedure1
+module Average_case = Ndetect_core.Average_case
+module Registry = Ndetect_suite.Registry
+module Example = Ndetect_suite.Example
+module Paper_tables = Ndetect_report.Paper_tables
+module Bitvec = Ndetect_util.Bitvec
+
+type options = {
+  tier : Registry.tier;
+  k : int;
+  k2 : int;
+  seed : int;
+  only : string;
+  quiet : bool;
+  csv_dir : string option;
+}
+
+let default_options =
+  {
+    tier = Registry.Medium;
+    k = 1000;
+    k2 = 200;
+    seed = 1;
+    only = "all";
+    quiet = false;
+    csv_dir = None;
+  }
+
+let parse_args args =
+  let rec go opts = function
+    | [] -> opts
+    | "--tier" :: v :: rest ->
+      let tier =
+        match String.lowercase_ascii v with
+        | "small" -> Registry.Small
+        | "medium" -> Registry.Medium
+        | "large" -> Registry.Large
+        | _ -> failwith ("unknown tier " ^ v)
+      in
+      go { opts with tier } rest
+    | "--k" :: v :: rest -> go { opts with k = int_of_string v } rest
+    | "--k2" :: v :: rest -> go { opts with k2 = int_of_string v } rest
+    | "--seed" :: v :: rest -> go { opts with seed = int_of_string v } rest
+    | "--only" :: v :: rest ->
+      go { opts with only = String.lowercase_ascii v } rest
+    | "--quiet" :: rest -> go { opts with quiet = true } rest
+    | "--csv" :: dir :: rest -> go { opts with csv_dir = Some dir } rest
+    | arg :: _ -> failwith ("unknown argument " ^ arg)
+  in
+  go default_options args
+
+type t = {
+  options : options;
+  analyses : (string, Analysis.t) Hashtbl.t;
+  mutable example : Analysis.t option;
+}
+
+let create options = { options; analyses = Hashtbl.create 64; example = None }
+
+let timed t label f =
+  if t.options.quiet then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    Printf.printf "[%s: %.2fs]\n%!" label (Unix.gettimeofday () -. t0);
+    r
+  end
+
+let analysis_of t entry =
+  match Hashtbl.find_opt t.analyses entry.Registry.name with
+  | Some a -> a
+  | None ->
+    let a =
+      timed t
+        (Printf.sprintf "analyze %s" entry.Registry.name)
+        (fun () ->
+          Analysis.analyze ~name:entry.Registry.name (Registry.circuit entry))
+    in
+    Hashtbl.replace t.analyses entry.Registry.name a;
+    a
+
+let example_analysis t =
+  match t.example with
+  | Some a -> a
+  | None ->
+    let a = Analysis.analyze ~name:"example" (Example.circuit ()) in
+    t.example <- Some a;
+    a
+
+let find_bridge table (victim, vv, aggressor, av) =
+  Detection_table.find_untargeted table ~victim ~victim_value:vv ~aggressor
+    ~aggressor_value:av
+
+let run_table1 t =
+  let a = example_analysis t in
+  match find_bridge a.Analysis.table Example.g0 with
+  | None -> "example bridge g0 not found (unexpected)\n"
+  | Some gj -> Paper_tables.table1 a ~gj
+
+let summaries t =
+  Registry.of_tier t.options.tier
+  |> List.map (fun e -> (analysis_of t e).Analysis.summary)
+
+let run_table2 t = Paper_tables.table2 (summaries t)
+let run_table3 t = Paper_tables.table3 (summaries t)
+
+let hardest_entry t =
+  let entries = Registry.of_tier t.options.tier in
+  match
+    List.find_opt (fun e -> String.equal e.Registry.name "dvram") entries
+  with
+  | Some e -> Some e
+  | None ->
+    List.fold_left
+      (fun acc e ->
+        let hard =
+          Array.length (Analysis.hard_faults (analysis_of t e) ~nmax:10)
+        in
+        match acc with
+        | Some (_, best) when best >= hard -> acc
+        | Some _ | None -> Some (e, hard))
+      None entries
+    |> Option.map fst
+
+let figure2_choice t =
+  match hardest_entry t with
+  | None -> None
+  | Some e ->
+    let a = analysis_of t e in
+    let has_100 =
+      Array.exists
+        (fun v -> v >= 100 && v <> Worst_case.unbounded)
+        (Worst_case.distribution a.Analysis.worst)
+    in
+    Some (e, a, if has_100 then 100 else 11)
+
+let run_figure2 t =
+  match figure2_choice t with
+  | None -> "(no circuits in tier)\n"
+  | Some (e, a, min_value) ->
+    Printf.sprintf "circuit: %s\n%s" e.Registry.name
+      (Paper_tables.figure2 a.Analysis.worst ~min_value)
+
+let run_table4 t =
+  let a = example_analysis t in
+  let config =
+    {
+      Procedure1.seed = t.options.seed;
+      set_count = 10;
+      nmax = 2;
+      mode = Procedure1.Definition1;
+    }
+  in
+  let outcome = Procedure1.run a.Analysis.table config in
+  let g6_line =
+    match find_bridge a.Analysis.table Example.g6 with
+    | None -> ""
+    | Some gj ->
+      Printf.sprintf
+        "g6 = %s, T(g6) = %s: d(1,g6) = %d, d(2,g6) = %d (of K = 10)\n"
+        (Detection_table.untargeted_label a.Analysis.table gj)
+        (Format.asprintf "%a" Bitvec.pp
+           (Detection_table.untargeted_set a.Analysis.table gj))
+        (Procedure1.detected_count outcome ~n:1 ~gj)
+        (Procedure1.detected_count outcome ~n:2 ~gj)
+  in
+  Paper_tables.table4 outcome ^ g6_line
+
+let hard_entries t =
+  Registry.of_tier t.options.tier
+  |> List.filter_map (fun e ->
+         let a = analysis_of t e in
+         let hard = Analysis.hard_faults a ~nmax:10 in
+         if Array.length hard = 0 then None else Some (e, a, hard))
+
+let table5_data t =
+  let rows =
+    List.map
+      (fun (e, a, hard) ->
+        let config =
+          {
+            Procedure1.seed = t.options.seed;
+            set_count = t.options.k;
+            nmax = 10;
+            mode = Procedure1.Definition1;
+          }
+        in
+        let outcome =
+          timed t
+            (Printf.sprintf "procedure1 %s" e.Registry.name)
+            (fun () ->
+              Procedure1.run ~report_faults:hard a.Analysis.table config)
+        in
+        {
+          Paper_tables.circuit = e.Registry.name;
+          hard_faults = Array.length hard;
+          row = Average_case.summarize outcome ~n:10;
+        })
+      (hard_entries t)
+  in
+  rows
+
+let run_table5 t =
+  match table5_data t with
+  | [] -> "(no circuits with nmin >= 11 faults)\n"
+  | rows -> Paper_tables.table5 ~nmax:10 rows
+
+let table6_data t =
+  let rows =
+    List.map
+      (fun (e, a, hard) ->
+        let run mode label =
+          timed t
+            (Printf.sprintf "procedure1 %s (%s)" e.Registry.name label)
+            (fun () ->
+              Procedure1.run ~report_faults:hard a.Analysis.table
+                {
+                  Procedure1.seed = t.options.seed;
+                  set_count = t.options.k2;
+                  nmax = 10;
+                  mode;
+                })
+        in
+        let def1 = run Procedure1.Definition1 "def1" in
+        let def2 = run Procedure1.Definition2 "def2" in
+        ( e.Registry.name,
+          Array.length hard,
+          Average_case.summarize def1 ~n:10,
+          Average_case.summarize def2 ~n:10 ))
+      (hard_entries t)
+  in
+  rows
+
+let run_table6 t =
+  match table6_data t with
+  | [] -> "(no circuits with nmin >= 11 faults)\n"
+  | rows -> Paper_tables.table6 ~nmax:10 rows
+
+let rec mkdir_recursive dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_recursive parent;
+    Sys.mkdir dir 0o755
+  end
+
+let write_csv t ~name content =
+  match t.options.csv_dir with
+  | None -> ()
+  | Some dir ->
+    mkdir_recursive dir;
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc;
+    if not t.options.quiet then Printf.printf "[wrote %s]\n%!" path
+
+let run_all t =
+  let wants what = t.options.only = "all" || t.options.only = what in
+  let section title body =
+    Printf.printf "== %s ==\n\n%s\n%!" title body
+  in
+  if wants "table1" then
+    section "Table 1 (worked example, Figure 1 circuit)" (run_table1 t);
+  if wants "table4" then
+    section "Table 4 (K = 10 random test sets for the example circuit)"
+      (run_table4 t);
+  if wants "table2" then begin
+    section "Table 2 (worst-case percentages, small n)" (run_table2 t);
+    write_csv t ~name:"table2.csv" (Paper_tables.table2_csv (summaries t))
+  end;
+  if wants "table3" then begin
+    section "Table 3 (worst-case counts, large n)" (run_table3 t);
+    write_csv t ~name:"table3.csv" (Paper_tables.table3_csv (summaries t))
+  end;
+  if wants "figure2" then begin
+    section "Figure 2 (distribution of nmin for the hardest circuit)"
+      (run_figure2 t);
+    match figure2_choice t with
+    | Some (_, a, min_value) ->
+      write_csv t ~name:"figure2.csv"
+        (Paper_tables.figure2_csv a.Analysis.worst ~min_value)
+    | None -> ()
+  end;
+  if wants "table5" then begin
+    let rows = table5_data t in
+    section
+      (Printf.sprintf "Table 5 (average-case probabilities, K = %d)"
+         t.options.k)
+      (match rows with
+      | [] -> "(no circuits with nmin >= 11 faults)\n"
+      | rows -> Paper_tables.table5 ~nmax:10 rows);
+    if rows <> [] then
+      write_csv t ~name:"table5.csv" (Paper_tables.table5_csv rows)
+  end;
+  if wants "table6" then begin
+    let rows = table6_data t in
+    section
+      (Printf.sprintf "Table 6 (Definition 1 vs Definition 2, K = %d)"
+         t.options.k2)
+      (match rows with
+      | [] -> "(no circuits with nmin >= 11 faults)\n"
+      | rows -> Paper_tables.table6 ~nmax:10 rows);
+    if rows <> [] then
+      write_csv t ~name:"table6.csv" (Paper_tables.table6_csv rows)
+  end

@@ -1,0 +1,48 @@
+(** The reproduction driver: regenerates every table and figure of the
+    paper on the embedded benchmark suite. Shared by [bin/reproduce] and
+    the benchmark harness. *)
+
+module Registry = Ndetect_suite.Registry
+module Analysis = Ndetect_core.Analysis
+
+type options = {
+  tier : Registry.tier;
+  k : int;  (** Procedure 1 test sets for Table 5. *)
+  k2 : int;  (** Test sets per definition for Table 6. *)
+  seed : int;
+  only : string;  (** ["all"] or one of ["table1".."table6"; "figure2"]. *)
+  quiet : bool;  (** Suppress per-step timing lines. *)
+  csv_dir : string option;
+      (** When set, [run_all] also writes table2/3/5/6.csv and
+          figure2.csv into this directory. *)
+}
+
+val default_options : options
+(** Medium tier, [k = 1000], [k2 = 200], [seed = 1], everything. *)
+
+val parse_args : string list -> options
+(** Parse [--tier small|medium|large], [--k N], [--k2 N], [--seed N],
+    [--only WHAT], [--quiet], [--csv DIR]. Raises [Failure] on unknown
+    arguments. *)
+
+type t
+(** A driver instance caching per-circuit analyses across tables. *)
+
+val create : options -> t
+
+val analysis_of : t -> Registry.entry -> Analysis.t
+(** Analyze a suite circuit (cached). *)
+
+val example_analysis : t -> Analysis.t
+(** The Figure 1 worked example (cached). *)
+
+val run_table1 : t -> string
+val run_table2 : t -> string
+val run_table3 : t -> string
+val run_figure2 : t -> string
+val run_table4 : t -> string
+val run_table5 : t -> string
+val run_table6 : t -> string
+
+val run_all : t -> unit
+(** Print every selected artifact to stdout, with section headers. *)

@@ -1,0 +1,40 @@
+let width = 62
+
+type t = int
+
+let zeroes = 0
+let ones = (1 lsl width) - 1
+
+let mask_low k =
+  if k < 0 || k > width then invalid_arg "Word.mask_low";
+  if k = width then ones else (1 lsl k) - 1
+
+let lognot w = lnot w land ones
+
+let count w =
+  let rec go acc w = if w = 0 then acc else go (acc + 1) (w land (w - 1)) in
+  go 0 w
+
+let get w i = (w lsr i) land 1 = 1
+let set w i = w lor (1 lsl i)
+
+let batches ~universe = (universe + width - 1) / width
+
+let batch_width ~universe ~batch =
+  let lo = batch * width in
+  if lo >= universe then 0 else min width (universe - lo)
+
+(* Vector v assigns input [bit] the value of the bit of weight
+   2^(pi_count - 1 - bit) in v, matching the paper's decimal encoding where
+   input 1 is the most significant bit. *)
+let input_pattern ~universe ~batch ~bit ~pi_count =
+  if bit < 0 || bit >= pi_count then invalid_arg "Word.input_pattern";
+  let live = batch_width ~universe ~batch in
+  let base = batch * width in
+  let weight = pi_count - 1 - bit in
+  let acc = ref 0 in
+  for lane = 0 to live - 1 do
+    let v = base + lane in
+    if (v lsr weight) land 1 = 1 then acc := set !acc lane
+  done;
+  !acc

@@ -1,0 +1,45 @@
+(** Bit-parallel logic words.
+
+    A word packs one logic value for each of up to {!width} input vectors,
+    so a single gate evaluation simulates a whole batch of vectors. The
+    exhaustive universe [U = 0 .. 2^PI - 1] is swept in
+    [2^PI / width] batches. *)
+
+val width : int
+(** Payload bits per word (62: a native OCaml int stays unboxed). *)
+
+type t = int
+(** Bits above [width] must be zero; all operations preserve this. *)
+
+val zeroes : t
+val ones : t
+(** All-ones over the payload width. *)
+
+val mask_low : int -> t
+(** [mask_low k] has the [k] lowest bits set. [0 <= k <= width]. *)
+
+val lognot : t -> t
+(** Complement within the payload width. *)
+
+val count : t -> int
+(** Popcount. *)
+
+val get : t -> int -> bool
+val set : t -> int -> t
+
+(** {2 Batches over the exhaustive universe}
+
+    Batch [b] of the universe covers vectors
+    [b*width .. min ((b+1)*width, 2^pi) - 1]. *)
+
+val batches : universe:int -> int
+(** Number of batches needed for [universe] vectors. *)
+
+val batch_width : universe:int -> batch:int -> int
+(** Number of live vector lanes in the given batch. *)
+
+val input_pattern : universe:int -> batch:int -> bit:int -> pi_count:int -> t
+(** [input_pattern ~universe ~batch ~bit ~pi_count] is the word whose lane
+    [j] holds the value of primary input [bit] (0 = most significant, as in
+    the paper's decimal vector encoding) in vector [batch*width + j]. Lanes
+    beyond the universe are zero. *)

@@ -1,0 +1,163 @@
+module Gate = Ndetect_circuit.Gate
+module Netlist = Ndetect_circuit.Netlist
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+type raw_def = { lineno : int; kind : Gate.kind; args : string list }
+
+let strip_comment s =
+  match String.index_opt s '#' with
+  | None -> s
+  | Some i -> String.sub s 0 i
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '[' || c = ']' || c = '%'
+
+let check_ident lineno s =
+  if s = "" then fail lineno "empty identifier";
+  String.iter
+    (fun c ->
+      if not (is_ident_char c) then fail lineno "bad identifier %S" s)
+    s;
+  s
+
+(* Parses "HEAD(a, b, c)" into (HEAD, [a; b; c]). *)
+let parse_call lineno s =
+  match String.index_opt s '(' with
+  | None -> fail lineno "expected '(' in %S" s
+  | Some lp ->
+    if String.length s = 0 || s.[String.length s - 1] <> ')' then
+      fail lineno "expected trailing ')' in %S" s;
+    let head = String.trim (String.sub s 0 lp) in
+    let inner = String.sub s (lp + 1) (String.length s - lp - 2) in
+    let args =
+      if String.trim inner = "" then []
+      else
+        List.map
+          (fun a -> check_ident lineno (String.trim a))
+          (String.split_on_char ',' inner)
+    in
+    (head, args)
+
+let parse text =
+  let input_names = ref [] and output_names = ref [] in
+  let defs : (string, raw_def) Hashtbl.t = Hashtbl.create 64 in
+  let def_order = ref [] in
+  let process lineno raw =
+    let line = String.trim (strip_comment raw) in
+    if line <> "" then
+      match String.index_opt line '=' with
+      | Some eq ->
+        let lhs = check_ident lineno (String.trim (String.sub line 0 eq)) in
+        let rhs =
+          String.trim (String.sub line (eq + 1) (String.length line - eq - 1))
+        in
+        let head, args = parse_call lineno rhs in
+        let kind =
+          match Gate.of_string head with
+          | Some (Gate.Input as k) | Some (Gate.Const0 as k)
+          | Some (Gate.Const1 as k) ->
+            (* Constants are written without '=' forms in some dialects but
+               accept them here with zero args. *)
+            k
+          | Some k -> k
+          | None -> fail lineno "unknown gate kind %S" head
+        in
+        if kind = Gate.Input then fail lineno "INPUT used as a gate";
+        if Hashtbl.mem defs lhs then fail lineno "redefinition of %S" lhs;
+        Hashtbl.replace defs lhs { lineno; kind; args };
+        def_order := lhs :: !def_order
+      | None ->
+        let head, args = parse_call lineno line in
+        (match String.uppercase_ascii head, args with
+        | "INPUT", [ nm ] -> input_names := nm :: !input_names
+        | "OUTPUT", [ nm ] -> output_names := nm :: !output_names
+        | "INPUT", _ | "OUTPUT", _ ->
+          fail lineno "INPUT/OUTPUT take exactly one name"
+        | _ -> fail lineno "unrecognized statement %S" line)
+  in
+  List.iteri
+    (fun i raw -> process (i + 1) raw)
+    (String.split_on_char '\n' text);
+  let input_names = List.rev !input_names in
+  let output_names = List.rev !output_names in
+  if output_names = [] then fail 0 "no OUTPUT declarations";
+  let b = Netlist.Builder.create () in
+  let ids : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun nm ->
+      if Hashtbl.mem ids nm then fail 0 "duplicate INPUT %S" nm;
+      if Hashtbl.mem defs nm then fail 0 "signal %S is both INPUT and gate" nm;
+      Hashtbl.replace ids nm (Netlist.Builder.add_input b ~name:nm))
+    input_names;
+  (* Topological elaboration with an explicit path set for cycle reports. *)
+  let visiting : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let rec elaborate nm =
+    match Hashtbl.find_opt ids nm with
+    | Some id -> id
+    | None ->
+      (match Hashtbl.find_opt defs nm with
+      | None -> fail 0 "undefined signal %S" nm
+      | Some { lineno; kind; args } ->
+        if Hashtbl.mem visiting nm then
+          fail lineno "combinational cycle through %S" nm;
+        Hashtbl.replace visiting nm ();
+        let fanins = Array.of_list (List.map elaborate args) in
+        Hashtbl.remove visiting nm;
+        let id =
+          try Netlist.Builder.add_gate b ~kind ~fanins ~name:nm
+          with Invalid_argument msg -> fail lineno "%s" msg
+        in
+        Hashtbl.replace ids nm id;
+        id)
+  in
+  List.iter (fun nm -> ignore (elaborate nm)) (List.rev !def_order);
+  let outs =
+    Array.of_list
+      (List.map
+         (fun nm ->
+           match Hashtbl.find_opt ids nm with
+           | Some id -> id
+           | None -> fail 0 "OUTPUT %S is undefined" nm)
+         output_names)
+  in
+  Netlist.Builder.set_outputs b outs;
+  try Netlist.Builder.finalize b
+  with Invalid_argument msg -> fail 0 "%s" msg
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (In_channel.input_all ic))
+
+let print net =
+  let buf = Buffer.create 1024 in
+  Array.iter
+    (fun pi ->
+      Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" (Netlist.name net pi)))
+    (Netlist.inputs net);
+  Array.iter
+    (fun po ->
+      Buffer.add_string buf
+        (Printf.sprintf "OUTPUT(%s)\n" (Netlist.name net po)))
+    (Netlist.outputs net);
+  Array.iter
+    (fun g ->
+      let args =
+        Netlist.fanins net g |> Array.to_list
+        |> List.map (Netlist.name net)
+        |> String.concat ", "
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s = %s(%s)\n" (Netlist.name net g)
+           (Gate.to_string (Netlist.kind net g))
+           args))
+    (Netlist.gate_ids net);
+  Buffer.contents buf

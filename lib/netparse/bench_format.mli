@@ -1,0 +1,24 @@
+(** Reader and writer for the ISCAS-style [.bench] netlist format:
+
+    {v
+    # comment
+    INPUT(g1)
+    OUTPUT(g3)
+    g2 = NOT(g1)
+    g3 = AND(g1, g2)
+    v}
+
+    Gate definitions may appear in any order; the parser topologically
+    sorts them. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse : string -> Ndetect_circuit.Netlist.t
+(** Parse from source text. Raises {!Parse_error} on malformed input,
+    undefined signals, redefinitions, or combinational cycles. *)
+
+val parse_file : string -> Ndetect_circuit.Netlist.t
+
+val print : Ndetect_circuit.Netlist.t -> string
+(** Render back to [.bench] text. [parse (print c)] is structurally
+    identical to [c] up to node ordering. *)

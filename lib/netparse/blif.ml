@@ -1,0 +1,298 @@
+module Gate = Ndetect_circuit.Gate
+module Netlist = Ndetect_circuit.Netlist
+module Ternary = Ndetect_logic.Ternary
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+type names_def = {
+  lineno : int;
+  inputs : string list;
+  output : string;
+  cubes : (Ternary.t array * bool) list;  (* input plane, output value *)
+}
+
+type statements = {
+  mutable model : string option;
+  mutable pis : string list;  (* reversed *)
+  mutable pos : string list;  (* reversed *)
+  mutable latches : (string * string) list;  (* (input, output), reversed *)
+  mutable names : names_def list;  (* reversed *)
+}
+
+(* Logical lines: strip comments, join continuations ending in '\'. *)
+let logical_lines text =
+  let raw = String.split_on_char '\n' text in
+  let strip s =
+    match String.index_opt s '#' with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  let rec join acc pending pending_line lineno = function
+    | [] ->
+      let acc =
+        if pending = "" then acc else (pending_line, pending) :: acc
+      in
+      List.rev acc
+    | raw_line :: rest ->
+      let line = strip raw_line in
+      let lineno = lineno + 1 in
+      let continued =
+        String.length line > 0 && line.[String.length line - 1] = '\\'
+      in
+      let body =
+        if continued then String.sub line 0 (String.length line - 1)
+        else line
+      in
+      let joined = pending ^ body in
+      let start = if pending = "" then lineno else pending_line in
+      if continued then join acc joined start lineno rest
+      else if String.trim joined = "" then join acc "" 0 lineno rest
+      else join ((start, joined) :: acc) "" 0 lineno rest
+  in
+  join [] "" 0 0 raw
+
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let parse text =
+  let st =
+    { model = None; pis = []; pos = []; latches = []; names = [] }
+  in
+  let current_names : names_def option ref = ref None in
+  let flush_names () =
+    match !current_names with
+    | None -> ()
+    | Some def ->
+      st.names <- { def with cubes = List.rev def.cubes } :: st.names;
+      current_names := None
+  in
+  let cube_row lineno def toks =
+    match toks with
+    | [ plane; value ] when def.inputs <> [] ->
+      if String.length plane <> List.length def.inputs then
+        fail lineno "cube %S arity mismatch" plane;
+      let input =
+        try Array.init (String.length plane) (fun i -> Ternary.of_char plane.[i])
+        with Invalid_argument _ -> fail lineno "bad cube %S" plane
+      in
+      let out =
+        match value with
+        | "1" -> true
+        | "0" -> false
+        | _ -> fail lineno "bad cube output %S" value
+      in
+      { def with cubes = (input, out) :: def.cubes }
+    | [ value ] when def.inputs = [] ->
+      let out =
+        match value with
+        | "1" -> true
+        | "0" -> false
+        | _ -> fail lineno "bad constant row %S" value
+      in
+      { def with cubes = ([||], out) :: def.cubes }
+    | _ -> fail lineno "unexpected cube row"
+  in
+  List.iter
+    (fun (lineno, line) ->
+      match tokens line with
+      | [] -> ()
+      | directive :: args when directive.[0] = '.' -> (
+        flush_names ();
+        match directive, args with
+        | ".model", [ name ] -> st.model <- Some name
+        | ".model", _ -> fail lineno ".model takes one name"
+        | ".inputs", names -> st.pis <- List.rev_append names st.pis
+        | ".outputs", names -> st.pos <- List.rev_append names st.pos
+        | ".latch", input :: output :: _ ->
+          st.latches <- (input, output) :: st.latches
+        | ".latch", _ -> fail lineno ".latch needs input and output"
+        | ".names", [] -> fail lineno ".names needs at least an output"
+        | ".names", signals ->
+          let rec split_last acc = function
+            | [] -> assert false
+            | [ last ] -> (List.rev acc, last)
+            | x :: rest -> split_last (x :: acc) rest
+          in
+          let inputs, output = split_last [] signals in
+          current_names := Some { lineno; inputs; output; cubes = [] }
+        | ".end", _ -> ()
+        | ".exdc", _ -> fail lineno ".exdc is not supported"
+        | other, _ -> fail lineno "unsupported directive %s" other)
+      | toks -> (
+        match !current_names with
+        | None -> fail lineno "cube row outside .names"
+        | Some def -> current_names := Some (cube_row lineno def toks)))
+    (logical_lines text);
+  flush_names ();
+  (* Latch outputs are pseudo primary inputs; latch inputs are pseudo
+     primary outputs. *)
+  let pis = List.rev st.pis @ List.map snd (List.rev st.latches) in
+  let pos = List.rev st.pos @ List.map fst (List.rev st.latches) in
+  if pos = [] then fail 0 "no outputs (no .outputs and no .latch)";
+  let defs : (string, names_def) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun def ->
+      if Hashtbl.mem defs def.output then
+        fail def.lineno "redefinition of %S" def.output;
+      Hashtbl.replace defs def.output def)
+    st.names;
+  let b = Netlist.Builder.create () in
+  let ids : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun nm ->
+      if Hashtbl.mem ids nm then fail 0 "duplicate input %S" nm
+      else Hashtbl.replace ids nm (Netlist.Builder.add_input b ~name:nm))
+    pis;
+  let fresh = ref 0 in
+  let fresh_name stem =
+    incr fresh;
+    Printf.sprintf "%s$%d" stem !fresh
+  in
+  let inverters : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let inverter id =
+    match Hashtbl.find_opt inverters id with
+    | Some n -> n
+    | None ->
+      let n =
+        Netlist.Builder.add_gate b ~kind:Gate.Not ~fanins:[| id |]
+          ~name:(fresh_name "inv")
+      in
+      Hashtbl.replace inverters id n;
+      n
+  in
+  let visiting : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let rec elaborate nm =
+    match Hashtbl.find_opt ids nm with
+    | Some id -> id
+    | None -> (
+      match Hashtbl.find_opt defs nm with
+      | None -> fail 0 "undefined signal %S" nm
+      | Some def ->
+        if Hashtbl.mem visiting nm then
+          fail def.lineno "combinational cycle through %S" nm;
+        Hashtbl.replace visiting nm ();
+        let fanins = List.map elaborate def.inputs in
+        Hashtbl.remove visiting nm;
+        let id = build_names def (Array.of_list fanins) in
+        Hashtbl.replace ids nm id;
+        id)
+  (* A .names table is two-level logic: products of literals ORed, and
+     complemented when the rows are off-set rows. *)
+  and build_names def fanins =
+    let const kind = Netlist.Builder.add_gate b ~kind ~fanins:[||] ~name:def.output in
+    match def.cubes with
+    | [] -> const Gate.Const0
+    | (_, first_value) :: _ ->
+      if List.exists (fun (_, v) -> v <> first_value) def.cubes then
+        fail def.lineno "mixed on-set and off-set rows for %S" def.output;
+      if Array.length fanins = 0 then
+        if first_value then const Gate.Const1 else const Gate.Const0
+      else begin
+        let product (plane, _) =
+          let literals =
+            Array.to_list plane
+            |> List.mapi (fun i v ->
+                   match v with
+                   | Ternary.X -> None
+                   | Ternary.One -> Some fanins.(i)
+                   | Ternary.Zero -> Some (inverter fanins.(i)))
+            |> List.filter_map Fun.id
+          in
+          match literals with
+          | [] -> None  (* tautology row: the function is constant *)
+          | [ single ] -> Some single
+          | _ :: _ :: _ ->
+            Some
+              (Netlist.Builder.add_gate b ~kind:Gate.And
+                 ~fanins:(Array.of_list literals)
+                 ~name:(fresh_name "and"))
+        in
+        let products = List.map product def.cubes in
+        if List.exists Option.is_none products then
+          if first_value then const Gate.Const1 else const Gate.Const0
+        else begin
+          let products = List.filter_map Fun.id products in
+          let positive kind fanins =
+            Netlist.Builder.add_gate b ~kind ~fanins ~name:def.output
+          in
+          match products, first_value with
+          | [ single ], true ->
+            positive Gate.Buf [| single |]
+          | [ single ], false -> positive Gate.Not [| single |]
+          | many, true -> positive Gate.Or (Array.of_list many)
+          | many, false -> positive Gate.Nor (Array.of_list many)
+        end
+      end
+  in
+  let outputs = Array.of_list (List.map elaborate pos) in
+  Netlist.Builder.set_outputs b outputs;
+  try Netlist.Builder.finalize b
+  with Invalid_argument msg -> fail 0 "%s" msg
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (In_channel.input_all ic))
+
+(* Printing: one .names per gate. *)
+let cubes_of_gate kind arity =
+  let row fill = String.make arity fill in
+  match kind with
+  | Gate.And -> [ (row '1', '1') ]
+  | Gate.Nand -> [ (row '1', '0') ]
+  | Gate.Nor -> [ (row '0', '1') ]
+  | Gate.Or ->
+    List.init arity (fun i ->
+        (String.init arity (fun j -> if i = j then '1' else '-'), '1'))
+  | Gate.Xor | Gate.Xnor ->
+    (* Enumerate minterms of odd (XOR) / even (XNOR) parity. *)
+    let want_odd = kind = Gate.Xor in
+    List.init (1 lsl arity) (fun m -> m)
+    |> List.filter_map (fun m ->
+           let parity = ref false in
+           for i = 0 to arity - 1 do
+             if (m lsr i) land 1 = 1 then parity := not !parity
+           done;
+           if !parity = want_odd then
+             Some
+               ( String.init arity (fun i ->
+                     if (m lsr i) land 1 = 1 then '1' else '0'),
+                 '1' )
+           else None)
+  | Gate.Buf -> [ ("1", '1') ]
+  | Gate.Not -> [ ("0", '1') ]
+  | Gate.Const1 -> [ ("", '1') ]
+  | Gate.Const0 -> []
+  | Gate.Input -> invalid_arg "Blif.print: input"
+
+let print net ?(model = "ndetect") () =
+  let buf = Buffer.create 4096 in
+  let names ids =
+    String.concat " " (List.map (Netlist.name net) (Array.to_list ids))
+  in
+  Buffer.add_string buf (Printf.sprintf ".model %s\n" model);
+  Buffer.add_string buf (Printf.sprintf ".inputs %s\n" (names (Netlist.inputs net)));
+  Buffer.add_string buf
+    (Printf.sprintf ".outputs %s\n" (names (Netlist.outputs net)));
+  Array.iter
+    (fun g ->
+      let fanins = Netlist.fanins net g in
+      Buffer.add_string buf
+        (Printf.sprintf ".names %s%s%s\n" (names fanins)
+           (if Array.length fanins = 0 then "" else " ")
+           (Netlist.name net g));
+      List.iter
+        (fun (plane, value) ->
+          if plane = "" then
+            Buffer.add_string buf (Printf.sprintf "%c\n" value)
+          else Buffer.add_string buf (Printf.sprintf "%s %c\n" plane value))
+        (cubes_of_gate (Netlist.kind net g) (Array.length fanins)))
+    (Netlist.gate_ids net);
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf

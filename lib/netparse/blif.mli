@@ -1,0 +1,26 @@
+(** Reader and writer for the Berkeley Logic Interchange Format (BLIF)
+    subset used by the MCNC benchmark distributions:
+
+    {v
+    .model ex
+    .inputs a b
+    .outputs y
+    .latch  ny y re clk 0   # optional; latches become scan pseudo-I/O
+    .names a b y
+    11 1
+    .end
+    v}
+
+    [.names] covers may be on-set ([... 1] rows) or off-set ([... 0]
+    rows); [.latch] lines turn the latch output into a pseudo primary
+    input and the latch input into a pseudo primary output — the full-scan
+    view under which the paper analyzes FSM benchmarks. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse : string -> Ndetect_circuit.Netlist.t
+val parse_file : string -> Ndetect_circuit.Netlist.t
+
+val print : Ndetect_circuit.Netlist.t -> ?model:string -> unit -> string
+(** Render a netlist as purely combinational BLIF (one [.names] table per
+    gate). [parse (print c ())] computes the same outputs as [c]. *)

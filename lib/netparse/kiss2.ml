@@ -1,0 +1,154 @@
+module Ternary = Ndetect_logic.Ternary
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+type transition = {
+  input : Ternary.t array;
+  current : string;
+  next : string;
+  output : Ternary.t array;
+}
+
+type t = {
+  input_bits : int;
+  output_bits : int;
+  state_names : string array;
+  reset_state : string;
+  transitions : transition array;
+}
+
+let ternary_row lineno field s =
+  try Array.init (String.length s) (fun i -> Ternary.of_char s.[i])
+  with Invalid_argument _ -> fail lineno "bad %s field %S" field s
+
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let parse text =
+  let input_bits = ref None
+  and output_bits = ref None
+  and declared_states = ref None
+  and declared_products = ref None
+  and reset = ref None in
+  let states = ref [] and state_set = Hashtbl.create 32 in
+  let transitions = ref [] in
+  let see_state s =
+    if not (Hashtbl.mem state_set s) then begin
+      Hashtbl.replace state_set s ();
+      states := s :: !states
+    end
+  in
+  let int_directive lineno arg what =
+    match int_of_string_opt arg with
+    | Some v when v > 0 -> v
+    | Some _ | None -> fail lineno "bad %s count %S" what arg
+  in
+  let process lineno raw =
+    let line = String.trim raw in
+    if line <> "" && line.[0] <> '#' then
+      match tokens line with
+      | [ ".i"; arg ] -> input_bits := Some (int_directive lineno arg "input")
+      | [ ".o"; arg ] ->
+        output_bits := Some (int_directive lineno arg "output")
+      | [ ".s"; arg ] ->
+        declared_states := Some (int_directive lineno arg "state")
+      | [ ".p"; arg ] ->
+        declared_products := Some (int_directive lineno arg "product")
+      | [ ".r"; arg ] -> reset := Some arg
+      | [ ".e" ] | [ ".end" ] -> ()
+      | [ input; current; next; output ] when input.[0] <> '.' ->
+        let ib =
+          match !input_bits with
+          | Some ib -> ib
+          | None -> fail lineno "transition before .i directive"
+        in
+        let ob =
+          match !output_bits with
+          | Some ob -> ob
+          | None -> fail lineno "transition before .o directive"
+        in
+        if String.length input <> ib then
+          fail lineno "input field %S is not %d bits" input ib;
+        if String.length output <> ob then
+          fail lineno "output field %S is not %d bits" output ob;
+        see_state current;
+        see_state next;
+        transitions :=
+          {
+            input = ternary_row lineno "input" input;
+            current;
+            next;
+            output = ternary_row lineno "output" output;
+          }
+          :: !transitions
+      | _ -> fail lineno "unrecognized line %S" line
+  in
+  List.iteri (fun i raw -> process (i + 1) raw) (String.split_on_char '\n' text);
+  let input_bits =
+    match !input_bits with Some v -> v | None -> fail 0 "missing .i"
+  in
+  let output_bits =
+    match !output_bits with Some v -> v | None -> fail 0 "missing .o"
+  in
+  let transitions = Array.of_list (List.rev !transitions) in
+  if Array.length transitions = 0 then fail 0 "no transitions";
+  (match !declared_products with
+  | Some p when p <> Array.length transitions ->
+    fail 0 ".p declares %d products but %d transitions given" p
+      (Array.length transitions)
+  | Some _ | None -> ());
+  let state_names = Array.of_list (List.rev !states) in
+  (match !declared_states with
+  | Some s when s <> Array.length state_names ->
+    fail 0 ".s declares %d states but %d distinct states used" s
+      (Array.length state_names)
+  | Some _ | None -> ());
+  let reset_state =
+    match !reset with
+    | Some r ->
+      if not (Hashtbl.mem state_set r) then fail 0 "unknown reset state %S" r;
+      r
+    | None -> state_names.(0)
+  in
+  { input_bits; output_bits; state_names; reset_state; transitions }
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (In_channel.input_all ic))
+
+let row_to_string row =
+  String.init (Array.length row) (fun i -> Ternary.to_char row.(i))
+
+let print t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf ".i %d\n" t.input_bits);
+  Buffer.add_string buf (Printf.sprintf ".o %d\n" t.output_bits);
+  Buffer.add_string buf
+    (Printf.sprintf ".s %d\n" (Array.length t.state_names));
+  Buffer.add_string buf
+    (Printf.sprintf ".p %d\n" (Array.length t.transitions));
+  Buffer.add_string buf (Printf.sprintf ".r %s\n" t.reset_state);
+  Array.iter
+    (fun tr ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s %s %s\n" (row_to_string tr.input) tr.current
+           tr.next
+           (row_to_string tr.output)))
+    t.transitions;
+  Buffer.add_string buf ".e\n";
+  Buffer.contents buf
+
+let state_index t name =
+  let rec find i =
+    if i >= Array.length t.state_names then raise Not_found
+    else if String.equal t.state_names.(i) name then i
+    else find (i + 1)
+  in
+  find 0

@@ -1,0 +1,42 @@
+(** Parser for the KISS2 finite-state-machine format used by the MCNC
+    benchmark suite:
+
+    {v
+    .i 2
+    .o 1
+    .s 4
+    .p 14
+    .r st0
+    01 st0 st1 0
+    -- st1 st1 -
+    .e
+    v}
+
+    Each transition row is [input current-state next-state output] with
+    ['-'] marking don't-cares in the input and output fields. *)
+
+exception Parse_error of { line : int; message : string }
+
+type transition = {
+  input : Ndetect_logic.Ternary.t array;  (** Length = input count. *)
+  current : string;
+  next : string;
+  output : Ndetect_logic.Ternary.t array;  (** Length = output count. *)
+}
+
+type t = {
+  input_bits : int;
+  output_bits : int;
+  state_names : string array;  (** In order of first appearance. *)
+  reset_state : string;  (** [.r] if given, else first state seen. *)
+  transitions : transition array;
+}
+
+val parse : string -> t
+val parse_file : string -> t
+
+val print : t -> string
+(** Render back to KISS2 text. *)
+
+val state_index : t -> string -> int
+(** Position of a state in [state_names]. Raises [Not_found]. *)

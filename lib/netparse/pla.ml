@@ -1,0 +1,134 @@
+module Ternary = Ndetect_logic.Ternary
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+type t = {
+  input_bits : int;
+  output_bits : int;
+  input_labels : string array;
+  output_labels : string array;
+  rows : (Ternary.t array * bool array) array;
+}
+
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let strip_comment s =
+  match String.index_opt s '#' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let parse text =
+  let input_bits = ref None and output_bits = ref None in
+  let ilb = ref None and ob = ref None and declared = ref None in
+  let rows = ref [] in
+  let row lineno inp out =
+    let ib =
+      match !input_bits with
+      | Some v -> v
+      | None -> fail lineno "cube before .i"
+    in
+    let obits =
+      match !output_bits with
+      | Some v -> v
+      | None -> fail lineno "cube before .o"
+    in
+    if String.length inp <> ib then fail lineno "input plane %S width" inp;
+    if String.length out <> obits then fail lineno "output plane %S width" out;
+    let cube =
+      try Array.init ib (fun i -> Ternary.of_char inp.[i])
+      with Invalid_argument _ -> fail lineno "bad input plane %S" inp
+    in
+    let outputs =
+      Array.init obits (fun i ->
+          match out.[i] with
+          | '1' -> true
+          | '0' | '-' | '~' -> false
+          | c -> fail lineno "bad output-plane character %C" c)
+    in
+    rows := (cube, outputs) :: !rows
+  in
+  let int_arg lineno what = function
+    | [ arg ] -> (
+      match int_of_string_opt arg with
+      | Some v when v > 0 -> v
+      | Some _ | None -> fail lineno "bad %s count %S" what arg)
+    | _ -> fail lineno "%s takes one argument" what
+  in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let line = String.trim (strip_comment raw) in
+      if line <> "" then
+        match tokens line with
+        | ".i" :: args -> input_bits := Some (int_arg lineno ".i" args)
+        | ".o" :: args -> output_bits := Some (int_arg lineno ".o" args)
+        | ".p" :: args -> declared := Some (int_arg lineno ".p" args)
+        | ".ilb" :: names -> ilb := Some (Array.of_list names)
+        | ".ob" :: names -> ob := Some (Array.of_list names)
+        | [ ".e" ] | [ ".end" ] -> ()
+        | ".type" :: _ -> ()  (* type-f assumed *)
+        | [ inp; out ] when inp.[0] <> '.' -> row lineno inp out
+        | _ -> fail lineno "unrecognized line %S" line)
+    (String.split_on_char '\n' text);
+  let input_bits =
+    match !input_bits with Some v -> v | None -> fail 0 "missing .i"
+  in
+  let output_bits =
+    match !output_bits with Some v -> v | None -> fail 0 "missing .o"
+  in
+  let rows = Array.of_list (List.rev !rows) in
+  (match !declared with
+  | Some p when p <> Array.length rows ->
+    fail 0 ".p declares %d rows but %d given" p (Array.length rows)
+  | Some _ | None -> ());
+  let default prefix n = Array.init n (fun i -> Printf.sprintf "%s%d" prefix i) in
+  let input_labels =
+    match !ilb with
+    | Some labels when Array.length labels = input_bits -> labels
+    | Some _ -> fail 0 ".ilb arity mismatch"
+    | None -> default "x" input_bits
+  in
+  let output_labels =
+    match !ob with
+    | Some labels when Array.length labels = output_bits -> labels
+    | Some _ -> fail 0 ".ob arity mismatch"
+    | None -> default "y" output_bits
+  in
+  { input_bits; output_bits; input_labels; output_labels; rows }
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (In_channel.input_all ic))
+
+let print t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf ".i %d\n" t.input_bits);
+  Buffer.add_string buf (Printf.sprintf ".o %d\n" t.output_bits);
+  Buffer.add_string buf
+    (Printf.sprintf ".ilb %s\n"
+       (String.concat " " (Array.to_list t.input_labels)));
+  Buffer.add_string buf
+    (Printf.sprintf ".ob %s\n"
+       (String.concat " " (Array.to_list t.output_labels)));
+  Buffer.add_string buf (Printf.sprintf ".p %d\n" (Array.length t.rows));
+  Array.iter
+    (fun (cube, outputs) ->
+      let inp =
+        String.init (Array.length cube) (fun i -> Ternary.to_char cube.(i))
+      in
+      let out =
+        String.init (Array.length outputs) (fun i ->
+            if outputs.(i) then '1' else '0')
+      in
+      Buffer.add_string buf (Printf.sprintf "%s %s\n" inp out))
+    t.rows;
+  Buffer.add_string buf ".e\n";
+  Buffer.contents buf

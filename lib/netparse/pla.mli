@@ -1,0 +1,33 @@
+(** Reader and writer for the Berkeley/espresso PLA format:
+
+    {v
+    .i 3
+    .o 2
+    .ilb a b c
+    .ob  y z
+    .p 2
+    11- 10
+    --1 01
+    .e
+    v}
+
+    Output-plane characters: ['1'] adds the cube to that output's on-set;
+    ['0'] and ['~'] leave the output unaffected; ['-'] (don't-care
+    output) is treated as off — the usual reading for type-f PLAs.
+    Synthesis to a netlist lives in {!Ndetect_synth.Pla_synth}. *)
+
+exception Parse_error of { line : int; message : string }
+
+type t = {
+  input_bits : int;
+  output_bits : int;
+  input_labels : string array;  (** Defaults to [x0..] when no [.ilb]. *)
+  output_labels : string array;  (** Defaults to [y0..] when no [.ob]. *)
+  rows : (Ndetect_logic.Ternary.t array * bool array) array;
+      (** (input cube, per-output membership). *)
+}
+
+val parse : string -> t
+val parse_file : string -> t
+
+val print : t -> string

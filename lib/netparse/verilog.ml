@@ -1,0 +1,105 @@
+module Gate = Ndetect_circuit.Gate
+module Netlist = Ndetect_circuit.Netlist
+
+let sanitize name =
+  let ok c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  let base = String.map (fun c -> if ok c then c else '_') name in
+  let base = if base = "" then "n" else base in
+  if base.[0] >= '0' && base.[0] <= '9' then "n" ^ base else base
+
+(* Unique sanitized identifier per node. *)
+let identifiers net =
+  let used = Hashtbl.create 64 in
+  Array.init (Netlist.node_count net) (fun id ->
+      let base = sanitize (Netlist.name net id) in
+      let rec unique candidate k =
+        if Hashtbl.mem used candidate then
+          unique (Printf.sprintf "%s_%d" base k) (k + 1)
+        else candidate
+      in
+      let name = unique base 0 in
+      Hashtbl.replace used name ();
+      name)
+
+let primitive = function
+  | Gate.And -> Some "and"
+  | Gate.Nand -> Some "nand"
+  | Gate.Or -> Some "or"
+  | Gate.Nor -> Some "nor"
+  | Gate.Xor -> Some "xor"
+  | Gate.Xnor -> Some "xnor"
+  | Gate.Not -> Some "not"
+  | Gate.Buf -> Some "buf"
+  | Gate.Const0 | Gate.Const1 | Gate.Input -> None
+
+let print ?(module_name = "ndetect") net =
+  let ids = identifiers net in
+  let buf = Buffer.create 4096 in
+  let pis = Array.to_list (Array.map (fun i -> ids.(i)) (Netlist.inputs net)) in
+  (* An output node may be internal too; give each PO a dedicated port
+     wired with an assign so ports never clash with gate outputs. *)
+  let po_ports =
+    Array.to_list
+      (Array.mapi
+         (fun k o -> (Printf.sprintf "po%d" k, ids.(o)))
+         (Netlist.outputs net))
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "module %s(%s);\n" module_name
+       (String.concat ", " (pis @ List.map fst po_ports)));
+  List.iter
+    (fun pi -> Buffer.add_string buf (Printf.sprintf "  input %s;\n" pi))
+    pis;
+  List.iter
+    (fun (port, _) ->
+      Buffer.add_string buf (Printf.sprintf "  output %s;\n" port))
+    po_ports;
+  Array.iter
+    (fun g ->
+      let original = Netlist.name net g in
+      let renamed =
+        if String.equal original ids.(g) then ""
+        else Printf.sprintf "  // was: %s" original
+      in
+      Buffer.add_string buf (Printf.sprintf "  wire %s;%s\n" ids.(g) renamed))
+    (Netlist.gate_ids net);
+  Array.iteri
+    (fun k g ->
+      match primitive (Netlist.kind net g) with
+      | Some prim ->
+        let args =
+          ids.(g)
+          :: (Array.to_list (Netlist.fanins net g)
+             |> List.map (fun f -> ids.(f)))
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  %s g%d(%s);\n" prim k (String.concat ", " args))
+      | None ->
+        let value =
+          match Netlist.kind net g with
+          | Gate.Const0 -> "1'b0"
+          | Gate.Const1 -> "1'b1"
+          | Gate.Input | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+          | Gate.Xor | Gate.Xnor | Gate.Buf | Gate.Not ->
+            assert false
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  assign %s = %s;\n" ids.(g) value))
+    (Netlist.gate_ids net);
+  List.iter
+    (fun (port, driver) ->
+      Buffer.add_string buf (Printf.sprintf "  assign %s = %s;\n" port driver))
+    po_ports;
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let write_file ?module_name net ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (print ?module_name net))

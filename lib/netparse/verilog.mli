@@ -1,0 +1,10 @@
+(** Structural Verilog netlist writer (gate-primitive style), for taking
+    analyzed circuits into external EDA flows. Output only — the analysis
+    never needs to read Verilog. *)
+
+val print : ?module_name:string -> Ndetect_circuit.Netlist.t -> string
+(** One gate primitive instance per node, wires for internal nodes, and
+    sanitized identifiers (the original names are kept as comments when
+    they had to be changed). *)
+
+val write_file : ?module_name:string -> Ndetect_circuit.Netlist.t -> path:string -> unit

@@ -1,0 +1,46 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render ?align ~header rows =
+  let columns =
+    List.fold_left (fun acc r -> max acc (List.length r)) (List.length header)
+      rows
+  in
+  let fill r = r @ List.init (columns - List.length r) (fun _ -> "") in
+  let header = fill header in
+  let rows = List.map fill rows in
+  let aligns =
+    match align with
+    | Some a -> fill (List.map (fun _ -> "") a) |> List.mapi (fun i _ ->
+        match List.nth_opt a i with Some x -> x | None -> Right)
+    | None -> List.init columns (fun i -> if i = 0 then Left else Right)
+  in
+  let widths =
+    List.init columns (fun c ->
+        List.fold_left
+          (fun acc r -> max acc (String.length (List.nth r c)))
+          (String.length (List.nth header c))
+          rows)
+  in
+  let line cells =
+    String.concat "  "
+      (List.mapi
+         (fun c cell -> pad (List.nth aligns c) (List.nth widths c) cell)
+         cells)
+  in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (line header :: rule :: List.map line rows) ^ "\n"
+
+let render_csv ~header rows =
+  let sanitize s = String.map (fun c -> if c = ',' then ';' else c) s in
+  let row r = String.concat "," (List.map sanitize r) in
+  String.concat "\n" (row header :: List.map row rows) ^ "\n"

@@ -1,0 +1,16 @@
+(** Minimal aligned ASCII table rendering for the reproduction reports. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  string
+(** [render ~header rows]: columns padded to content width, header
+    underlined. [align] defaults to [Left] for the first column and
+    [Right] for the rest. Short rows are padded with empty cells. *)
+
+val render_csv : header:string list -> string list list -> string
+(** The same data as comma-separated values (commas in cells are
+    replaced by semicolons). *)

@@ -1,0 +1,57 @@
+(** Renderers that lay out the reproduction results exactly like the
+    paper's tables and figure. *)
+
+module Analysis = Ndetect_core.Analysis
+module Worst_case = Ndetect_core.Worst_case
+module Procedure1 = Ndetect_core.Procedure1
+module Average_case = Ndetect_core.Average_case
+
+val table1 : Analysis.t -> gj:int -> string
+(** Table 1: for untargeted fault [g], every target fault with
+    [T(f) ∩ T(g) ≠ ∅], its detection set and [nmin(g, f)]; footer gives
+    [nmin(g)]. *)
+
+val table2 : Analysis.worst_summary list -> string
+(** Table 2: worst-case percentage of untargeted faults guaranteed
+    detected, per circuit, for n0 in 1..5 and 10. Columns after the first
+    100% are left blank, as in the paper. *)
+
+val table3 : Analysis.worst_summary list -> string
+(** Table 3: count (and %) of untargeted faults with nmin >= 100 / 20 /
+    11. Only circuits with at least one such fault are listed. *)
+
+val figure2 : Worst_case.t -> min_value:int -> string
+(** Figure 2: the distribution of nmin values at least [min_value], as an
+    ASCII bar chart of (nmin, #faults). *)
+
+val table4 : Procedure1.outcome -> string
+(** Table 4: the K constructed test sets, one row per set, one column per
+    n up to the outcome's nmax. *)
+
+type average_row = {
+  circuit : string;
+  hard_faults : int;  (** Faults with nmin > nmax. *)
+  row : Average_case.row;
+}
+
+val table5 : nmax:int -> average_row list -> string
+(** Table 5: per circuit, how many hard faults reach each detection
+    probability threshold; a row stops at the first threshold reached by
+    all faults, as in the paper. *)
+
+val table6 : nmax:int -> (string * int * Average_case.row * Average_case.row) list -> string
+(** Table 6: Definition 1 vs Definition 2 rows interleaved per circuit
+    [(circuit, hard faults, def1 row, def2 row)]. *)
+
+(** {2 CSV variants}
+
+    Same data as the renderers above, as machine-readable CSV (for
+    plotting the reproduced tables against the paper's). *)
+
+val table2_csv : Analysis.worst_summary list -> string
+val table3_csv : Analysis.worst_summary list -> string
+val figure2_csv : Worst_case.t -> min_value:int -> string
+val table5_csv : average_row list -> string
+
+val table6_csv :
+  (string * int * Average_case.row * Average_case.row) list -> string

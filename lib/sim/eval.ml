@@ -1,0 +1,40 @@
+module Gate = Ndetect_circuit.Gate
+module Netlist = Ndetect_circuit.Netlist
+
+let assignment_of_vector net v =
+  let pi = Netlist.input_count net in
+  if v < 0 || v >= Netlist.universe_size net then
+    invalid_arg "Eval.assignment_of_vector: vector outside universe";
+  Array.init pi (fun i -> (v lsr (pi - 1 - i)) land 1 = 1)
+
+let vector_of_assignment net assignment =
+  let pi = Netlist.input_count net in
+  if Array.length assignment <> pi then
+    invalid_arg "Eval.vector_of_assignment: arity mismatch";
+  let acc = ref 0 in
+  for i = 0 to pi - 1 do
+    acc := (!acc lsl 1) lor Bool.to_int assignment.(i)
+  done;
+  !acc
+
+let eval_assignment net assignment =
+  let pi = Netlist.input_count net in
+  if Array.length assignment <> pi then
+    invalid_arg "Eval.eval_assignment: arity mismatch";
+  let values = Array.make (Netlist.node_count net) false in
+  Array.iter
+    (fun id ->
+      values.(id) <-
+        (match Netlist.kind net id with
+        | Gate.Input -> assignment.(id)
+        | kind ->
+          Gate.eval_bool kind
+            (Array.map (fun f -> values.(f)) (Netlist.fanins net id))))
+    (Netlist.topo_order net);
+  values
+
+let eval_vector net v = eval_assignment net (assignment_of_vector net v)
+
+let outputs_of_vector net v =
+  let values = eval_vector net v in
+  Array.map (fun o -> values.(o)) (Netlist.outputs net)

@@ -1,0 +1,20 @@
+(** Scalar (one vector at a time) fault-free evaluation. Slow but obviously
+    correct; the bit-parallel simulator is validated against it. *)
+
+module Netlist = Ndetect_circuit.Netlist
+
+val assignment_of_vector : Netlist.t -> int -> bool array
+(** Decode the paper's decimal vector encoding: input 0 (the first added)
+    is the most significant bit. Raises [Invalid_argument] when the vector
+    is outside the universe. *)
+
+val vector_of_assignment : Netlist.t -> bool array -> int
+
+val eval_assignment : Netlist.t -> bool array -> bool array
+(** Values of all nodes under the given input assignment. *)
+
+val eval_vector : Netlist.t -> int -> bool array
+(** Values of all nodes under the given vector. *)
+
+val outputs_of_vector : Netlist.t -> int -> bool array
+(** Primary-output values only, in output order. *)

@@ -1,0 +1,216 @@
+module Bitvec = Ndetect_util.Bitvec
+module Word = Ndetect_logic.Word
+module Gate = Ndetect_circuit.Gate
+module Line = Ndetect_circuit.Line
+module Netlist = Ndetect_circuit.Netlist
+module Stuck = Ndetect_faults.Stuck
+module Bridge = Ndetect_faults.Bridge
+
+(* Reusable propagation workspace: cone schedule for a seed node, plus
+   scratch arrays sized to the circuit. *)
+type cone = {
+  seed : int;
+  order : int array;  (* cone nodes in topo order; order.(0) = seed *)
+  in_cone : bool array;
+  cone_outputs : int array;
+  faulty : Word.t array;  (* indexed by node id, valid only inside cone *)
+}
+
+let make_cone net seed =
+  let order = Netlist.fanout_cone_order net seed in
+  let in_cone = Array.make (Netlist.node_count net) false in
+  Array.iter (fun id -> in_cone.(id) <- true) order;
+  let cone_outputs =
+    Array.of_seq
+      (Seq.filter (fun id -> in_cone.(id)) (Array.to_seq (Netlist.outputs net)))
+  in
+  {
+    seed;
+    order;
+    in_cone;
+    cone_outputs;
+    faulty = Array.make (Netlist.node_count net) Word.zeroes;
+  }
+
+(* Propagate a forced seed value through the cone for one batch and return
+   the mask of lanes where some primary output differs from fault-free. *)
+let propagate good cone ~batch ~seed_value =
+  let net = Good.net good in
+  let live = Good.live_mask good ~batch in
+  let seed_good = Good.value good ~node:cone.seed ~batch in
+  if seed_value land live = seed_good land live then Word.zeroes
+  else begin
+    cone.faulty.(cone.seed) <- seed_value land live;
+    let k = Array.length cone.order in
+    for i = 1 to k - 1 do
+      let id = cone.order.(i) in
+      let fanin_value f =
+        if cone.in_cone.(f) then cone.faulty.(f)
+        else Good.value good ~node:f ~batch
+      in
+      cone.faulty.(id) <-
+        Gate.eval_word (Netlist.kind net id)
+          (Array.map fanin_value (Netlist.fanins net id))
+        land live
+    done;
+    Array.fold_left
+      (fun acc o ->
+        acc lor (cone.faulty.(o) lxor Good.value good ~node:o ~batch))
+      Word.zeroes cone.cone_outputs
+    land live
+  end
+
+(* A stuck fault is injected either at a stem (the node itself is forced)
+   or at a branch (only one gate sees the forced value: the seed is that
+   gate, whose faulty output is evaluated with the pin overridden). *)
+let stuck_seed good fault =
+  let net = Good.net good in
+  match fault.Stuck.line with
+  | Line.Stem node ->
+    let forced ~batch =
+      if fault.Stuck.value then Good.live_mask good ~batch else Word.zeroes
+    in
+    (node, forced)
+  | Line.Branch { gate; pin } ->
+    let forced ~batch =
+      let live = Good.live_mask good ~batch in
+      let pin_value p =
+        if p = pin then if fault.Stuck.value then live else Word.zeroes
+        else Good.value good ~node:(Netlist.fanins net gate).(p) ~batch
+      in
+      Gate.eval_word (Netlist.kind net gate)
+        (Array.init (Array.length (Netlist.fanins net gate)) pin_value)
+      land live
+    in
+    (gate, forced)
+
+let detection_set_of_seed good (seed, forced) =
+  let cone = make_cone (Good.net good) seed in
+  Good.detection_mask_to_set good (fun ~batch ->
+      propagate good cone ~batch ~seed_value:(forced ~batch))
+
+let stuck_detection_set good fault =
+  detection_set_of_seed good (stuck_seed good fault)
+
+let value_match word ~value ~live =
+  if value then word else Word.lognot word land live
+
+let bridge_seed good (fault : Bridge.t) =
+  let forced ~batch =
+    let live = Good.live_mask good ~batch in
+    let victim_good = Good.value good ~node:fault.victim ~batch in
+    let aggressor_good = Good.value good ~node:fault.aggressor ~batch in
+    let activated =
+      value_match victim_good ~value:fault.victim_value ~live
+      land value_match aggressor_good ~value:fault.aggressor_value ~live
+    in
+    victim_good lxor activated
+  in
+  (fault.victim, forced)
+
+let bridge_detection_set good fault =
+  detection_set_of_seed good (bridge_seed good fault)
+
+let stuck_detection_sets good faults =
+  Ndetect_util.Parallel.map_array (stuck_detection_set good) faults
+
+let bridge_detection_sets good faults =
+  Ndetect_util.Parallel.map_array (bridge_detection_set good) faults
+
+(* Two-seed variant for wired bridges: the faulty value is forced on both
+   bridged nodes, and the update schedule is the union of the two fanout
+   cones. *)
+let make_cone2 net a b =
+  let reach_a = Netlist.transitive_fanout net a in
+  let reach_b = Netlist.transitive_fanout net b in
+  let in_cone =
+    Array.init (Netlist.node_count net) (fun id -> reach_a.(id) || reach_b.(id))
+  in
+  let order =
+    Array.to_seq (Netlist.topo_order net)
+    |> Seq.filter (fun id -> in_cone.(id))
+    |> Array.of_seq
+  in
+  let cone_outputs =
+    Array.to_seq (Netlist.outputs net)
+    |> Seq.filter (fun id -> in_cone.(id))
+    |> Array.of_seq
+  in
+  (order, in_cone, cone_outputs)
+
+let wired_detection_set good (fault : Ndetect_faults.Wired.t) =
+  let net = Good.net good in
+  let order, in_cone, cone_outputs = make_cone2 net fault.a fault.b in
+  let faulty = Array.make (Netlist.node_count net) Word.zeroes in
+  Good.detection_mask_to_set good (fun ~batch ->
+      let live = Good.live_mask good ~batch in
+      let va = Good.value good ~node:fault.a ~batch in
+      let vb = Good.value good ~node:fault.b ~batch in
+      let forced =
+        match fault.semantics with
+        | Ndetect_faults.Wired.Wired_and -> va land vb
+        | Ndetect_faults.Wired.Wired_or -> (va lor vb) land live
+      in
+      if forced = va land live && forced = vb land live then Word.zeroes
+      else begin
+        Array.iter
+          (fun id ->
+            if id = fault.a || id = fault.b then faulty.(id) <- forced
+            else
+              let fanin_value f =
+                if in_cone.(f) then faulty.(f)
+                else Good.value good ~node:f ~batch
+              in
+              faulty.(id) <-
+                Gate.eval_word (Netlist.kind net id)
+                  (Array.map fanin_value (Netlist.fanins net id))
+                land live)
+          order;
+        Array.fold_left
+          (fun acc o ->
+            acc lor (faulty.(o) lxor Good.value good ~node:o ~batch))
+          Word.zeroes cone_outputs
+        land live
+      end)
+
+let wired_detection_sets good faults =
+  Ndetect_util.Parallel.map_array (wired_detection_set good) faults
+
+(* Per-output detection: same cone propagation, but the per-output diff
+   masks are collected instead of ORed. *)
+let stuck_detection_by_output good fault =
+  let net = Good.net good in
+  let outputs = Netlist.outputs net in
+  let seed, forced = stuck_seed good fault in
+  let cone = make_cone net seed in
+  let universe = Good.universe good in
+  let sets = Array.map (fun _ -> Bitvec.create universe) outputs in
+  let in_cone o = cone.in_cone.(o) in
+  for batch = 0 to Good.batch_count good - 1 do
+    let any = propagate good cone ~batch ~seed_value:(forced ~batch) in
+    if any <> Word.zeroes then
+      Array.iteri
+        (fun k o ->
+          if in_cone o then begin
+            let diff =
+              (cone.faulty.(o) lxor Good.value good ~node:o ~batch)
+              land Good.live_mask good ~batch
+            in
+            if diff <> Word.zeroes then
+              for lane = 0 to Word.width - 1 do
+                if Word.get diff lane then
+                  Bitvec.set sets.(k) ((batch * Word.width) + lane)
+              done
+          end)
+        outputs
+  done;
+  sets
+
+let detects_stuck good fault ~vector =
+  if vector < 0 || vector >= Good.universe good then
+    invalid_arg "Fault_sim.detects_stuck: vector outside universe";
+  let seed, forced = stuck_seed good fault in
+  let cone = make_cone (Good.net good) seed in
+  let batch = vector / Word.width in
+  let mask = propagate good cone ~batch ~seed_value:(forced ~batch) in
+  Word.get mask (vector mod Word.width)

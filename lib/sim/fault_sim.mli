@@ -1,0 +1,39 @@
+(** Differential fault simulation over the exhaustive universe.
+
+    For each fault, only the transitive fanout cone of the injection site
+    is re-evaluated, against the precomputed fault-free table; a vector
+    detects the fault iff some primary output differs. The result of
+    [detection_set] is exactly the paper's [T(h)] for the fault [h]. *)
+
+module Bitvec = Ndetect_util.Bitvec
+module Stuck = Ndetect_faults.Stuck
+module Bridge = Ndetect_faults.Bridge
+
+val stuck_detection_set : Good.t -> Stuck.t -> Bitvec.t
+(** [T(f)] for a single stuck-at fault. *)
+
+val bridge_detection_set : Good.t -> Bridge.t -> Bitvec.t
+(** [T(g)] for a four-way bridging fault: vectors that activate the bridge
+    ({e in the fault-free circuit}: victim = a1 and aggressor = a2) and
+    propagate the forced victim flip to an output. *)
+
+val stuck_detection_sets : Good.t -> Stuck.t array -> Bitvec.t array
+
+val bridge_detection_sets : Good.t -> Bridge.t array -> Bitvec.t array
+
+val wired_detection_set : Good.t -> Ndetect_faults.Wired.t -> Bitvec.t
+(** [T(w)] for a wired-AND / wired-OR bridge: both bridged lines are
+    forced to the AND/OR of their fault-free values and the difference is
+    propagated through the union of the two fanout cones. *)
+
+val wired_detection_sets :
+  Good.t -> Ndetect_faults.Wired.t array -> Bitvec.t array
+
+val detects_stuck : Good.t -> Stuck.t -> vector:int -> bool
+(** Single-vector convenience used by tests (simulates only one batch). *)
+
+val stuck_detection_by_output : Good.t -> Stuck.t -> Bitvec.t array
+(** Per primary output [o], the vectors under which the fault is observed
+    {e at that output}. The union over outputs is {!stuck_detection_set}.
+    Feeds the multi-output-propagation detection counting (the paper's
+    reference [6]). *)

@@ -1,0 +1,40 @@
+(** Exhaustive bit-parallel fault-free simulation.
+
+    One pass computes the value of every node for every vector of the
+    input universe [U = 0 .. 2^PI - 1], packed {!Ndetect_logic.Word.width}
+    vectors per word. All fault simulation is differential against this
+    table. *)
+
+module Netlist = Ndetect_circuit.Netlist
+module Word = Ndetect_logic.Word
+
+type t
+
+val compute : Netlist.t -> t
+(** Simulate the whole universe. *)
+
+val of_vectors : Netlist.t -> int array -> t
+(** [of_vectors net vectors] simulates an arbitrary pattern list instead of
+    the exhaustive universe: lane [i] (of [universe = Array.length vectors]
+    lanes) carries pattern [vectors.(i)]. All fault-simulation entry points
+    accept the result unchanged; detection sets are then indexed by
+    {e pattern position}, not by vector value. Unlike {!compute}, this
+    works for circuits with more than 24 inputs (each vector is a plain
+    assignment, decoded with up to 62 bits per input... patterns are given
+    as universe vector values, so the input count must still fit an OCaml
+    int: at most 62 inputs). *)
+
+val net : t -> Netlist.t
+val universe : t -> int
+val batch_count : t -> int
+
+val live_mask : t -> batch:int -> Word.t
+(** Mask of lanes in this batch that correspond to universe vectors. *)
+
+val value : t -> node:int -> batch:int -> Word.t
+(** Fault-free values of [node] across the batch's lanes. *)
+
+val value_bit : t -> node:int -> vector:int -> bool
+
+val detection_mask_to_set : t -> (batch:int -> Word.t) -> Ndetect_util.Bitvec.t
+(** Assemble a per-batch lane mask into a bit vector over the universe. *)

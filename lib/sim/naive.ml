@@ -1,0 +1,99 @@
+module Bitvec = Ndetect_util.Bitvec
+module Gate = Ndetect_circuit.Gate
+module Line = Ndetect_circuit.Line
+module Netlist = Ndetect_circuit.Netlist
+module Stuck = Ndetect_faults.Stuck
+module Bridge = Ndetect_faults.Bridge
+
+let eval_faulty net ~stem_override ~pin_override assignment =
+  let values = Array.make (Netlist.node_count net) false in
+  Array.iter
+    (fun id ->
+      let raw =
+        match Netlist.kind net id with
+        | Gate.Input -> assignment.(id)
+        | kind ->
+          let fanins = Netlist.fanins net id in
+          Gate.eval_bool kind
+            (Array.mapi
+               (fun pin f ->
+                 match pin_override ~gate:id ~pin with
+                 | Some v -> v
+                 | None -> values.(f))
+               fanins)
+      in
+      values.(id) <-
+        (match stem_override ~node:id ~value:raw with
+        | Some v -> v
+        | None -> raw))
+    (Netlist.topo_order net);
+  values
+
+let eval_with_stuck net fault assignment =
+  match fault.Stuck.line with
+  | Line.Stem n ->
+    eval_faulty net
+      ~stem_override:(fun ~node ~value:_ ->
+        if node = n then Some fault.Stuck.value else None)
+      ~pin_override:(fun ~gate:_ ~pin:_ -> None)
+      assignment
+  | Line.Branch { gate; pin } ->
+    eval_faulty net
+      ~stem_override:(fun ~node:_ ~value:_ -> None)
+      ~pin_override:(fun ~gate:g ~pin:p ->
+        if g = gate && p = pin then Some fault.Stuck.value else None)
+      assignment
+
+let eval_with_bridge net (fault : Bridge.t) assignment =
+  let good = Eval.eval_assignment net assignment in
+  let activated =
+    Bool.equal good.(fault.victim) fault.victim_value
+    && Bool.equal good.(fault.aggressor) fault.aggressor_value
+  in
+  if not activated then good
+  else
+    eval_faulty net
+      ~stem_override:(fun ~node ~value:_ ->
+        if node = fault.victim then Some (not fault.victim_value) else None)
+      ~pin_override:(fun ~gate:_ ~pin:_ -> None)
+      assignment
+
+let eval_with_wired net (fault : Ndetect_faults.Wired.t) assignment =
+  let good = Eval.eval_assignment net assignment in
+  let forced =
+    match fault.Ndetect_faults.Wired.semantics with
+    | Ndetect_faults.Wired.Wired_and -> good.(fault.a) && good.(fault.b)
+    | Ndetect_faults.Wired.Wired_or -> good.(fault.a) || good.(fault.b)
+  in
+  eval_faulty net
+    ~stem_override:(fun ~node ~value:_ ->
+      if node = fault.Ndetect_faults.Wired.a || node = fault.Ndetect_faults.Wired.b
+      then Some forced
+      else None)
+    ~pin_override:(fun ~gate:_ ~pin:_ -> None)
+    assignment
+
+let detection_set net eval_faulty_assignment =
+  let universe = Netlist.universe_size net in
+  let set = Bitvec.create universe in
+  for v = 0 to universe - 1 do
+    let assignment = Eval.assignment_of_vector net v in
+    let good = Eval.eval_assignment net assignment in
+    let faulty = eval_faulty_assignment assignment in
+    let differs =
+      Array.exists
+        (fun o -> not (Bool.equal good.(o) faulty.(o)))
+        (Netlist.outputs net)
+    in
+    if differs then Bitvec.set set v
+  done;
+  set
+
+let stuck_detection_set net fault =
+  detection_set net (eval_with_stuck net fault)
+
+let bridge_detection_set net fault =
+  detection_set net (eval_with_bridge net fault)
+
+let wired_detection_set net fault =
+  detection_set net (eval_with_wired net fault)

@@ -1,0 +1,27 @@
+(** Naive full faulty re-simulation, one vector at a time. Exists to
+    cross-validate the differential bit-parallel simulator in tests; do not
+    use it for real workloads. *)
+
+module Bitvec = Ndetect_util.Bitvec
+module Netlist = Ndetect_circuit.Netlist
+module Stuck = Ndetect_faults.Stuck
+module Bridge = Ndetect_faults.Bridge
+
+val eval_with_stuck : Netlist.t -> Stuck.t -> bool array -> bool array
+(** All node values of the faulty circuit under an input assignment. The
+    value of a stem line is the {e post-fault} value; a branch fault is
+    visible only to its consuming pin. *)
+
+val eval_with_bridge : Netlist.t -> Bridge.t -> bool array -> bool array
+(** Activation is decided on fault-free values (the fault is non-feedback
+    by construction), then the victim is forced and the cone recomputed. *)
+
+val eval_with_wired :
+  Netlist.t -> Ndetect_faults.Wired.t -> bool array -> bool array
+(** Both bridged lines carry the AND/OR of their fault-free values. *)
+
+val stuck_detection_set : Netlist.t -> Stuck.t -> Bitvec.t
+
+val bridge_detection_set : Netlist.t -> Bridge.t -> Bitvec.t
+
+val wired_detection_set : Netlist.t -> Ndetect_faults.Wired.t -> Bitvec.t

@@ -1,0 +1,30 @@
+(** Hand-written KISS2 machines for a few of the small classic benchmarks.
+
+    These are stand-ins with the classic structure (a lion-style
+    debouncer, a traffic-light controller, a modulo counter, ...) rather
+    than byte-for-byte MCNC sources; see DESIGN.md section 3 for the
+    substitution rationale. *)
+
+val lion : string
+(** 2 inputs, 1 output, 4 states: the quadrature-input up/down tracker. *)
+
+val lion9 : string
+(** 2 inputs, 1 output, 9 states: the saturating 9-position variant. *)
+
+val train4 : string
+(** 2 inputs, 1 output, 4 states: the train-crossing controller. *)
+
+val train11 : string
+(** 2 inputs, 1 output, 11 states: the ring-sectioned variant. *)
+
+val mc : string
+(** 3 inputs, 5 outputs, 4 states: a traffic-light style controller. *)
+
+val bbtas : string
+(** 2 inputs, 2 outputs, 6 states. *)
+
+val modulo12 : string
+(** 1 input, 1 output, 12 states: counter with enable, carry output. *)
+
+val all : (string * string) list
+(** [(name, kiss2 text)] for every machine above. *)

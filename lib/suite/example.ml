@@ -1,0 +1,24 @@
+module Gate = Ndetect_circuit.Gate
+module Netlist = Ndetect_circuit.Netlist
+
+let circuit () =
+  let b = Netlist.Builder.create () in
+  let in1 = Netlist.Builder.add_input b ~name:"1" in
+  let in2 = Netlist.Builder.add_input b ~name:"2" in
+  let in3 = Netlist.Builder.add_input b ~name:"3" in
+  let in4 = Netlist.Builder.add_input b ~name:"4" in
+  let g9 =
+    Netlist.Builder.add_gate b ~kind:Gate.And ~fanins:[| in1; in2 |] ~name:"9"
+  in
+  let g10 =
+    Netlist.Builder.add_gate b ~kind:Gate.And ~fanins:[| in2; in3 |]
+      ~name:"10"
+  in
+  let g11 =
+    Netlist.Builder.add_gate b ~kind:Gate.Or ~fanins:[| in3; in4 |] ~name:"11"
+  in
+  Netlist.Builder.set_outputs b [| g9; g10; g11 |];
+  Netlist.Builder.finalize b
+
+let g0 = ("9", false, "10", true)
+let g6 = ("9", true, "11", false)

@@ -1,0 +1,20 @@
+(** The paper's Figure 1 example circuit, reconstructed from the detection
+    sets of Table 1 (every [T(f_i)] printed there, [T(g_0) = {6, 7}] and
+    [nmin(g_6) = 4] pin the structure down uniquely):
+
+    {v
+      inputs:  1 2 3 4        (input 1 = most significant vector bit)
+      branches: 2 -> {5, 6}   3 -> {7, 8}
+      gates:   9 = AND(1, 5)   10 = AND(6, 7)   11 = OR(8, 4)
+      outputs: 9 10 11
+    v} *)
+
+val circuit : unit -> Ndetect_circuit.Netlist.t
+
+val g0 : string * bool * string * bool
+(** The paper's bridging fault [g0 = (9, 0, 10, 1)] as
+    [(victim, victim_value, aggressor, aggressor_value)] node names. *)
+
+val g6 : string * bool * string * bool
+(** The paper's [g6 = (9, 1, 11, 0)], the fault with [T(g6) = {12}] and
+    [nmin(g6) = 4] used in Section 3. *)

@@ -1,0 +1,96 @@
+module Rng = Ndetect_util.Rng
+module Ternary = Ndetect_logic.Ternary
+module Kiss2 = Ndetect_netparse.Kiss2
+
+let seed_of_name name =
+  let h = ref 0x2545F4914F6CDD1D in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    name;
+  !h land max_int
+
+(* Partition the input space of [bits] variables into [leaves] disjoint
+   cubes by random recursive splitting. *)
+let split_space rng ~bits ~leaves =
+  let rec go prefix free leaves =
+    if leaves <= 1 || free = [] then [ prefix ]
+    else begin
+      let pick = Rng.int rng ~bound:(List.length free) in
+      let bit = List.nth free pick in
+      let free' = List.filter (fun b -> b <> bit) free in
+      let l0 = leaves / 2 in
+      let l1 = leaves - l0 in
+      let with_bit v =
+        let c = Array.copy prefix in
+        c.(bit) <- Ternary.of_bool v;
+        c
+      in
+      go (with_bit false) free' l0 @ go (with_bit true) free' l1
+    end
+  in
+  go (Array.make bits Ternary.X) (List.init bits Fun.id) leaves
+
+let generate ~seed ~inputs ~outputs ~states ~products =
+  if inputs < 1 || outputs < 1 || states < 1 then
+    invalid_arg "Fsm_gen.generate: bad dimensions";
+  let rng = Rng.create ~seed in
+  let capacity = states * (1 lsl min inputs 20) in
+  let products = max states (min products capacity) in
+  let state_name i = Printf.sprintf "st%d" i in
+  (* Distribute leaves across states, then fix at least one leaf each. *)
+  let per_state = Array.make states (products / states) in
+  let remainder = products - (states * (products / states)) in
+  for i = 0 to remainder - 1 do
+    per_state.(i) <- per_state.(i) + 1
+  done;
+  let random_output () =
+    Array.init outputs (fun _ ->
+        (* Occasional output don't-care, as in the MCNC sources. *)
+        if Rng.int rng ~bound:10 = 0 then Ternary.X
+        else Ternary.of_bool (Rng.bool rng))
+  in
+  let transitions =
+    Array.to_list
+      (Array.mapi
+         (fun s leaves ->
+           split_space rng ~bits:inputs ~leaves
+           |> List.map (fun cube ->
+                  {
+                    Kiss2.input = cube;
+                    current = state_name s;
+                    next = state_name (Rng.int rng ~bound:states);
+                    output = random_output ();
+                  }))
+         per_state)
+    |> List.concat
+    |> Array.of_list
+  in
+  (* Connectivity: state i (i > 0) must be entered from some state j < i.
+     Retargeting one uniformly chosen row of an earlier state keeps the
+     partition (hence determinism) intact. *)
+  let rows_of_state =
+    Array.init states (fun s ->
+        let acc = ref [] in
+        Array.iteri
+          (fun idx (tr : Kiss2.transition) ->
+            if String.equal tr.Kiss2.current (state_name s) then
+              acc := idx :: !acc)
+          transitions;
+        Array.of_list !acc)
+  in
+  for i = 1 to states - 1 do
+    let j = Rng.int rng ~bound:i in
+    let rows = rows_of_state.(j) in
+    let row = rows.(Rng.int rng ~bound:(Array.length rows)) in
+    transitions.(row) <-
+      { (transitions.(row)) with Kiss2.next = state_name i }
+  done;
+  {
+    Kiss2.input_bits = inputs;
+    output_bits = outputs;
+    state_names = Array.init states state_name;
+    reset_state = state_name 0;
+    transitions;
+  }

@@ -1,0 +1,22 @@
+(** Deterministic synthetic FSM generator.
+
+    The MCNC KISS2 sources the paper uses are not redistributable here;
+    for each named benchmark the suite instead generates a machine with
+    the same (inputs, outputs, states, products) dimensions from a seed
+    derived from the benchmark's name, so every run of every experiment
+    sees the same circuits. The machines are deterministic (per state, the
+    transition cubes partition the input space) and connected (every state
+    is reachable from state 0). *)
+
+val generate :
+  seed:int ->
+  inputs:int ->
+  outputs:int ->
+  states:int ->
+  products:int ->
+  Ndetect_netparse.Kiss2.t
+(** [products] is a target: the actual row count is
+    [min products (states * 2^inputs)] and at least [states]. *)
+
+val seed_of_name : string -> int
+(** Stable FNV-1a hash of the benchmark name. *)

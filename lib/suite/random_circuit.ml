@@ -1,0 +1,49 @@
+module Rng = Ndetect_util.Rng
+module Gate = Ndetect_circuit.Gate
+module Netlist = Ndetect_circuit.Netlist
+
+type profile = { allow_xor : bool; max_arity : int; extra_outputs : int }
+
+let default_profile = { allow_xor = true; max_arity = 4; extra_outputs = 2 }
+
+let generate ?(profile = default_profile) ~seed ~inputs ~gates () =
+  if inputs < 1 || gates < 1 then invalid_arg "Random_circuit.generate";
+  if profile.max_arity < 2 then
+    invalid_arg "Random_circuit.generate: max_arity < 2";
+  let kinds =
+    Array.of_list
+      ([ Gate.Buf; Gate.Not; Gate.And; Gate.Nand; Gate.Or; Gate.Nor ]
+      @ (if profile.allow_xor then [ Gate.Xor; Gate.Xnor ] else []))
+  in
+  let rng = Rng.create ~seed in
+  let b = Netlist.Builder.create () in
+  let ids = ref [] in
+  for i = 0 to inputs - 1 do
+    ids := Netlist.Builder.add_input b ~name:(Printf.sprintf "i%d" i) :: !ids
+  done;
+  for g = 0 to gates - 1 do
+    let kind = kinds.(Rng.int rng ~bound:(Array.length kinds)) in
+    let pool = Array.of_list !ids in
+    let arity =
+      match kind with
+      | Gate.Buf | Gate.Not -> 1
+      | Gate.Input | Gate.Const0 | Gate.Const1 -> 0
+      | Gate.And | Gate.Nand | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor ->
+        2 + Rng.int rng ~bound:(profile.max_arity - 1)
+    in
+    let fanins = Array.init arity (fun _ -> Rng.pick rng pool) in
+    ids :=
+      Netlist.Builder.add_gate b ~kind ~fanins ~name:(Printf.sprintf "g%d" g)
+      :: !ids
+  done;
+  let all = Array.of_list (List.rev !ids) in
+  let last = all.(Array.length all - 1) in
+  let extras =
+    List.init profile.extra_outputs (fun _ ->
+        all.(Rng.int rng ~bound:(Array.length all)))
+  in
+  let outputs =
+    List.sort_uniq Int.compare (last :: extras) |> Array.of_list
+  in
+  Netlist.Builder.set_outputs b outputs;
+  Netlist.Builder.finalize b

@@ -1,0 +1,19 @@
+(** Seeded random combinational circuits, for property-based testing and
+    fuzzing of tools built on the library (the project's own test suite
+    uses it for every simulator cross-check). *)
+
+type profile = {
+  allow_xor : bool;  (** Include XOR/XNOR gates (default true). *)
+  max_arity : int;  (** Largest gate fanin (default 4, at least 2). *)
+  extra_outputs : int;  (** Internal nodes also observed (default 2). *)
+}
+
+val default_profile : profile
+
+val generate :
+  ?profile:profile -> seed:int -> inputs:int -> gates:int ->
+  unit -> Ndetect_circuit.Netlist.t
+(** A connected random netlist: every gate draws its fanins from all
+    earlier nodes, the last node is always observed, and
+    [profile.extra_outputs] random nodes are observed too (which keeps
+    most faults detectable). Deterministic in [seed]. *)

@@ -1,0 +1,256 @@
+module Ternary = Ndetect_logic.Ternary
+
+type t = Ternary.t array
+
+let equal a b =
+  Array.length a = Array.length b
+  &&
+  let rec go i =
+    i >= Array.length a || (Ternary.equal a.(i) b.(i) && go (i + 1))
+  in
+  go 0
+
+let vars = Array.length
+
+let full n = Array.make n Ternary.X
+
+let of_string s = Array.init (String.length s) (fun i -> Ternary.of_char s.[i])
+
+let to_string c = String.init (Array.length c) (fun i -> Ternary.to_char c.(i))
+
+let literal_count c =
+  Array.fold_left
+    (fun acc v -> match v with Ternary.X -> acc | _ -> acc + 1)
+    0 c
+
+let eval c point =
+  let n = Array.length c in
+  let rec go i =
+    i >= n
+    ||
+    (match c.(i) with
+    | Ternary.X -> true
+    | Ternary.Zero -> not point.(i)
+    | Ternary.One -> point.(i))
+    && go (i + 1)
+  in
+  go 0
+
+let contains big small =
+  let n = Array.length big in
+  if n <> Array.length small then invalid_arg "Cube.contains";
+  let rec go i =
+    i >= n
+    ||
+    (match big.(i), small.(i) with
+    | Ternary.X, _ -> true
+    | Ternary.Zero, Ternary.Zero | Ternary.One, Ternary.One -> true
+    | Ternary.Zero, (Ternary.One | Ternary.X)
+    | Ternary.One, (Ternary.Zero | Ternary.X) ->
+      false)
+    && go (i + 1)
+  in
+  go 0
+
+let merge_distance1 a b =
+  let n = Array.length a in
+  if n <> Array.length b then invalid_arg "Cube.merge_distance1";
+  let diff = ref (-1) and ok = ref true in
+  for i = 0 to n - 1 do
+    if !ok && not (Ternary.equal a.(i) b.(i)) then
+      match a.(i), b.(i) with
+      | Ternary.Zero, Ternary.One | Ternary.One, Ternary.Zero ->
+        if !diff >= 0 then ok := false else diff := i
+      | Ternary.X, _ | _, Ternary.X -> ok := false
+      | Ternary.Zero, Ternary.Zero | Ternary.One, Ternary.One -> ()
+  done;
+  if !ok && !diff >= 0 then begin
+    let m = Array.copy a in
+    m.(!diff) <- Ternary.X;
+    Some m
+  end
+  else None
+
+let intersects a b =
+  let n = Array.length a in
+  if n <> Array.length b then invalid_arg "Cube.intersects";
+  let rec go i =
+    i >= n
+    ||
+    (match a.(i), b.(i) with
+    | Ternary.Zero, Ternary.One | Ternary.One, Ternary.Zero -> false
+    | Ternary.Zero, (Ternary.Zero | Ternary.X)
+    | Ternary.One, (Ternary.One | Ternary.X)
+    | Ternary.X, (Ternary.Zero | Ternary.One | Ternary.X) ->
+      true)
+    && go (i + 1)
+  in
+  go 0
+
+type cover = t list
+
+let cover_eval cover point = List.exists (fun c -> eval c point) cover
+
+let dedup cubes =
+  List.fold_left
+    (fun acc c -> if List.exists (equal c) acc then acc else c :: acc)
+    [] cubes
+  |> List.rev
+
+(* One merging sweep: try every pair once; merged cubes replace both
+   parents. Quadratic per sweep, fine at benchmark scale. *)
+let merge_sweep cubes =
+  let arr = Array.of_list cubes in
+  let dead = Array.make (Array.length arr) false in
+  let merged = ref [] and changed = ref false in
+  for i = 0 to Array.length arr - 1 do
+    if not dead.(i) then
+      for j = i + 1 to Array.length arr - 1 do
+        if (not dead.(i)) && not dead.(j) then
+          match merge_distance1 arr.(i) arr.(j) with
+          | Some m ->
+            dead.(i) <- true;
+            dead.(j) <- true;
+            merged := m :: !merged;
+            changed := true
+          | None -> ()
+      done
+  done;
+  let survivors = ref [] in
+  for i = Array.length arr - 1 downto 0 do
+    if not dead.(i) then survivors := arr.(i) :: !survivors
+  done;
+  (!survivors @ List.rev !merged, !changed)
+
+let remove_contained cubes =
+  let arr = Array.of_list cubes in
+  let keep = Array.make (Array.length arr) true in
+  for i = 0 to Array.length arr - 1 do
+    if keep.(i) then
+      for j = 0 to Array.length arr - 1 do
+        if i <> j && keep.(i) && keep.(j) && contains arr.(j) arr.(i) then
+          keep.(i) <- false
+      done
+  done;
+  let out = ref [] in
+  for i = Array.length arr - 1 downto 0 do
+    if keep.(i) then out := arr.(i) :: !out
+  done;
+  !out
+
+let minimize cover =
+  let rec fix cubes =
+    let merged, changed = merge_sweep cubes in
+    if changed then fix (dedup merged) else cubes
+  in
+  remove_contained (fix (dedup cover))
+
+(* The cofactor of a cube c with respect to cube d keeps c's requirements
+   on the variables d leaves free; it vanishes when they conflict. *)
+let cube_cofactor c d =
+  let n = Array.length c in
+  let conflict = ref false in
+  let out =
+    Array.init n (fun i ->
+        match c.(i), d.(i) with
+        | v, Ternary.X -> v
+        | Ternary.X, _ -> Ternary.X
+        | Ternary.Zero, Ternary.Zero | Ternary.One, Ternary.One -> Ternary.X
+        | Ternary.Zero, Ternary.One | Ternary.One, Ternary.Zero ->
+          conflict := true;
+          Ternary.X)
+  in
+  if !conflict then None else Some out
+
+let cofactor cover d = List.filter_map (fun c -> cube_cofactor c d) cover
+
+(* Unate recursion: a cover is a tautology iff it has a tautology row, or
+   — after discarding impossible branches — both cofactors against the
+   most-split variable are tautologies. Unate shortcuts: if some variable
+   appears in only one polarity and no row is free of it... the classic
+   cheap checks below keep the recursion shallow at our sizes. *)
+let tautology ~vars cover =
+  let rec go cover =
+    if List.exists (fun c -> literal_count c = 0) cover then true
+    else if cover = [] then false
+    else begin
+      (* Pick the most frequently specified variable to split on. *)
+      let counts = Array.make vars 0 in
+      List.iter
+        (fun c ->
+          Array.iteri
+            (fun i v -> if not (Ternary.equal v Ternary.X) then
+                counts.(i) <- counts.(i) + 1)
+            c)
+        cover;
+      let split = ref 0 in
+      Array.iteri (fun i k -> if k > counts.(!split) then split := i) counts;
+      if counts.(!split) = 0 then false (* no literals, no tautology row *)
+      else begin
+        let branch value =
+          let d = Array.make vars Ternary.X in
+          d.(!split) <- value;
+          go (cofactor cover d)
+        in
+        branch Ternary.Zero && branch Ternary.One
+      end
+    end
+  in
+  go cover
+
+let covers_cube ~vars cover cube =
+  if Array.length cube <> vars then invalid_arg "Cube.covers_cube";
+  tautology ~vars (cofactor cover cube)
+
+let expand ~vars cover =
+  let expand_cube cube =
+    let current = Array.copy cube in
+    for i = 0 to vars - 1 do
+      match current.(i) with
+      | Ternary.X -> ()
+      | Ternary.Zero | Ternary.One ->
+        let saved = current.(i) in
+        current.(i) <- Ternary.X;
+        if not (covers_cube ~vars cover current) then current.(i) <- saved
+    done;
+    current
+  in
+  dedup (List.map expand_cube cover)
+
+let irredundant ~vars cover =
+  (* Scan from widest to narrowest so big cubes get first claim. *)
+  let by_size =
+    List.stable_sort (fun a b -> Int.compare (literal_count a) (literal_count b))
+      cover
+  in
+  let rec prune kept = function
+    | [] -> List.rev kept
+    | cube :: rest ->
+      let others = List.rev_append kept rest in
+      if covers_cube ~vars others cube then prune kept rest
+      else prune (cube :: kept) rest
+  in
+  prune [] by_size
+
+let minimize_strong ~vars cover =
+  List.iter
+    (fun c ->
+      if Array.length c <> vars then invalid_arg "Cube.minimize_strong")
+    cover;
+  irredundant ~vars (expand ~vars (minimize cover))
+
+let cover_equal_semantics ~vars a b =
+  let point = Array.make vars false in
+  let rec sweep i =
+    if i = vars then cover_eval a point = cover_eval b point
+    else begin
+      point.(i) <- false;
+      sweep (i + 1)
+      &&
+      (point.(i) <- true;
+       let r = sweep (i + 1) in
+       point.(i) <- false;
+       r)
+    end
+  in
+  sweep 0

@@ -1,0 +1,79 @@
+(** Cubes and single-output covers for two-level logic.
+
+    A cube over [n] variables is a product term: position [i] is [Zero]
+    (complemented literal), [One] (positive literal) or [X] (variable
+    absent). A cover is a list of cubes whose union of minterms is the
+    on-set of a function. *)
+
+type t = Ndetect_logic.Ternary.t array
+
+val equal : t -> t -> bool
+
+val vars : t -> int
+
+val full : int -> t
+(** The tautology cube ([X] everywhere). *)
+
+val of_string : string -> t
+(** From characters ['0'], ['1'], ['-']. *)
+
+val to_string : t -> string
+
+val literal_count : t -> int
+(** Number of specified positions. *)
+
+val eval : t -> bool array -> bool
+(** Whether the minterm lies inside the cube. *)
+
+val contains : t -> t -> bool
+(** [contains big small] iff every minterm of [small] is a minterm of
+    [big]. *)
+
+val merge_distance1 : t -> t -> t option
+(** If the cubes are identical except for exactly one position where one is
+    [Zero] and the other [One], return their union cube ([X] there). *)
+
+val intersects : t -> t -> bool
+(** Whether the cubes share a minterm. *)
+
+(** {2 Covers} *)
+
+type cover = t list
+
+val cover_eval : cover -> bool array -> bool
+
+val cofactor : cover -> t -> cover
+(** Shannon cofactor of the cover with respect to a cube: the function
+    restricted to the cube's subspace, over the remaining variables
+    (positions fixed by the cube become [X]). Cubes disjoint from the
+    cube disappear. *)
+
+val tautology : vars:int -> cover -> bool
+(** Whether the cover is the constant-1 function, by the classic unate
+    reduction + variable splitting recursion. *)
+
+val covers_cube : vars:int -> cover -> t -> bool
+(** Whether every minterm of the cube belongs to the cover (tautology of
+    the cofactor). *)
+
+val expand : vars:int -> cover -> cover
+(** Espresso-style EXPAND: each cube drops literals greedily as long as
+    the expanded cube is still contained in the cover's function. The
+    function is unchanged; cubes become maximal (prime). *)
+
+val irredundant : vars:int -> cover -> cover
+(** Espresso-style IRREDUNDANT: drop cubes covered by the union of the
+    remaining ones. The function is unchanged. *)
+
+val minimize : cover -> cover
+(** Iterated distance-1 merging followed by removal of duplicate and
+    contained cubes. Preserves the function exactly (it only ever replaces
+    two adjacent cubes by their exact union). *)
+
+val minimize_strong : vars:int -> cover -> cover
+(** {!minimize} followed by {!expand} and {!irredundant} — a compact
+    prime-and-irredundant cover of the same function. *)
+
+val cover_equal_semantics : vars:int -> cover -> cover -> bool
+(** Exhaustive functional equivalence check; exponential in [vars], meant
+    for tests and small covers. *)

@@ -1,0 +1,34 @@
+type scheme = Binary | Gray | One_hot
+
+let to_string = function
+  | Binary -> "binary"
+  | Gray -> "gray"
+  | One_hot -> "one-hot"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "binary" -> Some Binary
+  | "gray" -> Some Gray
+  | "one-hot" | "onehot" | "one_hot" -> Some One_hot
+  | _ -> None
+
+let ceil_log2 n =
+  let rec go bits cap = if cap >= n then bits else go (bits + 1) (cap * 2) in
+  go 0 1
+
+let bit_count scheme ~states =
+  if states <= 0 then invalid_arg "Encode.bit_count";
+  match scheme with
+  | Binary | Gray -> max 1 (ceil_log2 states)
+  | One_hot -> states
+
+let code scheme ~states i =
+  if i < 0 || i >= states then invalid_arg "Encode.code";
+  let bits = bit_count scheme ~states in
+  match scheme with
+  | Binary ->
+    Array.init bits (fun b -> (i lsr (bits - 1 - b)) land 1 = 1)
+  | Gray ->
+    let g = i lxor (i lsr 1) in
+    Array.init bits (fun b -> (g lsr (bits - 1 - b)) land 1 = 1)
+  | One_hot -> Array.init bits (fun b -> b = i)

@@ -1,0 +1,17 @@
+(** State encodings for FSM synthesis. *)
+
+type scheme =
+  | Binary  (** State [i] gets the binary code of [i]. *)
+  | Gray  (** Reflected Gray code of [i]. *)
+  | One_hot  (** One bit per state. *)
+
+val to_string : scheme -> string
+val of_string : string -> scheme option
+
+val bit_count : scheme -> states:int -> int
+(** Number of state bits ([ceil log2] for Binary/Gray, [states] for
+    One_hot; at least 1). *)
+
+val code : scheme -> states:int -> int -> bool array
+(** [code scheme ~states i] is the code word of state [i], most significant
+    bit first. *)

@@ -1,0 +1,123 @@
+module Ternary = Ndetect_logic.Ternary
+module Kiss2 = Ndetect_netparse.Kiss2
+module Gate = Ndetect_circuit.Gate
+module Netlist = Ndetect_circuit.Netlist
+
+(* A transition row becomes a cube over (inputs ++ state bits): the input
+   field verbatim, the present-state code fully specified. *)
+let row_cube fsm ~scheme (tr : Kiss2.transition) =
+  let states = Array.length fsm.Kiss2.state_names in
+  let sbits = Encode.bit_count scheme ~states in
+  let scode =
+    Encode.code scheme ~states (Kiss2.state_index fsm tr.Kiss2.current)
+  in
+  Array.append tr.Kiss2.input
+    (Array.map Ternary.of_bool (Array.sub scode 0 sbits))
+
+let check_deterministic fsm ~scheme =
+  let n = Array.length fsm.Kiss2.transitions in
+  let cubes = Array.map (row_cube fsm ~scheme) fsm.Kiss2.transitions in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let ti = fsm.Kiss2.transitions.(i) and tj = fsm.Kiss2.transitions.(j) in
+      if Cube.intersects cubes.(i) cubes.(j) then begin
+        if not (String.equal ti.Kiss2.next tj.Kiss2.next) then
+          invalid_arg
+            (Printf.sprintf
+               "Fsm_synth: non-deterministic next state from %s"
+               ti.Kiss2.current);
+        Array.iteri
+          (fun k a ->
+            let b = tj.Kiss2.output.(k) in
+            match a, b with
+            | Ternary.Zero, Ternary.One | Ternary.One, Ternary.Zero ->
+              invalid_arg
+                (Printf.sprintf "Fsm_synth: conflicting output %d from %s" k
+                   ti.Kiss2.current)
+            | Ternary.Zero, (Ternary.Zero | Ternary.X)
+            | Ternary.One, (Ternary.One | Ternary.X)
+            | Ternary.X, (Ternary.Zero | Ternary.One | Ternary.X) ->
+              ())
+          ti.Kiss2.output
+      end
+    done
+  done
+
+let covers ?(strong = false) fsm ~scheme ~minimize =
+  check_deterministic fsm ~scheme;
+  let states = Array.length fsm.Kiss2.state_names in
+  let sbits = Encode.bit_count scheme ~states in
+  let vars = fsm.Kiss2.input_bits + sbits in
+  let out_n = fsm.Kiss2.output_bits + sbits in
+  let raw = Array.make out_n [] in
+  Array.iter
+    (fun tr ->
+      let cube = row_cube fsm ~scheme tr in
+      Array.iteri
+        (fun k v ->
+          match v with
+          | Ternary.One -> raw.(k) <- cube :: raw.(k)
+          | Ternary.Zero | Ternary.X -> ())
+        tr.Kiss2.output;
+      let next_code =
+        Encode.code scheme ~states (Kiss2.state_index fsm tr.Kiss2.next)
+      in
+      Array.iteri
+        (fun b set ->
+          if set then
+            raw.(fsm.Kiss2.output_bits + b) <-
+              cube :: raw.(fsm.Kiss2.output_bits + b))
+        next_code)
+    fsm.Kiss2.transitions;
+  let finish c =
+    let c = List.rev c in
+    if strong then Cube.minimize_strong ~vars c
+    else if minimize then Cube.minimize c
+    else c
+  in
+  (vars, Array.map finish raw)
+
+let reference_eval fsm ~scheme ~point =
+  let states = Array.length fsm.Kiss2.state_names in
+  let sbits = Encode.bit_count scheme ~states in
+  let out_n = fsm.Kiss2.output_bits + sbits in
+  let result = Array.make out_n false in
+  Array.iter
+    (fun tr ->
+      let cube = row_cube fsm ~scheme tr in
+      if Cube.eval cube point then begin
+        Array.iteri
+          (fun k v ->
+            match v with
+            | Ternary.One -> result.(k) <- true
+            | Ternary.Zero | Ternary.X -> ())
+          tr.Kiss2.output;
+        let next_code =
+          Encode.code scheme ~states (Kiss2.state_index fsm tr.Kiss2.next)
+        in
+        Array.iteri
+          (fun b set ->
+            if set then result.(fsm.Kiss2.output_bits + b) <- true)
+          next_code
+      end)
+    fsm.Kiss2.transitions;
+  result
+
+(* Delegates to the shared two-level constructor. *)
+let synthesize ?(name = "fsm") ?(scheme = Encode.Binary) ?(minimize = true)
+    ?(strong = false) fsm =
+  let vars, out_covers = covers ~strong fsm ~scheme ~minimize in
+  let input_names =
+    Array.init vars (fun i ->
+        if i < fsm.Kiss2.input_bits then Printf.sprintf "x%d" i
+        else Printf.sprintf "s%d" (i - fsm.Kiss2.input_bits))
+  in
+  let output_names =
+    Array.init
+      (Array.length out_covers)
+      (fun k ->
+        if k < fsm.Kiss2.output_bits then Printf.sprintf "y%d" k
+        else Printf.sprintf "ns%d" (k - fsm.Kiss2.output_bits))
+  in
+  ignore name;
+  Two_level.build ~input_names ~output_names out_covers

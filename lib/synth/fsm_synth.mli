@@ -1,0 +1,45 @@
+(** Synthesis of the combinational logic of an FSM, as used by the paper:
+    the MCNC machines are turned into two-level AND/OR logic whose inputs
+    are the primary inputs plus the (scanned) present-state bits and whose
+    outputs are the primary outputs plus the next-state bits.
+
+    Product terms are shared across outputs, PLA style, so the resulting
+    netlists are rich in multi-input gates — the population over which the
+    paper's four-way bridging faults are defined. *)
+
+val synthesize :
+  ?name:string ->
+  ?scheme:Encode.scheme ->
+  ?minimize:bool ->
+  ?strong:bool ->
+  Ndetect_netparse.Kiss2.t ->
+  Ndetect_circuit.Netlist.t
+(** Build the gate-level combinational logic. Inputs are named
+    [x0..x{i-1}] then [s0..s{b-1}]; outputs [y0..] then [ns0..].
+    [scheme] defaults to [Binary], [minimize] to [true]; [strong]
+    (default [false]) additionally runs the espresso-style
+    expand/irredundant pass ({!Cube.minimize_strong}) on every cover.
+
+    Raises [Invalid_argument] if the machine is non-deterministic (two
+    transitions from the same state whose input cubes intersect but whose
+    next states or specified outputs disagree). *)
+
+val covers :
+  ?strong:bool ->
+  Ndetect_netparse.Kiss2.t ->
+  scheme:Encode.scheme ->
+  minimize:bool ->
+  int * Cube.cover array
+(** [(vars, covers)]: per-output covers (primary outputs first, then
+    next-state bits) over [vars = input_bits + state_bits] variables;
+    exposed for tests. *)
+
+val reference_eval :
+  Ndetect_netparse.Kiss2.t ->
+  scheme:Encode.scheme ->
+  point:bool array ->
+  bool array
+(** Reference semantics on a fully specified (input ++ present-state-code)
+    point, independent of cover minimization: each output/next-state bit is
+    1 iff some transition row matches the point and specifies it as 1.
+    Used by tests to validate synthesis. *)

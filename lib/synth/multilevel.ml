@@ -1,0 +1,185 @@
+module Rng = Ndetect_util.Rng
+module Gate = Ndetect_circuit.Gate
+module Netlist = Ndetect_circuit.Netlist
+
+(* Nodes during restructuring are either original netlist nodes or virtual
+   AND2 nodes introduced by common-cube extraction. Virtual ids start
+   above the original node count. *)
+
+type extraction = {
+  defs : (int * int) array;  (* virtual id - base -> operand pair *)
+  product_fanins : (int, int list) Hashtbl.t;  (* And gate -> literals *)
+}
+
+let pair_key a b = if a < b then (a, b) else (b, a)
+
+(* Greedy common-pair extraction over the AND gates: repeatedly factor the
+   most frequent literal pair into a fresh shared node. Pairs may involve
+   previously created virtual nodes, so factoring can nest. *)
+let extract_cubes net =
+  let base = Netlist.node_count net in
+  let product_fanins = Hashtbl.create 64 in
+  Array.iter
+    (fun g ->
+      match Netlist.kind net g with
+      | Gate.And when Array.length (Netlist.fanins net g) >= 3 ->
+        Hashtbl.replace product_fanins g
+          (Array.to_list (Netlist.fanins net g))
+      | Gate.And | Gate.Input | Gate.Const0 | Gate.Const1 | Gate.Buf
+      | Gate.Not | Gate.Nand | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor ->
+        ())
+    (Netlist.gate_ids net);
+  let defs = ref [] in
+  let next_virtual = ref base in
+  let rec round () =
+    let counts = Hashtbl.create 256 in
+    Hashtbl.iter
+      (fun _ literals ->
+        let arr = Array.of_list literals in
+        for i = 0 to Array.length arr - 1 do
+          for j = i + 1 to Array.length arr - 1 do
+            if arr.(i) <> arr.(j) then begin
+              let key = pair_key arr.(i) arr.(j) in
+              Hashtbl.replace counts key
+                (1 + Option.value (Hashtbl.find_opt counts key) ~default:0)
+            end
+          done
+        done)
+      product_fanins;
+    let best =
+      Hashtbl.fold
+        (fun key count acc ->
+          match acc with
+          | Some (_, best_count) when best_count >= count -> acc
+          | Some _ | None -> Some (key, count))
+        counts None
+    in
+    match best with
+    | Some ((a, b), count) when count >= 2 ->
+      let vid = !next_virtual in
+      incr next_virtual;
+      defs := (a, b) :: !defs;
+      let replace literals =
+        if List.mem a literals && List.mem b literals then
+          vid :: List.filter (fun l -> l <> a && l <> b) literals
+        else literals
+      in
+      let updated =
+        Hashtbl.fold
+          (fun g literals acc -> (g, replace literals) :: acc)
+          product_fanins []
+      in
+      List.iter
+        (fun (g, literals) -> Hashtbl.replace product_fanins g literals)
+        updated;
+      round ()
+    | Some _ | None -> ()
+  in
+  round ();
+  { defs = Array.of_list (List.rev !defs); product_fanins }
+
+let decompose ?(seed = 7) ?(max_fanin = 4) ?(share_cubes = true) net =
+  if max_fanin < 2 then invalid_arg "Multilevel.decompose: max_fanin < 2";
+  let rng = Rng.create ~seed in
+  let base = Netlist.node_count net in
+  let extraction =
+    if share_cubes then extract_cubes net
+    else { defs = [||]; product_fanins = Hashtbl.create 1 }
+  in
+  let b = Netlist.Builder.create () in
+  let mapping = Array.make base (-1) in
+  let virtual_mapping = Array.make (Array.length extraction.defs) (-1) in
+  Array.iter
+    (fun pi -> mapping.(pi) <- Netlist.Builder.add_input b ~name:(Netlist.name net pi))
+    (Netlist.inputs net);
+  let fresh_counter = ref 0 in
+  let fresh_name stem =
+    incr fresh_counter;
+    Printf.sprintf "%s_t%d" stem !fresh_counter
+  in
+  (* Associative base kind used for the internal levels of a tree. *)
+  let tree_base = function
+    | Gate.And | Gate.Nand -> Gate.And
+    | Gate.Or | Gate.Nor -> Gate.Or
+    | Gate.Xor | Gate.Xnor -> Gate.Xor
+    | (Gate.Input | Gate.Const0 | Gate.Const1 | Gate.Buf | Gate.Not) as k ->
+      k
+  in
+  let chunks size list =
+    let rec go acc current n = function
+      | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+      | x :: rest ->
+        if n = size then go (List.rev current :: acc) [ x ] 1 rest
+        else go acc (x :: current) (n + 1) rest
+    in
+    go [] [] 0 list
+  in
+  (* Reduce a wide operand list to at most max_fanin operands by emitting
+     internal gates of the associative base kind; the caller then emits
+     the root with the original kind (preserving any output inversion). *)
+  let rec reduce_operands ~stem kind operands =
+    if List.length operands <= max_fanin then operands
+    else begin
+      let arr = Array.of_list operands in
+      Rng.shuffle_in_place rng arr;
+      let level =
+        chunks max_fanin (Array.to_list arr)
+        |> List.map (fun group ->
+               match group with
+               | [] -> assert false
+               | [ single ] -> single
+               | _ :: _ :: _ ->
+                 Netlist.Builder.add_gate b ~kind:(tree_base kind)
+                   ~fanins:(Array.of_list group) ~name:(fresh_name stem))
+      in
+      reduce_operands ~stem kind level
+    end
+  in
+  let emit_gate ~name kind operands =
+    match operands with
+    | [] -> Netlist.Builder.add_gate b ~kind ~fanins:[||] ~name
+    | [ single ] ->
+      (match kind with
+      | Gate.And | Gate.Or | Gate.Xor | Gate.Buf ->
+        Netlist.Builder.add_gate b ~kind:Gate.Buf ~fanins:[| single |] ~name
+      | Gate.Nand | Gate.Nor | Gate.Xnor | Gate.Not ->
+        Netlist.Builder.add_gate b ~kind:Gate.Not ~fanins:[| single |] ~name
+      | Gate.Input | Gate.Const0 | Gate.Const1 ->
+        invalid_arg "Multilevel: unexpected single-operand kind")
+    | _ :: _ :: _ ->
+      let reduced = reduce_operands ~stem:name kind operands in
+      Netlist.Builder.add_gate b ~kind ~fanins:(Array.of_list reduced) ~name
+  in
+  (* Virtual AND2 nodes are emitted on demand (their operands are always
+     available before any gate that uses them). *)
+  let rec resolve id =
+    if id < base then begin
+      assert (mapping.(id) >= 0);
+      mapping.(id)
+    end
+    else begin
+      let v = id - base in
+      if virtual_mapping.(v) < 0 then begin
+        let a, c = extraction.defs.(v) in
+        let fanins = [| resolve a; resolve c |] in
+        virtual_mapping.(v) <-
+          Netlist.Builder.add_gate b ~kind:Gate.And ~fanins
+            ~name:(fresh_name "cx")
+      end;
+      virtual_mapping.(v)
+    end
+  in
+  Array.iter
+    (fun g ->
+      let kind = Netlist.kind net g in
+      let operands =
+        match Hashtbl.find_opt extraction.product_fanins g with
+        | Some literals -> literals
+        | None -> Array.to_list (Netlist.fanins net g)
+      in
+      let operands = List.map resolve operands in
+      mapping.(g) <- emit_gate ~name:(Netlist.name net g) kind operands)
+    (Netlist.gate_ids net);
+  Netlist.Builder.set_outputs b
+    (Array.map (fun o -> mapping.(o)) (Netlist.outputs net));
+  Netlist.Builder.finalize b

@@ -1,0 +1,24 @@
+(** Multilevel restructuring of two-level logic.
+
+    The paper's benchmark circuits are synthesized multilevel netlists,
+    not raw PLAs; observability and controllability of internal nodes —
+    and hence the spectrum of [nmin] values — depend on that structure.
+    This pass rewrites a netlist into an equivalent multilevel one:
+
+    - common-cube extraction: literal pairs that occur in several AND
+      gates are factored into shared AND2 nodes (creating internal fanout
+      and reconvergence);
+    - tree decomposition: gates wider than [max_fanin] become balanced
+      trees of narrower gates, with seeded-random operand grouping.
+
+    The transformation is purely algebraic, so the resulting circuit
+    computes exactly the same outputs (property-tested). *)
+
+val decompose :
+  ?seed:int ->
+  ?max_fanin:int ->
+  ?share_cubes:bool ->
+  Ndetect_circuit.Netlist.t ->
+  Ndetect_circuit.Netlist.t
+(** Defaults: [seed = 7], [max_fanin = 4], [share_cubes = true].
+    [max_fanin] must be at least 2. *)

@@ -1,0 +1,26 @@
+module Pla = Ndetect_netparse.Pla
+
+let covers (pla : Pla.t) =
+  let raw = Array.make pla.Pla.output_bits [] in
+  Array.iter
+    (fun (cube, outputs) ->
+      Array.iteri
+        (fun k on -> if on then raw.(k) <- cube :: raw.(k))
+        outputs)
+    pla.Pla.rows;
+  Array.map List.rev raw
+
+let synthesize ?(minimize = true) ?(strong = false) ?(multilevel = true)
+    (pla : Pla.t) =
+  let per_output = covers pla in
+  let per_output =
+    if strong then
+      Array.map (Cube.minimize_strong ~vars:pla.Pla.input_bits) per_output
+    else if minimize then Array.map Cube.minimize per_output
+    else per_output
+  in
+  let net =
+    Two_level.build ~input_names:pla.Pla.input_labels
+      ~output_names:pla.Pla.output_labels per_output
+  in
+  if multilevel then Multilevel.decompose net else net

@@ -1,0 +1,17 @@
+(** Synthesis of a parsed PLA into a gate-level netlist, with the same
+    product-sharing two-level construction (and optional multilevel
+    restructuring) as the FSM path. *)
+
+val covers : Ndetect_netparse.Pla.t -> Cube.cover array
+(** One cover per output, over the PLA's input variables (in order). *)
+
+val synthesize :
+  ?minimize:bool ->
+  ?strong:bool ->
+  ?multilevel:bool ->
+  Ndetect_netparse.Pla.t ->
+  Ndetect_circuit.Netlist.t
+(** [minimize] (default true) runs the distance-1 cover minimizer;
+    [strong] (default false) upgrades it to the espresso-style
+    expand/irredundant pass; [multilevel] (default true) applies
+    {!Multilevel.decompose}. Inputs and outputs carry the PLA's labels. *)

@@ -1,0 +1,81 @@
+module Ternary = Ndetect_logic.Ternary
+module Gate = Ndetect_circuit.Gate
+module Netlist = Ndetect_circuit.Netlist
+
+let build ~input_names ~output_names covers =
+  if Array.length covers <> Array.length output_names then
+    invalid_arg "Two_level.build: cover/output mismatch";
+  let vars = Array.length input_names in
+  let b = Netlist.Builder.create () in
+  let input_ids =
+    Array.map (fun name -> Netlist.Builder.add_input b ~name) input_names
+  in
+  let inverters = Array.make vars (-1) in
+  let inverter v =
+    if inverters.(v) < 0 then
+      inverters.(v) <-
+        Netlist.Builder.add_gate b ~kind:Gate.Not ~fanins:[| input_ids.(v) |]
+          ~name:(Printf.sprintf "%s_n" input_names.(v));
+    inverters.(v)
+  in
+  let products : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let const_nodes : (Gate.kind, int) Hashtbl.t = Hashtbl.create 2 in
+  let const kind =
+    match Hashtbl.find_opt const_nodes kind with
+    | Some id -> id
+    | None ->
+      let id =
+        Netlist.Builder.add_gate b ~kind ~fanins:[||]
+          ~name:(String.lowercase_ascii (Gate.to_string kind))
+      in
+      Hashtbl.replace const_nodes kind id;
+      id
+  in
+  let product_counter = ref 0 in
+  let product_node cube =
+    if Array.length cube <> vars then
+      invalid_arg "Two_level.build: cube arity mismatch";
+    let key = Cube.to_string cube in
+    match Hashtbl.find_opt products key with
+    | Some id -> id
+    | None ->
+      let literals =
+        Array.to_list cube
+        |> List.mapi (fun v tern ->
+               match tern with
+               | Ternary.X -> None
+               | Ternary.One -> Some input_ids.(v)
+               | Ternary.Zero -> Some (inverter v))
+        |> List.filter_map Fun.id
+      in
+      let id =
+        match literals with
+        | [] -> const Gate.Const1
+        | [ single ] -> single
+        | _ :: _ :: _ ->
+          let nm = Printf.sprintf "p%d" !product_counter in
+          incr product_counter;
+          Netlist.Builder.add_gate b ~kind:Gate.And
+            ~fanins:(Array.of_list literals) ~name:nm
+      in
+      Hashtbl.replace products key id;
+      id
+  in
+  let outputs =
+    Array.mapi
+      (fun k cover ->
+        let name = output_names.(k) in
+        match List.map product_node cover with
+        | [] -> const Gate.Const0
+        | [ single ] ->
+          (* Keep a stable output name even when the single product is a
+             shared node. *)
+          Netlist.Builder.add_gate b ~kind:Gate.Buf ~fanins:[| single |]
+            ~name
+        | many ->
+          Netlist.Builder.add_gate b ~kind:Gate.Or
+            ~fanins:(Array.of_list many) ~name)
+      covers
+  in
+  Netlist.Builder.set_outputs b outputs;
+  Netlist.Builder.finalize b

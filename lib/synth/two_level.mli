@@ -1,0 +1,14 @@
+(** Generic two-level (AND/OR with input inverters) netlist construction
+    from per-output covers, with PLA-style sharing of identical product
+    terms across outputs. Used by both the FSM and the PLA synthesis
+    paths. *)
+
+val build :
+  input_names:string array ->
+  output_names:string array ->
+  Cube.cover array ->
+  Ndetect_circuit.Netlist.t
+(** [build ~input_names ~output_names covers]: every cover ranges over
+    [Array.length input_names] variables; [Array.length covers] must
+    equal [Array.length output_names]. An empty cover yields constant 0;
+    a tautology cube yields constant 1. *)

@@ -1,0 +1,77 @@
+module Bitvec = Ndetect_util.Bitvec
+
+let detection_counts ~detects tests =
+  Array.map
+    (fun set ->
+      List.fold_left
+        (fun acc v -> if Bitvec.get set v then acc + 1 else acc)
+        0 tests)
+    detects
+
+let greedy_cover ~detects ~n ~universe =
+  if n < 1 then invalid_arg "Compact.greedy_cover: n must be >= 1";
+  let k = Array.length detects in
+  let demand = Array.map (fun set -> min n (Bitvec.count set)) detects in
+  let satisfied = Array.make k 0 in
+  let chosen = Hashtbl.create 64 in
+  let picks = ref [] in
+  let residual_gain v =
+    let gain = ref 0 in
+    for j = 0 to k - 1 do
+      if satisfied.(j) < demand.(j) && Bitvec.get detects.(j) v then incr gain
+    done;
+    !gain
+  in
+  let rec loop () =
+    let remaining =
+      Array.exists2 (fun s d -> s < d) satisfied demand
+    in
+    if remaining then begin
+      let best = ref (-1) and best_gain = ref 0 in
+      for v = 0 to universe - 1 do
+        if not (Hashtbl.mem chosen v) then begin
+          let g = residual_gain v in
+          if g > !best_gain then begin
+            best_gain := g;
+            best := v
+          end
+        end
+      done;
+      if !best < 0 then ()
+      else begin
+        Hashtbl.replace chosen !best ();
+        picks := !best :: !picks;
+        for j = 0 to k - 1 do
+          if Bitvec.get detects.(j) !best then
+            satisfied.(j) <- satisfied.(j) + 1
+        done;
+        loop ()
+      end
+    end
+  in
+  loop ();
+  List.rev !picks
+
+let reverse_order_pass ~detects ~n tests =
+  if n < 1 then invalid_arg "Compact.reverse_order_pass: n must be >= 1";
+  let demand = Array.map (fun set -> min n (Bitvec.count set)) detects in
+  let counts = detection_counts ~detects tests in
+  let keep = ref [] in
+  List.iter
+    (fun v ->
+      let must_keep = ref false in
+      Array.iteri
+        (fun j set ->
+          if
+            Bitvec.get set v
+            && counts.(j) - 1 < demand.(j)
+          then must_keep := true)
+        detects;
+      if !must_keep then keep := v :: !keep
+      else
+        Array.iteri
+          (fun j set ->
+            if Bitvec.get set v then counts.(j) <- counts.(j) - 1)
+          detects)
+    (List.rev tests);
+  !keep

@@ -1,0 +1,23 @@
+(** Static compaction of n-detection test sets.
+
+    The paper notes that compact n-detection test sets grow roughly
+    linearly with [n]; these routines produce such compact sets from a
+    detection relation and are used by the size-vs-n ablation bench. *)
+
+module Bitvec = Ndetect_util.Bitvec
+
+val greedy_cover : detects:Bitvec.t array -> n:int -> universe:int -> int list
+(** [greedy_cover ~detects ~n ~universe] selects vectors so that every
+    fault [j] is covered at least [min n (count detects.(j))] times:
+    repeatedly picks the vector satisfying the largest residual demand.
+    [detects.(j)] is the detection set of fault [j] over the universe.
+    Returns the chosen vectors in selection order. *)
+
+val reverse_order_pass :
+  detects:Bitvec.t array -> n:int -> int list -> int list
+(** Reverse-order redundancy elimination: drop a test when all faults keep
+    [min n N(f)] detections without it. Keeps the relative order of the
+    surviving tests. *)
+
+val detection_counts : detects:Bitvec.t array -> int list -> int array
+(** Distinct-detection counts per fault under a test list. *)

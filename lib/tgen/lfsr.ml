@@ -1,0 +1,52 @@
+type t = { w : int; tap_mask : int; mutable state : int }
+
+(* Primitive polynomial taps (1-based bit positions) for maximal-length
+   sequences; standard table (Xilinx XAPP052 et al.). *)
+let taps = function
+  | 2 -> [ 2; 1 ]
+  | 3 -> [ 3; 2 ]
+  | 4 -> [ 4; 3 ]
+  | 5 -> [ 5; 3 ]
+  | 6 -> [ 6; 5 ]
+  | 7 -> [ 7; 6 ]
+  | 8 -> [ 8; 6; 5; 4 ]
+  | 9 -> [ 9; 5 ]
+  | 10 -> [ 10; 7 ]
+  | 11 -> [ 11; 9 ]
+  | 12 -> [ 12; 11; 10; 4 ]
+  | 13 -> [ 13; 12; 11; 8 ]
+  | 14 -> [ 14; 13; 12; 2 ]
+  | 15 -> [ 15; 14 ]
+  | 16 -> [ 16; 15; 13; 4 ]
+  | 17 -> [ 17; 14 ]
+  | 18 -> [ 18; 11 ]
+  | 19 -> [ 19; 18; 17; 14 ]
+  | 20 -> [ 20; 17 ]
+  | 21 -> [ 21; 19 ]
+  | 22 -> [ 22; 21 ]
+  | 23 -> [ 23; 18 ]
+  | 24 -> [ 24; 23; 22; 17 ]
+  | w -> invalid_arg (Printf.sprintf "Lfsr.taps: unsupported width %d" w)
+
+let create ~width ?(seed = 1) () =
+  let tap_mask =
+    List.fold_left (fun acc p -> acc lor (1 lsl (p - 1))) 0 (taps width)
+  in
+  let state = seed land ((1 lsl width) - 1) in
+  let state = if state = 0 then 1 else state in
+  { w = width; tap_mask; state }
+
+let width t = t.w
+
+let parity v =
+  let rec go acc v = if v = 0 then acc else go (acc lxor 1) (v land (v - 1)) in
+  go 0 v
+
+let next t =
+  let feedback = parity (t.state land t.tap_mask) in
+  t.state <- ((t.state lsl 1) lor feedback) land ((1 lsl t.w) - 1);
+  t.state
+
+let patterns ~width ?seed ~count () =
+  let lfsr = create ~width ?seed () in
+  Array.init count (fun _ -> next lfsr)

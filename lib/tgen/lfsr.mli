@@ -1,0 +1,23 @@
+(** Maximal-length LFSR pseudorandom pattern generation — the classic
+    BIST-style baseline to compare deterministic n-detection test sets
+    against. Fibonacci form with primitive feedback polynomials for
+    widths 2 to 24, so the state sequence has period [2^width - 1] (all
+    non-zero states, each exactly once). *)
+
+type t
+
+val create : width:int -> ?seed:int -> unit -> t
+(** [seed] (default 1) is reduced to a non-zero initial state. Raises
+    [Invalid_argument] outside widths 2..24. *)
+
+val width : t -> int
+
+val next : t -> int
+(** Advance and return the next state, interpreted as a test vector in
+    the paper's encoding (bit [width-1] = input 0). *)
+
+val patterns : width:int -> ?seed:int -> count:int -> unit -> int array
+(** The first [count] states (duplicates impossible below the period). *)
+
+val taps : int -> int list
+(** The feedback tap positions used for a width (1-based, descending). *)

@@ -1,0 +1,72 @@
+module Rng = Ndetect_util.Rng
+module Netlist = Ndetect_circuit.Netlist
+module Stuck = Ndetect_faults.Stuck
+module Eval = Ndetect_sim.Eval
+module Naive = Ndetect_sim.Naive
+
+type report = {
+  tests : int array;
+  detections : int array;
+  untestable : bool array;
+  aborted : bool array;
+}
+
+let detects net fault ~vector =
+  let assignment = Eval.assignment_of_vector net vector in
+  let good = Eval.eval_assignment net assignment in
+  let faulty = Naive.eval_with_stuck net fault assignment in
+  Array.exists
+    (fun o -> not (Bool.equal good.(o) faulty.(o)))
+    (Netlist.outputs net)
+
+let generate ?(seed = 0xA7961) ?(attempts_per_fault = 20)
+    ?(backtrack_limit = 50_000) net ~n faults =
+  if n < 1 then invalid_arg "Ndet_atpg.generate: n must be >= 1";
+  let rng = Rng.create ~seed in
+  let k = Array.length faults in
+  let detections = Array.make k 0 in
+  let untestable = Array.make k false in
+  let aborted = Array.make k false in
+  let tests = ref [] in
+  let in_set = Hashtbl.create 64 in
+  let add_vector v =
+    if not (Hashtbl.mem in_set v) then begin
+      Hashtbl.replace in_set v ();
+      tests := v :: !tests;
+      Array.iteri
+        (fun j f -> if detects net f ~vector:v then detections.(j) <- detections.(j) + 1)
+        faults
+    end
+  in
+  Array.iteri
+    (fun j fault ->
+      let attempts = ref 0 in
+      let exhausted = ref false in
+      while detections.(j) < n && not !exhausted do
+        (match Podem.find_test ~rng ~backtrack_limit net fault with
+        | Podem.Untestable ->
+          untestable.(j) <- true;
+          exhausted := true
+        | Podem.Aborted ->
+          aborted.(j) <- true;
+          exhausted := true
+        | Podem.Test t ->
+          let before = detections.(j) in
+          let v = Podem.complete ~rng net t in
+          add_vector v;
+          if detections.(j) = before then begin
+            (* The vector was already in the set (or, defensively, did not
+               add a detection); retry with fresh randomization. *)
+            incr attempts;
+            if !attempts > attempts_per_fault then exhausted := true
+          end
+          else attempts := 0);
+        ()
+      done)
+    faults;
+  {
+    tests = Array.of_list (List.rev !tests);
+    detections;
+    untestable;
+    aborted;
+  }

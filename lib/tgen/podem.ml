@@ -1,0 +1,160 @@
+module Rng = Ndetect_util.Rng
+module Ternary = Ndetect_logic.Ternary
+module Gate = Ndetect_circuit.Gate
+module Line = Ndetect_circuit.Line
+module Netlist = Ndetect_circuit.Netlist
+module Stuck = Ndetect_faults.Stuck
+module Ternary_sim = Ndetect_sim.Ternary_sim
+
+type result = Test of Ternary.t array | Untestable | Aborted
+
+exception Hit_limit
+
+let find_test ?rng ?(backtrack_limit = 50_000) net fault =
+  let pi = Netlist.input_count net in
+  let assignment = Array.make pi Ternary.X in
+  let backtracks = ref 0 in
+  let fault_driver = Line.driver net fault.Stuck.line in
+  let pick_index k =
+    match rng with None -> 0 | Some r -> Rng.int r ~bound:k
+  in
+  let pick list =
+    match list with
+    | [] -> None
+    | _ :: _ -> Some (List.nth list (pick_index (List.length list)))
+  in
+  let first_value =
+    match rng with None -> fun () -> true | Some r -> fun () -> Rng.bool r
+  in
+  let detected good faulty =
+    Array.exists
+      (fun o ->
+        match
+          Ternary.to_bool_opt good.(o), Ternary.to_bool_opt faulty.(o)
+        with
+        | Some g, Some f -> not (Bool.equal g f)
+        | None, (Some _ | None) | Some _, None -> false)
+      (Netlist.outputs net)
+  in
+  (* D-frontier: gates whose composite (good, faulty) output is still
+     undetermined — at least one of the two simulations gives X — while
+     some fanin already carries a definite fault effect. For a branch
+     fault the effect enters inside a pin of the consuming gate, so that
+     gate joins the frontier as soon as the fault is activated. *)
+  let undetermined good faulty n =
+    match Ternary.to_bool_opt good.(n), Ternary.to_bool_opt faulty.(n) with
+    | Some _, Some _ -> false
+    | None, (Some _ | None) | Some _, None -> true
+  in
+  let branch_gate =
+    match fault.Stuck.line with
+    | Line.Branch { gate; _ } -> Some gate
+    | Line.Stem _ -> None
+  in
+  let activated good =
+    match Ternary.to_bool_opt good.(fault_driver) with
+    | Some v -> not (Bool.equal v fault.Stuck.value)
+    | None -> false
+  in
+  let d_frontier good faulty =
+    Array.to_list (Netlist.gate_ids net)
+    |> List.filter (fun g ->
+           undetermined good faulty g
+           && (Array.exists
+                 (fun f ->
+                   match
+                     ( Ternary.to_bool_opt good.(f),
+                       Ternary.to_bool_opt faulty.(f) )
+                   with
+                   | Some a, Some b -> not (Bool.equal a b)
+                   | None, (Some _ | None) | Some _, None -> false)
+                 (Netlist.fanins net g)
+              || (branch_gate = Some g && activated good)))
+  in
+  (* Objective: first achieve activation (fault-site driver at the
+     complement of the stuck value), then extend the D-frontier. *)
+  let objective good faulty =
+    match Ternary.to_bool_opt good.(fault_driver) with
+    | None -> Some (fault_driver, not fault.Stuck.value)
+    | Some v when Bool.equal v fault.Stuck.value -> None
+    | Some _ -> (
+      match pick (d_frontier good faulty) with
+      | None -> None
+      | Some g ->
+        let x_inputs =
+          Array.to_list (Netlist.fanins net g)
+          |> List.filter (fun f -> Ternary.equal good.(f) Ternary.X)
+        in
+        (match pick x_inputs with
+        | None -> None
+        | Some input ->
+          let value =
+            match Gate.controlling_value (Netlist.kind net g) with
+            | Some c -> not c
+            | None -> first_value ()
+          in
+          Some (input, value)))
+  in
+  (* Walk an X-path from the objective node back to an unassigned PI. *)
+  let rec backtrace good node value =
+    match Netlist.kind net node with
+    | Gate.Input -> Some (node, value)
+    | kind ->
+      let x_inputs =
+        Array.to_list (Netlist.fanins net node)
+        |> List.filter (fun f -> Ternary.equal good.(f) Ternary.X)
+      in
+      (match pick x_inputs with
+      | None -> None
+      | Some input ->
+        let value' = if Gate.inversion kind then not value else value in
+        backtrace good input value')
+  in
+  let imply () =
+    let good = Ternary_sim.eval net assignment in
+    let faulty = Ternary_sim.eval_with_stuck net fault assignment in
+    (good, faulty)
+  in
+  let rec search () =
+    let good, faulty = imply () in
+    if detected good faulty then Some (Array.copy assignment)
+    else
+      match objective good faulty with
+      | None -> fail ()
+      | Some (node, value) -> (
+        match backtrace good node value with
+        | None -> fail ()
+        | Some (input, value) ->
+          let try_value v =
+            assignment.(input) <- Ternary.of_bool v;
+            let r = search () in
+            assignment.(input) <- Ternary.X;
+            r
+          in
+          let v0 = value in
+          (match try_value v0 with
+          | Some t -> Some t
+          | None -> try_value (not v0)))
+  and fail () =
+    incr backtracks;
+    if !backtracks > backtrack_limit then raise Hit_limit;
+    None
+  in
+  match search () with
+  | Some t -> Test t
+  | None -> Untestable
+  | exception Hit_limit -> Aborted
+
+let complete ?rng net test =
+  let pi = Netlist.input_count net in
+  if Array.length test <> pi then invalid_arg "Podem.complete: arity";
+  let acc = ref 0 in
+  for i = 0 to pi - 1 do
+    let bit =
+      match Ternary.to_bool_opt test.(i) with
+      | Some b -> b
+      | None -> (match rng with None -> false | Some r -> Rng.bool r)
+    in
+    acc := (!acc lsl 1) lor Bool.to_int bit
+  done;
+  !acc

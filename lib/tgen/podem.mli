@@ -1,0 +1,33 @@
+(** PODEM test generation for single stuck-at faults.
+
+    The paper motivates n-detection test sets by noting that they only need
+    a minor modification of a deterministic test generator; this module is
+    that generator. It is a textbook PODEM: objective selection from the
+    activation condition or the D-frontier, backtrace to an unassigned
+    primary input, three-valued implication, and chronological
+    backtracking. *)
+
+module Ternary = Ndetect_logic.Ternary
+module Netlist = Ndetect_circuit.Netlist
+module Stuck = Ndetect_faults.Stuck
+
+type result =
+  | Test of Ternary.t array
+      (** A (possibly partially specified) test that detects the fault. *)
+  | Untestable  (** Proven redundant: the search space is exhausted. *)
+  | Aborted  (** Backtrack limit hit. *)
+
+val find_test :
+  ?rng:Ndetect_util.Rng.t ->
+  ?backtrack_limit:int ->
+  Netlist.t ->
+  Stuck.t ->
+  result
+(** Passing [rng] randomizes the tie-breaking in objective selection,
+    backtrace and value ordering, which is how distinct tests for the same
+    fault are obtained for n-detection generation. Default
+    [backtrack_limit] is [50_000]. *)
+
+val complete : ?rng:Ndetect_util.Rng.t -> Netlist.t -> Ternary.t array -> int
+(** Fill the unspecified positions of a test (randomly if [rng] is given,
+    with zeroes otherwise) and return the universe vector. *)

@@ -1,0 +1,178 @@
+(* Bits are packed into OCaml native ints, 62 payload bits per word; using
+   62 rather than 63 keeps the same batch width as the bit-parallel
+   simulator, which simplifies cross-checking, and costs almost nothing. *)
+
+let bits_per_word = 62
+
+type t = { len : int; words : int array }
+
+let word_count len = (len + bits_per_word - 1) / bits_per_word
+
+let create len =
+  if len < 0 then invalid_arg "Bitvec.create: negative length";
+  { len; words = Array.make (max 1 (word_count len)) 0 }
+
+let length t = t.len
+
+let copy t = { len = t.len; words = Array.copy t.words }
+
+let check t i =
+  if i < 0 || i >= t.len then invalid_arg "Bitvec: index out of bounds"
+
+let get t i =
+  check t i;
+  t.words.(i / bits_per_word) lsr (i mod bits_per_word) land 1 = 1
+
+let set t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let clear t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let assign t i b = if b then set t i else clear t i
+
+let popcount_word w =
+  let rec go acc w = if w = 0 then acc else go (acc + 1) (w land (w - 1)) in
+  go 0 w
+
+let count t = Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let same_len a b =
+  if a.len <> b.len then invalid_arg "Bitvec: length mismatch"
+
+let equal a b = a.len = b.len && a.words = b.words
+
+let inter_count a b =
+  same_len a b;
+  let acc = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount_word (a.words.(i) land b.words.(i))
+  done;
+  !acc
+
+let map2 op a b =
+  same_len a b;
+  { len = a.len; words = Array.map2 op a.words b.words }
+
+let inter a b = map2 ( land ) a b
+let union a b = map2 ( lor ) a b
+let diff a b = map2 (fun x y -> x land lnot y) a b
+
+let union_in_place a b =
+  same_len a b;
+  for i = 0 to Array.length a.words - 1 do
+    a.words.(i) <- a.words.(i) lor b.words.(i)
+  done
+
+let intersects a b =
+  same_len a b;
+  let n = Array.length a.words in
+  let rec go i = i < n && (a.words.(i) land b.words.(i) <> 0 || go (i + 1)) in
+  go 0
+
+let subset a b =
+  same_len a b;
+  let n = Array.length a.words in
+  let rec go i = i >= n || (a.words.(i) land lnot b.words.(i) = 0 && go (i + 1)) in
+  go 0
+
+let iter_set t f =
+  for wi = 0 to Array.length t.words - 1 do
+    let w = ref t.words.(wi) in
+    while !w <> 0 do
+      let low = !w land - !w in
+      let bit =
+        let rec log2 acc v = if v = 1 then acc else log2 (acc + 1) (v lsr 1) in
+        log2 0 low
+      in
+      f ((wi * bits_per_word) + bit);
+      w := !w land (!w - 1)
+    done
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter_set t (fun i -> acc := i :: !acc);
+  List.rev !acc
+
+let of_list len indices =
+  let t = create len in
+  List.iter (fun i -> set t i) indices;
+  t
+
+let fold_set t ~init ~f =
+  let acc = ref init in
+  iter_set t (fun i -> acc := f !acc i);
+  !acc
+
+exception Found of int
+
+let choose t =
+  try
+    iter_set t (fun i -> raise (Found i));
+    None
+  with Found i -> Some i
+
+let diff_count a b =
+  same_len a b;
+  let acc = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount_word (a.words.(i) land lnot b.words.(i))
+  done;
+  !acc
+
+let nth_diff a b k =
+  same_len a b;
+  if k < 0 then raise Not_found;
+  let remaining = ref k and result = ref (-1) and wi = ref 0 in
+  let n = Array.length a.words in
+  while !result < 0 && !wi < n do
+    let w = ref (a.words.(!wi) land lnot b.words.(!wi)) in
+    let c = popcount_word !w in
+    if c <= !remaining then remaining := !remaining - c
+    else begin
+      (* The bit is inside this word: strip low set bits until it is the
+         lowest one. *)
+      while !remaining > 0 do
+        w := !w land (!w - 1);
+        decr remaining
+      done;
+      let low = !w land - !w in
+      let rec log2 acc v = if v = 1 then acc else log2 (acc + 1) (v lsr 1) in
+      result := (!wi * bits_per_word) + log2 0 low
+    end;
+    incr wi
+  done;
+  if !result < 0 then raise Not_found else !result
+
+let nth_set t k =
+  if k < 0 then raise Not_found;
+  let remaining = ref k in
+  try
+    iter_set t (fun i ->
+        if !remaining = 0 then raise (Found i) else decr remaining);
+    raise Not_found
+  with Found i -> i
+
+let content_key t =
+  let words = Array.length t.words in
+  let bytes = Bytes.create (8 * (words + 1)) in
+  Bytes.set_int64_le bytes 0 (Int64.of_int t.len);
+  for i = 0 to words - 1 do
+    Bytes.set_int64_le bytes (8 * (i + 1)) (Int64.of_int t.words.(i))
+  done;
+  Bytes.unsafe_to_string bytes
+
+let pp ppf t =
+  let first = ref true in
+  Format.fprintf ppf "{";
+  iter_set t (fun i ->
+      if !first then first := false else Format.fprintf ppf "; ";
+      Format.fprintf ppf "%d" i);
+  Format.fprintf ppf "}"

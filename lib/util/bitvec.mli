@@ -1,0 +1,88 @@
+(** Dense fixed-length bit vectors.
+
+    The analysis represents every detection set [T(h)] as a bit vector over
+    the input universe [U = 0 .. 2^PI - 1], so intersection sizes
+    ([M(g, f)]) and cardinalities ([N(f)]) reduce to word-wise logic and
+    popcounts. *)
+
+type t
+(** A fixed-length vector of bits. Indices run from [0] to [length - 1]. *)
+
+val create : int -> t
+(** [create len] is an all-zero vector of [len] bits. *)
+
+val length : t -> int
+
+val copy : t -> t
+
+val get : t -> int -> bool
+(** Raises [Invalid_argument] when the index is out of bounds. *)
+
+val set : t -> int -> unit
+
+val clear : t -> int -> unit
+
+val assign : t -> int -> bool -> unit
+
+val is_empty : t -> bool
+
+val count : t -> int
+(** Number of set bits. *)
+
+val equal : t -> t -> bool
+
+val inter_count : t -> t -> int
+(** [inter_count a b] is [count (inter a b)] without allocating. Lengths
+    must agree. *)
+
+val inter : t -> t -> t
+
+val union : t -> t -> t
+
+val diff : t -> t -> t
+(** [diff a b] has the bits of [a] not in [b]. *)
+
+val union_in_place : t -> t -> unit
+(** [union_in_place a b] sets [a := a OR b]. *)
+
+val intersects : t -> t -> bool
+(** [intersects a b] iff [a] and [b] share a set bit. *)
+
+val subset : t -> t -> bool
+(** [subset a b] iff every bit of [a] is set in [b]. *)
+
+val iter_set : t -> (int -> unit) -> unit
+(** Calls the function on every set index in increasing order. *)
+
+val to_list : t -> int list
+(** Indices of set bits, increasing. *)
+
+val of_list : int -> int list -> t
+(** [of_list len indices]. *)
+
+val fold_set : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+val choose : t -> int option
+(** Lowest set index, if any. *)
+
+val nth_set : t -> int -> int
+(** [nth_set t k] is the index of the [k]-th set bit (0-based). Raises
+    [Not_found] when fewer than [k+1] bits are set. Used for uniform random
+    choice out of a detection set. *)
+
+val diff_count : t -> t -> int
+(** [diff_count a b] is [count (diff a b)] without allocating. *)
+
+val nth_diff : t -> t -> int -> int
+(** [nth_diff a b k] is the index of the [k]-th set bit of [diff a b],
+    without allocating; word-skipping, O(words). Raises [Not_found] when
+    the difference has fewer than [k+1] bits. This is how Procedure 1
+    draws a uniform test from [T(f) - Tk]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as a set of indices, e.g. [{1; 4; 7}]. *)
+
+val content_key : t -> string
+(** A compact byte string determined exactly by (length, contents); equal
+    vectors give equal keys. Used to group faults with identical
+    detection sets. *)

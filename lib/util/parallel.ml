@@ -1,0 +1,42 @@
+let default_domains () =
+  min 8 (max 1 (Domain.recommended_domain_count () - 1))
+
+let map_array ?domains f arr =
+  let n = Array.length arr in
+  let domains =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  let domains = min domains (n / 2) in
+  if domains <= 1 || n < 4 then Array.map f arr
+  else begin
+    (* Results land in a preallocated array: each domain owns a disjoint
+       index range, so unsynchronized writes are safe. *)
+    let results = Array.make n None in
+    let chunk = (n + domains - 1) / domains in
+    let worker d () =
+      let lo = d * chunk in
+      let hi = min n (lo + chunk) - 1 in
+      for i = lo to hi do
+        results.(i) <- Some (f arr.(i))
+      done
+    in
+    let spawned =
+      List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1)))
+    in
+    let first_error = ref None in
+    (try worker 0 () with e -> first_error := Some e);
+    List.iter
+      (fun d ->
+        try Domain.join d with e ->
+          if !first_error = None then first_error := Some e)
+      spawned;
+    (match !first_error with Some e -> raise e | None -> ());
+    Array.map
+      (function
+        | Some v -> v
+        | None -> invalid_arg "Parallel.map_array: missing result")
+      results
+  end
+
+let init ?domains n f =
+  map_array ?domains f (Array.init n Fun.id)

@@ -1,0 +1,19 @@
+(** Deterministic parallel array map over OCaml 5 domains.
+
+    Fault simulation is embarrassingly parallel (each fault reads the
+    shared fault-free table and writes only its own result slot), so the
+    heavy per-circuit passes use this helper. Results are positionally
+    identical to the sequential map regardless of scheduling. *)
+
+val default_domains : unit -> int
+(** [max 1 (recommended_domain_count - 1)], capped at 8. *)
+
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array f arr] splits indices into contiguous chunks, one domain
+    per chunk. [f] must be safe to run concurrently (pure, or writing
+    only to data it owns). With [domains <= 1] or fewer than 2 elements
+    per domain it simply runs sequentially. Exceptions from any chunk are
+    re-raised in the caller. *)
+
+val init : ?domains:int -> int -> (int -> 'b) -> 'b array
+(** Parallel [Array.init]. *)

@@ -1,0 +1,31 @@
+(* Shared test helpers: random circuit generation for property tests. *)
+
+module Rng = Ndetect_util.Rng
+module Gate = Ndetect_circuit.Gate
+module Netlist = Ndetect_circuit.Netlist
+
+let gate_kinds =
+  [| Gate.Buf; Gate.Not; Gate.And; Gate.Nand; Gate.Or; Gate.Nor; Gate.Xor;
+     Gate.Xnor |]
+
+(* A random connected combinational circuit; delegates to the library's
+   generator so tests exercise the public API. *)
+let random_circuit ~seed ~inputs ~gates =
+  Ndetect_suite.Random_circuit.generate ~seed ~inputs ~gates ()
+
+let circuit_arbitrary =
+  QCheck.make
+    ~print:(fun (seed, inputs, gates) ->
+      Printf.sprintf "seed=%d inputs=%d gates=%d" seed inputs gates)
+    QCheck.Gen.(
+      triple (int_bound 1_000_000) (int_range 2 6) (int_range 1 25))
+
+let apply_circuit f (seed, inputs, gates) =
+  f (random_circuit ~seed ~inputs ~gates)
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0

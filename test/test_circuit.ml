@@ -1,0 +1,304 @@
+module Gate = Ndetect_circuit.Gate
+module Netlist = Ndetect_circuit.Netlist
+module Line = Ndetect_circuit.Line
+module Dot = Ndetect_circuit.Dot
+module Word = Ndetect_logic.Word
+module Ternary = Ndetect_logic.Ternary
+module Example = Ndetect_suite.Example
+
+let build_example () = Example.circuit ()
+
+let test_builder_validation () =
+  let b = Netlist.Builder.create () in
+  Alcotest.check_raises "no inputs"
+    (Invalid_argument "Netlist.Builder.finalize: no primary inputs")
+    (fun () -> ignore (Netlist.Builder.finalize b));
+  let b = Netlist.Builder.create () in
+  let i0 = Netlist.Builder.add_input b ~name:"a" in
+  Alcotest.check_raises "no outputs"
+    (Invalid_argument "Netlist.Builder.finalize: no primary outputs")
+    (fun () -> ignore (Netlist.Builder.finalize b));
+  Alcotest.(check bool) "bad arity rejected" true
+    (try
+       ignore
+         (Netlist.Builder.add_gate b ~kind:Gate.And ~fanins:[| i0 |]
+            ~name:"g");
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unknown fanin rejected" true
+    (try
+       ignore
+         (Netlist.Builder.add_gate b ~kind:Gate.Not ~fanins:[| 99 |]
+            ~name:"g");
+       false
+     with Invalid_argument _ -> true)
+
+let test_inputs_before_gates () =
+  let b = Netlist.Builder.create () in
+  let i0 = Netlist.Builder.add_input b ~name:"a" in
+  ignore (Netlist.Builder.add_gate b ~kind:Gate.Not ~fanins:[| i0 |] ~name:"n");
+  Alcotest.(check bool) "input after gate rejected" true
+    (try
+       ignore (Netlist.Builder.add_input b ~name:"b");
+       false
+     with Invalid_argument _ -> true)
+
+let test_example_structure () =
+  let net = build_example () in
+  Alcotest.(check int) "inputs" 4 (Netlist.input_count net);
+  Alcotest.(check int) "nodes" 7 (Netlist.node_count net);
+  Alcotest.(check int) "universe" 16 (Netlist.universe_size net);
+  let stats = Netlist.stats net in
+  Alcotest.(check int) "gates" 3 stats.Netlist.gates_n;
+  Alcotest.(check int) "multi-input" 3 stats.Netlist.multi_input_gates_n;
+  Alcotest.(check int) "depth" 1 stats.Netlist.depth;
+  Alcotest.(check int) "literals" 6 stats.Netlist.literals_n
+
+let test_example_fanouts () =
+  let net = build_example () in
+  let input2 = Option.get (Netlist.find_by_name net "2") in
+  let input1 = Option.get (Netlist.find_by_name net "1") in
+  Alcotest.(check int) "input 2 fans out twice" 2
+    (Netlist.fanout_count net input2);
+  Alcotest.(check int) "input 1 fans out once" 1
+    (Netlist.fanout_count net input1)
+
+let test_example_lines () =
+  let net = build_example () in
+  let lines = Line.enumerate net in
+  Alcotest.(check int) "11 lines" 11 (Array.length lines);
+  let strings = Array.to_list (Array.map (Line.to_string net) lines) in
+  Alcotest.(check (list string)) "canonical order"
+    [ "1"; "2"; "3"; "4"; "2>9"; "2>10"; "3>10"; "3>11"; "9"; "10"; "11" ]
+    strings;
+  (* Display numbers reproduce the paper's 1..11 numbering. *)
+  Alcotest.(check int) "branch 2>9 is line 5" 5
+    (Line.display_number net lines.(4));
+  Alcotest.(check int) "stem 9 is line 9" 9
+    (Line.display_number net lines.(8))
+
+let test_line_driver () =
+  let net = build_example () in
+  let lines = Line.enumerate net in
+  let input2 = Option.get (Netlist.find_by_name net "2") in
+  Alcotest.(check int) "branch 5 driven by input 2" input2
+    (Line.driver net lines.(4))
+
+let test_topo_and_levels () =
+  let net = build_example () in
+  let topo = Netlist.topo_order net in
+  let pos = Array.make (Netlist.node_count net) 0 in
+  Array.iteri (fun idx id -> pos.(id) <- idx) topo;
+  Array.iter
+    (fun id ->
+      Array.iter
+        (fun f ->
+          Alcotest.(check bool) "fanin precedes gate" true (pos.(f) < pos.(id)))
+        (Netlist.fanins net id))
+    topo;
+  Alcotest.(check int) "max level" 1 (Netlist.max_level net)
+
+let test_transitive_fanout () =
+  let net = build_example () in
+  let input2 = Option.get (Netlist.find_by_name net "2") in
+  let g9 = Option.get (Netlist.find_by_name net "9") in
+  let g11 = Option.get (Netlist.find_by_name net "11") in
+  let reach = Netlist.transitive_fanout net input2 in
+  Alcotest.(check bool) "2 reaches 9" true reach.(g9);
+  Alcotest.(check bool) "2 does not reach 11" false reach.(g11);
+  let cone = Netlist.fanout_cone_order net input2 in
+  Alcotest.(check int) "cone size" 3 (Array.length cone);
+  Alcotest.(check int) "cone starts at source" input2 cone.(0)
+
+let test_transitive_fanin () =
+  let net = build_example () in
+  let g9 = Option.get (Netlist.find_by_name net "9") in
+  let fanin = Netlist.transitive_fanin net g9 in
+  let input1 = Option.get (Netlist.find_by_name net "1") in
+  let input3 = Option.get (Netlist.find_by_name net "3") in
+  Alcotest.(check bool) "1 in fanin of 9" true fanin.(input1);
+  Alcotest.(check bool) "3 not in fanin of 9" false fanin.(input3)
+
+let test_universe_limit () =
+  let b = Netlist.Builder.create () in
+  let ids =
+    Array.init 25 (fun i ->
+        Netlist.Builder.add_input b ~name:(Printf.sprintf "i%d" i))
+  in
+  let g =
+    Netlist.Builder.add_gate b ~kind:Gate.Or
+      ~fanins:[| ids.(0); ids.(1) |]
+      ~name:"g"
+  in
+  Netlist.Builder.set_outputs b [| g |];
+  let net = Netlist.Builder.finalize b in
+  Alcotest.(check bool) "over 24 inputs rejected" true
+    (try
+       ignore (Netlist.universe_size net);
+       false
+     with Invalid_argument _ -> true)
+
+let test_gate_eval_kinds () =
+  let t = [| true; true; false |] in
+  Alcotest.(check bool) "and" false (Gate.eval_bool Gate.And t);
+  Alcotest.(check bool) "nand" true (Gate.eval_bool Gate.Nand t);
+  Alcotest.(check bool) "or" true (Gate.eval_bool Gate.Or t);
+  Alcotest.(check bool) "nor" false (Gate.eval_bool Gate.Nor t);
+  Alcotest.(check bool) "xor of two ones" false
+    (Gate.eval_bool Gate.Xor [| true; true |]);
+  Alcotest.(check bool) "xnor" true (Gate.eval_bool Gate.Xnor [| true; true |]);
+  Alcotest.(check bool) "not" false (Gate.eval_bool Gate.Not [| true |]);
+  Alcotest.(check bool) "buf" true (Gate.eval_bool Gate.Buf [| true |]);
+  Alcotest.(check bool) "const0" false (Gate.eval_bool Gate.Const0 [||]);
+  Alcotest.(check bool) "const1" true (Gate.eval_bool Gate.Const1 [||])
+
+(* Cross-domain consistency: word and ternary evaluation agree with the
+   boolean one lane by lane / on binary values. *)
+let prop_eval_consistency =
+  QCheck.Test.make ~name:"gate eval agrees across domains" ~count:500
+    QCheck.(
+      make
+        ~print:(fun (k, bits) ->
+          Printf.sprintf "%s %s" (Gate.to_string Helpers.gate_kinds.(k))
+            (String.concat ""
+               (List.map (fun b -> if b then "1" else "0") bits)))
+        QCheck.Gen.(
+          pair
+            (int_bound (Array.length Helpers.gate_kinds - 1))
+            (list_size (int_range 1 5) bool)))
+    (fun (k, bits) ->
+      let kind = Helpers.gate_kinds.(k) in
+      let fanins = Array.of_list bits in
+      let n = Array.length fanins in
+      QCheck.assume (Gate.arity_ok kind n);
+      let expected = Gate.eval_bool kind fanins in
+      let words =
+        Array.map (fun b -> if b then Word.ones else Word.zeroes) fanins
+      in
+      let word_result = Gate.eval_word kind words in
+      let terns = Array.map Ternary.of_bool fanins in
+      let tern_result = Gate.eval_ternary kind terns in
+      Word.get word_result 0 = expected
+      && Ternary.equal tern_result (Ternary.of_bool expected))
+
+let test_dot_export () =
+  let net = build_example () in
+  let dot = Dot.to_dot net in
+  Alcotest.(check bool) "digraph" true
+    (String.length dot > 20 && String.sub dot 0 7 = "digraph");
+  (* 6 edges in the example. *)
+  let edges =
+    String.split_on_char '\n' dot
+    |> List.filter (fun l -> Helpers.contains_substring l "->")
+  in
+  Alcotest.(check int) "edges" 6 (List.length edges)
+
+module Equiv = Ndetect_circuit.Equiv
+module Random_circuit = Ndetect_suite.Random_circuit
+
+let test_equiv_self () =
+  let net = build_example () in
+  Alcotest.(check bool) "self equivalent" true (Equiv.equivalent net net)
+
+let test_equiv_counterexample () =
+  (* AND vs OR of the same inputs: differs first at vector 01. *)
+  let mk kind =
+    let b = Netlist.Builder.create () in
+    let a = Netlist.Builder.add_input b ~name:"a" in
+    let c = Netlist.Builder.add_input b ~name:"c" in
+    let y = Netlist.Builder.add_gate b ~kind ~fanins:[| a; c |] ~name:"y" in
+    Netlist.Builder.set_outputs b [| y |];
+    Netlist.Builder.finalize b
+  in
+  match Equiv.check (mk Gate.And) (mk Gate.Or) with
+  | Equiv.Counterexample { vector; output; left; right } ->
+    Alcotest.(check int) "first diff vector" 1 vector;
+    Alcotest.(check int) "output" 0 output;
+    Alcotest.(check bool) "left" false left;
+    Alcotest.(check bool) "right" true right
+  | Equiv.Equivalent | Equiv.Interface_mismatch _ ->
+    Alcotest.fail "expected counterexample"
+
+let test_equiv_interface_mismatch () =
+  let net = build_example () in
+  let b = Netlist.Builder.create () in
+  let a = Netlist.Builder.add_input b ~name:"a" in
+  let y = Netlist.Builder.add_gate b ~kind:Gate.Not ~fanins:[| a |] ~name:"y" in
+  Netlist.Builder.set_outputs b [| y |];
+  let other = Netlist.Builder.finalize b in
+  (match Equiv.check net other with
+  | Equiv.Interface_mismatch _ -> ()
+  | Equiv.Equivalent | Equiv.Counterexample _ -> Alcotest.fail "expected mismatch")
+
+let prop_equiv_multilevel =
+  QCheck.Test.make ~name:"equiv validates multilevel decomposition"
+    ~count:30 Helpers.circuit_arbitrary
+    (Helpers.apply_circuit (fun net ->
+         Equiv.equivalent net
+           (Ndetect_synth.Multilevel.decompose ~max_fanin:3 net)))
+
+let test_random_circuit_profiles () =
+  let profile =
+    { Random_circuit.allow_xor = false; max_arity = 2; extra_outputs = 0 }
+  in
+  let net = Random_circuit.generate ~profile ~seed:4 ~inputs:3 ~gates:12 () in
+  Array.iter
+    (fun g ->
+      Alcotest.(check bool) "arity <= 2" true
+        (Array.length (Netlist.fanins net g) <= 2);
+      match Netlist.kind net g with
+      | Gate.Xor | Gate.Xnor -> Alcotest.fail "xor generated"
+      | Gate.Input | Gate.Const0 | Gate.Const1 | Gate.Buf | Gate.Not
+      | Gate.And | Gate.Nand | Gate.Or | Gate.Nor ->
+        ())
+    (Netlist.gate_ids net);
+  Alcotest.(check int) "single output" 1 (Array.length (Netlist.outputs net))
+
+let test_random_circuit_deterministic () =
+  let a = Random_circuit.generate ~seed:9 ~inputs:4 ~gates:10 () in
+  let b = Random_circuit.generate ~seed:9 ~inputs:4 ~gates:10 () in
+  Alcotest.(check bool) "same circuit" true (Equiv.equivalent a b)
+
+let () =
+  Alcotest.run "circuit"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "validation" `Quick test_builder_validation;
+          Alcotest.test_case "inputs before gates" `Quick
+            test_inputs_before_gates;
+          Alcotest.test_case "universe limit" `Quick test_universe_limit;
+        ] );
+      ( "example",
+        [
+          Alcotest.test_case "structure" `Quick test_example_structure;
+          Alcotest.test_case "fanouts" `Quick test_example_fanouts;
+          Alcotest.test_case "lines" `Quick test_example_lines;
+          Alcotest.test_case "line driver" `Quick test_line_driver;
+          Alcotest.test_case "topo and levels" `Quick test_topo_and_levels;
+          Alcotest.test_case "transitive fanout" `Quick
+            test_transitive_fanout;
+          Alcotest.test_case "transitive fanin" `Quick test_transitive_fanin;
+        ] );
+      ( "gates",
+        [
+          Alcotest.test_case "truth tables" `Quick test_gate_eval_kinds;
+          QCheck_alcotest.to_alcotest prop_eval_consistency;
+        ] );
+      ("dot", [ Alcotest.test_case "export" `Quick test_dot_export ]);
+      ( "equiv",
+        [
+          Alcotest.test_case "self" `Quick test_equiv_self;
+          Alcotest.test_case "counterexample" `Quick
+            test_equiv_counterexample;
+          Alcotest.test_case "interface mismatch" `Quick
+            test_equiv_interface_mismatch;
+          QCheck_alcotest.to_alcotest prop_equiv_multilevel;
+        ] );
+      ( "random-circuit",
+        [
+          Alcotest.test_case "profiles" `Quick test_random_circuit_profiles;
+          Alcotest.test_case "deterministic" `Quick
+            test_random_circuit_deterministic;
+        ] );
+    ]

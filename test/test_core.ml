@@ -1,0 +1,505 @@
+module Detection_table = Ndetect_core.Detection_table
+module Worst_case = Ndetect_core.Worst_case
+module Procedure1 = Ndetect_core.Procedure1
+module Definition2 = Ndetect_core.Definition2
+module Average_case = Ndetect_core.Average_case
+module Analysis = Ndetect_core.Analysis
+module Bitvec = Ndetect_util.Bitvec
+module Example = Ndetect_suite.Example
+
+let example_table =
+  let t = lazy (Detection_table.build (Example.circuit ())) in
+  fun () -> Lazy.force t
+
+let example_worst =
+  let w = lazy (Worst_case.compute (example_table ())) in
+  fun () -> Lazy.force w
+
+let find_g0 table =
+  let victim, vv, aggressor, av = Example.g0 in
+  Option.get
+    (Detection_table.find_untargeted table ~victim ~victim_value:vv
+       ~aggressor ~aggressor_value:av)
+
+let find_g6 table =
+  let victim, vv, aggressor, av = Example.g6 in
+  Option.get
+    (Detection_table.find_untargeted table ~victim ~victim_value:vv
+       ~aggressor ~aggressor_value:av)
+
+let test_table_counts () =
+  let table = example_table () in
+  Alcotest.(check int) "universe" 16 (Detection_table.universe table);
+  Alcotest.(check int) "16 targets" 16 (Detection_table.target_count table);
+  Alcotest.(check int) "10 detectable bridges" 10
+    (Detection_table.untargeted_count table);
+  Alcotest.(check int) "2 undetectable bridges" 2
+    (Detection_table.undetectable_untargeted_count table)
+
+let test_table_m_values () =
+  (* Table 1: M(g0, f) for the listed faults. *)
+  let table = example_table () in
+  let g0 = find_g0 table in
+  let check_m fi expected =
+    Alcotest.(check int)
+      (Printf.sprintf "M(g0, f%d)" fi)
+      expected
+      (Detection_table.m table ~gj:g0 ~fi)
+  in
+  check_m 0 2;
+  (* 1/1: {6,7} of {4,5,6,7} *)
+  check_m 1 2;
+  check_m 11 2;
+  check_m 12 2;
+  check_m 5 0 (* 4/0: {1,5,9,13} disjoint from {6,7} *)
+
+let test_overlapping_targets () =
+  let table = example_table () in
+  let g0 = find_g0 table in
+  Alcotest.(check (list int)) "F(g0) indices"
+    [ 0; 1; 3; 9; 11; 12; 14 ]
+    (Detection_table.overlapping_targets table ~gj:g0)
+
+let test_worst_case_example () =
+  let table = example_table () in
+  let worst = example_worst () in
+  let g0 = find_g0 table and g6 = find_g6 table in
+  Alcotest.(check int) "nmin(g0) = 3" 3 (Worst_case.nmin worst g0);
+  Alcotest.(check int) "nmin(g6) = 4" 4 (Worst_case.nmin worst g6);
+  (* Table 1 pairwise values. *)
+  let pair fi = Option.get (Worst_case.nmin_pair worst ~gj:g0 ~fi) in
+  Alcotest.(check int) "nmin(g0, 1/1)" 3 (pair 0);
+  Alcotest.(check int) "nmin(g0, 2/0)" 5 (pair 1);
+  Alcotest.(check int) "nmin(g0, 3/0)" 5 (pair 3);
+  Alcotest.(check int) "nmin(g0, 8/0)" 4 (pair 9);
+  Alcotest.(check int) "nmin(g0, 9/1)" 11 (pair 11);
+  Alcotest.(check int) "nmin(g0, 10/0)" 3 (pair 12);
+  Alcotest.(check int) "nmin(g0, 11/0)" 11 (pair 14);
+  Alcotest.(check (option int)) "no overlap, no pair" None
+    (Worst_case.nmin_pair worst ~gj:g0 ~fi:5)
+
+let test_worst_case_counters () =
+  let worst = example_worst () in
+  Alcotest.(check int) "all bounded" 0
+    (Worst_case.count_at_least worst Worst_case.unbounded);
+  let below_max =
+    Worst_case.count_below worst (Option.get (Worst_case.max_finite_nmin worst))
+  in
+  Alcotest.(check int) "everything below max" 10 below_max;
+  Alcotest.(check (float 1e-9)) "coverage at max" 1.0
+    (Worst_case.coverage_guaranteed worst
+       ~n:(Option.get (Worst_case.max_finite_nmin worst)));
+  let h = Worst_case.histogram worst ~min_value:1 in
+  Alcotest.(check int) "histogram mass" 10
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 h)
+
+(* Worst-case semantics, both directions, on random circuits:
+   - an adversary can build an n-detection test set that misses g for
+     every n < nmin(g) (take all vectors outside T(g));
+   - every n-detection set with n >= nmin(g) detects g (checked on the
+     random sets of Procedure 1). *)
+let prop_nmin_adversarial_bound =
+  QCheck.Test.make ~name:"U - T(g) is an (nmin-1)-detection adversary"
+    ~count:25 Helpers.circuit_arbitrary
+    (Helpers.apply_circuit (fun net ->
+         let table = Detection_table.build net in
+         let worst = Worst_case.compute table in
+         let ok = ref true in
+         for gj = 0 to Detection_table.untargeted_count table - 1 do
+           let nmin = Worst_case.nmin worst gj in
+           if nmin <> Worst_case.unbounded && nmin > 1 then begin
+             let n = nmin - 1 in
+             (* Every target must still reach min(n, N(f)) detections using
+                only vectors outside T(g). *)
+             for fi = 0 to Detection_table.target_count table - 1 do
+               let avail =
+                 Detection_table.target_n table fi
+                 - Detection_table.m table ~gj ~fi
+               in
+               if avail < min n (Detection_table.target_n table fi) then
+                 ok := false
+             done
+           end
+         done;
+         !ok))
+
+let prop_nmin_guarantee =
+  QCheck.Test.make ~name:"random n-detection sets detect g when n >= nmin"
+    ~count:10 Helpers.circuit_arbitrary
+    (Helpers.apply_circuit (fun net ->
+         let table = Detection_table.build net in
+         let worst = Worst_case.compute table in
+         let config =
+           { Procedure1.seed = 3; set_count = 20; nmax = 4;
+             mode = Procedure1.Definition1 }
+         in
+         let outcome = Procedure1.run table config in
+         let ok = ref true in
+         for gj = 0 to Detection_table.untargeted_count table - 1 do
+           let nmin = Worst_case.nmin worst gj in
+           for n = 1 to config.Procedure1.nmax do
+             if nmin <> Worst_case.unbounded && n >= nmin then
+               if
+                 Procedure1.detected_count outcome ~n ~gj
+                 <> config.Procedure1.set_count
+               then ok := false
+           done
+         done;
+         !ok))
+
+let prop_procedure1_sets_valid =
+  QCheck.Test.make
+    ~name:"Procedure 1 sets are n-detection test sets (Definition 1)"
+    ~count:10 Helpers.circuit_arbitrary
+    (Helpers.apply_circuit (fun net ->
+         let table = Detection_table.build net in
+         let config =
+           { Procedure1.seed = 11; set_count = 8; nmax = 3;
+             mode = Procedure1.Definition1 }
+         in
+         let outcome = Procedure1.run table config in
+         let ok = ref true in
+         for k = 0 to config.Procedure1.set_count - 1 do
+           for n = 1 to config.Procedure1.nmax do
+             let tests = Procedure1.test_set_at outcome ~n ~k in
+             let member = Bitvec.of_list (Detection_table.universe table) tests in
+             for fi = 0 to Detection_table.target_count table - 1 do
+               let detections =
+                 Bitvec.inter_count member (Detection_table.target_set table fi)
+               in
+               let demand = min n (Detection_table.target_n table fi) in
+               if detections < demand then ok := false
+             done
+           done
+         done;
+         !ok))
+
+let prop_procedure1_multi_output_valid =
+  QCheck.Test.make
+    ~name:"Multi_output sets remain Definition-1 n-detection sets" ~count:10
+    Helpers.circuit_arbitrary
+    (Helpers.apply_circuit (fun net ->
+         let table = Detection_table.build net in
+         if Detection_table.output_count table > 62 then true
+         else begin
+           let config =
+             { Procedure1.seed = 29; set_count = 6; nmax = 3;
+               mode = Procedure1.Multi_output }
+           in
+           let outcome = Procedure1.run table config in
+           let ok = ref true in
+           for k = 0 to config.Procedure1.set_count - 1 do
+             let tests = Procedure1.test_set outcome ~k in
+             let member =
+               Bitvec.of_list (Detection_table.universe table) tests
+             in
+             for fi = 0 to Detection_table.target_count table - 1 do
+               let detections =
+                 Bitvec.inter_count member
+                   (Detection_table.target_set table fi)
+               in
+               if detections < min 3 (Detection_table.target_n table fi)
+               then ok := false
+             done
+           done;
+           !ok
+         end))
+
+let prop_procedure1_monotone =
+  QCheck.Test.make ~name:"d(n, g) is monotone in n" ~count:10
+    Helpers.circuit_arbitrary
+    (Helpers.apply_circuit (fun net ->
+         let table = Detection_table.build net in
+         let config =
+           { Procedure1.seed = 17; set_count = 10; nmax = 5;
+             mode = Procedure1.Definition1 }
+         in
+         let outcome = Procedure1.run table config in
+         let ok = ref true in
+         for gj = 0 to Detection_table.untargeted_count table - 1 do
+           for n = 1 to config.Procedure1.nmax - 1 do
+             if
+               Procedure1.detected_count outcome ~n ~gj
+               > Procedure1.detected_count outcome ~n:(n + 1) ~gj
+             then ok := false
+           done
+         done;
+         !ok))
+
+let test_procedure1_deterministic () =
+  let table = example_table () in
+  let config =
+    { Procedure1.seed = 42; set_count = 10; nmax = 2;
+      mode = Procedure1.Definition1 }
+  in
+  let a = Procedure1.run table config and b = Procedure1.run table config in
+  for k = 0 to 9 do
+    Alcotest.(check (list int)) "same sets" (Procedure1.test_set a ~k)
+      (Procedure1.test_set b ~k)
+  done
+
+let test_procedure1_table4_shape () =
+  (* K = 10 sets for n = 1, 2 on the example, like the paper's Table 4. *)
+  let table = example_table () in
+  let config =
+    { Procedure1.seed = 1; set_count = 10; nmax = 2;
+      mode = Procedure1.Definition1 }
+  in
+  let outcome = Procedure1.run table config in
+  for k = 0 to 9 do
+    let t1 = Procedure1.test_set_at outcome ~n:1 ~k in
+    let t2 = Procedure1.test_set_at outcome ~n:2 ~k in
+    Alcotest.(check bool) "t1 subset of t2" true
+      (List.for_all (fun v -> List.mem v t2) t1);
+    Alcotest.(check bool) "t1 nonempty" true (t1 <> []);
+    (* No duplicates. *)
+    Alcotest.(check int) "t2 distinct" (List.length t2)
+      (List.length (List.sort_uniq Int.compare t2))
+  done;
+  (* g6 has T = {12}: the probability estimate is d/K. *)
+  let g6 = find_g6 table in
+  let d1 = Procedure1.detected_count outcome ~n:1 ~gj:g6 in
+  let d2 = Procedure1.detected_count outcome ~n:2 ~gj:g6 in
+  Alcotest.(check bool) "d monotone" true (d1 <= d2);
+  Alcotest.(check (float 1e-9)) "p = d/K"
+    (float_of_int d2 /. 10.0)
+    (Procedure1.probability outcome ~n:2 ~gj:g6)
+
+let test_definition2_example () =
+  let table = example_table () in
+  let def2 = Definition2.create table in
+  (* Fault 1/1 (index 0): any two tests of T = {4,5,6,7} share the core
+     01-- which detects the fault, so no pair is "different". *)
+  Alcotest.(check bool) "4 and 7 not different" false
+    (Definition2.different def2 ~fi:0 4 7);
+  Alcotest.(check bool) "same vector never different" false
+    (Definition2.different def2 ~fi:0 5 5);
+  let count, chain = Definition2.count_greedy def2 ~fi:0 [ 4; 5; 6; 7 ] in
+  Alcotest.(check int) "greedy count 1" 1 count;
+  Alcotest.(check (list int)) "chain" [ 4 ] chain;
+  Alcotest.(check int) "exact count 1" 1
+    (Definition2.count_exact def2 ~fi:0 [ 4; 5; 6; 7 ]);
+  (* Fault 2/0 (index 1): T = {6,7,12..15}. Tests 6 (0110) and 12 (1100)
+     share 0 only at x2=1 and x4=0: core -1-0 does not detect 2/0 (x1/x3
+     unknown blocks propagation), so they are different detections. *)
+  Alcotest.(check bool) "6 and 12 different for 2/0" true
+    (Definition2.different def2 ~fi:1 6 12)
+
+let test_definition2_symmetric () =
+  let table = example_table () in
+  let def2 = Definition2.create table in
+  for fi = 0 to Detection_table.target_count table - 1 do
+    for a = 0 to 15 do
+      for b = 0 to 15 do
+        Alcotest.(check bool) "symmetric"
+          (Definition2.different def2 ~fi a b)
+          (Definition2.different def2 ~fi b a)
+      done
+    done
+  done
+
+let prop_def2_greedy_le_exact =
+  QCheck.Test.make ~name:"greedy Def2 count <= exact count" ~count:10
+    Helpers.circuit_arbitrary
+    (Helpers.apply_circuit (fun net ->
+         let table = Detection_table.build net in
+         let def2 = Definition2.create table in
+         let universe = Detection_table.universe table in
+         let ok = ref true in
+         for fi = 0 to min 5 (Detection_table.target_count table - 1) do
+           let tests =
+             Bitvec.to_list (Detection_table.target_set table fi)
+             |> List.filteri (fun i _ -> i < 8)
+           in
+           ignore universe;
+           let greedy, chain = Definition2.count_greedy def2 ~fi tests in
+           let exact = Definition2.count_exact def2 ~fi tests in
+           if greedy > exact then ok := false;
+           if List.length chain <> greedy then ok := false
+         done;
+         !ok))
+
+let test_procedure1_def2_runs () =
+  let table = example_table () in
+  let config =
+    { Procedure1.seed = 7; set_count = 10; nmax = 3;
+      mode = Procedure1.Definition2 }
+  in
+  let outcome = Procedure1.run table config in
+  (* Sets are still valid Definition-1 n-detection sets thanks to the
+     fallback rule. *)
+  for k = 0 to 9 do
+    let tests = Procedure1.test_set outcome ~k in
+    let member = Bitvec.of_list 16 tests in
+    for fi = 0 to Detection_table.target_count table - 1 do
+      let detections =
+        Bitvec.inter_count member (Detection_table.target_set table fi)
+      in
+      Alcotest.(check bool) "fallback keeps Def1 validity" true
+        (detections >= min 3 (Detection_table.target_n table fi));
+      (* Chains contain only pairwise-different, detecting tests. *)
+      let chain = Procedure1.chain_def2 outcome ~k ~fi in
+      Alcotest.(check bool) "chain within T(f)" true
+        (List.for_all
+           (fun v -> Bitvec.get (Detection_table.target_set table fi) v)
+           chain)
+    done
+  done
+
+let test_output_sets_partition_detection () =
+  (* Per-output detection sets union to the full detection set. *)
+  let table = example_table () in
+  for fi = 0 to Detection_table.target_count table - 1 do
+    let sets = Detection_table.target_output_sets table ~fi in
+    Alcotest.(check int) "one set per output" 3 (Array.length sets);
+    let union =
+      Array.fold_left Bitvec.union (Bitvec.create 16) sets
+    in
+    Alcotest.(check bool)
+      (Detection_table.target_label table fi ^ " union")
+      true
+      (Bitvec.equal union (Detection_table.target_set table fi))
+  done;
+  (* Fault 2/0 (stem with fanout into gates 9 and 10) is observed at
+     output 9 on {12..15} and output 10 on {6,7,14,15}. *)
+  let sets = Detection_table.target_output_sets table ~fi:1 in
+  Alcotest.(check (list int)) "at output 9" [ 12; 13; 14; 15 ]
+    (Bitvec.to_list sets.(0));
+  Alcotest.(check (list int)) "at output 10" [ 6; 7; 14; 15 ]
+    (Bitvec.to_list sets.(1));
+  Alcotest.(check (list int)) "at output 11" [] (Bitvec.to_list sets.(2))
+
+let test_procedure1_multi_output () =
+  let table = example_table () in
+  let config =
+    { Procedure1.seed = 13; set_count = 20; nmax = 3;
+      mode = Procedure1.Multi_output }
+  in
+  let outcome = Procedure1.run table config in
+  for k = 0 to config.Procedure1.set_count - 1 do
+    let tests = Procedure1.test_set outcome ~k in
+    let member = Bitvec.of_list 16 tests in
+    for fi = 0 to Detection_table.target_count table - 1 do
+      (* Fallback keeps Definition-1 validity. *)
+      let detections =
+        Bitvec.inter_count member (Detection_table.target_set table fi)
+      in
+      Alcotest.(check bool) "def1 validity" true
+        (detections >= min 3 (Detection_table.target_n table fi));
+      (* The recorded output mask is consistent with the set's tests. *)
+      let sets = Detection_table.target_output_sets table ~fi in
+      let expected_mask = ref 0 in
+      List.iter
+        (fun v ->
+          Array.iteri
+            (fun o set ->
+              if Bitvec.get set v then expected_mask := !expected_mask lor (1 lsl o))
+            sets)
+        tests;
+      Alcotest.(check int) "output mask" !expected_mask
+        (Procedure1.output_mask outcome ~k ~fi)
+    done
+  done;
+  (* Fault 2/0 can reach 2 distinct outputs: with n >= 2 every set must
+     cover both. *)
+  for k = 0 to config.Procedure1.set_count - 1 do
+    Alcotest.(check int) "2/0 covers both outputs" 0b011
+      (Procedure1.output_mask outcome ~k ~fi:1)
+  done
+
+let test_average_case_thresholds () =
+  let row =
+    Average_case.summarize_probabilities [| 1.0; 0.95; 0.52; 0.1; 0.0 |]
+  in
+  Alcotest.(check int) "faults" 5 row.Average_case.fault_count;
+  Alcotest.(check (array int)) "cumulative"
+    [| 1; 2; 2; 2; 2; 3; 3; 3; 3; 4; 5 |]
+    row.Average_case.at_least;
+  Alcotest.(check (float 1e-9)) "min" 0.0 row.Average_case.min_probability
+
+let test_wilson_interval () =
+  (* Symmetric around 0.5, shrinks with K, brackets the estimate. *)
+  let lo, hi = Average_case.wilson_interval ~detected:50 ~trials:100 () in
+  Alcotest.(check bool) "brackets p" true (lo < 0.5 && 0.5 < hi);
+  Alcotest.(check (float 1e-6)) "symmetric at 0.5" (0.5 -. lo) (hi -. 0.5);
+  let lo2, hi2 = Average_case.wilson_interval ~detected:5000 ~trials:10000 () in
+  Alcotest.(check bool) "narrower with more trials" true (hi2 -. lo2 < hi -. lo);
+  Alcotest.(check bool) "paper-scale precision" true (hi2 -. lo2 < 0.025);
+  (* Extremes stay within [0, 1] and never degenerate. *)
+  let lo3, hi3 = Average_case.wilson_interval ~detected:0 ~trials:10 () in
+  Alcotest.(check (float 1e-9)) "lower bound clamps" 0.0 lo3;
+  Alcotest.(check bool) "upper bound positive" true (hi3 > 0.0);
+  Alcotest.(check bool) "rejects bad input" true
+    (try
+       ignore (Average_case.wilson_interval ~detected:11 ~trials:10 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_average_case_empty () =
+  let row = Average_case.summarize_probabilities [||] in
+  Alcotest.(check int) "faults" 0 row.Average_case.fault_count;
+  Alcotest.(check int) "last bucket" 0
+    row.Average_case.at_least.(Array.length row.Average_case.at_least - 1)
+
+let test_analysis_example () =
+  let a = Analysis.analyze ~name:"example" (Example.circuit ()) in
+  Alcotest.(check string) "name" "example" a.Analysis.summary.Analysis.circuit;
+  Alcotest.(check int) "untargeted" 10
+    a.Analysis.summary.Analysis.untargeted_faults;
+  (* max nmin on the example is 4 < 11: no hard faults. *)
+  Alcotest.(check int) "no hard faults" 0
+    (Array.length (Analysis.hard_faults a ~nmax:10));
+  Alcotest.(check int) "hard for nmax=3" 2
+    (Array.length (Analysis.hard_faults a ~nmax:3));
+  let pb = a.Analysis.summary.Analysis.percent_below in
+  Alcotest.(check (float 1e-6)) "100% at n=4" 100.0 (List.assoc 4 pb)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "detection-table",
+        [
+          Alcotest.test_case "counts" `Quick test_table_counts;
+          Alcotest.test_case "M values" `Quick test_table_m_values;
+          Alcotest.test_case "overlapping targets" `Quick
+            test_overlapping_targets;
+        ] );
+      ( "worst-case",
+        [
+          Alcotest.test_case "example (paper numbers)" `Quick
+            test_worst_case_example;
+          Alcotest.test_case "counters" `Quick test_worst_case_counters;
+          QCheck_alcotest.to_alcotest prop_nmin_adversarial_bound;
+          QCheck_alcotest.to_alcotest prop_nmin_guarantee;
+        ] );
+      ( "procedure1",
+        [
+          Alcotest.test_case "deterministic" `Quick
+            test_procedure1_deterministic;
+          Alcotest.test_case "table 4 shape" `Quick
+            test_procedure1_table4_shape;
+          Alcotest.test_case "definition 2 mode" `Quick
+            test_procedure1_def2_runs;
+          Alcotest.test_case "multi-output mode" `Quick
+            test_procedure1_multi_output;
+          Alcotest.test_case "per-output detection sets" `Quick
+            test_output_sets_partition_detection;
+          QCheck_alcotest.to_alcotest prop_procedure1_sets_valid;
+          QCheck_alcotest.to_alcotest prop_procedure1_multi_output_valid;
+          QCheck_alcotest.to_alcotest prop_procedure1_monotone;
+        ] );
+      ( "definition2",
+        [
+          Alcotest.test_case "example pairs" `Quick test_definition2_example;
+          Alcotest.test_case "symmetry" `Quick test_definition2_symmetric;
+          QCheck_alcotest.to_alcotest prop_def2_greedy_le_exact;
+        ] );
+      ( "average-case",
+        [
+          Alcotest.test_case "thresholds" `Quick test_average_case_thresholds;
+          Alcotest.test_case "wilson interval" `Quick test_wilson_interval;
+          Alcotest.test_case "empty" `Quick test_average_case_empty;
+        ] );
+      ( "analysis",
+        [ Alcotest.test_case "example" `Quick test_analysis_example ] );
+    ]

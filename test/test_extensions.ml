@@ -1,0 +1,436 @@
+(* Tests for the extension features: pattern-set simulation, test-set
+   evaluation, partitioning, defect-level estimation, wired bridges,
+   checkpoint faults, BLIF and Verilog output. *)
+
+module Netlist = Ndetect_circuit.Netlist
+module Gate = Ndetect_circuit.Gate
+module Stuck = Ndetect_faults.Stuck
+module Bridge = Ndetect_faults.Bridge
+module Wired = Ndetect_faults.Wired
+module Eval = Ndetect_sim.Eval
+module Good = Ndetect_sim.Good
+module Fault_sim = Ndetect_sim.Fault_sim
+module Naive = Ndetect_sim.Naive
+module Bitvec = Ndetect_util.Bitvec
+module Detection_table = Ndetect_core.Detection_table
+module Worst_case = Ndetect_core.Worst_case
+module Test_eval = Ndetect_core.Test_eval
+module Partition = Ndetect_core.Partition
+module Defect_level = Ndetect_core.Defect_level
+module Average_case = Ndetect_core.Average_case
+module Analysis = Ndetect_core.Analysis
+module Blif = Ndetect_netparse.Blif
+module Verilog = Ndetect_netparse.Verilog
+module Bench_format = Ndetect_netparse.Bench_format
+module Registry = Ndetect_suite.Registry
+module Example = Ndetect_suite.Example
+
+(* --- pattern-set simulation -------------------------------------- *)
+
+let prop_pattern_sim_matches_universe =
+  QCheck.Test.make
+    ~name:"of_vectors detection sets = exhaustive sets restricted" ~count:20
+    Helpers.circuit_arbitrary
+    (Helpers.apply_circuit (fun net ->
+         let universe = Netlist.universe_size net in
+         (* A fixed, irregular pattern subset. *)
+         let vectors =
+           Array.of_list
+             (List.filter (fun v -> v mod 3 <> 1) (List.init universe Fun.id))
+         in
+         if Array.length vectors = 0 then true
+         else begin
+           let exhaustive = Good.compute net in
+           let patterns = Good.of_vectors net vectors in
+           Array.for_all
+             (fun fault ->
+               let full = Fault_sim.stuck_detection_set exhaustive fault in
+               let sub = Fault_sim.stuck_detection_set patterns fault in
+               let expected =
+                 Array.to_list vectors
+                 |> List.mapi (fun pos v -> (pos, Bitvec.get full v))
+                 |> List.filter_map (fun (pos, d) ->
+                        if d then Some pos else None)
+               in
+               Bitvec.to_list sub = expected)
+             (Stuck.collapse net)
+         end))
+
+let test_test_eval_example () =
+  let net = Example.circuit () in
+  let table = Detection_table.build net in
+  (* Evaluate the full universe: Def1 counts must equal N(f). *)
+  let ev =
+    Test_eval.evaluate net ~vectors:(Array.init 16 Fun.id)
+  in
+  let counts = Test_eval.detections_def1 ev in
+  for fi = 0 to Detection_table.target_count table - 1 do
+    Alcotest.(check int) "count = N(f)"
+      (Detection_table.target_n table fi)
+      counts.(fi)
+  done;
+  Alcotest.(check (float 1e-9)) "100% stuck coverage" 100.0
+    (Test_eval.stuck_coverage ev);
+  Alcotest.(check (float 1e-9)) "bridge coverage = detectable fraction"
+    (100.0 *. 10.0 /. 12.0)
+    (Test_eval.bridge_coverage ev);
+  Alcotest.(check bool) "duplicates dropped" true
+    (Array.length
+       (Test_eval.vectors
+          (Test_eval.evaluate net ~vectors:[| 3; 3; 3; 5 |]))
+    = 2)
+
+let test_test_eval_def2_capped () =
+  let net = Example.circuit () in
+  (* Fault 1/1 has T = {4,5,6,7}, all pairwise similar: even the full
+     universe only counts one Definition-2 detection. *)
+  let ev = Test_eval.evaluate net ~vectors:(Array.init 16 Fun.id) in
+  let def1 = Test_eval.detections_def1 ev in
+  let def2 = Test_eval.detections_def2 ev in
+  Alcotest.(check int) "1/1 def1 = 4" 4 def1.(0);
+  Alcotest.(check int) "1/1 def2 = 1" 1 def2.(0);
+  Array.iteri
+    (fun fi d2 ->
+      Alcotest.(check bool) "def2 <= def1" true (d2 <= def1.(fi)))
+    def2
+
+let test_test_eval_is_n_detection () =
+  let net = Example.circuit () in
+  let ev = Test_eval.evaluate net ~vectors:(Array.init 16 Fun.id) in
+  Alcotest.(check bool) "full universe is 4-detection" true
+    (Test_eval.is_n_detection ev ~n:4 ~def2:false);
+  Alcotest.(check bool) "but not 5-detection (a fault has N = 4)" false
+    (Test_eval.is_n_detection ev ~n:5 ~def2:false)
+
+(* --- partitioning -------------------------------------------------- *)
+
+let test_partition_extract_semantics () =
+  let net = Registry.circuit (Option.get (Registry.find "mc")) in
+  let blocks = Partition.blocks net ~max_inputs:3 in
+  Alcotest.(check bool) "at least two blocks" true (List.length blocks >= 2);
+  (* Every original output appears in exactly one block. *)
+  let all_outputs =
+    List.concat_map (fun b -> Array.to_list b.Partition.outputs) blocks
+  in
+  Alcotest.(check int) "outputs partitioned"
+    (Array.length (Netlist.outputs net))
+    (List.length (List.sort_uniq Int.compare all_outputs));
+  (* Block subcircuits compute the original functions. *)
+  List.iter
+    (fun block ->
+      let sub = block.Partition.subcircuit in
+      Alcotest.(check bool) "support bounded (or singleton)" true
+        (Netlist.input_count sub <= 3
+        || Array.length block.Partition.outputs = 1);
+      for v = 0 to Netlist.universe_size sub - 1 do
+        let sub_assignment = Eval.assignment_of_vector sub v in
+        (* Build a full assignment with the support bits set. *)
+        let full = Array.make (Netlist.input_count net) false in
+        Array.iteri
+          (fun i pi -> full.(pi) <- sub_assignment.(i))
+          block.Partition.support;
+        let full_values = Eval.eval_assignment net full in
+        let sub_values = Eval.eval_assignment sub sub_assignment in
+        Array.iteri
+          (fun k o ->
+            let sub_out = (Netlist.outputs sub).(k) in
+            Alcotest.(check bool) "same function" full_values.(o)
+              sub_values.(sub_out))
+          block.Partition.outputs
+      done)
+    blocks
+
+let test_partition_analysis_aggregates () =
+  let net = Registry.circuit (Option.get (Registry.find "mc")) in
+  let results = Partition.analyze ~max_inputs:4 ~name:"mc" net in
+  Alcotest.(check bool) "analyzed some blocks" true (results <> []);
+  let combined = Partition.combined_summary ~name:"mc-partitioned" results in
+  Alcotest.(check bool) "has faults" true (combined.Analysis.untargeted_faults > 0);
+  (* Percentages are monotone in n. *)
+  let rec monotone = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a <= b +. 1e-9 && monotone rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "monotone" true
+    (monotone combined.Analysis.percent_below)
+
+(* --- defect level --------------------------------------------------- *)
+
+let test_defect_level_monotone_in_tests () =
+  let net = Example.circuit () in
+  let small = Defect_level.compute net ~vectors:[| 6 |] in
+  let large = Defect_level.compute net ~vectors:(Array.init 16 Fun.id) in
+  Alcotest.(check bool) "more tests, lower escape" true
+    (Defect_level.escape_probability large
+    < Defect_level.escape_probability small);
+  Alcotest.(check bool) "defect level scales" true
+    (Defect_level.defect_level ~defect_density:0.02 large
+    < Defect_level.defect_level ~defect_density:0.02 small)
+
+let test_defect_level_extremes () =
+  let net = Example.circuit () in
+  let dl = Defect_level.compute net ~vectors:(Array.init 16 Fun.id) in
+  (* q = 0: no observation ever detects, escape probability 1. *)
+  Alcotest.(check (float 1e-9)) "q=0" 1.0
+    (Defect_level.escape_probability ~q:0.0 dl);
+  (* q = 1: only never-observed sites escape. *)
+  let counts = Defect_level.observation_counts dl in
+  let unobserved =
+    Array.fold_left (fun acc k -> if k = 0 then acc + 1 else acc) 0 counts
+  in
+  Alcotest.(check (float 1e-9)) "q=1"
+    (float_of_int unobserved /. float_of_int (Array.length counts))
+    (Defect_level.escape_probability ~q:1.0 dl);
+  Alcotest.(check bool) "all sites observed by exhaustive set" true
+    (Defect_level.min_observations dl >= 0)
+
+let test_expected_escapes () =
+  Alcotest.(check (float 1e-9)) "sum of 1-p" 0.6
+    (Average_case.expected_escapes [| 1.0; 0.9; 0.5 |])
+
+(* --- wired bridges --------------------------------------------------- *)
+
+let prop_wired_sim_matches_naive =
+  QCheck.Test.make ~name:"wired detection sets: cone == naive" ~count:20
+    Helpers.circuit_arbitrary
+    (Helpers.apply_circuit (fun net ->
+         let good = Good.compute net in
+         List.for_all
+           (fun semantics ->
+             Array.for_all
+               (fun fault ->
+                 Bitvec.equal
+                   (Fault_sim.wired_detection_set good fault)
+                   (Naive.wired_detection_set net fault))
+               (Wired.enumerate net semantics))
+           [ Wired.Wired_and; Wired.Wired_or ]))
+
+let test_wired_example () =
+  let net = Example.circuit () in
+  let wired_and = Wired.enumerate net Wired.Wired_and in
+  (* Same three non-feedback pairs as the four-way model, one fault each. *)
+  Alcotest.(check int) "three wired-AND faults" 3 (Array.length wired_and);
+  let good = Good.compute net in
+  (* Wired-AND between 9 and 10 differs from fault-free exactly when the
+     two lines disagree and the affected one is observed: for POs 9 and
+     10 that is whenever 9 <> 10. *)
+  let t =
+    Fault_sim.wired_detection_set good
+      { Wired.a = 4; b = 5; semantics = Wired.Wired_and }
+  in
+  let expected =
+    List.filter
+      (fun v ->
+        let x1 = v land 8 <> 0 and x2 = v land 4 <> 0 and x3 = v land 2 <> 0 in
+        (x1 && x2) <> (x2 && x3))
+      (List.init 16 Fun.id)
+  in
+  Alcotest.(check (list int)) "wired-AND(9,10)" expected (Bitvec.to_list t)
+
+let test_wired_analysis_model () =
+  let net = Example.circuit () in
+  let table = Detection_table.build ~model:(Detection_table.Wired Wired.Wired_or) net in
+  Alcotest.(check bool) "has wired untargeted faults" true
+    (Detection_table.untargeted_count table > 0);
+  let worst = Worst_case.compute table in
+  for gj = 0 to Detection_table.untargeted_count table - 1 do
+    Alcotest.(check bool) "nmin computed" true (Worst_case.nmin worst gj >= 1)
+  done;
+  match Detection_table.untargeted_fault table 0 with
+  | Detection_table.Wired_fault _ -> ()
+  | Detection_table.Bridge_fault _ -> Alcotest.fail "expected wired fault"
+
+(* --- checkpoints ------------------------------------------------------ *)
+
+let test_checkpoints_example () =
+  let net = Example.circuit () in
+  let cps = Stuck.checkpoints net in
+  (* 4 PI stems + 4 branches = 8 lines, 16 faults. *)
+  Alcotest.(check int) "16 checkpoint faults" 16 (Array.length cps);
+  (* Checkpoint theorem on this irredundant circuit: every detectable
+     fault dominates some checkpoint fault. *)
+  let good = Good.compute net in
+  let cp_sets =
+    Array.map (Fault_sim.stuck_detection_set good) cps
+    |> Array.to_list
+    |> List.filter (fun s -> not (Bitvec.is_empty s))
+  in
+  Array.iter
+    (fun fault ->
+      let tf = Fault_sim.stuck_detection_set good fault in
+      if not (Bitvec.is_empty tf) then
+        Alcotest.(check bool)
+          (Stuck.to_string net fault ^ " dominated by a checkpoint")
+          true
+          (List.exists (fun cp -> Bitvec.subset cp tf) cp_sets))
+    (Stuck.all net)
+
+(* --- BLIF / Verilog --------------------------------------------------- *)
+
+let blif_text =
+  {|# example
+.model demo
+.inputs a b c
+.outputs y z
+.names a b w
+11 1
+.names w c y
+1- 1
+-1 1
+.names a z
+0 1
+.end
+|}
+
+let test_blif_parse_semantics () =
+  let net = Blif.parse blif_text in
+  Alcotest.(check int) "3 inputs" 3 (Netlist.input_count net);
+  (* y = (a & b) | c, z = !a. *)
+  for v = 0 to 7 do
+    let a = v land 4 <> 0 and b = v land 2 <> 0 and c = v land 1 <> 0 in
+    let out = Eval.outputs_of_vector net v in
+    Alcotest.(check bool) "y" ((a && b) || c) out.(0);
+    Alcotest.(check bool) "z" (not a) out.(1)
+  done
+
+let test_blif_latches_become_scan_io () =
+  let src =
+    ".model m\n.inputs a\n.outputs y\n.latch ns s re ck 0\n.names a s ns\n11 1\n.names s y\n1 1\n.end\n"
+  in
+  let net = Blif.parse src in
+  (* Inputs a and s; outputs y and ns. *)
+  Alcotest.(check int) "2 inputs" 2 (Netlist.input_count net);
+  Alcotest.(check int) "2 outputs" 2 (Array.length (Netlist.outputs net))
+
+let test_blif_offset_cover () =
+  let src = ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n" in
+  let net = Blif.parse src in
+  (* y = NOT(a & b). *)
+  for v = 0 to 3 do
+    let a = v land 2 <> 0 and b = v land 1 <> 0 in
+    Alcotest.(check bool) "nand" (not (a && b)) (Eval.outputs_of_vector net v).(0)
+  done
+
+let test_blif_roundtrip () =
+  let net = Example.circuit () in
+  let net2 = Blif.parse (Blif.print net ()) in
+  for v = 0 to 15 do
+    Alcotest.(check (array bool)) "same outputs"
+      (Eval.outputs_of_vector net v)
+      (Eval.outputs_of_vector net2 v)
+  done
+
+let prop_blif_roundtrip_random =
+  QCheck.Test.make ~name:"BLIF print/parse preserves semantics" ~count:25
+    Helpers.circuit_arbitrary
+    (Helpers.apply_circuit (fun net ->
+         let net2 = Blif.parse (Blif.print net ()) in
+         let ok = ref true in
+         for v = 0 to Netlist.universe_size net - 1 do
+           if Eval.outputs_of_vector net v <> Eval.outputs_of_vector net2 v
+           then ok := false
+         done;
+         !ok))
+
+let test_blif_errors () =
+  let check src =
+    Alcotest.(check bool) "raises" true
+      (try
+         ignore (Blif.parse src);
+         false
+       with Blif.Parse_error _ -> true)
+  in
+  check ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n11 1\n.end\n";
+  check ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n1 0\n.end\n";
+  check ".model m\n.inputs a\n.outputs y\n1 1\n.end\n";
+  check ".model m\n.inputs a\n.names a a2\n1 1\n.end\n"
+
+let test_verilog_output () =
+  let net = Example.circuit () in
+  let text = Verilog.print net in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true
+        (Helpers.contains_substring text needle))
+    [ "module ndetect"; "endmodule"; "and g"; "or g"; "assign po0" ]
+
+let test_verilog_sanitizes_names () =
+  (* The example circuit's numeric names must be legalized. *)
+  let net = Example.circuit () in
+  let text = Verilog.print net in
+  Alcotest.(check bool) "no bare numeric identifiers" true
+    (Helpers.contains_substring text "input n1;"
+    || Helpers.contains_substring text "input n1,")
+
+(* --- bench roundtrip through files ------------------------------------ *)
+
+let test_bench_file_roundtrip () =
+  let net = Registry.circuit (Option.get (Registry.find "lion")) in
+  let path = Filename.temp_file "ndetect" ".bench" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc (Bench_format.print net);
+      close_out oc;
+      let net2 = Bench_format.parse_file path in
+      for v = 0 to Netlist.universe_size net - 1 do
+        Alcotest.(check (array bool)) "same"
+          (Eval.outputs_of_vector net v)
+          (Eval.outputs_of_vector net2 v)
+      done)
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "pattern-sim",
+        [
+          QCheck_alcotest.to_alcotest prop_pattern_sim_matches_universe;
+          Alcotest.test_case "test_eval example" `Quick test_test_eval_example;
+          Alcotest.test_case "test_eval def2" `Quick test_test_eval_def2_capped;
+          Alcotest.test_case "is_n_detection" `Quick
+            test_test_eval_is_n_detection;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "extract semantics" `Quick
+            test_partition_extract_semantics;
+          Alcotest.test_case "aggregate analysis" `Quick
+            test_partition_analysis_aggregates;
+        ] );
+      ( "defect-level",
+        [
+          Alcotest.test_case "monotone in tests" `Quick
+            test_defect_level_monotone_in_tests;
+          Alcotest.test_case "extremes" `Quick test_defect_level_extremes;
+          Alcotest.test_case "expected escapes" `Quick test_expected_escapes;
+        ] );
+      ( "wired",
+        [
+          Alcotest.test_case "example" `Quick test_wired_example;
+          Alcotest.test_case "analysis with wired model" `Quick
+            test_wired_analysis_model;
+          QCheck_alcotest.to_alcotest prop_wired_sim_matches_naive;
+        ] );
+      ( "checkpoints",
+        [ Alcotest.test_case "example" `Quick test_checkpoints_example ] );
+      ( "blif",
+        [
+          Alcotest.test_case "parse semantics" `Quick
+            test_blif_parse_semantics;
+          Alcotest.test_case "latches" `Quick test_blif_latches_become_scan_io;
+          Alcotest.test_case "off-set cover" `Quick test_blif_offset_cover;
+          Alcotest.test_case "roundtrip example" `Quick test_blif_roundtrip;
+          Alcotest.test_case "errors" `Quick test_blif_errors;
+          QCheck_alcotest.to_alcotest prop_blif_roundtrip_random;
+        ] );
+      ( "verilog",
+        [
+          Alcotest.test_case "output" `Quick test_verilog_output;
+          Alcotest.test_case "sanitized names" `Quick
+            test_verilog_sanitizes_names;
+        ] );
+      ( "bench-files",
+        [ Alcotest.test_case "file roundtrip" `Quick test_bench_file_roundtrip ]
+      );
+    ]

@@ -1,0 +1,115 @@
+(* Tests for the reproduction driver shared by bin/reproduce and
+   bench/main. *)
+
+module Driver = Ndetect_harness.Driver
+module Registry = Ndetect_suite.Registry
+
+let small_options =
+  {
+    Driver.tier = Registry.Small;
+    k = 20;
+    k2 = 10;
+    seed = 1;
+    only = "all";
+    quiet = true;
+    csv_dir = None;
+  }
+
+let test_parse_args_defaults () =
+  let opts = Driver.parse_args [] in
+  Alcotest.(check int) "k" 1000 opts.Driver.k;
+  Alcotest.(check int) "k2" 200 opts.Driver.k2;
+  Alcotest.(check string) "only" "all" opts.Driver.only;
+  Alcotest.(check bool) "not quiet" false opts.Driver.quiet
+
+let test_parse_args_full () =
+  let opts =
+    Driver.parse_args
+      [ "--tier"; "large"; "--k"; "42"; "--k2"; "7"; "--seed"; "9";
+        "--only"; "Table5"; "--quiet" ]
+  in
+  Alcotest.(check bool) "tier" true (opts.Driver.tier = Registry.Large);
+  Alcotest.(check int) "k" 42 opts.Driver.k;
+  Alcotest.(check int) "k2" 7 opts.Driver.k2;
+  Alcotest.(check int) "seed" 9 opts.Driver.seed;
+  Alcotest.(check string) "only lowercased" "table5" opts.Driver.only;
+  Alcotest.(check bool) "quiet" true opts.Driver.quiet
+
+let test_parse_args_csv () =
+  let opts = Driver.parse_args [ "--csv"; "out/dir" ] in
+  Alcotest.(check (option string)) "csv dir" (Some "out/dir")
+    opts.Driver.csv_dir;
+  Alcotest.(check (option string)) "default none" None
+    (Driver.parse_args []).Driver.csv_dir
+
+let test_parse_args_errors () =
+  Alcotest.(check bool) "bad tier" true
+    (try
+       ignore (Driver.parse_args [ "--tier"; "gigantic" ]);
+       false
+     with Failure _ -> true);
+  Alcotest.(check bool) "unknown flag" true
+    (try
+       ignore (Driver.parse_args [ "--frobnicate" ]);
+       false
+     with Failure _ -> true)
+
+let test_table1_content () =
+  let driver = Driver.create small_options in
+  let out = Driver.run_table1 driver in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true
+        (Helpers.contains_substring out needle))
+    [ "T((9,0,10,1)) = {6 7}"; "nmin((9,0,10,1)) = 3"; "9/1"; "11/0" ]
+
+let test_table4_content () =
+  let driver = Driver.create small_options in
+  let out = Driver.run_table4 driver in
+  Alcotest.(check bool) "has g6 line" true
+    (Helpers.contains_substring out "T(g6) = {12}")
+
+let test_tables_2_3_shape () =
+  let driver = Driver.create small_options in
+  let t2 = Driver.run_table2 driver in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " in table 2") true
+        (Helpers.contains_substring t2 name))
+    [ "lion"; "mc"; "bbtas"; "modulo12" ];
+  let t3 = Driver.run_table3 driver in
+  Alcotest.(check bool) "table 3 rendered" true
+    (Helpers.contains_substring t3 "n>=100")
+
+let test_figure2_runs () =
+  let driver = Driver.create small_options in
+  let out = Driver.run_figure2 driver in
+  Alcotest.(check bool) "names a circuit" true
+    (Helpers.contains_substring out "circuit:")
+
+let test_caching () =
+  let driver = Driver.create small_options in
+  let entry = Option.get (Registry.find "lion") in
+  let a1 = Driver.analysis_of driver entry in
+  let a2 = Driver.analysis_of driver entry in
+  Alcotest.(check bool) "same analysis object" true (a1 == a2)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "args",
+        [
+          Alcotest.test_case "defaults" `Quick test_parse_args_defaults;
+          Alcotest.test_case "full" `Quick test_parse_args_full;
+          Alcotest.test_case "csv flag" `Quick test_parse_args_csv;
+          Alcotest.test_case "errors" `Quick test_parse_args_errors;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "table 1 content" `Quick test_table1_content;
+          Alcotest.test_case "table 4 content" `Quick test_table4_content;
+          Alcotest.test_case "tables 2/3" `Quick test_tables_2_3_shape;
+          Alcotest.test_case "figure 2" `Quick test_figure2_runs;
+          Alcotest.test_case "analysis caching" `Quick test_caching;
+        ] );
+    ]

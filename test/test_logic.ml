@@ -1,0 +1,160 @@
+module Ternary = Ndetect_logic.Ternary
+module Word = Ndetect_logic.Word
+
+let ternary = Alcotest.testable Ternary.pp Ternary.equal
+
+let all3 = [ Ternary.Zero; Ternary.One; Ternary.X ]
+
+let test_ternary_tables () =
+  Alcotest.check ternary "0 and X" Ternary.Zero
+    (Ternary.and_ Ternary.Zero Ternary.X);
+  Alcotest.check ternary "1 and X" Ternary.X
+    (Ternary.and_ Ternary.One Ternary.X);
+  Alcotest.check ternary "1 or X" Ternary.One
+    (Ternary.or_ Ternary.One Ternary.X);
+  Alcotest.check ternary "0 or X" Ternary.X
+    (Ternary.or_ Ternary.Zero Ternary.X);
+  Alcotest.check ternary "X xor 1" Ternary.X
+    (Ternary.xor Ternary.X Ternary.One);
+  Alcotest.check ternary "not X" Ternary.X (Ternary.not_ Ternary.X)
+
+let test_ternary_consistent_with_bool () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let check name op bop =
+            match Ternary.to_bool_opt a, Ternary.to_bool_opt b with
+            | Some ba, Some bb ->
+              Alcotest.check ternary name
+                (Ternary.of_bool (bop ba bb))
+                (op a b)
+            | None, (Some _ | None) | Some _, None -> ()
+          in
+          check "and" Ternary.and_ ( && );
+          check "or" Ternary.or_ ( || );
+          check "xor" Ternary.xor ( <> ))
+        all3)
+    all3
+
+let test_ternary_monotone () =
+  (* Refining an X input can only refine (never flip) the output. *)
+  let ops = [ Ternary.and_; Ternary.or_; Ternary.xor ] in
+  List.iter
+    (fun op ->
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              let out = op a b in
+              List.iter
+                (fun a' ->
+                  if Ternary.refines a' a then
+                    let out' = op a' b in
+                    Alcotest.(check bool) "monotone" true
+                      (Ternary.refines out' out))
+                all3)
+            all3)
+        all3)
+    ops
+
+let test_de_morgan () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.check ternary "de morgan"
+            (Ternary.not_ (Ternary.and_ a b))
+            (Ternary.or_ (Ternary.not_ a) (Ternary.not_ b)))
+        all3)
+    all3
+
+let test_common () =
+  Alcotest.check ternary "common 1 1" Ternary.One
+    (Ternary.common Ternary.One Ternary.One);
+  Alcotest.check ternary "common 1 0" Ternary.X
+    (Ternary.common Ternary.One Ternary.Zero);
+  Alcotest.check ternary "common X X" Ternary.X
+    (Ternary.common Ternary.X Ternary.X);
+  Alcotest.check ternary "common 0 X" Ternary.X
+    (Ternary.common Ternary.Zero Ternary.X)
+
+let test_chars () =
+  List.iter
+    (fun v ->
+      Alcotest.check ternary "roundtrip" v (Ternary.of_char (Ternary.to_char v)))
+    all3;
+  Alcotest.check_raises "bad char" (Invalid_argument "Ternary.of_char: '2'")
+    (fun () -> ignore (Ternary.of_char '2'))
+
+let test_word_masks () =
+  Alcotest.(check int) "ones count" Word.width (Word.count Word.ones);
+  Alcotest.(check int) "mask_low 5" 5 (Word.count (Word.mask_low 5));
+  Alcotest.(check int) "lognot" (Word.width - 3)
+    (Word.count (Word.lognot (Word.mask_low 3)))
+
+let test_word_batches () =
+  Alcotest.(check int) "16 vectors 1 batch" 1 (Word.batches ~universe:16);
+  Alcotest.(check int) "62 vectors 1 batch" 1 (Word.batches ~universe:62);
+  Alcotest.(check int) "63 vectors 2 batches" 2 (Word.batches ~universe:63);
+  Alcotest.(check int) "batch width full" 62
+    (Word.batch_width ~universe:100 ~batch:0);
+  Alcotest.(check int) "batch width tail" 38
+    (Word.batch_width ~universe:100 ~batch:1);
+  Alcotest.(check int) "batch width beyond" 0
+    (Word.batch_width ~universe:100 ~batch:2)
+
+let test_word_input_pattern () =
+  (* 4 inputs, universe 16: input 0 is the MSB of the vector index. *)
+  let universe = 16 in
+  for bit = 0 to 3 do
+    let w = Word.input_pattern ~universe ~batch:0 ~bit ~pi_count:4 in
+    for v = 0 to 15 do
+      let expected = (v lsr (3 - bit)) land 1 = 1 in
+      Alcotest.(check bool)
+        (Printf.sprintf "bit %d vec %d" bit v)
+        expected (Word.get w v)
+    done
+  done
+
+let test_word_input_pattern_batches () =
+  (* 7 inputs: universe 128 spans 3 batches; lane j of batch b is vector
+     b*62 + j. *)
+  let universe = 128 and pi_count = 7 in
+  for batch = 0 to 2 do
+    let live = Word.batch_width ~universe ~batch in
+    for bit = 0 to pi_count - 1 do
+      let w = Word.input_pattern ~universe ~batch ~bit ~pi_count in
+      for lane = 0 to live - 1 do
+        let v = (batch * Word.width) + lane in
+        let expected = (v lsr (pi_count - 1 - bit)) land 1 = 1 in
+        Alcotest.(check bool)
+          (Printf.sprintf "b%d bit%d lane%d" batch bit lane)
+          expected (Word.get w lane)
+      done
+    done
+  done
+
+let () =
+  Alcotest.run "logic"
+    [
+      ( "ternary",
+        [
+          Alcotest.test_case "truth tables" `Quick test_ternary_tables;
+          Alcotest.test_case "boolean consistency" `Quick
+            test_ternary_consistent_with_bool;
+          Alcotest.test_case "monotone in refinement" `Quick
+            test_ternary_monotone;
+          Alcotest.test_case "de morgan" `Quick test_de_morgan;
+          Alcotest.test_case "common (Definition 2)" `Quick test_common;
+          Alcotest.test_case "char codec" `Quick test_chars;
+        ] );
+      ( "word",
+        [
+          Alcotest.test_case "masks" `Quick test_word_masks;
+          Alcotest.test_case "batches" `Quick test_word_batches;
+          Alcotest.test_case "input pattern" `Quick test_word_input_pattern;
+          Alcotest.test_case "input pattern across batches" `Quick
+            test_word_input_pattern_batches;
+        ] );
+    ]

@@ -1,0 +1,209 @@
+(* Tests for the transition-fault generalization and the diagnosis
+   dictionary. *)
+
+module Netlist = Ndetect_circuit.Netlist
+module Line = Ndetect_circuit.Line
+module Stuck = Ndetect_faults.Stuck
+module Bridge = Ndetect_faults.Bridge
+module Transition = Ndetect_faults.Transition
+module Eval = Ndetect_sim.Eval
+module Good = Ndetect_sim.Good
+module Fault_sim = Ndetect_sim.Fault_sim
+module Transition_analysis = Ndetect_core.Transition_analysis
+module Worst_case = Ndetect_core.Worst_case
+module Bitvec = Ndetect_util.Bitvec
+module Dictionary = Ndetect_diag.Dictionary
+module Example = Ndetect_suite.Example
+module Registry = Ndetect_suite.Registry
+
+(* --- transition faults ----------------------------------------------- *)
+
+let test_transition_enumeration () =
+  let net = Example.circuit () in
+  let faults = Transition.enumerate net in
+  Alcotest.(check int) "two per line" 22 (Array.length faults);
+  let f = faults.(0) in
+  Alcotest.(check string) "label" "1/STR" (Transition.to_string net f);
+  let stuck = Transition.as_stuck f in
+  Alcotest.(check bool) "STR mimics sa0" false stuck.Stuck.value;
+  Alcotest.(check bool) "STR initializes to 0" false
+    (Transition.initialization_value f)
+
+(* The factorized pair count equals a brute-force enumeration of the pair
+   universe with independent scalar definitions. *)
+let test_transition_factorization () =
+  let net = Example.circuit () in
+  let good = Good.compute net in
+  let analysis = Transition_analysis.compute net in
+  let universe = Netlist.universe_size net in
+  for i = 0 to Transition_analysis.target_count analysis - 1 do
+    let fault = Transition_analysis.target_fault analysis i in
+    let stuck = Transition.as_stuck fault in
+    let driver = Line.driver net fault.Transition.line in
+    let init_value = Transition.initialization_value fault in
+    let brute = ref 0 in
+    for v1 = 0 to universe - 1 do
+      let initializes =
+        Bool.equal (Eval.eval_vector net v1).(driver) init_value
+      in
+      if initializes then
+        for v2 = 0 to universe - 1 do
+          if Fault_sim.detects_stuck good stuck ~vector:v2 then incr brute
+        done
+    done;
+    Alcotest.(check int)
+      (Transition.to_string net fault)
+      !brute
+      (Transition_analysis.target_n analysis i)
+  done
+
+let test_transition_detectable_only () =
+  let net = Example.circuit () in
+  let analysis = Transition_analysis.compute net in
+  (* All 22 transition faults on the example are detectable except those
+     whose stuck counterpart is undetectable or never initializable; on
+     this circuit every line takes both values and every collapsed-class
+     member is detectable, so all 22 remain. *)
+  Alcotest.(check int) "22 targets" 22
+    (Transition_analysis.target_count analysis)
+
+let test_transition_nmin_vs_stuck () =
+  (* With the same untargeted set, the transition analysis on the example
+     gives nmin(g) at least as large as the stuck-at analysis: the
+     adversary has at least as much escape room per target. *)
+  let net = Example.circuit () in
+  let stuck_table = Ndetect_core.Detection_table.build net in
+  let stuck_worst = Worst_case.compute stuck_table in
+  let transition = Transition_analysis.compute net in
+  Alcotest.(check int) "same untargeted count"
+    (Ndetect_core.Detection_table.untargeted_count stuck_table)
+    (Transition_analysis.untargeted_count transition);
+  for gj = 0 to Transition_analysis.untargeted_count transition - 1 do
+    Alcotest.(check bool) "transition nmin >= stuck nmin" true
+      (Transition_analysis.nmin transition gj >= Worst_case.nmin stuck_worst gj)
+  done
+
+let test_transition_percentages () =
+  let net = Registry.circuit (Option.get (Registry.find "lion")) in
+  let analysis = Transition_analysis.compute net in
+  let p1 = Transition_analysis.percent_below analysis 1 in
+  let p_huge = Transition_analysis.percent_below analysis 1_000_000 in
+  Alcotest.(check bool) "percentages in range" true (p1 >= 0.0 && p1 <= 100.0);
+  Alcotest.(check bool) "monotone" true (p1 <= p_huge);
+  match Transition_analysis.max_finite_nmin analysis with
+  | Some m ->
+    Alcotest.(check (float 1e-6)) "saturates at max" 100.0
+      (Transition_analysis.percent_below analysis m)
+  | None -> Alcotest.fail "expected finite nmin"
+
+(* --- diagnosis -------------------------------------------------------- *)
+
+let mc_dictionary () =
+  let net = Registry.circuit (Option.get (Registry.find "mc")) in
+  let faults = Stuck.collapse net in
+  let vectors = Array.init 16 (fun i -> i * 2) in
+  (net, faults, Dictionary.build net ~vectors ~faults)
+
+let test_dictionary_self_diagnosis () =
+  let _, faults, dict = mc_dictionary () in
+  (* Each modeled fault's own response must rank it (or an
+     equally-responding equivalent) first with score 1. *)
+  Array.iteri
+    (fun i _ ->
+      let observed = Dictionary.response dict i in
+      if Array.exists (fun m -> m <> 0) observed then begin
+        match Dictionary.diagnose dict ~observed with
+        | top :: _ ->
+          Alcotest.(check (float 1e-9)) "top score 1" 1.0 top.Dictionary.score;
+          Alcotest.(check (array int)) "top response matches"
+            observed
+            (Dictionary.response dict top.Dictionary.fault_index)
+        | [] -> Alcotest.fail "no verdicts"
+      end)
+    faults
+
+let test_dictionary_respond_consistency () =
+  let _, faults, dict = mc_dictionary () in
+  Array.iteri
+    (fun i f ->
+      Alcotest.(check (array int)) "respond_stuck = stored response"
+        (Dictionary.response dict i)
+        (Dictionary.respond_stuck dict f))
+    faults
+
+let test_dictionary_bridge_diagnosis_example () =
+  let net = Example.circuit () in
+  let faults = Stuck.collapse net in
+  let vectors = Array.init 16 Fun.id in
+  let dict = Dictionary.build net ~vectors ~faults in
+  let bridges = Bridge.enumerate net in
+  (* g0 = (9,0,10,1): forces line 9 to 1 on {6,7}. The closest stuck-at
+     explanation is 1/1 (input 1 of the victim gate, failing at the same
+     output on a superset of tests), so the top candidate must sit in the
+     victim's structural neighbourhood: its fanin or fanout cone. *)
+  let observed = Dictionary.respond_bridge dict bridges.(0) in
+  (match Dictionary.diagnose dict ~observed with
+  | top :: _ ->
+    let f = Dictionary.fault dict top.Dictionary.fault_index in
+    let driver = Line.driver net f.Stuck.line in
+    let victim = bridges.(0).Bridge.victim in
+    let neighbourhood =
+      (Netlist.transitive_fanin net victim).(driver)
+      || (Netlist.transitive_fanout net victim).(driver)
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "top candidate %s near victim"
+         (Stuck.to_string net f))
+      true neighbourhood;
+    Alcotest.(check bool) "score dominates an unrelated fault" true
+      (top.Dictionary.score >= 0.5)
+  | [] -> Alcotest.fail "no verdicts")
+
+let test_dictionary_distinguishability_grows () =
+  let net = Example.circuit () in
+  let faults = Stuck.collapse net in
+  let small = Dictionary.build net ~vectors:[| 6 |] ~faults in
+  let large = Dictionary.build net ~vectors:(Array.init 16 Fun.id) ~faults in
+  Alcotest.(check bool) "more tests distinguish more" true
+    (Dictionary.distinguishable_pairs large
+    > Dictionary.distinguishable_pairs small);
+  let n = Array.length faults in
+  Alcotest.(check bool) "bounded by all pairs" true
+    (Dictionary.distinguishable_pairs large <= n * (n - 1) / 2)
+
+let test_dictionary_rejects_mismatched_observation () =
+  let _, _, dict = mc_dictionary () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Dictionary.diagnose dict ~observed:[| 0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "models"
+    [
+      ( "transition",
+        [
+          Alcotest.test_case "enumeration" `Quick test_transition_enumeration;
+          Alcotest.test_case "pair-count factorization" `Quick
+            test_transition_factorization;
+          Alcotest.test_case "detectable targets" `Quick
+            test_transition_detectable_only;
+          Alcotest.test_case "nmin vs stuck-at" `Quick
+            test_transition_nmin_vs_stuck;
+          Alcotest.test_case "percentages" `Quick test_transition_percentages;
+        ] );
+      ( "diagnosis",
+        [
+          Alcotest.test_case "self diagnosis" `Quick
+            test_dictionary_self_diagnosis;
+          Alcotest.test_case "respond consistency" `Quick
+            test_dictionary_respond_consistency;
+          Alcotest.test_case "bridge defect on example" `Quick
+            test_dictionary_bridge_diagnosis_example;
+          Alcotest.test_case "distinguishability grows" `Quick
+            test_dictionary_distinguishability_grows;
+          Alcotest.test_case "mismatched observation" `Quick
+            test_dictionary_rejects_mismatched_observation;
+        ] );
+    ]

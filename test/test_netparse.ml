@@ -1,0 +1,241 @@
+module Bench_format = Ndetect_netparse.Bench_format
+module Kiss2 = Ndetect_netparse.Kiss2
+module Netlist = Ndetect_circuit.Netlist
+module Gate = Ndetect_circuit.Gate
+module Eval = Ndetect_sim.Eval
+module Ternary = Ndetect_logic.Ternary
+
+let simple_bench =
+  {|# a small circuit
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+OUTPUT(n1)
+n1 = NOT(a)
+y = AND(n1, b, c)
+|}
+
+let test_bench_parse () =
+  let net = Bench_format.parse simple_bench in
+  Alcotest.(check int) "inputs" 3 (Netlist.input_count net);
+  Alcotest.(check int) "outputs" 2 (Array.length (Netlist.outputs net));
+  let y = Option.get (Netlist.find_by_name net "y") in
+  Alcotest.(check bool) "y kind" true
+    (Gate.equal_kind (Netlist.kind net y) Gate.And);
+  Alcotest.(check int) "y arity" 3 (Array.length (Netlist.fanins net y))
+
+let test_bench_out_of_order () =
+  (* Gates defined before their fanins parse fine. *)
+  let src =
+    "INPUT(a)\nOUTPUT(y)\ny = OR(m, a)\nm = NOT(a)\n"
+  in
+  let net = Bench_format.parse src in
+  Alcotest.(check int) "nodes" 3 (Netlist.node_count net)
+
+let test_bench_semantics () =
+  let net = Bench_format.parse simple_bench in
+  (* y = !a & b & c; inputs in declaration order a b c, a is MSB. *)
+  let expect_y v = v land 0b100 = 0 && v land 0b010 <> 0 && v land 0b001 <> 0 in
+  for v = 0 to 7 do
+    let out = Eval.outputs_of_vector net v in
+    Alcotest.(check bool) (Printf.sprintf "y(%d)" v) (expect_y v) out.(0)
+  done
+
+let test_bench_roundtrip () =
+  let net = Bench_format.parse simple_bench in
+  let printed = Bench_format.print net in
+  let net2 = Bench_format.parse printed in
+  Alcotest.(check int) "same node count" (Netlist.node_count net)
+    (Netlist.node_count net2);
+  for v = 0 to 7 do
+    Alcotest.(check (array bool)) "same function"
+      (Eval.outputs_of_vector net v)
+      (Eval.outputs_of_vector net2 v)
+  done
+
+let check_parse_error src =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Bench_format.parse src);
+       false
+     with Bench_format.Parse_error _ -> true)
+
+let test_bench_errors () =
+  check_parse_error "INPUT(a)\nOUTPUT(y)\ny = FROB(a, a)\n";
+  check_parse_error "INPUT(a)\nOUTPUT(y)\ny = AND(a, zz)\n";
+  check_parse_error "INPUT(a)\nOUTPUT(y)\ny = AND(a, y)\n";
+  (* combinational cycle *)
+  check_parse_error "INPUT(a)\nOUTPUT(y)\ny = NOT(z)\nz = NOT(y)\n";
+  (* redefinition *)
+  check_parse_error "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n";
+  (* no outputs *)
+  check_parse_error "INPUT(a)\nx = NOT(a)\n";
+  (* arity *)
+  check_parse_error "INPUT(a)\nOUTPUT(y)\ny = AND(a)\n"
+
+let kiss_text =
+  {|.i 2
+.o 1
+.s 2
+.p 4
+.r s0
+0- s0 s0 0
+1- s0 s1 0
+-1 s1 s0 1
+-0 s1 s1 1
+.e
+|}
+
+let test_kiss2_parse () =
+  let fsm = Kiss2.parse kiss_text in
+  Alcotest.(check int) "inputs" 2 fsm.Kiss2.input_bits;
+  Alcotest.(check int) "outputs" 1 fsm.Kiss2.output_bits;
+  Alcotest.(check int) "states" 2 (Array.length fsm.Kiss2.state_names);
+  Alcotest.(check int) "products" 4 (Array.length fsm.Kiss2.transitions);
+  Alcotest.(check string) "reset" "s0" fsm.Kiss2.reset_state;
+  Alcotest.(check int) "state index" 1 (Kiss2.state_index fsm "s1");
+  let t0 = fsm.Kiss2.transitions.(0) in
+  Alcotest.(check bool) "dontcare input" true
+    (Ternary.equal t0.Kiss2.input.(1) Ternary.X)
+
+let test_kiss2_roundtrip () =
+  let fsm = Kiss2.parse kiss_text in
+  let fsm2 = Kiss2.parse (Kiss2.print fsm) in
+  Alcotest.(check int) "products" (Array.length fsm.Kiss2.transitions)
+    (Array.length fsm2.Kiss2.transitions);
+  Alcotest.(check string) "reset" fsm.Kiss2.reset_state fsm2.Kiss2.reset_state;
+  Alcotest.(check (array string)) "states" fsm.Kiss2.state_names
+    fsm2.Kiss2.state_names
+
+let check_kiss_error src =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Kiss2.parse src);
+       false
+     with Kiss2.Parse_error _ -> true)
+
+let test_kiss2_errors () =
+  (* wrong declared product count *)
+  check_kiss_error ".i 1\n.o 1\n.p 2\n0 s0 s0 0\n.e\n";
+  (* wrong field width *)
+  check_kiss_error ".i 2\n.o 1\n011 s0 s1 0\n.e\n";
+  check_kiss_error ".i 2\n.o 1\n01 s0 s1 00\n.e\n";
+  (* transition before .i *)
+  check_kiss_error "01 s0 s1 0\n.e\n";
+  (* unknown reset state *)
+  check_kiss_error ".i 1\n.o 1\n.r nowhere\n0 s0 s0 0\n.e\n";
+  (* no transitions *)
+  check_kiss_error ".i 1\n.o 1\n.e\n"
+
+let test_kiss2_comments_and_spacing () =
+  let fsm =
+    Kiss2.parse ".i 1\n.o 1\n# comment\n\n  0   s0   s1   1\n1 s1 s0 0\n.e\n"
+  in
+  Alcotest.(check int) "two rows" 2 (Array.length fsm.Kiss2.transitions)
+
+module Pla = Ndetect_netparse.Pla
+module Pla_synth = Ndetect_synth.Pla_synth
+
+let pla_text =
+  {|# adder-ish
+.i 3
+.o 2
+.ilb a b cin
+.ob sum cout
+.p 7
+001 10
+010 10
+100 10
+111 10
+11- 01
+1-1 01
+-11 01
+.e
+|}
+
+let test_pla_parse () =
+  let pla = Pla.parse pla_text in
+  Alcotest.(check int) "inputs" 3 pla.Pla.input_bits;
+  Alcotest.(check int) "outputs" 2 pla.Pla.output_bits;
+  Alcotest.(check int) "rows" 7 (Array.length pla.Pla.rows);
+  Alcotest.(check (array string)) "labels" [| "a"; "b"; "cin" |]
+    pla.Pla.input_labels
+
+let test_pla_synthesize_full_adder () =
+  let pla = Pla.parse pla_text in
+  let net = Pla_synth.synthesize pla in
+  for v = 0 to 7 do
+    let a = v land 4 <> 0 and b = v land 2 <> 0 and cin = v land 1 <> 0 in
+    let ones = Bool.to_int a + Bool.to_int b + Bool.to_int cin in
+    let out = Ndetect_sim.Eval.outputs_of_vector net v in
+    Alcotest.(check bool) "sum" (ones land 1 = 1) out.(0);
+    Alcotest.(check bool) "cout" (ones >= 2) out.(1)
+  done
+
+let test_pla_roundtrip () =
+  let pla = Pla.parse pla_text in
+  let pla2 = Pla.parse (Pla.print pla) in
+  Alcotest.(check int) "same rows" (Array.length pla.Pla.rows)
+    (Array.length pla2.Pla.rows);
+  let net = Pla_synth.synthesize ~multilevel:false pla in
+  let net2 = Pla_synth.synthesize ~multilevel:false pla2 in
+  for v = 0 to 7 do
+    Alcotest.(check (array bool)) "same function"
+      (Ndetect_sim.Eval.outputs_of_vector net v)
+      (Ndetect_sim.Eval.outputs_of_vector net2 v)
+  done
+
+let test_pla_errors () =
+  let check src =
+    Alcotest.(check bool) "raises" true
+      (try
+         ignore (Pla.parse src);
+         false
+       with Pla.Parse_error _ -> true)
+  in
+  check ".o 1\n1 1\n.e\n";
+  (* missing .i *)
+  check ".i 2\n.o 1\n111 1\n.e\n";
+  (* wrong input width *)
+  check ".i 2\n.o 1\n11 11\n.e\n";
+  (* wrong output width *)
+  check ".i 1\n.o 1\n.p 2\n1 1\n.e\n";
+  (* .p mismatch *)
+  check ".i 1\n.o 1\n.ilb a b\n1 1\n.e\n" (* .ilb arity *)
+
+let test_pla_default_labels () =
+  let pla = Pla.parse ".i 2\n.o 1\n11 1\n.e\n" in
+  Alcotest.(check (array string)) "inputs" [| "x0"; "x1" |]
+    pla.Pla.input_labels;
+  Alcotest.(check (array string)) "outputs" [| "y0" |] pla.Pla.output_labels
+
+let () =
+  Alcotest.run "netparse"
+    [
+      ( "bench",
+        [
+          Alcotest.test_case "parse" `Quick test_bench_parse;
+          Alcotest.test_case "out of order" `Quick test_bench_out_of_order;
+          Alcotest.test_case "semantics" `Quick test_bench_semantics;
+          Alcotest.test_case "roundtrip" `Quick test_bench_roundtrip;
+          Alcotest.test_case "errors" `Quick test_bench_errors;
+        ] );
+      ( "kiss2",
+        [
+          Alcotest.test_case "parse" `Quick test_kiss2_parse;
+          Alcotest.test_case "roundtrip" `Quick test_kiss2_roundtrip;
+          Alcotest.test_case "errors" `Quick test_kiss2_errors;
+          Alcotest.test_case "comments and spacing" `Quick
+            test_kiss2_comments_and_spacing;
+        ] );
+      ( "pla",
+        [
+          Alcotest.test_case "parse" `Quick test_pla_parse;
+          Alcotest.test_case "full adder semantics" `Quick
+            test_pla_synthesize_full_adder;
+          Alcotest.test_case "roundtrip" `Quick test_pla_roundtrip;
+          Alcotest.test_case "errors" `Quick test_pla_errors;
+          Alcotest.test_case "default labels" `Quick test_pla_default_labels;
+        ] );
+    ]

@@ -1,0 +1,174 @@
+module Ascii_table = Ndetect_report.Ascii_table
+module Paper_tables = Ndetect_report.Paper_tables
+module Analysis = Ndetect_core.Analysis
+module Detection_table = Ndetect_core.Detection_table
+module Procedure1 = Ndetect_core.Procedure1
+module Average_case = Ndetect_core.Average_case
+module Example = Ndetect_suite.Example
+
+let lines s = String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+
+let test_ascii_render () =
+  let out =
+    Ascii_table.render ~header:[ "name"; "count" ]
+      [ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+  in
+  let ls = lines out in
+  Alcotest.(check int) "4 lines" 4 (List.length ls);
+  (* All lines are equally wide (padded). *)
+  let widths = List.map String.length ls in
+  (match widths with
+  | w :: rest ->
+    List.iter
+      (fun w' -> Alcotest.(check bool) "aligned" true (abs (w - w') <= 1))
+      rest
+  | [] -> Alcotest.fail "no output");
+  Alcotest.(check bool) "right aligned count" true
+    (Helpers.contains_substring out "   1")
+
+let test_ascii_short_rows_padded () =
+  let out = Ascii_table.render ~header:[ "a"; "b"; "c" ] [ [ "x" ] ] in
+  Alcotest.(check int) "3 lines" 3 (List.length (lines out))
+
+let test_csv () =
+  let out =
+    Ascii_table.render_csv ~header:[ "a"; "b" ] [ [ "x,y"; "2" ] ]
+  in
+  Alcotest.(check string) "escaped" "a,b\nx;y,2\n" out
+
+let example_analysis () = Analysis.analyze ~name:"example" (Example.circuit ())
+
+let test_table1_contains_paper_rows () =
+  let a = example_analysis () in
+  let victim, vv, aggressor, av = Example.g0 in
+  let gj =
+    Option.get
+      (Detection_table.find_untargeted a.Analysis.table ~victim
+         ~victim_value:vv ~aggressor ~aggressor_value:av)
+  in
+  let out = Paper_tables.table1 a ~gj in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true
+        (Helpers.contains_substring out needle))
+    [ "1/1"; "2/0"; "9/1"; "10/0"; "11/0"; "nmin((9,0,10,1)) = 3";
+      "4 5 6 7" ]
+
+let test_table2_blanks_after_saturation () =
+  let a = example_analysis () in
+  let out = Paper_tables.table2 [ a.Analysis.summary ] in
+  (* The example saturates at n=4, so exactly one 100.00 appears. *)
+  let count_occurrences s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i acc =
+      if i + m > n then acc
+      else if String.sub s i m = sub then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "one saturated column" 1
+    (count_occurrences out "100.00")
+
+let test_table3_filters_easy_circuits () =
+  let a = example_analysis () in
+  let out = Paper_tables.table3 [ a.Analysis.summary ] in
+  (* No fault needs n >= 11 on the example: the circuit is filtered out. *)
+  Alcotest.(check bool) "example filtered" false
+    (Helpers.contains_substring out "example")
+
+let test_figure2_histogram () =
+  let a = example_analysis () in
+  let out = Paper_tables.figure2 a.Analysis.worst ~min_value:1 in
+  Alcotest.(check bool) "has bars" true (Helpers.contains_substring out "#");
+  Alcotest.(check bool) "mentions threshold" true
+    (Helpers.contains_substring out ">= 1")
+
+let test_table4_rendering () =
+  let a = example_analysis () in
+  let outcome =
+    Procedure1.run a.Analysis.table
+      { Procedure1.seed = 1; set_count = 10; nmax = 2;
+        mode = Procedure1.Definition1 }
+  in
+  let out = Paper_tables.table4 outcome in
+  (* Header plus rule plus ten set rows. *)
+  Alcotest.(check int) "12 lines" 12 (List.length (lines out) - 1);
+  Alcotest.(check bool) "columns for both n" true
+    (Helpers.contains_substring out "n=1" && Helpers.contains_substring out "n=2")
+
+let test_table5_row_stops_at_total () =
+  let row =
+    {
+      Paper_tables.circuit = "demo";
+      hard_faults = 3;
+      row = Average_case.summarize_probabilities [| 0.95; 0.95; 0.9 |];
+    }
+  in
+  let out = Paper_tables.table5 ~nmax:10 [ row ] in
+  (* All three faults have p >= 0.9: the row is "0 3" then blanks. *)
+  Alcotest.(check bool) "has demo row" true (Helpers.contains_substring out "demo");
+  Alcotest.(check bool) "does not spell out saturated tail" true
+    (not (Helpers.contains_substring out "3  3"))
+
+let test_table6_two_rows_per_circuit () =
+  let mk p = Average_case.summarize_probabilities p in
+  let out =
+    Paper_tables.table6 ~nmax:10
+      [ ("demo", 2, mk [| 0.4; 0.2 |], mk [| 0.9; 0.8 |]) ]
+  in
+  let body_lines = lines out in
+  (* title + header + rule + 2 rows *)
+  Alcotest.(check int) "5 lines" 5 (List.length body_lines);
+  Alcotest.(check bool) "def columns" true
+    (Helpers.contains_substring out "def")
+
+let test_csv_variants () =
+  let a = example_analysis () in
+  let csv2 = Paper_tables.table2_csv [ a.Analysis.summary ] in
+  let first_line =
+    match String.split_on_char '\n' csv2 with l :: _ -> l | [] -> ""
+  in
+  Alcotest.(check string) "table2 csv header"
+    "circuit,faults,n<=1,n<=2,n<=3,n<=4,n<=5,n<=10" first_line;
+  Alcotest.(check bool) "has example row" true
+    (Helpers.contains_substring csv2 "example,10,40.00");
+  let fig = Paper_tables.figure2_csv a.Analysis.worst ~min_value:1 in
+  Alcotest.(check bool) "figure2 csv rows" true
+    (Helpers.contains_substring fig "nmin,faults" && Helpers.contains_substring fig "3,4");
+  let row =
+    {
+      Paper_tables.circuit = "demo";
+      hard_faults = 2;
+      row = Average_case.summarize_probabilities [| 0.9; 0.4 |];
+    }
+  in
+  let csv5 = Paper_tables.table5_csv [ row ] in
+  Alcotest.(check bool) "table5 csv row" true
+    (Helpers.contains_substring csv5 "demo,2,0,1,1,1,1,1,2")
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "ascii",
+        [
+          Alcotest.test_case "render" `Quick test_ascii_render;
+          Alcotest.test_case "short rows" `Quick test_ascii_short_rows_padded;
+          Alcotest.test_case "csv" `Quick test_csv;
+        ] );
+      ( "csv", [ Alcotest.test_case "variants" `Quick test_csv_variants ] );
+      ( "paper-tables",
+        [
+          Alcotest.test_case "table 1" `Quick test_table1_contains_paper_rows;
+          Alcotest.test_case "table 2 saturation blanks" `Quick
+            test_table2_blanks_after_saturation;
+          Alcotest.test_case "table 3 filtering" `Quick
+            test_table3_filters_easy_circuits;
+          Alcotest.test_case "figure 2" `Quick test_figure2_histogram;
+          Alcotest.test_case "table 4" `Quick test_table4_rendering;
+          Alcotest.test_case "table 5 stops at total" `Quick
+            test_table5_row_stops_at_total;
+          Alcotest.test_case "table 6 shape" `Quick
+            test_table6_two_rows_per_circuit;
+        ] );
+    ]

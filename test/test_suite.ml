@@ -1,0 +1,195 @@
+module Registry = Ndetect_suite.Registry
+module Classics = Ndetect_suite.Classics
+module Fsm_gen = Ndetect_suite.Fsm_gen
+module Kiss2 = Ndetect_netparse.Kiss2
+module Netlist = Ndetect_circuit.Netlist
+module Cube = Ndetect_synth.Cube
+module Ternary = Ndetect_logic.Ternary
+
+let test_registry_complete () =
+  (* All 35 circuits of the paper's Tables 2/3 are present. *)
+  let expected =
+    [ "c17"; "lion"; "dk27"; "ex5"; "train4"; "bbtas"; "dk15"; "dk512"; "dk14";
+      "dk17"; "firstex"; "lion9"; "mc"; "dk16"; "modulo12"; "s8"; "tav";
+      "donfile"; "ex7"; "train11"; "beecount"; "ex2"; "ex3"; "ex6";
+      "mark1"; "bbara"; "ex4"; "keyb"; "opus"; "bbsse"; "cse"; "dvram";
+      "fetch"; "log"; "rie"; "s1a" ]
+  in
+  Alcotest.(check int) "36 circuits" 36 (List.length (Registry.names ()));
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " present") true
+        (Registry.find name <> None))
+    expected
+
+let test_tiers_nested () =
+  let small = List.length (Registry.of_tier Registry.Small) in
+  let medium = List.length (Registry.of_tier Registry.Medium) in
+  let large = List.length (Registry.of_tier Registry.Large) in
+  Alcotest.(check bool) "small <= medium <= large" true
+    (small <= medium && medium <= large);
+  Alcotest.(check int) "large covers all" 36 large
+
+let test_classics_parse () =
+  List.iter
+    (fun (name, text) ->
+      let fsm = Kiss2.parse text in
+      Alcotest.(check bool) (name ^ " has transitions") true
+        (Array.length fsm.Kiss2.transitions > 0))
+    Classics.all
+
+let check_fsm_deterministic_complete fsm =
+  (* For every state, the input cubes must partition the input space. *)
+  let transitions_by_state = Hashtbl.create 16 in
+  Array.iter
+    (fun (tr : Kiss2.transition) ->
+      Hashtbl.replace transitions_by_state tr.Kiss2.current
+        (tr
+        :: Option.value
+             (Hashtbl.find_opt transitions_by_state tr.Kiss2.current)
+             ~default:[]))
+    fsm.Kiss2.transitions;
+  Array.iter
+    (fun state ->
+      let rows =
+        Option.value (Hashtbl.find_opt transitions_by_state state) ~default:[]
+      in
+      Alcotest.(check bool) (state ^ " has rows") true (rows <> []);
+      let bits = fsm.Kiss2.input_bits in
+      for v = 0 to (1 lsl bits) - 1 do
+        let point =
+          Array.init bits (fun i -> (v lsr (bits - 1 - i)) land 1 = 1)
+        in
+        let matching =
+          List.filter (fun tr -> Cube.eval tr.Kiss2.input point) rows
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "%s input %d matches exactly once" state v)
+          1 (List.length matching)
+      done)
+    fsm.Kiss2.state_names
+
+let test_classics_deterministic_complete () =
+  List.iter
+    (fun (_, text) -> check_fsm_deterministic_complete (Kiss2.parse text))
+    Classics.all
+
+let test_generator_deterministic_complete () =
+  List.iter
+    (fun seed ->
+      let fsm =
+        Fsm_gen.generate ~seed ~inputs:3 ~outputs:2 ~states:5 ~products:17
+      in
+      check_fsm_deterministic_complete fsm)
+    [ 1; 2; 3; 42 ]
+
+let test_generator_reproducible () =
+  let a = Fsm_gen.generate ~seed:9 ~inputs:2 ~outputs:2 ~states:4 ~products:10 in
+  let b = Fsm_gen.generate ~seed:9 ~inputs:2 ~outputs:2 ~states:4 ~products:10 in
+  Alcotest.(check string) "same machine" (Kiss2.print a) (Kiss2.print b)
+
+let test_generator_dimensions () =
+  let fsm =
+    Fsm_gen.generate ~seed:1 ~inputs:3 ~outputs:4 ~states:6 ~products:20
+  in
+  Alcotest.(check int) "inputs" 3 fsm.Kiss2.input_bits;
+  Alcotest.(check int) "outputs" 4 fsm.Kiss2.output_bits;
+  Alcotest.(check int) "states" 6 (Array.length fsm.Kiss2.state_names);
+  Alcotest.(check bool) "products >= states" true
+    (Array.length fsm.Kiss2.transitions >= 6)
+
+let test_generator_connected () =
+  (* Every state reachable from state 0 through the transition graph. *)
+  let fsm =
+    Fsm_gen.generate ~seed:77 ~inputs:2 ~outputs:1 ~states:9 ~products:25
+  in
+  let reached = Hashtbl.create 16 in
+  let rec visit state =
+    if not (Hashtbl.mem reached state) then begin
+      Hashtbl.replace reached state ();
+      Array.iter
+        (fun (tr : Kiss2.transition) ->
+          if String.equal tr.Kiss2.current state then visit tr.Kiss2.next)
+        fsm.Kiss2.transitions
+    end
+  in
+  visit fsm.Kiss2.reset_state;
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) (s ^ " reachable") true (Hashtbl.mem reached s))
+    fsm.Kiss2.state_names
+
+let test_seed_of_name_stable () =
+  Alcotest.(check int) "stable hash" (Fsm_gen.seed_of_name "keyb")
+    (Fsm_gen.seed_of_name "keyb");
+  Alcotest.(check bool) "names differ" true
+    (Fsm_gen.seed_of_name "keyb" <> Fsm_gen.seed_of_name "cse")
+
+let test_small_circuits_synthesize () =
+  List.iter
+    (fun entry ->
+      let net = Registry.circuit entry in
+      let stats = Netlist.stats net in
+      Alcotest.(check bool)
+        (entry.Registry.name ^ " has gates")
+        true
+        (stats.Netlist.gates_n > 0);
+      Alcotest.(check bool)
+        (entry.Registry.name ^ " universe tractable")
+        true
+        (Netlist.universe_size net <= 1 lsl 12);
+      Alcotest.(check int)
+        (entry.Registry.name ^ " pi_count consistent")
+        (Registry.pi_count entry) (Netlist.input_count net))
+    (Registry.of_tier Registry.Small)
+
+let test_circuit_reproducible () =
+  let entry = Option.get (Registry.find "dk27") in
+  let a = Registry.circuit entry and b = Registry.circuit entry in
+  Alcotest.(check int) "same node count" (Netlist.node_count a)
+    (Netlist.node_count b);
+  for v = 0 to Netlist.universe_size a - 1 do
+    Alcotest.(check (array bool)) "same function"
+      (Ndetect_sim.Eval.outputs_of_vector a v)
+      (Ndetect_sim.Eval.outputs_of_vector b v)
+  done
+
+let test_example_g_descriptors () =
+  let v1, b1, v2, b2 = Ndetect_suite.Example.g0 in
+  Alcotest.(check string) "g0 victim" "9" v1;
+  Alcotest.(check bool) "g0 victim value" false b1;
+  Alcotest.(check string) "g0 aggressor" "10" v2;
+  Alcotest.(check bool) "g0 aggressor value" true b2;
+  ignore Ternary.X
+
+let () =
+  Alcotest.run "suite"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "complete" `Quick test_registry_complete;
+          Alcotest.test_case "tiers nested" `Quick test_tiers_nested;
+          Alcotest.test_case "small circuits synthesize" `Quick
+            test_small_circuits_synthesize;
+          Alcotest.test_case "reproducible" `Quick test_circuit_reproducible;
+        ] );
+      ( "classics",
+        [
+          Alcotest.test_case "parse" `Quick test_classics_parse;
+          Alcotest.test_case "deterministic and complete" `Quick
+            test_classics_deterministic_complete;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic and complete" `Quick
+            test_generator_deterministic_complete;
+          Alcotest.test_case "reproducible" `Quick test_generator_reproducible;
+          Alcotest.test_case "dimensions" `Quick test_generator_dimensions;
+          Alcotest.test_case "connected" `Quick test_generator_connected;
+          Alcotest.test_case "stable name hash" `Quick
+            test_seed_of_name_stable;
+        ] );
+      ( "example",
+        [ Alcotest.test_case "bridge descriptors" `Quick
+            test_example_g_descriptors ] );
+    ]

@@ -1,0 +1,311 @@
+module Cube = Ndetect_synth.Cube
+module Encode = Ndetect_synth.Encode
+module Fsm_synth = Ndetect_synth.Fsm_synth
+module Multilevel = Ndetect_synth.Multilevel
+module Kiss2 = Ndetect_netparse.Kiss2
+module Netlist = Ndetect_circuit.Netlist
+module Eval = Ndetect_sim.Eval
+module Classics = Ndetect_suite.Classics
+module Fsm_gen = Ndetect_suite.Fsm_gen
+
+let test_cube_basics () =
+  let c = Cube.of_string "01-" in
+  Alcotest.(check int) "vars" 3 (Cube.vars c);
+  Alcotest.(check int) "literals" 2 (Cube.literal_count c);
+  Alcotest.(check string) "roundtrip" "01-" (Cube.to_string c);
+  Alcotest.(check bool) "eval in" true (Cube.eval c [| false; true; true |]);
+  Alcotest.(check bool) "eval out" false (Cube.eval c [| true; true; true |])
+
+let test_cube_contains () =
+  let big = Cube.of_string "0--" and small = Cube.of_string "01-" in
+  Alcotest.(check bool) "contains" true (Cube.contains big small);
+  Alcotest.(check bool) "not contains" false (Cube.contains small big)
+
+let test_cube_merge () =
+  let a = Cube.of_string "010" and b = Cube.of_string "011" in
+  (match Cube.merge_distance1 a b with
+  | Some m -> Alcotest.(check string) "merged" "01-" (Cube.to_string m)
+  | None -> Alcotest.fail "expected merge");
+  Alcotest.(check bool) "no merge across two diffs" true
+    (Cube.merge_distance1 (Cube.of_string "00-") (Cube.of_string "11-")
+    = None);
+  Alcotest.(check bool) "no merge with X mismatch" true
+    (Cube.merge_distance1 (Cube.of_string "0--") (Cube.of_string "01-")
+    = None)
+
+let test_cube_intersects () =
+  Alcotest.(check bool) "disjoint" false
+    (Cube.intersects (Cube.of_string "0-") (Cube.of_string "1-"));
+  Alcotest.(check bool) "overlap" true
+    (Cube.intersects (Cube.of_string "0-") (Cube.of_string "-1"))
+
+let cover_gen =
+  QCheck.make
+    ~print:(fun (vars, cubes) ->
+      Printf.sprintf "vars=%d [%s]" vars (String.concat " " cubes))
+    QCheck.Gen.(
+      int_range 1 6 >>= fun vars ->
+      let cube =
+        string_size (return vars)
+          ~gen:(oneofl [ '0'; '1'; '-'; '-' ])
+      in
+      list_size (int_range 0 12) cube >|= fun cubes -> (vars, cubes))
+
+let prop_minimize_preserves_function =
+  QCheck.Test.make ~name:"minimize preserves cover semantics" ~count:300
+    cover_gen (fun (vars, cube_strings) ->
+      let cover = List.map Cube.of_string cube_strings in
+      let minimized = Cube.minimize cover in
+      Cube.cover_equal_semantics ~vars cover minimized)
+
+let prop_tautology_matches_semantics =
+  QCheck.Test.make ~name:"tautology = exhaustive check" ~count:300 cover_gen
+    (fun (vars, cube_strings) ->
+      let cover = List.map Cube.of_string cube_strings in
+      let all_ones = [ Cube.full vars ] in
+      Cube.tautology ~vars cover
+      = Cube.cover_equal_semantics ~vars cover all_ones)
+
+let prop_expand_irredundant_preserve =
+  QCheck.Test.make
+    ~name:"minimize_strong (expand + irredundant) preserves the function"
+    ~count:200 cover_gen (fun (vars, cube_strings) ->
+      let cover = List.map Cube.of_string cube_strings in
+      let strong = Cube.minimize_strong ~vars cover in
+      Cube.cover_equal_semantics ~vars cover strong
+      && List.length strong <= max 1 (List.length cover))
+
+let prop_expand_gives_primes =
+  QCheck.Test.make ~name:"expanded cubes are maximal" ~count:100 cover_gen
+    (fun (vars, cube_strings) ->
+      let cover = List.map Cube.of_string cube_strings in
+      QCheck.assume (cover <> []);
+      let expanded = Cube.expand ~vars cover in
+      (* Dropping any further literal of an expanded cube must leave the
+         cover's function. *)
+      List.for_all
+        (fun cube ->
+          let ok = ref true in
+          Array.iteri
+            (fun i v ->
+              match v with
+              | Ndetect_logic.Ternary.X -> ()
+              | Ndetect_logic.Ternary.Zero | Ndetect_logic.Ternary.One ->
+                let widened = Array.copy cube in
+                widened.(i) <- Ndetect_logic.Ternary.X;
+                if Cube.covers_cube ~vars cover widened then ok := false)
+            cube;
+          !ok)
+        expanded)
+
+let prop_minimize_no_growth =
+  QCheck.Test.make ~name:"minimize never grows the cover" ~count:300
+    cover_gen (fun (vars, cube_strings) ->
+      ignore vars;
+      let cover = List.map Cube.of_string cube_strings in
+      List.length (Cube.minimize cover) <= List.length cover)
+
+let test_encode_binary () =
+  Alcotest.(check int) "bits for 6 states" 3
+    (Encode.bit_count Encode.Binary ~states:6);
+  Alcotest.(check (array bool)) "code 5"
+    [| true; false; true |]
+    (Encode.code Encode.Binary ~states:6 5)
+
+let test_encode_gray_adjacent () =
+  let states = 8 in
+  for i = 0 to states - 2 do
+    let a = Encode.code Encode.Gray ~states i in
+    let b = Encode.code Encode.Gray ~states (i + 1) in
+    let diff = ref 0 in
+    Array.iteri (fun k v -> if v <> b.(k) then incr diff) a;
+    Alcotest.(check int) "gray distance 1" 1 !diff
+  done
+
+let test_encode_one_hot () =
+  Alcotest.(check int) "bits" 5 (Encode.bit_count Encode.One_hot ~states:5);
+  let c = Encode.code Encode.One_hot ~states:5 2 in
+  Alcotest.(check int) "weight 1" 1
+    (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 c);
+  Alcotest.(check bool) "hot position" true c.(2)
+
+let test_encode_distinct () =
+  List.iter
+    (fun scheme ->
+      let states = 7 in
+      let codes = List.init states (Encode.code scheme ~states) in
+      let uniq = List.sort_uniq compare codes in
+      Alcotest.(check int)
+        (Encode.to_string scheme ^ " codes distinct")
+        states (List.length uniq))
+    [ Encode.Binary; Encode.Gray; Encode.One_hot ]
+
+(* Synthesized combinational logic must agree with the FSM reference
+   semantics on every (input, state) point. *)
+let check_synthesis_matches ?(scheme = Encode.Binary) name kiss_text =
+  let fsm = Kiss2.parse kiss_text in
+  let net = Fsm_synth.synthesize ~name ~scheme fsm in
+  let universe = Netlist.universe_size net in
+  for v = 0 to universe - 1 do
+    let point = Eval.assignment_of_vector net v in
+    let expected = Fsm_synth.reference_eval fsm ~scheme ~point in
+    let got =
+      let values = Eval.eval_assignment net point in
+      Array.map (fun o -> values.(o)) (Netlist.outputs net)
+    in
+    Alcotest.(check (array bool))
+      (Printf.sprintf "%s vector %d" name v)
+      expected got
+  done
+
+let test_synthesis_classics () =
+  List.iter
+    (fun (name, text) -> check_synthesis_matches name text)
+    Classics.all
+
+let test_synthesis_schemes () =
+  List.iter
+    (fun scheme ->
+      check_synthesis_matches ~scheme "lion" Classics.lion)
+    [ Encode.Binary; Encode.Gray; Encode.One_hot ]
+
+let test_synthesis_nondeterminism_rejected () =
+  let bad = ".i 1\n.o 1\n.s 2\n.p 2\n0 s0 s0 0\n0- s0 s1 1\n.e\n" in
+  (* second row has wrong width; craft a real nondeterministic machine *)
+  ignore bad;
+  let nondet = ".i 1\n.o 1\n.s 2\n.p 2\n0 s0 s0 0\n0 s0 s1 0\n.e\n" in
+  let fsm = Kiss2.parse nondet in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Fsm_synth.synthesize fsm);
+       false
+     with Invalid_argument _ -> true)
+
+let test_synthesis_output_conflict_rejected () =
+  let nondet = ".i 1\n.o 1\n.s 2\n.p 2\n- s0 s1 0\n0 s0 s1 1\n.e\n" in
+  let fsm = Kiss2.parse nondet in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Fsm_synth.synthesize fsm);
+       false
+     with Invalid_argument _ -> true)
+
+let fsm_dims =
+  QCheck.make
+    ~print:(fun (seed, i, o, s, p) ->
+      Printf.sprintf "seed=%d i=%d o=%d s=%d p=%d" seed i o s p)
+    QCheck.Gen.(
+      tup5 (int_bound 100000) (int_range 1 3) (int_range 1 3)
+        (int_range 1 6) (int_range 1 24))
+
+let prop_generated_fsm_synthesizes =
+  QCheck.Test.make ~name:"synthetic FSMs synthesize and match reference"
+    ~count:40 fsm_dims (fun (seed, inputs, outputs, states, products) ->
+      let fsm = Fsm_gen.generate ~seed ~inputs ~outputs ~states ~products in
+      let net = Fsm_synth.synthesize fsm in
+      let universe = Netlist.universe_size net in
+      let ok = ref true in
+      for v = 0 to universe - 1 do
+        let point = Eval.assignment_of_vector net v in
+        let expected =
+          Fsm_synth.reference_eval fsm ~scheme:Encode.Binary ~point
+        in
+        let values = Eval.eval_assignment net point in
+        let got = Array.map (fun o -> values.(o)) (Netlist.outputs net) in
+        if got <> expected then ok := false
+      done;
+      !ok)
+
+let prop_multilevel_equivalent =
+  QCheck.Test.make ~name:"multilevel decomposition preserves the function"
+    ~count:40 fsm_dims (fun (seed, inputs, outputs, states, products) ->
+      let fsm = Fsm_gen.generate ~seed ~inputs ~outputs ~states ~products in
+      let net = Fsm_synth.synthesize fsm in
+      let ml = Multilevel.decompose ~seed ~max_fanin:3 net in
+      let universe = Netlist.universe_size net in
+      let ok = ref true in
+      for v = 0 to universe - 1 do
+        if Eval.outputs_of_vector net v <> Eval.outputs_of_vector ml v then
+          ok := false
+      done;
+      !ok)
+
+let test_strong_synthesis_equivalent () =
+  (* The strong (expand/irredundant) pass changes the cover, not the
+     function. *)
+  let fsm = Kiss2.parse Classics.mc in
+  let plain = Fsm_synth.synthesize fsm in
+  let strong = Fsm_synth.synthesize ~strong:true fsm in
+  Alcotest.(check bool) "equivalent" true
+    (Ndetect_circuit.Equiv.equivalent plain strong)
+
+let test_multilevel_respects_max_fanin () =
+  let fsm = Kiss2.parse Classics.bbtas in
+  let net = Fsm_synth.synthesize fsm in
+  List.iter
+    (fun max_fanin ->
+      let ml = Multilevel.decompose ~max_fanin net in
+      Array.iter
+        (fun g ->
+          Alcotest.(check bool)
+            (Printf.sprintf "fanin <= %d" max_fanin)
+            true
+            (Array.length (Netlist.fanins ml g) <= max_fanin))
+        (Netlist.gate_ids ml))
+    [ 2; 3; 4 ]
+
+let test_multilevel_equivalence_bbtas () =
+  let fsm = Kiss2.parse Classics.bbtas in
+  let net = Fsm_synth.synthesize fsm in
+  let ml = Multilevel.decompose ~seed:3 ~max_fanin:2 net in
+  for v = 0 to Netlist.universe_size net - 1 do
+    Alcotest.(check (array bool)) "same outputs"
+      (Eval.outputs_of_vector net v)
+      (Eval.outputs_of_vector ml v)
+  done
+
+let () =
+  Alcotest.run "synth"
+    [
+      ( "cube",
+        [
+          Alcotest.test_case "basics" `Quick test_cube_basics;
+          Alcotest.test_case "contains" `Quick test_cube_contains;
+          Alcotest.test_case "merge" `Quick test_cube_merge;
+          Alcotest.test_case "intersects" `Quick test_cube_intersects;
+          QCheck_alcotest.to_alcotest prop_minimize_preserves_function;
+          QCheck_alcotest.to_alcotest prop_minimize_no_growth;
+          QCheck_alcotest.to_alcotest prop_tautology_matches_semantics;
+          QCheck_alcotest.to_alcotest prop_expand_irredundant_preserve;
+          QCheck_alcotest.to_alcotest prop_expand_gives_primes;
+        ] );
+      ( "encode",
+        [
+          Alcotest.test_case "binary" `Quick test_encode_binary;
+          Alcotest.test_case "gray adjacency" `Quick
+            test_encode_gray_adjacent;
+          Alcotest.test_case "one-hot" `Quick test_encode_one_hot;
+          Alcotest.test_case "distinct codes" `Quick test_encode_distinct;
+        ] );
+      ( "fsm-synth",
+        [
+          Alcotest.test_case "classics match reference" `Quick
+            test_synthesis_classics;
+          Alcotest.test_case "all encodings" `Quick test_synthesis_schemes;
+          Alcotest.test_case "nondeterminism rejected" `Quick
+            test_synthesis_nondeterminism_rejected;
+          Alcotest.test_case "output conflict rejected" `Quick
+            test_synthesis_output_conflict_rejected;
+          QCheck_alcotest.to_alcotest prop_generated_fsm_synthesizes;
+          Alcotest.test_case "strong minimizer equivalent" `Quick
+            test_strong_synthesis_equivalent;
+        ] );
+      ( "multilevel",
+        [
+          Alcotest.test_case "max fanin respected" `Quick
+            test_multilevel_respects_max_fanin;
+          Alcotest.test_case "bbtas equivalence" `Quick
+            test_multilevel_equivalence_bbtas;
+          QCheck_alcotest.to_alcotest prop_multilevel_equivalent;
+        ] );
+    ]

@@ -1,0 +1,194 @@
+(* Tests for the SCOAP testability measures and the LFSR baseline. *)
+
+module Netlist = Ndetect_circuit.Netlist
+module Gate = Ndetect_circuit.Gate
+module Line = Ndetect_circuit.Line
+module Scoap = Ndetect_circuit.Scoap
+module Stuck = Ndetect_faults.Stuck
+module Good = Ndetect_sim.Good
+module Fault_sim = Ndetect_sim.Fault_sim
+module Lfsr = Ndetect_tgen.Lfsr
+module Bitvec = Ndetect_util.Bitvec
+module Example = Ndetect_suite.Example
+
+let node net name = Option.get (Netlist.find_by_name net name)
+
+let test_scoap_example_controllability () =
+  let net = Example.circuit () in
+  let s = Scoap.compute net in
+  Array.iter
+    (fun pi ->
+      Alcotest.(check int) "PI cc0" 1 (Scoap.cc0 s pi);
+      Alcotest.(check int) "PI cc1" 1 (Scoap.cc1 s pi))
+    (Netlist.inputs net);
+  let g9 = node net "9" and g11 = node net "11" in
+  Alcotest.(check int) "AND cc1" 3 (Scoap.cc1 s g9);
+  Alcotest.(check int) "AND cc0" 2 (Scoap.cc0 s g9);
+  Alcotest.(check int) "OR cc0" 3 (Scoap.cc0 s g11);
+  Alcotest.(check int) "OR cc1" 2 (Scoap.cc1 s g11)
+
+let test_scoap_example_observability () =
+  let net = Example.circuit () in
+  let s = Scoap.compute net in
+  let g9 = node net "9" in
+  Alcotest.(check int) "PO co" 0 (Scoap.co s g9);
+  let in1 = node net "1" and in2 = node net "2" in
+  (* Input 1 observes through gate 9 with side input 2 at 1: 0 + 1 + 1. *)
+  Alcotest.(check int) "input 1 co" 2 (Scoap.co s in1);
+  Alcotest.(check int) "input 2 co (two equal paths)" 2 (Scoap.co s in2);
+  (* Branch observability equals the pin cost. *)
+  let lines = Line.enumerate net in
+  Alcotest.(check int) "branch 2>9 co" 2 (Scoap.line_co s lines.(4))
+
+let test_scoap_fault_effort () =
+  let net = Example.circuit () in
+  let s = Scoap.compute net in
+  let g9 = node net "9" in
+  (* 9 stuck-at-0: control to 1 (cc1 = 3) + observe (0). *)
+  Alcotest.(check int) "9/0 effort" 3
+    (Scoap.fault_effort s (Line.Stem g9) ~value:false);
+  Alcotest.(check int) "9/1 effort" 2
+    (Scoap.fault_effort s (Line.Stem g9) ~value:true)
+
+let test_scoap_constants_and_not () =
+  let b = Netlist.Builder.create () in
+  let a = Netlist.Builder.add_input b ~name:"a" in
+  let na = Netlist.Builder.add_gate b ~kind:Gate.Not ~fanins:[| a |] ~name:"na" in
+  let c0 = Netlist.Builder.add_gate b ~kind:Gate.Const0 ~fanins:[||] ~name:"c0" in
+  let y = Netlist.Builder.add_gate b ~kind:Gate.Or ~fanins:[| na; c0 |] ~name:"y" in
+  Netlist.Builder.set_outputs b [| y |];
+  let net = Netlist.Builder.finalize b in
+  let s = Scoap.compute net in
+  Alcotest.(check int) "NOT cc0 = cc1(in)+1" 2 (Scoap.cc0 s na);
+  Alcotest.(check int) "const0 cc0" 1 (Scoap.cc0 s c0);
+  Alcotest.(check int) "const0 cc1 infinite" Scoap.infinite (Scoap.cc1 s c0)
+
+let test_scoap_xor () =
+  let b = Netlist.Builder.create () in
+  let a = Netlist.Builder.add_input b ~name:"a" in
+  let c = Netlist.Builder.add_input b ~name:"c" in
+  let y = Netlist.Builder.add_gate b ~kind:Gate.Xor ~fanins:[| a; c |] ~name:"y" in
+  Netlist.Builder.set_outputs b [| y |];
+  let net = Netlist.Builder.finalize b in
+  let s = Scoap.compute net in
+  Alcotest.(check int) "XOR cc0" 3 (Scoap.cc0 s y);
+  Alcotest.(check int) "XOR cc1" 3 (Scoap.cc1 s y);
+  Alcotest.(check int) "XOR pin co" 2 (Scoap.co_pin s ~gate:y ~pin:0)
+
+(* Structural soundness: a detectable fault always has finite SCOAP
+   effort (the converse need not hold). *)
+let prop_scoap_finite_for_detectable =
+  QCheck.Test.make ~name:"detectable faults have finite SCOAP effort"
+    ~count:40 Helpers.circuit_arbitrary
+    (Helpers.apply_circuit (fun net ->
+         let s = Scoap.compute net in
+         let good = Good.compute net in
+         Array.for_all
+           (fun fault ->
+             let detectable =
+               not
+                 (Bitvec.is_empty (Fault_sim.stuck_detection_set good fault))
+             in
+             (not detectable)
+             || Scoap.fault_effort s fault.Stuck.line
+                  ~value:fault.Stuck.value
+                < Scoap.infinite)
+           (Stuck.all net)))
+
+let prop_scoap_positive =
+  QCheck.Test.make ~name:"controllabilities are at least 1" ~count:60
+    Helpers.circuit_arbitrary
+    (Helpers.apply_circuit (fun net ->
+         let s = Scoap.compute net in
+         let ok = ref true in
+         for id = 0 to Netlist.node_count net - 1 do
+           if Scoap.cc0 s id < 1 || Scoap.cc1 s id < 1 then ok := false;
+           if Netlist.is_output net id && Scoap.co s id <> 0 then ok := false
+         done;
+         !ok))
+
+(* --- LFSR ------------------------------------------------------------- *)
+
+let test_lfsr_maximal_period () =
+  List.iter
+    (fun w ->
+      let lfsr = Lfsr.create ~width:w () in
+      let period = (1 lsl w) - 1 in
+      let seen = Hashtbl.create period in
+      for _ = 1 to period do
+        let v = Lfsr.next lfsr in
+        Alcotest.(check bool) "nonzero" true (v <> 0);
+        Alcotest.(check bool) "in range" true (v < 1 lsl w);
+        Alcotest.(check bool) "fresh" true (not (Hashtbl.mem seen v));
+        Hashtbl.replace seen v ()
+      done;
+      Alcotest.(check int)
+        (Printf.sprintf "width %d full period" w)
+        period (Hashtbl.length seen))
+    [ 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15; 16 ]
+
+let test_lfsr_errors () =
+  Alcotest.(check bool) "width 1" true
+    (try
+       ignore (Lfsr.create ~width:1 ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "width 25" true
+    (try
+       ignore (Lfsr.create ~width:25 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_lfsr_patterns () =
+  let ps = Lfsr.patterns ~width:6 ~count:20 () in
+  Alcotest.(check int) "count" 20 (Array.length ps);
+  Alcotest.(check int) "distinct below period" 20
+    (List.length (List.sort_uniq Int.compare (Array.to_list ps)))
+
+let test_lfsr_zero_seed_fixed () =
+  let lfsr = Lfsr.create ~width:5 ~seed:0 () in
+  Alcotest.(check bool) "escapes zero" true (Lfsr.next lfsr <> 0)
+
+let test_lfsr_coverage_grows () =
+  (* Pseudorandom patterns cover most stuck-at faults of a small circuit
+     quickly (the standard random-pattern-testable observation). *)
+  let net = Example.circuit () in
+  let faults = Stuck.collapse net in
+  let coverage count =
+    let vectors = Lfsr.patterns ~width:4 ~count () in
+    let good = Good.of_vectors net vectors in
+    Array.fold_left
+      (fun acc f ->
+        if Bitvec.is_empty (Fault_sim.stuck_detection_set good f) then acc
+        else acc + 1)
+      0 faults
+  in
+  Alcotest.(check bool) "monotone" true (coverage 4 <= coverage 12);
+  Alcotest.(check int) "full coverage at period (15 of 16 vectors)"
+    (Array.length faults) (coverage 15)
+
+let () =
+  Alcotest.run "testability"
+    [
+      ( "scoap",
+        [
+          Alcotest.test_case "example controllability" `Quick
+            test_scoap_example_controllability;
+          Alcotest.test_case "example observability" `Quick
+            test_scoap_example_observability;
+          Alcotest.test_case "fault effort" `Quick test_scoap_fault_effort;
+          Alcotest.test_case "constants and NOT" `Quick
+            test_scoap_constants_and_not;
+          Alcotest.test_case "xor" `Quick test_scoap_xor;
+          QCheck_alcotest.to_alcotest prop_scoap_finite_for_detectable;
+          QCheck_alcotest.to_alcotest prop_scoap_positive;
+        ] );
+      ( "lfsr",
+        [
+          Alcotest.test_case "maximal period" `Quick test_lfsr_maximal_period;
+          Alcotest.test_case "errors" `Quick test_lfsr_errors;
+          Alcotest.test_case "patterns" `Quick test_lfsr_patterns;
+          Alcotest.test_case "zero seed" `Quick test_lfsr_zero_seed_fixed;
+          Alcotest.test_case "coverage grows" `Quick test_lfsr_coverage_grows;
+        ] );
+    ]

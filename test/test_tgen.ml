@@ -1,0 +1,219 @@
+module Netlist = Ndetect_circuit.Netlist
+module Stuck = Ndetect_faults.Stuck
+module Good = Ndetect_sim.Good
+module Fault_sim = Ndetect_sim.Fault_sim
+module Ternary = Ndetect_logic.Ternary
+module Ternary_sim = Ndetect_sim.Ternary_sim
+module Podem = Ndetect_tgen.Podem
+module Ndet_atpg = Ndetect_tgen.Ndet_atpg
+module Compact = Ndetect_tgen.Compact
+module Bitvec = Ndetect_util.Bitvec
+module Rng = Ndetect_util.Rng
+module Example = Ndetect_suite.Example
+
+let test_podem_finds_tests_example () =
+  let net = Example.circuit () in
+  let good = Good.compute net in
+  Array.iter
+    (fun fault ->
+      match Podem.find_test net fault with
+      | Podem.Test t ->
+        (* The produced (possibly partial) test must detect the fault
+           under pessimistic 3-valued simulation... *)
+        Alcotest.(check bool)
+          (Stuck.to_string net fault ^ " test detects")
+          true
+          (Ternary_sim.detects_stuck net fault t);
+        (* ...and its zero-completion must be in the exhaustive T(f). *)
+        let v = Podem.complete net t in
+        Alcotest.(check bool) "completion detects" true
+          (Fault_sim.detects_stuck good fault ~vector:v)
+      | Podem.Untestable ->
+        Alcotest.failf "%s wrongly reported untestable"
+          (Stuck.to_string net fault)
+      | Podem.Aborted ->
+        Alcotest.failf "%s aborted" (Stuck.to_string net fault))
+    (Stuck.collapse net)
+
+(* PODEM is exact on these circuit sizes: it finds a test iff the
+   exhaustive detection set is non-empty. *)
+let prop_podem_complete =
+  QCheck.Test.make ~name:"podem agrees with exhaustive detectability"
+    ~count:25 Helpers.circuit_arbitrary
+    (Helpers.apply_circuit (fun net ->
+         let good = Good.compute net in
+         Array.for_all
+           (fun fault ->
+             let detectable =
+               not
+                 (Bitvec.is_empty (Fault_sim.stuck_detection_set good fault))
+             in
+             match Podem.find_test net fault with
+             | Podem.Test t ->
+               detectable
+               && Fault_sim.detects_stuck good fault
+                    ~vector:(Podem.complete net t)
+             | Podem.Untestable -> not detectable
+             | Podem.Aborted -> false)
+           (Stuck.collapse net)))
+
+let test_podem_redundant_fault () =
+  (* y = OR(a, NOT(a), b): y is constant 1, so y stuck-at-1 is
+     undetectable and PODEM must prove it. *)
+  let b = Netlist.Builder.create () in
+  let a = Netlist.Builder.add_input b ~name:"a" in
+  let b_in = Netlist.Builder.add_input b ~name:"b" in
+  let na =
+    Netlist.Builder.add_gate b ~kind:Ndetect_circuit.Gate.Not ~fanins:[| a |]
+      ~name:"na"
+  in
+  let y =
+    Netlist.Builder.add_gate b ~kind:Ndetect_circuit.Gate.Or
+      ~fanins:[| a; na; b_in |] ~name:"y"
+  in
+  Netlist.Builder.set_outputs b [| y |];
+  let net = Netlist.Builder.finalize b in
+  let fault = { Stuck.line = Ndetect_circuit.Line.Stem y; value = true } in
+  (match Podem.find_test net fault with
+  | Podem.Untestable -> ()
+  | Podem.Test _ -> Alcotest.fail "found a test for a redundant fault"
+  | Podem.Aborted -> Alcotest.fail "aborted on a trivial redundancy")
+
+let test_podem_randomized_diversity () =
+  (* With an RNG, repeated runs on an easy fault produce several distinct
+     tests (needed for n-detection generation). *)
+  let net = Example.circuit () in
+  let faults = Stuck.collapse net in
+  let rng = Rng.create ~seed:99 in
+  let vectors = Hashtbl.create 16 in
+  for _ = 1 to 40 do
+    match Podem.find_test ~rng net faults.(11) (* 9/1, 12 tests *) with
+    | Podem.Test t -> Hashtbl.replace vectors (Podem.complete ~rng net t) ()
+    | Podem.Untestable | Podem.Aborted -> Alcotest.fail "unexpected failure"
+  done;
+  Alcotest.(check bool) "several distinct tests" true
+    (Hashtbl.length vectors >= 3)
+
+let test_ndet_atpg_example () =
+  let net = Example.circuit () in
+  let good = Good.compute net in
+  let faults = Stuck.collapse net in
+  let n = 3 in
+  let report = Ndet_atpg.generate ~seed:5 net ~n faults in
+  Array.iteri
+    (fun j fault ->
+      let cap = min n (Bitvec.count (Fault_sim.stuck_detection_set good fault)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s detected >= min(n, N)" (Stuck.to_string net fault))
+        true
+        (report.Ndet_atpg.detections.(j) >= cap))
+    faults;
+  (* The test set contains no duplicates. *)
+  let tests = Array.to_list report.Ndet_atpg.tests in
+  Alcotest.(check int) "no duplicates"
+    (List.length tests)
+    (List.length (List.sort_uniq Int.compare tests))
+
+let test_ndet_atpg_detects_matches_naive () =
+  let net = Example.circuit () in
+  let good = Good.compute net in
+  let faults = Stuck.collapse net in
+  Array.iter
+    (fun fault ->
+      for v = 0 to 15 do
+        Alcotest.(check bool) "detects agree"
+          (Fault_sim.detects_stuck good fault ~vector:v)
+          (Ndet_atpg.detects net fault ~vector:v)
+      done)
+    faults
+
+let detection_matrix net =
+  let good = Good.compute net in
+  Array.map (Fault_sim.stuck_detection_set good) (Stuck.collapse net)
+
+let test_greedy_cover_example () =
+  let net = Example.circuit () in
+  let detects = detection_matrix net in
+  List.iter
+    (fun n ->
+      let tests = Compact.greedy_cover ~detects ~n ~universe:16 in
+      let counts = Compact.detection_counts ~detects tests in
+      Array.iteri
+        (fun j c ->
+          let demand = min n (Bitvec.count detects.(j)) in
+          Alcotest.(check bool)
+            (Printf.sprintf "fault %d covered %d times for n=%d" j c n)
+            true (c >= demand))
+        counts)
+    [ 1; 2; 5 ]
+
+let test_greedy_cover_size_grows_with_n () =
+  let net = Example.circuit () in
+  let detects = detection_matrix net in
+  let size n = List.length (Compact.greedy_cover ~detects ~n ~universe:16) in
+  Alcotest.(check bool) "monotone" true (size 1 <= size 2 && size 2 <= size 4)
+
+let test_reverse_order_pass () =
+  let net = Example.circuit () in
+  let detects = detection_matrix net in
+  (* Start from the full universe: compaction must keep coverage. *)
+  let all_tests = List.init 16 Fun.id in
+  List.iter
+    (fun n ->
+      let kept = Compact.reverse_order_pass ~detects ~n all_tests in
+      Alcotest.(check bool) "smaller or equal" true
+        (List.length kept <= List.length all_tests);
+      let counts = Compact.detection_counts ~detects kept in
+      Array.iteri
+        (fun j c ->
+          let demand = min n (Bitvec.count detects.(j)) in
+          Alcotest.(check bool) "coverage kept" true (c >= demand))
+        counts)
+    [ 1; 2; 3 ]
+
+let prop_greedy_cover_random =
+  QCheck.Test.make ~name:"greedy cover meets demands on random circuits"
+    ~count:20 Helpers.circuit_arbitrary
+    (Helpers.apply_circuit (fun net ->
+         let detects = detection_matrix net in
+         let universe = Netlist.universe_size net in
+         let n = 2 in
+         let tests = Compact.greedy_cover ~detects ~n ~universe in
+         let counts = Compact.detection_counts ~detects tests in
+         let ok = ref true in
+         Array.iteri
+           (fun j c ->
+             if c < min n (Bitvec.count detects.(j)) then ok := false)
+           counts;
+         !ok))
+
+let () =
+  Alcotest.run "tgen"
+    [
+      ( "podem",
+        [
+          Alcotest.test_case "example faults" `Quick
+            test_podem_finds_tests_example;
+          Alcotest.test_case "redundant fault" `Quick
+            test_podem_redundant_fault;
+          Alcotest.test_case "randomized diversity" `Quick
+            test_podem_randomized_diversity;
+          QCheck_alcotest.to_alcotest prop_podem_complete;
+        ] );
+      ( "ndet-atpg",
+        [
+          Alcotest.test_case "n-detection on example" `Quick
+            test_ndet_atpg_example;
+          Alcotest.test_case "detects matches simulator" `Quick
+            test_ndet_atpg_detects_matches_naive;
+        ] );
+      ( "compact",
+        [
+          Alcotest.test_case "greedy cover" `Quick test_greedy_cover_example;
+          Alcotest.test_case "size grows with n" `Quick
+            test_greedy_cover_size_grows_with_n;
+          Alcotest.test_case "reverse-order pass" `Quick
+            test_reverse_order_pass;
+          QCheck_alcotest.to_alcotest prop_greedy_cover_random;
+        ] );
+    ]

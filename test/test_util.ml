@@ -1,0 +1,236 @@
+module Rng = Ndetect_util.Rng
+module Bitvec = Ndetect_util.Bitvec
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let sa = List.init 8 (fun _ -> Rng.next_int64 a) in
+  let sb = List.init 8 (fun _ -> Rng.next_int64 b) in
+  Alcotest.(check bool) "streams differ" true (sa <> sb)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng ~bound:13 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 13)
+  done
+
+let test_rng_int_bound_one () =
+  let rng = Rng.create ~seed:7 in
+  Alcotest.(check int) "bound 1 gives 0" 0 (Rng.int rng ~bound:1)
+
+let test_rng_int_rejects_zero () =
+  let rng = Rng.create ~seed:7 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng ~bound:0))
+
+let test_rng_uniformity () =
+  (* Chi-squared-ish sanity: each of 8 buckets gets its share. *)
+  let rng = Rng.create ~seed:11 in
+  let buckets = Array.make 8 0 in
+  let draws = 80_000 in
+  for _ = 1 to draws do
+    let v = Rng.int rng ~bound:8 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "bucket near expectation" true
+        (abs (c - 10_000) < 500))
+    buckets
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:3 in
+  let b = Rng.split a in
+  let sa = List.init 8 (fun _ -> Rng.next_int64 a) in
+  let sb = List.init 8 (fun _ -> Rng.next_int64 b) in
+  Alcotest.(check bool) "streams differ" true (sa <> sb)
+
+let test_rng_copy () =
+  let a = Rng.create ~seed:3 in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next_int64 a)
+    (Rng.next_int64 b)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create ~seed:5 in
+  let arr = Array.init 20 Fun.id in
+  Rng.shuffle_in_place rng arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 20 Fun.id) sorted
+
+let test_bitvec_basics () =
+  let v = Bitvec.create 100 in
+  Alcotest.(check int) "empty count" 0 (Bitvec.count v);
+  Bitvec.set v 0;
+  Bitvec.set v 63;
+  Bitvec.set v 99;
+  Alcotest.(check int) "count" 3 (Bitvec.count v);
+  Alcotest.(check bool) "get 63" true (Bitvec.get v 63);
+  Alcotest.(check bool) "get 62" false (Bitvec.get v 62);
+  Bitvec.clear v 63;
+  Alcotest.(check bool) "cleared" false (Bitvec.get v 63);
+  Alcotest.(check (list int)) "to_list" [ 0; 99 ] (Bitvec.to_list v)
+
+let test_bitvec_bounds () =
+  let v = Bitvec.create 10 in
+  Alcotest.check_raises "oob" (Invalid_argument "Bitvec: index out of bounds")
+    (fun () -> ignore (Bitvec.get v 10))
+
+let bitvec_gen =
+  QCheck.make
+    ~print:(fun (len, xs) ->
+      Printf.sprintf "len=%d {%s}" len
+        (String.concat ";" (List.map string_of_int xs)))
+    QCheck.Gen.(
+      int_range 1 300 >>= fun len ->
+      list_size (int_range 0 40) (int_range 0 (len - 1)) >|= fun xs ->
+      (len, xs))
+
+let pair_gen =
+  QCheck.Gen.(
+    int_range 1 300 >>= fun len ->
+    let idx = list_size (int_range 0 40) (int_range 0 (len - 1)) in
+    idx >>= fun a ->
+    idx >|= fun b -> (len, a, b))
+
+let bitvec_pair =
+  QCheck.make
+    ~print:(fun (len, a, b) ->
+      Printf.sprintf "len=%d |a|=%d |b|=%d" len (List.length a)
+        (List.length b))
+    pair_gen
+
+let prop_inter_count =
+  QCheck.Test.make ~name:"inter_count = |a ∩ b|" ~count:200 bitvec_pair
+    (fun (len, a, b) ->
+      let va = Bitvec.of_list len a and vb = Bitvec.of_list len b in
+      let expected =
+        List.sort_uniq Int.compare a
+        |> List.filter (fun x -> List.mem x b)
+        |> List.length
+      in
+      Bitvec.inter_count va vb = expected
+      && Bitvec.count (Bitvec.inter va vb) = expected)
+
+let prop_diff_and_union =
+  QCheck.Test.make ~name:"set algebra laws" ~count:200 bitvec_pair
+    (fun (len, a, b) ->
+      let va = Bitvec.of_list len a and vb = Bitvec.of_list len b in
+      let u = Bitvec.union va vb and d = Bitvec.diff va vb in
+      Bitvec.count u + Bitvec.inter_count va vb
+      = Bitvec.count va + Bitvec.count vb
+      && Bitvec.count d = Bitvec.diff_count va vb
+      && Bitvec.subset d va
+      && (not (Bitvec.intersects d vb)) )
+
+let prop_nth_diff =
+  QCheck.Test.make ~name:"nth_diff enumerates diff in order" ~count:200
+    bitvec_pair (fun (len, a, b) ->
+      let va = Bitvec.of_list len a and vb = Bitvec.of_list len b in
+      let d = Bitvec.diff va vb in
+      let expected = Bitvec.to_list d in
+      let got = List.mapi (fun k _ -> Bitvec.nth_diff va vb k) expected in
+      got = expected)
+
+let prop_nth_set =
+  QCheck.Test.make ~name:"nth_set agrees with to_list" ~count:200 bitvec_gen
+    (fun (len, xs) ->
+      let v = Bitvec.of_list len xs in
+      let expected = Bitvec.to_list v in
+      List.mapi (fun k _ -> Bitvec.nth_set v k) expected = expected)
+
+let test_nth_diff_not_found () =
+  let a = Bitvec.of_list 10 [ 1; 2 ] and b = Bitvec.of_list 10 [ 2 ] in
+  Alcotest.check_raises "exhausted" Not_found (fun () ->
+      ignore (Bitvec.nth_diff a b 1))
+
+let test_union_in_place () =
+  let a = Bitvec.of_list 80 [ 1; 70 ] and b = Bitvec.of_list 80 [ 2; 70 ] in
+  Bitvec.union_in_place a b;
+  Alcotest.(check (list int)) "union" [ 1; 2; 70 ] (Bitvec.to_list a)
+
+let test_length_mismatch () =
+  let a = Bitvec.create 10 and b = Bitvec.create 11 in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Bitvec: length mismatch")
+    (fun () -> ignore (Bitvec.inter_count a b))
+
+module Parallel = Ndetect_util.Parallel
+
+let test_parallel_matches_sequential () =
+  let arr = Array.init 1000 Fun.id in
+  let f x = (x * x) + 1 in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "domains=%d" domains)
+        (Array.map f arr)
+        (Parallel.map_array ~domains f arr))
+    [ 1; 2; 3; 7 ]
+
+let test_parallel_small_arrays () =
+  Alcotest.(check (array int)) "empty" [||] (Parallel.map_array succ [||]);
+  Alcotest.(check (array int)) "singleton" [| 2 |]
+    (Parallel.map_array succ [| 1 |])
+
+let test_parallel_init () =
+  Alcotest.(check (array int)) "init" [| 0; 2; 4; 6; 8 |]
+    (Parallel.init ~domains:2 5 (fun i -> 2 * i))
+
+exception Boom
+
+let test_parallel_propagates_exception () =
+  let arr = Array.init 100 Fun.id in
+  Alcotest.check_raises "raises" Boom (fun () ->
+      ignore
+        (Parallel.map_array ~domains:4
+           (fun x -> if x = 57 then raise Boom else x)
+           arr))
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "bound one" `Quick test_rng_int_bound_one;
+          Alcotest.test_case "bound zero rejected" `Quick
+            test_rng_int_rejects_zero;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "shuffle permutes" `Quick
+            test_rng_shuffle_permutation;
+        ] );
+      ( "bitvec",
+        [
+          Alcotest.test_case "basics" `Quick test_bitvec_basics;
+          Alcotest.test_case "bounds" `Quick test_bitvec_bounds;
+          Alcotest.test_case "nth_diff not found" `Quick
+            test_nth_diff_not_found;
+          Alcotest.test_case "union in place" `Quick test_union_in_place;
+          Alcotest.test_case "length mismatch" `Quick test_length_mismatch;
+          QCheck_alcotest.to_alcotest prop_inter_count;
+          QCheck_alcotest.to_alcotest prop_diff_and_union;
+          QCheck_alcotest.to_alcotest prop_nth_diff;
+          QCheck_alcotest.to_alcotest prop_nth_set;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "matches sequential" `Quick
+            test_parallel_matches_sequential;
+          Alcotest.test_case "small arrays" `Quick test_parallel_small_arrays;
+          Alcotest.test_case "init" `Quick test_parallel_init;
+          Alcotest.test_case "exception propagation" `Quick
+            test_parallel_propagates_exception;
+        ] );
+    ]
