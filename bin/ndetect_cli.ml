@@ -24,8 +24,17 @@ module Driver = Ndetect_harness.Driver
 open Cmdliner
 
 (* A circuit argument is a suite name or a .bench / .kiss2 / .pla /
-   .blif file (chosen by extension; anything else parses as .bench). *)
+   .blif file (chosen by extension; anything else parses as .bench).
+   File readers go through the non-raising [parse_file_result] entry
+   points, so a malformed or unreadable file reports filename and line
+   instead of an uncaught exception. *)
 let load_circuit ?(scheme = Encode.Binary) spec =
+  let friendly = function
+    | Ok v -> Ok v
+    | Error (`Parse d) ->
+      Error (Ndetect_netparse.Diagnostic.to_string ~file:spec d)
+    | Error (`Io message) -> Error (Printf.sprintf "%s: %s" spec message)
+  in
   match Registry.find spec with
   | Some entry -> Ok (Registry.circuit ~scheme entry)
   | None ->
@@ -35,25 +44,15 @@ let load_circuit ?(scheme = Encode.Binary) spec =
            "%s is neither a suite circuit nor a file; try `ndetect list`"
            spec)
     else if Filename.check_suffix spec ".kiss2" then
-      match Kiss2.parse_file spec with
-      | fsm -> Ok (Multilevel.decompose (Fsm_synth.synthesize ~scheme fsm))
-      | exception Kiss2.Parse_error { line; message } ->
-        Error (Printf.sprintf "%s:%d: %s" spec line message)
+      friendly (Kiss2.parse_file_result spec)
+      |> Result.map (fun fsm ->
+             Multilevel.decompose (Fsm_synth.synthesize ~scheme fsm))
     else if Filename.check_suffix spec ".pla" then
-      match Ndetect_netparse.Pla.parse_file spec with
-      | pla -> Ok (Ndetect_synth.Pla_synth.synthesize pla)
-      | exception Ndetect_netparse.Pla.Parse_error { line; message } ->
-        Error (Printf.sprintf "%s:%d: %s" spec line message)
+      friendly (Ndetect_netparse.Pla.parse_file_result spec)
+      |> Result.map Ndetect_synth.Pla_synth.synthesize
     else if Filename.check_suffix spec ".blif" then
-      match Ndetect_netparse.Blif.parse_file spec with
-      | net -> Ok net
-      | exception Ndetect_netparse.Blif.Parse_error { line; message } ->
-        Error (Printf.sprintf "%s:%d: %s" spec line message)
-    else
-      match Bench_format.parse_file spec with
-      | net -> Ok net
-      | exception Bench_format.Parse_error { line; message } ->
-        Error (Printf.sprintf "%s:%d: %s" spec line message)
+      friendly (Ndetect_netparse.Blif.parse_file_result spec)
+    else friendly (Bench_format.parse_file_result spec)
 
 let circuit_arg =
   let doc =
@@ -558,7 +557,7 @@ let tables_run tier k k2 seed only quiet =
   in
   Driver.run_all
     (Driver.create
-       { Driver.tier; k; k2; seed; only; quiet; csv_dir = None })
+       { Driver.default_options with Driver.tier; k; k2; seed; only; quiet })
 
 let tables_cmd =
   let tier =
@@ -591,11 +590,14 @@ let tables_cmd =
 (* synth *)
 
 let synth_run file scheme out format =
-  match Kiss2.parse_file file with
-  | exception Kiss2.Parse_error { line; message } ->
-    Printf.eprintf "%s:%d: %s\n" file line message;
+  match Kiss2.parse_file_result file with
+  | Error (`Parse d) ->
+    prerr_endline (Ndetect_netparse.Diagnostic.to_string ~file d);
     exit 1
-  | fsm ->
+  | Error (`Io message) ->
+    Printf.eprintf "%s: %s\n" file message;
+    exit 1
+  | Ok fsm ->
     let net = Multilevel.decompose (Fsm_synth.synthesize ~scheme fsm) in
     let text =
       match format with

@@ -2,16 +2,29 @@
 
    Usage: reproduce [--tier small|medium|large] [--k N] [--k2 N]
                     [--seed N] [--only tableN|figure2] [--quiet]
+                    [--csv DIR] [--checkpoint DIR] [--resume]
+                    [--timeout-per-circuit SECS] [--inject SPEC]
 
    Defaults are sized so a medium-tier run finishes in about a minute;
    pass --tier large --k 10000 --k2 1000 for the paper-scale experiment
-   (see EXPERIMENTS.md for recorded timings). *)
+   (see EXPERIMENTS.md for recorded timings).
+
+   Exit codes: 0 on a clean run, 2 on a usage error, 3 when the run
+   completed but one or more supervised per-circuit units timed out or
+   crashed (their rows render as "(timed out)" / "(crashed: ...)"). *)
 
 module Driver = Ndetect_harness.Driver
 
 let () =
   match Driver.parse_args (List.tl (Array.to_list Sys.argv)) with
-  | options -> Driver.run_all (Driver.create options)
   | exception Failure message ->
     prerr_endline message;
     exit 2
+  | options -> (
+    match Driver.create options with
+    | exception Failure message ->
+      prerr_endline message;
+      exit 2
+    | driver ->
+      Driver.run_all driver;
+      if Driver.failures driver <> [] then exit 3)

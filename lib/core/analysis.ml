@@ -42,9 +42,9 @@ let summary_of_worst ~name worst =
       Worst_case.count_at_least worst Worst_case.unbounded;
   }
 
-let analyze ~name net =
-  let table = Detection_table.build net in
-  let worst = Worst_case.compute table in
+let analyze ?(cancel = Ndetect_util.Cancel.none) ~name net =
+  let table = Detection_table.build ~cancel net in
+  let worst = Worst_case.compute ~cancel table in
   { name; table; worst; summary = summary_of_worst ~name worst }
 
 let hard_faults t ~nmax =

@@ -31,8 +31,11 @@ type t = {
   summary : worst_summary;
 }
 
-val analyze : name:string -> Netlist.t -> t
-(** Build the detection table and run the worst-case analysis. *)
+val analyze :
+  ?cancel:Ndetect_util.Cancel.token -> name:string -> Netlist.t -> t
+(** Build the detection table and run the worst-case analysis. [cancel]
+    is threaded through both passes, so a supervised caller's deadline
+    cuts the analysis off at the next poll point. *)
 
 val summary_of_worst : name:string -> Worst_case.t -> worst_summary
 

@@ -27,11 +27,12 @@ type t = {
 }
 
 let build ?(keep_undetectable_targets = false) ?(collapse = true)
-    ?(model = Four_way) net =
+    ?(model = Four_way) ?(cancel = Ndetect_util.Cancel.none) net =
   let good = Good.compute net in
+  Ndetect_util.Cancel.check_deadline cancel;
   let universe = Good.universe good in
   let stuck_list = if collapse then Stuck.collapse net else Stuck.all net in
-  let stuck_sets = Fault_sim.stuck_detection_sets good stuck_list in
+  let stuck_sets = Fault_sim.stuck_detection_sets ~cancel good stuck_list in
   let keep_target i =
     keep_undetectable_targets || not (Bitvec.is_empty stuck_sets.(i))
   in
@@ -48,7 +49,7 @@ let build ?(keep_undetectable_targets = false) ?(collapse = true)
     | Four_way ->
       let bridges = Bridge.enumerate net in
       ( Array.map (fun b -> Bridge_fault b) bridges,
-        Fault_sim.bridge_detection_sets good bridges,
+        Fault_sim.bridge_detection_sets ~cancel good bridges,
         fun f ->
           match f with
           | Bridge_fault b -> Bridge.to_string net b
@@ -56,7 +57,7 @@ let build ?(keep_undetectable_targets = false) ?(collapse = true)
     | Wired semantics ->
       let wired = Wired.enumerate net semantics in
       ( Array.map (fun w -> Wired_fault w) wired,
-        Fault_sim.wired_detection_sets good wired,
+        Fault_sim.wired_detection_sets ~cancel good wired,
         fun f ->
           match f with
           | Bridge_fault b -> Bridge.to_string net b

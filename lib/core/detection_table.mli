@@ -27,13 +27,15 @@ val build :
   ?keep_undetectable_targets:bool ->
   ?collapse:bool ->
   ?model:untargeted_model ->
+  ?cancel:Ndetect_util.Cancel.token ->
   Netlist.t ->
   t
 (** Runs one exhaustive fault-free simulation plus one differential fault
     simulation per fault. [collapse] (default [true]) applies equivalence
     collapsing to the stuck-at list — the paper's setting; turning it off,
     like switching the untargeted [model] (default [Four_way]), is exposed
-    for the ablation benches. *)
+    for the ablation benches. [cancel] is polled between per-fault
+    simulation jobs (cooperative deadline support). *)
 
 val net : t -> Netlist.t
 val universe : t -> int

@@ -39,7 +39,7 @@ let build_report_index table report =
     report;
   Array.map Array.of_list buckets
 
-let run ?report_faults table config =
+let run ?(cancel = Ndetect_util.Cancel.none) ?report_faults table config =
   if config.set_count < 1 || config.nmax < 1 then
     invalid_arg "Procedure1.run: bad config";
   let rng = Rng.create ~seed:config.seed in
@@ -163,8 +163,10 @@ let run ?report_faults table config =
   in
   for n = 1 to config.nmax do
     for fi = 0 to f_count - 1 do
+      Ndetect_util.Cancel.poll cancel;
       let tf = Detection_table.target_set table fi in
       for k = 0 to config.set_count - 1 do
+        if k land 63 = 0 then Ndetect_util.Cancel.poll cancel;
         let s = sets.(k) in
         let fallback_def1 () =
           (* The stricter count cannot reach n: fall back to the standard

@@ -35,9 +35,13 @@ val default_config : config
 
 type outcome
 
-val run : ?report_faults:int array -> Detection_table.t -> config -> outcome
+val run :
+  ?cancel:Ndetect_util.Cancel.token ->
+  ?report_faults:int array ->
+  Detection_table.t -> config -> outcome
 (** [report_faults] lists the untargeted-fault indices whose detection
-    probabilities are tracked (default: all of them). *)
+    probabilities are tracked (default: all of them). [cancel] is polled
+    throughout the construction loops. *)
 
 val config : outcome -> config
 val report_faults : outcome -> int array

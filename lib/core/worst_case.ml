@@ -16,7 +16,7 @@ let unbounded = max_int
    intersection instead of the word-wise popcount. *)
 let sparse_threshold = 64
 
-let compute table =
+let compute ?(cancel = Ndetect_util.Cancel.none) table =
   let g_count = Detection_table.untargeted_count table in
   let f_count = Detection_table.target_count table in
   let ns = Array.init f_count (Detection_table.target_n table) in
@@ -25,6 +25,7 @@ let compute table =
   (* Per-untargeted-fault scans are independent pure reads of the table,
      so they run on parallel domains. *)
   let per_gj gj =
+    Ndetect_util.Cancel.poll cancel;
     let tg = Detection_table.untargeted_set table gj in
     let tg_count = Bitvec.count tg in
     let sparse =

@@ -14,7 +14,8 @@ val unbounded : int
 (** Sentinel for a fault no n-detection requirement can guarantee (no
     target fault's detection set intersects its own): [max_int]. *)
 
-val compute : Detection_table.t -> t
+val compute : ?cancel:Ndetect_util.Cancel.token -> Detection_table.t -> t
+(** [cancel] is polled once per untargeted fault. *)
 
 val table : t -> Detection_table.t
 

@@ -1,0 +1,58 @@
+(** Crash-safe persistence of partial reproduction results.
+
+    A checkpoint is a directory of independent entries, one file per
+    completed unit of work (a per-circuit summary, a finished table
+    row, a rendered section). Every entry is stamped with the format
+    {!version} and the run parameters it depends on; {!load} silently
+    ignores entries whose stamp does not match the current run, so a
+    checkpoint directory can never leak results across incompatible
+    configurations. Writes go to a temporary file in the same directory
+    followed by an atomic rename, so a kill at any instant leaves either
+    the previous entry or the new one — never a torn file.
+
+    Payloads are marshalled plain data (no closures); the [key] is the
+    type contract: each key prefix maps to exactly one payload type
+    (see the driver). Bumping {!version} invalidates all old entries. *)
+
+type stamp = {
+  version : int;
+  seed : int;
+  tier : string;
+  k : int;
+  k2 : int;
+}
+
+val version : int
+(** Current checkpoint format version. *)
+
+type t
+
+val create : dir:string -> stamp:stamp -> t
+(** Open (creating directories as needed) a checkpoint rooted at
+    [dir]. *)
+
+val dir : t -> string
+
+val store : t -> key:string -> 'a -> unit
+(** Persist an entry atomically. The payload must be marshal-safe plain
+    data. *)
+
+val load : t -> key:string -> 'a option
+(** Read an entry back; [None] when absent, unreadable, or stamped by a
+    different version or run configuration. The caller must ask for the
+    same type it stored under this key. *)
+
+val mem : t -> key:string -> bool
+(** Whether a loadable, stamp-matching entry exists. *)
+
+(** {2 Shared filesystem helpers} *)
+
+val mkdir_recursive : string -> unit
+(** [mkdir -p]: creates missing ancestors; concurrent creation of the
+    same directory is not an error (EEXIST is swallowed rather than
+    racing a [file_exists] check). *)
+
+val write_atomic : path:string -> string -> unit
+(** Write file contents via temp-file-plus-rename in the target's
+    directory; the channel is closed (and the temp file removed) on
+    error paths. *)

@@ -7,6 +7,7 @@ module Registry = Ndetect_suite.Registry
 module Example = Ndetect_suite.Example
 module Paper_tables = Ndetect_report.Paper_tables
 module Bitvec = Ndetect_util.Bitvec
+module Supervise = Ndetect_util.Supervise
 
 type options = {
   tier : Registry.tier;
@@ -16,6 +17,10 @@ type options = {
   only : string;
   quiet : bool;
   csv_dir : string option;
+  checkpoint_dir : string option;
+  resume : bool;
+  timeout_per_circuit : float option;
+  inject : string option;
 }
 
 let default_options =
@@ -27,9 +32,39 @@ let default_options =
     only = "all";
     quiet = false;
     csv_dir = None;
+    checkpoint_dir = None;
+    resume = false;
+    timeout_per_circuit = None;
+    inject = None;
   }
 
+let usage =
+  "usage: reproduce [--tier small|medium|large] [--k N] [--k2 N] [--seed N]\n\
+  \                 [--only table1..table6|figure2|all] [--quiet] [--csv DIR]\n\
+  \                 [--checkpoint DIR] [--resume] [--timeout-per-circuit SECS]\n\
+  \                 [--inject SPEC]"
+
+let value_flags =
+  [
+    "--tier"; "--k"; "--k2"; "--seed"; "--only"; "--csv"; "--checkpoint";
+    "--timeout-per-circuit"; "--inject";
+  ]
+
 let parse_args args =
+  let int_value flag v =
+    match int_of_string_opt v with
+    | Some n -> n
+    | None ->
+      failwith (Printf.sprintf "%s expects an integer, got %S\n%s" flag v usage)
+  in
+  let seconds_value flag v =
+    match float_of_string_opt v with
+    | Some s when s > 0.0 -> s
+    | Some _ | None ->
+      failwith
+        (Printf.sprintf "%s expects a positive number of seconds, got %S\n%s"
+           flag v usage)
+  in
   let rec go opts = function
     | [] -> opts
     | "--tier" :: v :: rest ->
@@ -38,27 +73,102 @@ let parse_args args =
         | "small" -> Registry.Small
         | "medium" -> Registry.Medium
         | "large" -> Registry.Large
-        | _ -> failwith ("unknown tier " ^ v)
+        | _ ->
+          failwith
+            (Printf.sprintf "unknown tier %S (small, medium or large)" v)
       in
       go { opts with tier } rest
-    | "--k" :: v :: rest -> go { opts with k = int_of_string v } rest
-    | "--k2" :: v :: rest -> go { opts with k2 = int_of_string v } rest
-    | "--seed" :: v :: rest -> go { opts with seed = int_of_string v } rest
+    | "--k" :: v :: rest -> go { opts with k = int_value "--k" v } rest
+    | "--k2" :: v :: rest -> go { opts with k2 = int_value "--k2" v } rest
+    | "--seed" :: v :: rest ->
+      go { opts with seed = int_value "--seed" v } rest
     | "--only" :: v :: rest ->
       go { opts with only = String.lowercase_ascii v } rest
     | "--quiet" :: rest -> go { opts with quiet = true } rest
     | "--csv" :: dir :: rest -> go { opts with csv_dir = Some dir } rest
-    | arg :: _ -> failwith ("unknown argument " ^ arg)
+    | "--checkpoint" :: dir :: rest ->
+      go { opts with checkpoint_dir = Some dir } rest
+    | "--resume" :: rest -> go { opts with resume = true } rest
+    | "--timeout-per-circuit" :: v :: rest ->
+      go
+        {
+          opts with
+          timeout_per_circuit =
+            Some (seconds_value "--timeout-per-circuit" v);
+        }
+        rest
+    | "--inject" :: spec :: rest -> (
+      match Supervise.parse_injection_spec spec with
+      | Ok _ -> go { opts with inject = Some spec } rest
+      | Error message -> failwith (Printf.sprintf "--inject: %s" message))
+    | [ flag ] when List.mem flag value_flags ->
+      failwith (Printf.sprintf "%s requires a value\n%s" flag usage)
+    | arg :: _ -> failwith (Printf.sprintf "unknown argument %S\n%s" arg usage)
   in
-  go default_options args
+  let opts = go default_options args in
+  if opts.resume && opts.checkpoint_dir = None then
+    failwith (Printf.sprintf "--resume requires --checkpoint DIR\n%s" usage);
+  opts
+
+(* Per-circuit execution state. [Summarized] means only the worst-case
+   summary was recovered from a checkpoint; the full analysis is
+   recomputed on demand if a later table needs it. *)
+type status =
+  | Full of Analysis.t
+  | Summarized of Analysis.worst_summary
+  | Failed of Supervise.failure
 
 type t = {
   options : options;
-  analyses : (string, Analysis.t) Hashtbl.t;
+  statuses : (string, status) Hashtbl.t;
+  checkpoint : Checkpoint.t option;
+  mutable failures : (string * Supervise.failure) list;  (* newest first *)
   mutable example : Analysis.t option;
 }
 
-let create options = { options; analyses = Hashtbl.create 64; example = None }
+let tier_name = function
+  | Registry.Small -> "small"
+  | Registry.Medium -> "medium"
+  | Registry.Large -> "large"
+
+let create options =
+  (match options.inject with
+  | None -> Supervise.set_injection []
+  | Some spec -> (
+    match Supervise.parse_injection_spec spec with
+    | Ok plan -> Supervise.set_injection plan
+    | Error message -> failwith (Printf.sprintf "--inject: %s" message)));
+  let checkpoint =
+    Option.map
+      (fun dir ->
+        Checkpoint.create ~dir
+          ~stamp:
+            {
+              Checkpoint.version = Checkpoint.version;
+              seed = options.seed;
+              tier = tier_name options.tier;
+              k = options.k;
+              k2 = options.k2;
+            })
+      options.checkpoint_dir
+  in
+  (* Fail fast on an unusable --csv target rather than crashing after
+     the (possibly hours-long) run when the first table is written. *)
+  Option.iter
+    (fun dir ->
+      Checkpoint.mkdir_recursive dir;
+      if not (Sys.is_directory dir) then
+        failwith (Printf.sprintf "csv path %s is not a directory" dir))
+    options.csv_dir;
+  {
+    options;
+    statuses = Hashtbl.create 64;
+    checkpoint;
+    failures = [];
+    example = None;
+  }
+
+let failures t = List.rev t.failures
 
 let timed t label f =
   if t.options.quiet then f ()
@@ -69,18 +179,80 @@ let timed t label f =
     r
   end
 
+(* Checkpoint plumbing. Entries are only read back under --resume; a
+   plain --checkpoint run starts from scratch but still persists. *)
+let load_ck t key =
+  match t.checkpoint with
+  | Some ck when t.options.resume -> Checkpoint.load ck ~key
+  | Some _ | None -> None
+
+let store_ck t key payload =
+  Option.iter (fun ck -> Checkpoint.store ck ~key payload) t.checkpoint
+
+(* One supervised unit of work: deadline from --timeout-per-circuit,
+   deterministic injection at [site], bounded retry for I/O errors, and
+   the failure recorded for the final exit status. *)
+let supervised t ~label ~site f =
+  let result =
+    Supervise.run ?deadline:t.options.timeout_per_circuit ~retries:2
+      (fun cancel ->
+        Supervise.inject ~cancel site;
+        f cancel)
+  in
+  (match result with
+  | Error failure -> t.failures <- (label, failure) :: t.failures
+  | Ok _ -> ());
+  result
+
+let compute_analysis t entry =
+  let name = entry.Registry.name in
+  match
+    supervised t ~label:("analyze " ^ name) ~site:("analyze:" ^ name)
+      (fun cancel ->
+        timed t
+          (Printf.sprintf "analyze %s" name)
+          (fun () -> Analysis.analyze ~cancel ~name (Registry.circuit entry)))
+  with
+  | Ok a ->
+    store_ck t ("summary-" ^ name) a.Analysis.summary;
+    Hashtbl.replace t.statuses name (Full a);
+    Ok a
+  | Error failure ->
+    Hashtbl.replace t.statuses name (Failed failure);
+    Error failure
+
+let status_of t entry =
+  let name = entry.Registry.name in
+  match Hashtbl.find_opt t.statuses name with
+  | Some s -> s
+  | None -> (
+    match load_ck t ("summary-" ^ name) with
+    | Some (summary : Analysis.worst_summary) ->
+      let s = Summarized summary in
+      Hashtbl.replace t.statuses name s;
+      s
+    | None -> (
+      match compute_analysis t entry with
+      | Ok a -> Full a
+      | Error failure -> Failed failure))
+
+let summary_result t entry =
+  match status_of t entry with
+  | Full a -> Ok a.Analysis.summary
+  | Summarized s -> Ok s
+  | Failed f -> Error f
+
+let analysis_result t entry =
+  match status_of t entry with
+  | Full a -> Ok a
+  | Failed f -> Error f
+  | Summarized _ -> compute_analysis t entry
+
 let analysis_of t entry =
-  match Hashtbl.find_opt t.analyses entry.Registry.name with
-  | Some a -> a
-  | None ->
-    let a =
-      timed t
-        (Printf.sprintf "analyze %s" entry.Registry.name)
-        (fun () ->
-          Analysis.analyze ~name:entry.Registry.name (Registry.circuit entry))
-    in
-    Hashtbl.replace t.analyses entry.Registry.name a;
-    a
+  match analysis_result t entry with
+  | Ok a -> a
+  | Error failure ->
+    failwith (entry.Registry.name ^ ": " ^ Supervise.describe failure)
 
 let example_analysis t =
   match t.example with
@@ -100,12 +272,31 @@ let run_table1 t =
   | None -> "example bridge g0 not found (unexpected)\n"
   | Some gj -> Paper_tables.table1 a ~gj
 
-let summaries t =
+let summary_entries t =
   Registry.of_tier t.options.tier
-  |> List.map (fun e -> (analysis_of t e).Analysis.summary)
+  |> List.map (fun e ->
+         match summary_result t e with
+         | Ok s -> Paper_tables.Row s
+         | Error failure ->
+           Paper_tables.Failed_row
+             {
+               circuit = e.Registry.name;
+               reason = Supervise.describe failure;
+             })
 
-let run_table2 t = Paper_tables.table2 (summaries t)
-let run_table3 t = Paper_tables.table3 (summaries t)
+let run_table2 t = Paper_tables.table2_entries (summary_entries t)
+let run_table3 t = Paper_tables.table3_entries (summary_entries t)
+let table2_csv t = Paper_tables.table2_csv_entries (summary_entries t)
+let table3_csv t = Paper_tables.table3_csv_entries (summary_entries t)
+
+(* nmin > 10 (hard_faults ~nmax:10) is exactly the Table 3 threshold
+   nmin >= 11, so the count can be read off a summary — which keeps
+   resumed runs from reanalyzing circuits just to pick Figure 2's
+   subject or to skip hard-fault-free circuits in Tables 5/6. *)
+let hard_count_of_summary (s : Analysis.worst_summary) =
+  match List.find_opt (fun (n0, _, _) -> n0 = 11) s.Analysis.count_at_least with
+  | Some (_, count, _) -> count
+  | None -> 0
 
 let hardest_entry t =
   let entries = Registry.of_tier t.options.tier in
@@ -116,33 +307,58 @@ let hardest_entry t =
   | None ->
     List.fold_left
       (fun acc e ->
-        let hard =
-          Array.length (Analysis.hard_faults (analysis_of t e) ~nmax:10)
-        in
-        match acc with
-        | Some (_, best) when best >= hard -> acc
-        | Some _ | None -> Some (e, hard))
+        match summary_result t e with
+        | Error _ -> acc
+        | Ok s -> (
+          let hard = hard_count_of_summary s in
+          match acc with
+          | Some (_, best) when best >= hard -> acc
+          | Some _ | None -> Some (e, hard)))
       None entries
     |> Option.map fst
 
-let figure2_choice t =
-  match hardest_entry t with
-  | None -> None
-  | Some e ->
-    let a = analysis_of t e in
-    let has_100 =
-      Array.exists
-        (fun v -> v >= 100 && v <> Worst_case.unbounded)
-        (Worst_case.distribution a.Analysis.worst)
-    in
-    Some (e, a, if has_100 then 100 else 11)
+type figure2_data = {
+  fig_circuit : string;
+  fig_min_value : int;
+  fig_histogram : (int * int) list;
+}
+
+let figure2_data t =
+  match load_ck t "figure2" with
+  | Some (d : figure2_data) -> Some (Ok d)
+  | None -> (
+    match hardest_entry t with
+    | None -> None
+    | Some e -> (
+      match analysis_result t e with
+      | Error failure -> Some (Error (e.Registry.name, failure))
+      | Ok a ->
+        let has_100 =
+          Array.exists
+            (fun v -> v >= 100 && v <> Worst_case.unbounded)
+            (Worst_case.distribution a.Analysis.worst)
+        in
+        let min_value = if has_100 then 100 else 11 in
+        let d =
+          {
+            fig_circuit = e.Registry.name;
+            fig_min_value = min_value;
+            fig_histogram =
+              Worst_case.histogram a.Analysis.worst ~min_value;
+          }
+        in
+        store_ck t "figure2" d;
+        Some (Ok d)))
 
 let run_figure2 t =
-  match figure2_choice t with
+  match figure2_data t with
   | None -> "(no circuits in tier)\n"
-  | Some (e, a, min_value) ->
-    Printf.sprintf "circuit: %s\n%s" e.Registry.name
-      (Paper_tables.figure2 a.Analysis.worst ~min_value)
+  | Some (Error (circuit, failure)) ->
+    Printf.sprintf "circuit: %s (%s)\n" circuit (Supervise.describe failure)
+  | Some (Ok d) ->
+    Printf.sprintf "circuit: %s\n%s" d.fig_circuit
+      (Paper_tables.figure2_of_histogram d.fig_histogram
+         ~min_value:d.fig_min_value)
 
 let run_table4 t =
   let a = example_analysis t in
@@ -169,140 +385,213 @@ let run_table4 t =
   in
   Paper_tables.table4 outcome ^ g6_line
 
-let hard_entries t =
+(* Tables 5 and 6: one supervised Procedure-1 unit per circuit, each
+   checkpointed as its finished row ([None] records "no hard faults, not
+   listed" so resume skips the analysis entirely). *)
+type 'row item =
+  | Item_row of 'row
+  | Item_failed of string * Supervise.failure  (* circuit, reason *)
+
+let per_circuit_rows t ~key_prefix ~label_prefix ~compute_row =
   Registry.of_tier t.options.tier
   |> List.filter_map (fun e ->
-         let a = analysis_of t e in
-         let hard = Analysis.hard_faults a ~nmax:10 in
-         if Array.length hard = 0 then None else Some (e, a, hard))
+         let name = e.Registry.name in
+         let key = key_prefix ^ "-" ^ name in
+         match load_ck t key with
+         | Some (cached : _ option) ->
+           Option.map (fun row -> Item_row row) cached
+         | None -> (
+           match summary_result t e with
+           | Error failure -> Some (Item_failed (name, failure))
+           | Ok s when hard_count_of_summary s = 0 ->
+             store_ck t key None;
+             None
+           | Ok _ -> (
+             match analysis_result t e with
+             | Error failure -> Some (Item_failed (name, failure))
+             | Ok a -> (
+               let hard = Analysis.hard_faults a ~nmax:10 in
+               match
+                 supervised t
+                   ~label:(label_prefix ^ " " ^ name)
+                   ~site:(key_prefix ^ ":" ^ name)
+                   (fun cancel -> compute_row ~cancel ~name ~a ~hard)
+               with
+               | Ok row ->
+                 store_ck t key (Some row);
+                 Some (Item_row row)
+               | Error failure -> Some (Item_failed (name, failure))))))
 
-let table5_data t =
+let split_items items =
   let rows =
-    List.map
-      (fun (e, a, hard) ->
-        let config =
-          {
-            Procedure1.seed = t.options.seed;
-            set_count = t.options.k;
-            nmax = 10;
-            mode = Procedure1.Definition1;
-          }
-        in
-        let outcome =
-          timed t
-            (Printf.sprintf "procedure1 %s" e.Registry.name)
-            (fun () ->
-              Procedure1.run ~report_faults:hard a.Analysis.table config)
-        in
-        {
-          Paper_tables.circuit = e.Registry.name;
-          hard_faults = Array.length hard;
-          row = Average_case.summarize outcome ~n:10;
-        })
-      (hard_entries t)
+    List.filter_map (function Item_row r -> Some r | _ -> None) items
   in
-  rows
+  let failed =
+    List.filter_map
+      (function Item_failed (c, f) -> Some (c, f) | _ -> None)
+      items
+  in
+  (rows, failed)
+
+let failed_footer failed =
+  String.concat ""
+    (List.map
+       (fun (circuit, failure) ->
+         Printf.sprintf "(%s: %s)\n" circuit (Supervise.describe failure))
+       failed)
+
+let table5_items t =
+  per_circuit_rows t ~key_prefix:"table5" ~label_prefix:"procedure1"
+    ~compute_row:(fun ~cancel ~name ~a ~hard ->
+      let config =
+        {
+          Procedure1.seed = t.options.seed;
+          set_count = t.options.k;
+          nmax = 10;
+          mode = Procedure1.Definition1;
+        }
+      in
+      let outcome =
+        timed t
+          (Printf.sprintf "procedure1 %s" name)
+          (fun () ->
+            Procedure1.run ~cancel ~report_faults:hard a.Analysis.table
+              config)
+      in
+      {
+        Paper_tables.circuit = name;
+        hard_faults = Array.length hard;
+        row = Average_case.summarize outcome ~n:10;
+      })
 
 let run_table5 t =
-  match table5_data t with
+  let rows, failed = split_items (table5_items t) in
+  (match rows with
   | [] -> "(no circuits with nmin >= 11 faults)\n"
-  | rows -> Paper_tables.table5 ~nmax:10 rows
+  | rows -> Paper_tables.table5 ~nmax:10 rows)
+  ^ failed_footer failed
 
-let table6_data t =
-  let rows =
-    List.map
-      (fun (e, a, hard) ->
-        let run mode label =
-          timed t
-            (Printf.sprintf "procedure1 %s (%s)" e.Registry.name label)
-            (fun () ->
-              Procedure1.run ~report_faults:hard a.Analysis.table
-                {
-                  Procedure1.seed = t.options.seed;
-                  set_count = t.options.k2;
-                  nmax = 10;
-                  mode;
-                })
-        in
-        let def1 = run Procedure1.Definition1 "def1" in
-        let def2 = run Procedure1.Definition2 "def2" in
-        ( e.Registry.name,
-          Array.length hard,
-          Average_case.summarize def1 ~n:10,
-          Average_case.summarize def2 ~n:10 ))
-      (hard_entries t)
-  in
-  rows
+let table6_items t =
+  per_circuit_rows t ~key_prefix:"table6" ~label_prefix:"procedure1-def2"
+    ~compute_row:(fun ~cancel ~name ~a ~hard ->
+      let run mode label =
+        timed t
+          (Printf.sprintf "procedure1 %s (%s)" name label)
+          (fun () ->
+            Procedure1.run ~cancel ~report_faults:hard a.Analysis.table
+              {
+                Procedure1.seed = t.options.seed;
+                set_count = t.options.k2;
+                nmax = 10;
+                mode;
+              })
+      in
+      let def1 = run Procedure1.Definition1 "def1" in
+      let def2 = run Procedure1.Definition2 "def2" in
+      ( name,
+        Array.length hard,
+        Average_case.summarize def1 ~n:10,
+        Average_case.summarize def2 ~n:10 ))
 
 let run_table6 t =
-  match table6_data t with
+  let rows, failed = split_items (table6_items t) in
+  (match rows with
   | [] -> "(no circuits with nmin >= 11 faults)\n"
-  | rows -> Paper_tables.table6 ~nmax:10 rows
-
-let rec mkdir_recursive dir =
-  if not (Sys.file_exists dir) then begin
-    let parent = Filename.dirname dir in
-    if parent <> dir then mkdir_recursive parent;
-    Sys.mkdir dir 0o755
-  end
+  | rows -> Paper_tables.table6 ~nmax:10 rows)
+  ^ failed_footer failed
 
 let write_csv t ~name content =
   match t.options.csv_dir with
   | None -> ()
   | Some dir ->
-    mkdir_recursive dir;
+    Checkpoint.mkdir_recursive dir;
     let path = Filename.concat dir name in
-    let oc = open_out path in
-    output_string oc content;
-    close_out oc;
+    Checkpoint.write_atomic ~path content;
     if not t.options.quiet then Printf.printf "[wrote %s]\n%!" path
+
+(* A finished section (text plus optional CSV) is persisted whole, but
+   only when the run is failure-free so far: a section containing
+   (crashed)/(timed out) rows must be rebuilt — and its circuits
+   retried — by the resumed run. *)
+let cached_section t ~key f =
+  match load_ck t key with
+  | Some (section : string * (string * string) option) -> section
+  | None ->
+    let section = f () in
+    if t.failures = [] then store_ck t key section;
+    section
 
 let run_all t =
   let wants what = t.options.only = "all" || t.options.only = what in
-  let section title body =
-    Printf.printf "== %s ==\n\n%s\n%!" title body
+  let emit title (text, csv) =
+    Printf.printf "== %s ==\n\n%s\n%!" title text;
+    Option.iter (fun (name, content) -> write_csv t ~name content) csv
   in
   if wants "table1" then
-    section "Table 1 (worked example, Figure 1 circuit)" (run_table1 t);
+    emit "Table 1 (worked example, Figure 1 circuit)"
+      (cached_section t ~key:"section-table1" (fun () ->
+           (run_table1 t, None)));
   if wants "table4" then
-    section "Table 4 (K = 10 random test sets for the example circuit)"
-      (run_table4 t);
-  if wants "table2" then begin
-    section "Table 2 (worst-case percentages, small n)" (run_table2 t);
-    write_csv t ~name:"table2.csv" (Paper_tables.table2_csv (summaries t))
-  end;
-  if wants "table3" then begin
-    section "Table 3 (worst-case counts, large n)" (run_table3 t);
-    write_csv t ~name:"table3.csv" (Paper_tables.table3_csv (summaries t))
-  end;
-  if wants "figure2" then begin
-    section "Figure 2 (distribution of nmin for the hardest circuit)"
-      (run_figure2 t);
-    match figure2_choice t with
-    | Some (_, a, min_value) ->
-      write_csv t ~name:"figure2.csv"
-        (Paper_tables.figure2_csv a.Analysis.worst ~min_value)
-    | None -> ()
-  end;
-  if wants "table5" then begin
-    let rows = table5_data t in
-    section
+    emit "Table 4 (K = 10 random test sets for the example circuit)"
+      (cached_section t ~key:"section-table4" (fun () ->
+           (run_table4 t, None)));
+  if wants "table2" then
+    emit "Table 2 (worst-case percentages, small n)"
+      (cached_section t ~key:"section-table2" (fun () ->
+           (run_table2 t, Some ("table2.csv", table2_csv t))));
+  if wants "table3" then
+    emit "Table 3 (worst-case counts, large n)"
+      (cached_section t ~key:"section-table3" (fun () ->
+           (run_table3 t, Some ("table3.csv", table3_csv t))));
+  if wants "figure2" then
+    emit "Figure 2 (distribution of nmin for the hardest circuit)"
+      (cached_section t ~key:"section-figure2" (fun () ->
+           ( run_figure2 t,
+             match figure2_data t with
+             | Some (Ok d) ->
+               Some
+                 ( "figure2.csv",
+                   Paper_tables.figure2_csv_of_histogram d.fig_histogram )
+             | Some (Error _) | None -> None )));
+  if wants "table5" then
+    emit
       (Printf.sprintf "Table 5 (average-case probabilities, K = %d)"
          t.options.k)
-      (match rows with
-      | [] -> "(no circuits with nmin >= 11 faults)\n"
-      | rows -> Paper_tables.table5 ~nmax:10 rows);
-    if rows <> [] then
-      write_csv t ~name:"table5.csv" (Paper_tables.table5_csv rows)
-  end;
-  if wants "table6" then begin
-    let rows = table6_data t in
-    section
+      (cached_section t ~key:"section-table5" (fun () ->
+           let rows, failed = split_items (table5_items t) in
+           let text =
+             (match rows with
+             | [] -> "(no circuits with nmin >= 11 faults)\n"
+             | rows -> Paper_tables.table5 ~nmax:10 rows)
+             ^ failed_footer failed
+           in
+           let csv =
+             if rows = [] then None
+             else Some ("table5.csv", Paper_tables.table5_csv rows)
+           in
+           (text, csv)));
+  if wants "table6" then
+    emit
       (Printf.sprintf "Table 6 (Definition 1 vs Definition 2, K = %d)"
          t.options.k2)
-      (match rows with
-      | [] -> "(no circuits with nmin >= 11 faults)\n"
-      | rows -> Paper_tables.table6 ~nmax:10 rows);
-    if rows <> [] then
-      write_csv t ~name:"table6.csv" (Paper_tables.table6_csv rows)
+      (cached_section t ~key:"section-table6" (fun () ->
+           let rows, failed = split_items (table6_items t) in
+           let text =
+             (match rows with
+             | [] -> "(no circuits with nmin >= 11 faults)\n"
+             | rows -> Paper_tables.table6 ~nmax:10 rows)
+             ^ failed_footer failed
+           in
+           let csv =
+             if rows = [] then None
+             else Some ("table6.csv", Paper_tables.table6_csv rows)
+           in
+           (text, csv)));
+  if failures t <> [] then begin
+    Printf.eprintf "%d supervised unit(s) failed:\n" (List.length (failures t));
+    List.iter
+      (fun (label, failure) ->
+        Printf.eprintf "  %s: %s\n" label (Supervise.describe failure))
+      (failures t);
+    flush stderr
   end

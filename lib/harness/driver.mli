@@ -1,9 +1,23 @@
 (** The reproduction driver: regenerates every table and figure of the
     paper on the embedded benchmark suite. Shared by [bin/reproduce] and
-    the benchmark harness. *)
+    the benchmark harness.
+
+    Every per-circuit computation runs as one supervised unit
+    ({!Ndetect_util.Supervise.run}): it gets its own cancellation
+    deadline from [--timeout-per-circuit], passes through the
+    deterministic fault-injection sites [analyze:CIRCUIT],
+    [table5:CIRCUIT] and [table6:CIRCUIT], and on failure is recorded in
+    {!failures} while the tables render an explicit [(timed out)] /
+    [(crashed: ...)] row instead of aborting the run. With
+    [--checkpoint DIR] each finished unit is persisted
+    ({!Checkpoint.store}); [--resume] reads those entries back so an
+    interrupted run restarts where it left off and retries only the
+    failed or missing circuits. *)
 
 module Registry = Ndetect_suite.Registry
 module Analysis = Ndetect_core.Analysis
+module Supervise = Ndetect_util.Supervise
+module Paper_tables = Ndetect_report.Paper_tables
 
 type options = {
   tier : Registry.tier;
@@ -15,26 +29,53 @@ type options = {
   csv_dir : string option;
       (** When set, [run_all] also writes table2/3/5/6.csv and
           figure2.csv into this directory. *)
+  checkpoint_dir : string option;
+      (** When set, persist each finished unit of work here. *)
+  resume : bool;
+      (** Reload finished units from [checkpoint_dir] instead of
+          recomputing them. Requires [checkpoint_dir]. *)
+  timeout_per_circuit : float option;
+      (** Wall-clock budget (seconds) for each supervised unit. *)
+  inject : string option;
+      (** Raw fault-injection spec, as accepted by
+          {!Supervise.parse_injection_spec} (self-test only). *)
 }
 
 val default_options : options
-(** Medium tier, [k = 1000], [k2 = 200], [seed = 1], everything. *)
+(** Medium tier, [k = 1000], [k2 = 200], [seed = 1], everything; no
+    checkpointing, no timeout, no injection. *)
 
 val parse_args : string list -> options
 (** Parse [--tier small|medium|large], [--k N], [--k2 N], [--seed N],
-    [--only WHAT], [--quiet], [--csv DIR]. Raises [Failure] on unknown
+    [--only WHAT], [--quiet], [--csv DIR], [--checkpoint DIR],
+    [--resume], [--timeout-per-circuit SECS], [--inject SPEC]. Raises
+    [Failure] with a message naming the offending flag (and the usage
+    string) on malformed values, missing values, or unknown
     arguments. *)
 
+val usage : string
+(** The usage string appended to [parse_args] error messages. *)
+
 type t
-(** A driver instance caching per-circuit analyses across tables. *)
+(** A driver instance caching per-circuit results across tables. *)
 
 val create : options -> t
+(** Also installs the [inject] plan ({!Supervise.set_injection}) and
+    opens the checkpoint directory, stamped with the options' seed,
+    tier, [k] and [k2]. *)
+
+val failures : t -> (string * Supervise.failure) list
+(** Supervised units that failed so far, in execution order, labelled
+    ["analyze CIRCUIT"] / ["procedure1 CIRCUIT"] / .... Empty after a
+    fully clean run; [bin/reproduce] exits 3 when non-empty. *)
 
 val analysis_of : t -> Registry.entry -> Analysis.t
-(** Analyze a suite circuit (cached). *)
+(** Analyze a suite circuit (cached). Raises [Failure] if the circuit's
+    supervised analysis failed; prefer the table renderers, which
+    degrade to failure rows instead. *)
 
 val example_analysis : t -> Analysis.t
-(** The Figure 1 worked example (cached). *)
+(** The Figure 1 worked example (cached, not supervised). *)
 
 val run_table1 : t -> string
 val run_table2 : t -> string
@@ -44,5 +85,13 @@ val run_table4 : t -> string
 val run_table5 : t -> string
 val run_table6 : t -> string
 
+val table2_csv : t -> string
+val table3_csv : t -> string
+(** CSV forms of tables 2/3 including any failure rows — what [run_all]
+    writes under [--csv], exposed for resume-equivalence tests. *)
+
 val run_all : t -> unit
-(** Print every selected artifact to stdout, with section headers. *)
+(** Print every selected artifact to stdout, with section headers;
+    write CSVs when [csv_dir] is set; summarize failed units on stderr
+    last. Finished failure-free sections are checkpointed whole, so a
+    resumed run re-prints them without recomputation. *)

@@ -137,6 +137,19 @@ let parse_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> parse (In_channel.input_all ic))
 
+let parse_result text =
+  match parse text with
+  | value -> Ok value
+  | exception Parse_error { line; message } ->
+    Error (`Parse { Diagnostic.line; message })
+
+let parse_file_result path =
+  match parse_file path with
+  | value -> Ok value
+  | exception Parse_error { line; message } ->
+    Error (`Parse { Diagnostic.line; message })
+  | exception Sys_error message -> Error (`Io message)
+
 let print net =
   let buf = Buffer.create 1024 in
   Array.iter

@@ -19,6 +19,13 @@ val parse : string -> Ndetect_circuit.Netlist.t
 
 val parse_file : string -> Ndetect_circuit.Netlist.t
 
+val parse_result : string -> (Ndetect_circuit.Netlist.t, [ `Parse of Diagnostic.t ]) result
+(** Non-raising {!parse}: a {!Parse_error} becomes [`Parse d]. *)
+
+val parse_file_result :
+  string -> (Ndetect_circuit.Netlist.t, [ `Parse of Diagnostic.t | `Io of string ]) result
+(** Non-raising {!parse_file}: an unreadable file becomes [`Io msg]. *)
+
 val print : Ndetect_circuit.Netlist.t -> string
 (** Render back to [.bench] text. [parse (print c)] is structurally
     identical to [c] up to node ordering. *)

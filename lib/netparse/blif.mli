@@ -21,6 +21,13 @@ exception Parse_error of { line : int; message : string }
 val parse : string -> Ndetect_circuit.Netlist.t
 val parse_file : string -> Ndetect_circuit.Netlist.t
 
+val parse_result : string -> (Ndetect_circuit.Netlist.t, [ `Parse of Diagnostic.t ]) result
+(** Non-raising {!parse}: a {!Parse_error} becomes [`Parse d]. *)
+
+val parse_file_result :
+  string -> (Ndetect_circuit.Netlist.t, [ `Parse of Diagnostic.t | `Io of string ]) result
+(** Non-raising {!parse_file}: an unreadable file becomes [`Io msg]. *)
+
 val print : Ndetect_circuit.Netlist.t -> ?model:string -> unit -> string
 (** Render a netlist as purely combinational BLIF (one [.names] table per
     gate). [parse (print c ())] computes the same outputs as [c]. *)

@@ -1,0 +1,6 @@
+type t = { line : int; message : string }
+
+let to_string ?file t =
+  match file with
+  | Some f -> Printf.sprintf "%s:%d: %s" f t.line t.message
+  | None -> Printf.sprintf "line %d: %s" t.line t.message

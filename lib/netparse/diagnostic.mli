@@ -1,0 +1,10 @@
+(** The positioned parse diagnostic shared by the non-raising
+    [parse_result] entry points of every reader in this library.
+
+    Line 0 means the error is about the file as a whole (e.g. a missing
+    mandatory directive) rather than a specific line. *)
+
+type t = { line : int; message : string }
+
+val to_string : ?file:string -> t -> string
+(** ["file:line: message"], or ["line N: message"] without [file]. *)

@@ -30,4 +30,11 @@ type t = {
 val parse : string -> t
 val parse_file : string -> t
 
+val parse_result : string -> (t, [ `Parse of Diagnostic.t ]) result
+(** Non-raising {!parse}: a {!Parse_error} becomes [`Parse d]. *)
+
+val parse_file_result :
+  string -> (t, [ `Parse of Diagnostic.t | `Io of string ]) result
+(** Non-raising {!parse_file}: an unreadable file becomes [`Io msg]. *)
+
 val print : t -> string

@@ -42,20 +42,36 @@ let table1 (a : Analysis.t) ~gj =
    display as 100.00. *)
 let percent pct = Printf.sprintf "%.2f" (Float.of_int (int_of_float (pct *. 100.0)) /. 100.0)
 
-let table2_rows summaries =
+type table_entry =
+  | Row of Analysis.worst_summary
+  | Failed_row of { circuit : string; reason : string }
+
+let rows_of_summaries summaries = List.map (fun s -> Row s) summaries
+
+(* A failed circuit still gets a row: the failure reason sits in the
+   first data column so partial runs render (and diff) cleanly. *)
+let failed_cells circuit reason columns =
+  circuit :: "-" :: ("(" ^ reason ^ ")")
+  :: List.init (columns - 1) (fun _ -> "")
+
+let table2_rows entries =
+  let column_count = List.length Analysis.worst_thresholds_below in
   let rows =
     List.map
-      (fun (s : Analysis.worst_summary) ->
-        let cells, _ =
-          List.fold_left
-            (fun (cells, saturated) (_, pct) ->
-              if saturated then (cells @ [ "" ], true)
-              else (cells @ [ percent pct ], pct >= 100.0 -. 1e-9))
-            ([], false) s.Analysis.percent_below
-        in
-        (s.Analysis.circuit :: string_of_int s.Analysis.untargeted_faults
-        :: cells))
-      summaries
+      (function
+        | Row (s : Analysis.worst_summary) ->
+          let cells, _ =
+            List.fold_left
+              (fun (cells, saturated) (_, pct) ->
+                if saturated then (cells @ [ "" ], true)
+                else (cells @ [ percent pct ], pct >= 100.0 -. 1e-9))
+              ([], false) s.Analysis.percent_below
+          in
+          (s.Analysis.circuit :: string_of_int s.Analysis.untargeted_faults
+          :: cells)
+        | Failed_row { circuit; reason } ->
+          failed_cells circuit reason column_count)
+      entries
   in
   let header =
     "circuit" :: "faults"
@@ -65,28 +81,37 @@ let table2_rows summaries =
   in
   (header, rows)
 
-let table2 summaries =
-  let header, rows = table2_rows summaries in
+let table2_entries entries =
+  let header, rows = table2_rows entries in
   "Table 2: worst-case percentages of detected faults (small n)\n"
   ^ Ascii_table.render ~header rows
 
-let table2_csv summaries =
-  let header, rows = table2_rows summaries in
+let table2_csv_entries entries =
+  let header, rows = table2_rows entries in
   Ascii_table.render_csv ~header rows
 
-let table3_rows summaries =
-  let interesting (s : Analysis.worst_summary) =
-    List.exists (fun (_, count, _) -> count > 0) s.Analysis.count_at_least
+let table2 summaries = table2_entries (rows_of_summaries summaries)
+let table2_csv summaries = table2_csv_entries (rows_of_summaries summaries)
+
+let table3_rows entries =
+  let column_count = List.length Analysis.worst_thresholds_at_least in
+  let interesting = function
+    | Row (s : Analysis.worst_summary) ->
+      List.exists (fun (_, count, _) -> count > 0) s.Analysis.count_at_least
+    | Failed_row _ -> true
   in
   let rows =
-    List.filter interesting summaries
-    |> List.map (fun (s : Analysis.worst_summary) ->
+    List.filter interesting entries
+    |> List.map (function
+         | Row (s : Analysis.worst_summary) ->
            s.Analysis.circuit
            :: string_of_int s.Analysis.untargeted_faults
            :: List.map
                 (fun (_, count, pct) ->
                   Printf.sprintf "%d (%.2f)" count pct)
-                s.Analysis.count_at_least)
+                s.Analysis.count_at_least
+         | Failed_row { circuit; reason } ->
+           failed_cells circuit reason column_count)
   in
   let header =
     "circuit" :: "faults"
@@ -96,17 +121,19 @@ let table3_rows summaries =
   in
   (header, rows)
 
-let table3 summaries =
-  let header, rows = table3_rows summaries in
+let table3_entries entries =
+  let header, rows = table3_rows entries in
   "Table 3: worst-case numbers of detected faults (large n)\n"
   ^ Ascii_table.render ~header rows
 
-let table3_csv summaries =
-  let header, rows = table3_rows summaries in
+let table3_csv_entries entries =
+  let header, rows = table3_rows entries in
   Ascii_table.render_csv ~header rows
 
-let figure2 worst ~min_value =
-  let hist = Worst_case.histogram worst ~min_value in
+let table3 summaries = table3_entries (rows_of_summaries summaries)
+let table3_csv summaries = table3_csv_entries (rows_of_summaries summaries)
+
+let figure2_of_histogram hist ~min_value =
   let max_count =
     List.fold_left (fun acc (_, c) -> max acc c) 1 hist
   in
@@ -127,13 +154,19 @@ let figure2 worst ~min_value =
        ~align:[ Ascii_table.Right; Ascii_table.Right; Ascii_table.Left ]
        rows)
 
-let figure2_csv worst ~min_value =
+let figure2 worst ~min_value =
+  figure2_of_histogram (Worst_case.histogram worst ~min_value) ~min_value
+
+let figure2_csv_of_histogram hist =
   let rows =
     List.map
       (fun (value, count) -> [ string_of_int value; string_of_int count ])
-      (Worst_case.histogram worst ~min_value)
+      hist
   in
   Ascii_table.render_csv ~header:[ "nmin"; "faults" ] rows
+
+let figure2_csv worst ~min_value =
+  figure2_csv_of_histogram (Worst_case.histogram worst ~min_value)
 
 let table4 outcome =
   let config = Procedure1.config outcome in

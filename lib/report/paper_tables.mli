@@ -20,9 +20,36 @@ val table3 : Analysis.worst_summary list -> string
 (** Table 3: count (and %) of untargeted faults with nmin >= 100 / 20 /
     11. Only circuits with at least one such fault are listed. *)
 
+(** {2 Partial-result variants}
+
+    Supervised runs produce a mix of computed summaries and per-circuit
+    failures; these renderers keep a row for every circuit, turning a
+    failure into ["(reason)"] cells instead of aborting the table. *)
+
+type table_entry =
+  | Row of Analysis.worst_summary
+  | Failed_row of { circuit : string; reason : string }
+      (** [reason] e.g. ["timed out after 30s"] or ["crashed: ..."]. *)
+
+val table2_entries : table_entry list -> string
+val table2_csv_entries : table_entry list -> string
+
+val table3_entries : table_entry list -> string
+(** Failed rows are always listed (whether they have hard faults is
+    unknown). *)
+
+val table3_csv_entries : table_entry list -> string
+
 val figure2 : Worst_case.t -> min_value:int -> string
 (** Figure 2: the distribution of nmin values at least [min_value], as an
     ASCII bar chart of (nmin, #faults). *)
+
+val figure2_of_histogram : (int * int) list -> min_value:int -> string
+(** Same chart from a precomputed {!Worst_case.histogram} — the form the
+    harness checkpoints, so a resumed run can re-render the figure
+    without reanalyzing the circuit. *)
+
+val figure2_csv_of_histogram : (int * int) list -> string
 
 val table4 : Procedure1.outcome -> string
 (** Table 4: the K constructed test sets, one row per set, one column per

@@ -111,11 +111,19 @@ let bridge_seed good (fault : Bridge.t) =
 let bridge_detection_set good fault =
   detection_set_of_seed good (bridge_seed good fault)
 
-let stuck_detection_sets good faults =
-  Ndetect_util.Parallel.map_array (stuck_detection_set good) faults
+let stuck_detection_sets ?(cancel = Ndetect_util.Cancel.none) good faults =
+  Ndetect_util.Parallel.map_array
+    (fun f ->
+      Ndetect_util.Cancel.poll cancel;
+      stuck_detection_set good f)
+    faults
 
-let bridge_detection_sets good faults =
-  Ndetect_util.Parallel.map_array (bridge_detection_set good) faults
+let bridge_detection_sets ?(cancel = Ndetect_util.Cancel.none) good faults =
+  Ndetect_util.Parallel.map_array
+    (fun f ->
+      Ndetect_util.Cancel.poll cancel;
+      bridge_detection_set good f)
+    faults
 
 (* Two-seed variant for wired bridges: the faulty value is forced on both
    bridged nodes, and the update schedule is the union of the two fanout
@@ -173,8 +181,12 @@ let wired_detection_set good (fault : Ndetect_faults.Wired.t) =
         land live
       end)
 
-let wired_detection_sets good faults =
-  Ndetect_util.Parallel.map_array (wired_detection_set good) faults
+let wired_detection_sets ?(cancel = Ndetect_util.Cancel.none) good faults =
+  Ndetect_util.Parallel.map_array
+    (fun f ->
+      Ndetect_util.Cancel.poll cancel;
+      wired_detection_set good f)
+    faults
 
 (* Per-output detection: same cone propagation, but the per-output diff
    masks are collected instead of ORed. *)

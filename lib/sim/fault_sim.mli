@@ -17,9 +17,15 @@ val bridge_detection_set : Good.t -> Bridge.t -> Bitvec.t
     ({e in the fault-free circuit}: victim = a1 and aggressor = a2) and
     propagate the forced victim flip to an output. *)
 
-val stuck_detection_sets : Good.t -> Stuck.t array -> Bitvec.t array
+val stuck_detection_sets :
+  ?cancel:Ndetect_util.Cancel.token -> Good.t -> Stuck.t array -> Bitvec.t array
+(** The batched variants run one parallel job per fault and poll
+    [cancel] before each job, so a supervised caller's deadline is
+    honoured mid-simulation. *)
 
-val bridge_detection_sets : Good.t -> Bridge.t array -> Bitvec.t array
+val bridge_detection_sets :
+  ?cancel:Ndetect_util.Cancel.token ->
+  Good.t -> Bridge.t array -> Bitvec.t array
 
 val wired_detection_set : Good.t -> Ndetect_faults.Wired.t -> Bitvec.t
 (** [T(w)] for a wired-AND / wired-OR bridge: both bridged lines are
@@ -27,6 +33,7 @@ val wired_detection_set : Good.t -> Ndetect_faults.Wired.t -> Bitvec.t
     propagated through the union of the two fanout cones. *)
 
 val wired_detection_sets :
+  ?cancel:Ndetect_util.Cancel.token ->
   Good.t -> Ndetect_faults.Wired.t array -> Bitvec.t array
 
 val detects_stuck : Good.t -> Stuck.t -> vector:int -> bool

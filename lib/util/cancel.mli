@@ -1,0 +1,38 @@
+(** Cooperative cancellation tokens.
+
+    A token carries a cancellation flag (an [Atomic.t], safe to share
+    across domains) and an optional wall-clock deadline. Long-running
+    loops call {!poll} at natural iteration boundaries; once the flag is
+    set — externally via {!cancel} or internally when the deadline
+    passes — the next poll raises {!Cancelled}, unwinding the
+    computation. Polling is cheap (one atomic load; the clock is only
+    consulted every few hundred polls), so poll points can be liberal. *)
+
+exception Cancelled
+
+type token
+
+val none : token
+(** A shared token that is never cancelled and has no deadline. Safe as
+    the default for [?cancel] arguments. *)
+
+val create : ?deadline_in:float -> unit -> token
+(** [create ~deadline_in:secs ()] makes a token whose deadline is [secs]
+    seconds of wall clock from now; without [deadline_in] the token only
+    cancels when {!cancel} is called. [deadline_in] must be positive. *)
+
+val cancel : token -> unit
+(** Set the flag. Every domain polling this token raises {!Cancelled} at
+    its next poll. Idempotent; {!none} is silently left untouched. *)
+
+val cancelled : token -> bool
+(** Whether the flag is set (does not consult the clock). *)
+
+val poll : token -> unit
+(** Raise {!Cancelled} if the token is cancelled, setting the flag first
+    when the deadline has newly expired. *)
+
+val check_deadline : token -> unit
+(** Force a clock check (poll only looks every few hundred calls); raises
+    {!Cancelled} when expired. Useful just before starting an expensive
+    non-pollable step. *)

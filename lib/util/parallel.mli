@@ -8,12 +8,20 @@
 val default_domains : unit -> int
 (** [max 1 (recommended_domain_count - 1)], capped at 8. *)
 
+val try_map_array :
+  ?domains:int -> ('a -> 'b) -> 'a array -> ('b, Error.t) result array
+(** Crash-isolated variant: an exception raised while mapping item [i]
+    is captured (with its backtrace) as [Error] in slot [i]; every other
+    item still completes and returns [Ok]. Cancellations surface the
+    same way, as {!Error.Timeout} entries. *)
+
 val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array f arr] splits indices into contiguous chunks, one domain
     per chunk. [f] must be safe to run concurrently (pure, or writing
     only to data it owns). With [domains <= 1] or fewer than 2 elements
-    per domain it simply runs sequentially. Exceptions from any chunk are
-    re-raised in the caller. *)
+    per domain it simply runs sequentially. A thin wrapper over
+    {!try_map_array}: if any item failed, the lowest-index exception is
+    re-raised in the caller (after all domains have been joined). *)
 
 val init : ?domains:int -> int -> (int -> 'b) -> 'b array
 (** Parallel [Array.init]. *)

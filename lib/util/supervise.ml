@@ -1,0 +1,94 @@
+type failure =
+  | Timed_out of { budget : float }
+  | Crashed of Error.t
+  | Skipped of string
+
+let describe = function
+  | Timed_out { budget } -> Printf.sprintf "timed out after %gs" budget
+  | Crashed err -> "crashed: " ^ Error.to_string err
+  | Skipped reason -> "skipped: " ^ reason
+
+exception Injected of string
+
+(* Teach the taxonomy about injected faults (before any built-in rule
+   can misfile them as Internal). *)
+let () =
+  Error.register (function
+    | Injected site -> Some (Error.Injected, "at " ^ site)
+    | _ -> None)
+
+type injection = Inject_crash | Inject_stall of float
+
+let plan : (string * injection) list ref = ref []
+
+let set_injection items = plan := items
+
+let inject ?cancel site =
+  match List.assoc_opt site !plan with
+  | None -> ()
+  | Some Inject_crash -> raise (Injected site)
+  | Some (Inject_stall seconds) ->
+    let until = Unix.gettimeofday () +. seconds in
+    while Unix.gettimeofday () < until do
+      (match cancel with
+      | Some token -> Cancel.check_deadline token
+      | None -> ());
+      Unix.sleepf 0.005
+    done
+
+let parse_injection_spec spec =
+  let parse_item item =
+    match String.index_opt item '=' with
+    | None -> Error (Printf.sprintf "bad injection item %S (no '=')" item)
+    | Some eq -> (
+      let action = String.sub item 0 eq in
+      let arg = String.sub item (eq + 1) (String.length item - eq - 1) in
+      match action with
+      | "crash" ->
+        if arg = "" then Error "crash= needs a site name"
+        else Ok (arg, Inject_crash)
+      | "stall" -> (
+        match String.rindex_opt arg ':' with
+        | None ->
+          Error (Printf.sprintf "stall item %S needs SITE:SECONDS" item)
+        | Some colon -> (
+          let site = String.sub arg 0 colon in
+          let secs =
+            String.sub arg (colon + 1) (String.length arg - colon - 1)
+          in
+          match float_of_string_opt secs with
+          | Some s when s > 0.0 && site <> "" -> Ok (site, Inject_stall s)
+          | Some _ | None ->
+            Error (Printf.sprintf "bad stall duration %S" secs)))
+      | other -> Error (Printf.sprintf "unknown injection action %S" other))
+  in
+  let items = String.split_on_char ',' spec |> List.filter (( <> ) "") in
+  if items = [] then Error "empty injection spec"
+  else
+    List.fold_left
+      (fun acc item ->
+        match acc, parse_item item with
+        | Error _, _ -> acc
+        | Ok done_, Ok parsed -> Ok (parsed :: done_)
+        | Ok _, Error e -> Error e)
+      (Ok []) items
+    |> Result.map List.rev
+
+let run ?deadline ?(retries = 0) ?(backoff = 0.1)
+    ?(is_retryable = Error.retryable) f =
+  let rec attempt remaining delay =
+    let token = Cancel.create ?deadline_in:deadline () in
+    match f token with
+    | value -> Ok value
+    | exception Cancel.Cancelled ->
+      Error (Timed_out { budget = Option.value deadline ~default:0.0 })
+    | exception e ->
+      let backtrace = Printexc.get_raw_backtrace () in
+      let err = Error.of_exn ~backtrace e in
+      if remaining > 0 && is_retryable err then begin
+        Unix.sleepf delay;
+        attempt (remaining - 1) (delay *. 2.0)
+      end
+      else Error (Crashed err)
+  in
+  attempt (max 0 retries) (max 0.0 backoff)

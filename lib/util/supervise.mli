@@ -1,0 +1,68 @@
+(** Supervised execution of one unit of work: wall-clock budget via
+    cooperative cancellation, bounded retry with exponential backoff for
+    retryable error classes, crash capture as a structured {!Error.t},
+    and a deterministic fault-injection hook for self-tests.
+
+    The supervisor never lets an exception escape: the outcome is always
+    an explicit [Ok] or {!failure}, so callers (the reproduction driver,
+    a future service loop) can record partial results and keep going. *)
+
+type failure =
+  | Timed_out of { budget : float }
+      (** The work polled its {!Cancel.token} past the deadline. *)
+  | Crashed of Error.t
+  | Skipped of string
+      (** Not attempted (e.g. a dependency already failed). *)
+
+val describe : failure -> string
+(** Short human-readable form: ["timed out after 30s"],
+    ["crashed: parse error: ..."], ["skipped: ..."]. *)
+
+val run :
+  ?deadline:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?is_retryable:(Error.t -> bool) ->
+  (Cancel.token -> 'a) -> ('a, failure) result
+(** [run f] calls [f token] and converts its fate into a result.
+
+    - [deadline]: wall-clock budget in seconds. [f] must poll the token
+      it receives ({!Cancel.poll}) for the budget to be enforced; every
+      analysis loop in [lib/core] does. Omitted = no deadline.
+    - [retries] (default 0): how many times to re-run [f] after a
+      retryable crash. Each attempt gets a fresh token (and full
+      deadline).
+    - [backoff] (default 0.1): seconds slept before the first retry;
+      doubles each further retry.
+    - [is_retryable] (default {!Error.retryable}): which crashes are
+      worth retrying. Timeouts are never retried. *)
+
+(** {2 Deterministic fault injection}
+
+    A process-wide plan maps site names to actions. Instrumented code
+    calls {!inject} with its site name; with no plan installed (the
+    default) this is a no-op costing one list lookup on an empty list.
+    The reproduction driver names its sites ["analyze:<circuit>"],
+    ["table5:<circuit>"] and ["table6:<circuit>"]. *)
+
+type injection =
+  | Inject_crash  (** Raise {!Injected} at the site. *)
+  | Inject_stall of float  (** Busy-wait (polling) for the given seconds. *)
+
+exception Injected of string
+(** Raised by {!inject} at a crash site; classified as
+    {!Error.Injected}. *)
+
+val set_injection : (string * injection) list -> unit
+(** Install the plan (replacing any previous one). [[]] disables
+    injection. *)
+
+val inject : ?cancel:Cancel.token -> string -> unit
+(** Consult the plan for this site. [Inject_stall] polls [cancel] while
+    waiting, so a stalled site still honours its deadline. *)
+
+val parse_injection_spec :
+  string -> ((string * injection) list, string) result
+(** Parse a command-line plan: comma-separated items, each
+    ["crash=SITE"] or ["stall=SITE:SECONDS"], e.g.
+    ["crash=analyze:mc,stall=analyze:dk27:2.5"]. *)

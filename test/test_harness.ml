@@ -2,17 +2,32 @@
    bench/main. *)
 
 module Driver = Ndetect_harness.Driver
+module Checkpoint = Ndetect_harness.Checkpoint
 module Registry = Ndetect_suite.Registry
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "ndetect-test" "" in
+  Sys.remove dir;
+  Checkpoint.mkdir_recursive dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun entry -> Sys.remove (Filename.concat dir entry))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
 
 let small_options =
   {
+    Driver.default_options with
     Driver.tier = Registry.Small;
     k = 20;
     k2 = 10;
     seed = 1;
     only = "all";
     quiet = true;
-    csv_dir = None;
   }
 
 let test_parse_args_defaults () =
@@ -53,6 +68,212 @@ let test_parse_args_errors () =
        ignore (Driver.parse_args [ "--frobnicate" ]);
        false
      with Failure _ -> true)
+
+let failure_message args =
+  match Driver.parse_args args with
+  | _ -> Alcotest.fail "expected parse failure"
+  | exception Failure m -> m
+
+let test_parse_args_friendly_messages () =
+  let m = failure_message [ "--k"; "abc" ] in
+  Alcotest.(check bool) "names flag and value" true
+    (Helpers.contains_substring m "--k expects an integer, got \"abc\"");
+  let m = failure_message [ "--seed" ] in
+  Alcotest.(check bool) "missing value" true
+    (Helpers.contains_substring m "--seed requires a value");
+  let m = failure_message [ "--wat" ] in
+  Alcotest.(check bool) "unknown arg quoted" true
+    (Helpers.contains_substring m "unknown argument \"--wat\"");
+  Alcotest.(check bool) "usage appended" true
+    (Helpers.contains_substring m "usage: reproduce");
+  let m = failure_message [ "--timeout-per-circuit"; "-3" ] in
+  Alcotest.(check bool) "non-positive timeout" true
+    (Helpers.contains_substring m "--timeout-per-circuit expects a positive")
+
+let test_parse_args_supervision_flags () =
+  let opts =
+    Driver.parse_args
+      [ "--checkpoint"; "ck/dir"; "--resume"; "--timeout-per-circuit"; "2.5";
+        "--inject"; "crash=analyze:mc" ]
+  in
+  Alcotest.(check (option string)) "checkpoint" (Some "ck/dir")
+    opts.Driver.checkpoint_dir;
+  Alcotest.(check bool) "resume" true opts.Driver.resume;
+  Alcotest.(check bool) "timeout" true
+    (opts.Driver.timeout_per_circuit = Some 2.5);
+  Alcotest.(check (option string)) "inject" (Some "crash=analyze:mc")
+    opts.Driver.inject;
+  Alcotest.(check bool) "resume needs checkpoint" true
+    (Helpers.contains_substring
+       (failure_message [ "--resume" ])
+       "--resume requires --checkpoint");
+  Alcotest.(check bool) "bad inject spec" true
+    (Helpers.contains_substring
+       (failure_message [ "--inject"; "frazzle=x" ])
+       "--inject")
+
+(* checkpoint *)
+
+let stamp : Checkpoint.stamp =
+  { Checkpoint.version = Checkpoint.version; seed = 1; tier = "small";
+    k = 20; k2 = 10 }
+
+let test_checkpoint_roundtrip () =
+  with_temp_dir (fun dir ->
+      let ck = Checkpoint.create ~dir ~stamp in
+      Alcotest.(check bool) "absent" false (Checkpoint.mem ck ~key:"xs");
+      Checkpoint.store ck ~key:"xs" [ 1; 2; 3 ];
+      Alcotest.(check bool) "present" true (Checkpoint.mem ck ~key:"xs");
+      Alcotest.(check (option (list int))) "roundtrip" (Some [ 1; 2; 3 ])
+        (Checkpoint.load ck ~key:"xs");
+      (* Overwrite is atomic-replace, last write wins. *)
+      Checkpoint.store ck ~key:"xs" [ 9 ];
+      Alcotest.(check (option (list int))) "overwritten" (Some [ 9 ])
+        (Checkpoint.load ck ~key:"xs"))
+
+let test_checkpoint_stamp_mismatch () =
+  with_temp_dir (fun dir ->
+      let ck = Checkpoint.create ~dir ~stamp in
+      Checkpoint.store ck ~key:"xs" [ 1 ];
+      let other = Checkpoint.create ~dir ~stamp:{ stamp with seed = 2 } in
+      Alcotest.(check (option (list int)))
+        "different seed sees nothing" None
+        (Checkpoint.load other ~key:"xs");
+      let same = Checkpoint.create ~dir ~stamp in
+      Alcotest.(check (option (list int))) "same stamp still loads"
+        (Some [ 1 ])
+        (Checkpoint.load same ~key:"xs"))
+
+let test_checkpoint_corruption () =
+  with_temp_dir (fun dir ->
+      let ck = Checkpoint.create ~dir ~stamp in
+      Checkpoint.store ck ~key:"xs" [ 1 ];
+      (* Clobber the entry on disk; load must degrade to None, not raise. *)
+      Array.iter
+        (fun entry ->
+          let oc = open_out (Filename.concat dir entry) in
+          output_string oc "garbage";
+          close_out oc)
+        (Sys.readdir dir);
+      Alcotest.(check (option (list int))) "corrupt entry ignored" None
+        (Checkpoint.load ck ~key:"xs"))
+
+let test_write_atomic () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "out.csv" in
+      Checkpoint.write_atomic ~path "a,b\n1,2\n";
+      Alcotest.(check string) "contents" "a,b\n1,2\n"
+        (In_channel.with_open_bin path In_channel.input_all);
+      Checkpoint.write_atomic ~path "new\n";
+      Alcotest.(check string) "replaced" "new\n"
+        (In_channel.with_open_bin path In_channel.input_all);
+      (* No stray temp files left behind. *)
+      Alcotest.(check (list string)) "single file" [ "out.csv" ]
+        (Array.to_list (Sys.readdir dir)))
+
+(* supervision: containment, timeout rows, kill-and-resume *)
+
+let test_crash_containment () =
+  let clean = Driver.create small_options in
+  let clean_t2 = Driver.run_table2 clean in
+  let faulty =
+    Driver.create
+      { small_options with
+        Driver.inject = Some "crash=analyze:mc,crash=analyze:lion" }
+  in
+  let t2 = Driver.run_table2 faulty in
+  Alcotest.(check int) "both failures recorded" 2
+    (List.length (Driver.failures faulty));
+  Alcotest.(check bool) "crashed rows rendered" true
+    (Helpers.contains_substring t2 "(crashed: injected fault: at analyze:mc)"
+    && Helpers.contains_substring t2 "(crashed: injected fault")
+  ;
+  (* Unaffected circuits produce their normal cells. *)
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " intact") true
+        (Helpers.contains_substring t2 needle
+        && Helpers.contains_substring clean_t2 needle))
+    [ "bbtas"; "modulo12" ];
+  Driver.create small_options |> ignore
+(* final create clears the global injection plan *)
+
+let test_timeout_row () =
+  let driver =
+    Driver.create
+      { small_options with
+        Driver.inject = Some "stall=analyze:mc:30";
+        timeout_per_circuit = Some 2.0 }
+  in
+  let t2 = Driver.run_table2 driver in
+  Alcotest.(check bool) "timed out row" true
+    (Helpers.contains_substring t2 "(timed out after 2s)");
+  (match Driver.failures driver with
+  | [ (label, failure) ] ->
+    Alcotest.(check string) "label" "analyze mc" label;
+    Alcotest.(check bool) "failure kind" true
+      (match failure with
+      | Ndetect_util.Supervise.Timed_out _ -> true
+      | _ -> false)
+  | fs -> Alcotest.fail (Printf.sprintf "expected 1 failure, got %d"
+                           (List.length fs)));
+  Driver.create small_options |> ignore
+
+let test_kill_and_resume_equivalence () =
+  with_temp_dir (fun dir ->
+      let clean = Driver.create small_options in
+      let expected_t2 = Driver.table2_csv clean in
+      let expected_t3 = Driver.table3_csv clean in
+      (* "Kill": a run that checkpoints but crashes on one circuit. *)
+      let interrupted =
+        Driver.create
+          { small_options with
+            Driver.checkpoint_dir = Some dir;
+            inject = Some "crash=analyze:mc" }
+      in
+      let broken_t2 = Driver.table2_csv interrupted in
+      Alcotest.(check bool) "interrupted run differs" true
+        (broken_t2 <> expected_t2);
+      Alcotest.(check int) "one failure" 1
+        (List.length (Driver.failures interrupted));
+      (* Resume without the fault: only mc is recomputed, the rest is
+         loaded, and the output is byte-identical to the clean run. *)
+      let resumed =
+        Driver.create
+          { small_options with
+            Driver.checkpoint_dir = Some dir;
+            resume = true }
+      in
+      Alcotest.(check string) "table2 csv identical" expected_t2
+        (Driver.table2_csv resumed);
+      Alcotest.(check string) "table3 csv identical" expected_t3
+        (Driver.table3_csv resumed);
+      Alcotest.(check int) "no failures after resume" 0
+        (List.length (Driver.failures resumed)))
+
+let test_resume_skips_checkpointed_work () =
+  with_temp_dir (fun dir ->
+      let opts = { small_options with Driver.checkpoint_dir = Some dir } in
+      let first = Driver.create opts in
+      ignore (Driver.run_table2 first);
+      (* A resumed driver must answer from the checkpoint without
+         reanalyzing: inject crashes at every analysis site; loads make
+         them unreachable. *)
+      let entries = Registry.of_tier small_options.Driver.tier in
+      let everything_crashes =
+        String.concat ","
+          (List.map (fun e -> "crash=analyze:" ^ e.Registry.name) entries)
+      in
+      let resumed =
+        Driver.create
+          { opts with Driver.resume = true;
+            inject = Some everything_crashes }
+      in
+      Alcotest.(check string) "answered from checkpoint"
+        (Driver.table2_csv first) (Driver.table2_csv resumed);
+      Alcotest.(check int) "no analysis ran" 0
+        (List.length (Driver.failures resumed));
+      Driver.create small_options |> ignore)
 
 let test_table1_content () =
   let driver = Driver.create small_options in
@@ -103,6 +324,29 @@ let () =
           Alcotest.test_case "full" `Quick test_parse_args_full;
           Alcotest.test_case "csv flag" `Quick test_parse_args_csv;
           Alcotest.test_case "errors" `Quick test_parse_args_errors;
+          Alcotest.test_case "friendly messages" `Quick
+            test_parse_args_friendly_messages;
+          Alcotest.test_case "supervision flags" `Quick
+            test_parse_args_supervision_flags;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "stamp mismatch" `Quick
+            test_checkpoint_stamp_mismatch;
+          Alcotest.test_case "corruption tolerated" `Quick
+            test_checkpoint_corruption;
+          Alcotest.test_case "atomic writes" `Quick test_write_atomic;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "crash containment" `Quick
+            test_crash_containment;
+          Alcotest.test_case "timeout row" `Quick test_timeout_row;
+          Alcotest.test_case "kill and resume" `Quick
+            test_kill_and_resume_equivalence;
+          Alcotest.test_case "resume skips work" `Quick
+            test_resume_skips_checkpointed_work;
         ] );
       ( "driver",
         [

@@ -1,0 +1,93 @@
+(* Fuzz tests for the four netlist/machine parsers: on arbitrary input
+   they must either succeed or fail with a structured diagnostic —
+   [parse] raises only [Parse_error], and [parse_result] never raises
+   at all. *)
+
+module Bench_format = Ndetect_netparse.Bench_format
+module Blif = Ndetect_netparse.Blif
+module Kiss2 = Ndetect_netparse.Kiss2
+module Pla = Ndetect_netparse.Pla
+module Diagnostic = Ndetect_netparse.Diagnostic
+
+(* Random text biased toward the tokens the parsers care about, so the
+   fuzzer reaches past the first line instead of bailing immediately. *)
+let fragment_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, oneofl
+           [
+             "INPUT("; "OUTPUT("; ")"; "= AND("; "= NAND("; "= NOT(";
+             ".model m"; ".inputs a b"; ".outputs y"; ".names a y";
+             ".latch a b"; ".end"; ".i 2"; ".o 1"; ".s 3"; ".p 4"; ".r s0";
+             ".ilb a b"; ".ob y"; "01"; "10"; "--"; "0-"; "s0"; "s1";
+             "a"; "b"; "y"; ","; "#comment"; "1 1";
+           ]);
+        (2, map (String.make 1) (char_range 'a' 'z'));
+        (1, map (String.make 1) (char_range '\x00' '\x7f'));
+        (2, return " ");
+        (2, return "\n");
+      ])
+
+let text_gen =
+  QCheck.Gen.(map (String.concat "") (list_size (int_range 0 60) fragment_gen))
+
+let fuzz_input = QCheck.make ~print:String.escaped text_gen
+
+(* Each parser owns its [Parse_error] exception, so the "only structured
+   failures" property takes a per-parser recognizer. *)
+let only_structured_failures name ~parse ~parse_result ~is_parse_error =
+  QCheck.Test.make ~name ~count:500 fuzz_input (fun text ->
+      let via_result =
+        match parse_result text with
+        | Ok _ -> `Ok
+        | Error (`Parse (d : Diagnostic.t)) ->
+          (* Diagnostics must be renderable and carry a sane line. *)
+          if d.Diagnostic.line < 0 then
+            QCheck.Test.fail_report "negative diagnostic line";
+          ignore (Diagnostic.to_string ~file:"fuzz" d);
+          `Error
+      in
+      let via_exn =
+        match parse text with
+        | _ -> `Ok
+        | exception e ->
+          if is_parse_error e then `Error
+          else
+            QCheck.Test.fail_reportf "unexpected exception %s"
+              (Printexc.to_string e)
+      in
+      via_result = via_exn)
+
+let props =
+  [
+    only_structured_failures "bench fuzz" ~parse:Bench_format.parse
+      ~parse_result:Bench_format.parse_result
+      ~is_parse_error:(function
+        | Bench_format.Parse_error _ -> true
+        | _ -> false);
+    only_structured_failures "blif fuzz" ~parse:Blif.parse
+      ~parse_result:Blif.parse_result
+      ~is_parse_error:(function Blif.Parse_error _ -> true | _ -> false);
+    only_structured_failures "kiss2 fuzz" ~parse:Kiss2.parse
+      ~parse_result:Kiss2.parse_result
+      ~is_parse_error:(function Kiss2.Parse_error _ -> true | _ -> false);
+    only_structured_failures "pla fuzz" ~parse:Pla.parse
+      ~parse_result:Pla.parse_result
+      ~is_parse_error:(function Pla.Parse_error _ -> true | _ -> false);
+  ]
+
+let test_file_result_io () =
+  match Bench_format.parse_file_result "/nonexistent/fuzz.bench" with
+  | Error (`Io _) -> ()
+  | Ok _ -> Alcotest.fail "expected io error"
+  | Error (`Parse _) -> Alcotest.fail "expected io, got parse"
+
+let () =
+  Alcotest.run "netparse-fuzz"
+    [
+      ("fuzz", List.map QCheck_alcotest.to_alcotest props);
+      ( "files",
+        [ Alcotest.test_case "missing file is `Io" `Quick test_file_result_io ]
+      );
+    ]

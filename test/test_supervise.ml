@@ -1,0 +1,219 @@
+(* Tests for the supervision layer: cancellation tokens, the error
+   taxonomy, supervised execution and deterministic fault injection. *)
+
+module Cancel = Ndetect_util.Cancel
+module Uerror = Ndetect_util.Error
+module Supervise = Ndetect_util.Supervise
+
+let kind =
+  Alcotest.testable
+    (fun ppf k -> Format.pp_print_string ppf (Uerror.kind_to_string k))
+    ( = )
+
+(* cancel *)
+
+let test_cancel_flag () =
+  let t = Cancel.create () in
+  Cancel.poll t;
+  Alcotest.(check bool) "not cancelled" false (Cancel.cancelled t);
+  Cancel.cancel t;
+  Alcotest.(check bool) "cancelled" true (Cancel.cancelled t);
+  Alcotest.check_raises "poll raises" Cancel.Cancelled (fun () ->
+      Cancel.poll t)
+
+let test_cancel_none_inert () =
+  Cancel.cancel Cancel.none;
+  Alcotest.(check bool) "none never cancels" false
+    (Cancel.cancelled Cancel.none);
+  Cancel.poll Cancel.none
+
+let test_cancel_deadline () =
+  let t = Cancel.create ~deadline_in:0.02 () in
+  Cancel.check_deadline t;
+  Unix.sleepf 0.03;
+  Alcotest.check_raises "deadline expired" Cancel.Cancelled (fun () ->
+      Cancel.check_deadline t);
+  (* Once expired, the flag stays set: plain polls raise too. *)
+  Alcotest.check_raises "flag sticky" Cancel.Cancelled (fun () ->
+      Cancel.poll t)
+
+let test_cancel_bad_deadline () =
+  Alcotest.(check bool) "non-positive rejected" true
+    (try
+       ignore (Cancel.create ~deadline_in:0.0 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* error taxonomy *)
+
+let test_error_classification () =
+  let k e = (Uerror.of_exn e).Uerror.kind in
+  Alcotest.check kind "Sys_error" Uerror.Io (k (Sys_error "x"));
+  Alcotest.check kind "Unix_error" Uerror.Io
+    (k (Unix.Unix_error (Unix.ENOENT, "open", "x")));
+  Alcotest.check kind "Failure" Uerror.Invalid_input (k (Failure "x"));
+  Alcotest.check kind "Invalid_argument" Uerror.Invalid_input
+    (k (Invalid_argument "x"));
+  Alcotest.check kind "Cancelled" Uerror.Timeout (k Cancel.Cancelled);
+  Alcotest.check kind "Not_found" Uerror.Internal (k Not_found);
+  Alcotest.check kind "Injected" Uerror.Injected
+    (k (Supervise.Injected "site"))
+
+let test_error_retryable () =
+  Alcotest.(check bool) "Io retryable" true
+    (Uerror.retryable (Uerror.of_exn (Sys_error "x")));
+  Alcotest.(check bool) "Failure not retryable" false
+    (Uerror.retryable (Uerror.of_exn (Failure "x")))
+
+let test_error_context () =
+  let e =
+    Uerror.of_exn (Failure "boom")
+    |> Uerror.with_context "inner" |> Uerror.with_context "outer"
+  in
+  let s = Uerror.to_string e in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true
+        (Helpers.contains_substring s needle))
+    [ "outer"; "inner"; "boom" ]
+
+(* supervised execution *)
+
+let test_run_ok () =
+  Alcotest.(check bool) "ok" true (Supervise.run (fun _ -> 42) = Ok 42)
+
+let test_run_crash () =
+  match Supervise.run (fun _ -> failwith "boom") with
+  | Error (Supervise.Crashed e) ->
+    Alcotest.check kind "kind" Uerror.Invalid_input e.Uerror.kind;
+    Alcotest.(check bool) "describe" true
+      (Helpers.contains_substring
+         (Supervise.describe (Supervise.Crashed e))
+         "crashed")
+  | _ -> Alcotest.fail "expected Crashed"
+
+let test_run_timeout () =
+  Supervise.set_injection [ ("slow", Supervise.Inject_stall 10.0) ];
+  Fun.protect
+    ~finally:(fun () -> Supervise.set_injection [])
+    (fun () ->
+      match
+        Supervise.run ~deadline:0.05 (fun cancel ->
+            Supervise.inject ~cancel "slow";
+            0)
+      with
+      | Error (Supervise.Timed_out { budget }) ->
+        Alcotest.(check bool) "budget recorded" true (budget = 0.05)
+      | _ -> Alcotest.fail "expected Timed_out")
+
+let test_run_retries_io () =
+  let attempts = ref 0 in
+  let result =
+    Supervise.run ~retries:2 ~backoff:0.001 (fun _ ->
+        incr attempts;
+        if !attempts < 3 then raise (Sys_error "flaky") else "ok")
+  in
+  Alcotest.(check bool) "eventually ok" true (result = Ok "ok");
+  Alcotest.(check int) "three attempts" 3 !attempts
+
+let test_run_no_retry_for_crash () =
+  let attempts = ref 0 in
+  let result =
+    Supervise.run ~retries:5 ~backoff:0.001 (fun _ ->
+        incr attempts;
+        failwith "deterministic")
+  in
+  Alcotest.(check bool) "crashed" true
+    (match result with Error (Supervise.Crashed _) -> true | _ -> false);
+  Alcotest.(check int) "single attempt" 1 !attempts
+
+let test_run_retries_exhausted () =
+  let attempts = ref 0 in
+  let result =
+    Supervise.run ~retries:2 ~backoff:0.001 (fun _ ->
+        incr attempts;
+        raise (Sys_error "always"))
+  in
+  Alcotest.(check bool) "still failed" true
+    (match result with Error (Supervise.Crashed _) -> true | _ -> false);
+  Alcotest.(check int) "three attempts" 3 !attempts
+
+(* fault injection *)
+
+let test_inject_crash_site () =
+  Supervise.set_injection [ ("analyze:mc", Supervise.Inject_crash) ];
+  Fun.protect
+    ~finally:(fun () -> Supervise.set_injection [])
+    (fun () ->
+      (match
+         Supervise.run (fun cancel ->
+             Supervise.inject ~cancel "analyze:mc";
+             1)
+       with
+      | Error (Supervise.Crashed e) ->
+        Alcotest.check kind "injected kind" Uerror.Injected e.Uerror.kind
+      | _ -> Alcotest.fail "expected injected crash");
+      (* Other sites are untouched. *)
+      Alcotest.(check bool) "other site ok" true
+        (Supervise.run (fun cancel ->
+             Supervise.inject ~cancel "analyze:lion";
+             2)
+        = Ok 2))
+
+let test_inject_disabled_noop () =
+  Supervise.set_injection [];
+  Supervise.inject "anything"
+
+let test_parse_injection_spec () =
+  (match Supervise.parse_injection_spec "crash=analyze:mc" with
+  | Ok [ ("analyze:mc", Supervise.Inject_crash) ] -> ()
+  | _ -> Alcotest.fail "single crash item");
+  (match Supervise.parse_injection_spec "stall=analyze:dk27:2.5" with
+  | Ok [ ("analyze:dk27", Supervise.Inject_stall s) ] ->
+    Alcotest.(check bool) "seconds" true (s = 2.5)
+  | _ -> Alcotest.fail "single stall item");
+  (match Supervise.parse_injection_spec "crash=a,stall=b:1" with
+  | Ok [ ("a", Supervise.Inject_crash); ("b", Supervise.Inject_stall _) ] ->
+    ()
+  | _ -> Alcotest.fail "two items");
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) (bad ^ " rejected") true
+        (Result.is_error (Supervise.parse_injection_spec bad)))
+    [ "bogus"; "crash="; "stall=x"; "stall=x:notanumber"; "stall=x:-1" ]
+
+let () =
+  Alcotest.run "supervise"
+    [
+      ( "cancel",
+        [
+          Alcotest.test_case "flag" `Quick test_cancel_flag;
+          Alcotest.test_case "none inert" `Quick test_cancel_none_inert;
+          Alcotest.test_case "deadline" `Quick test_cancel_deadline;
+          Alcotest.test_case "bad deadline" `Quick test_cancel_bad_deadline;
+        ] );
+      ( "error",
+        [
+          Alcotest.test_case "classification" `Quick
+            test_error_classification;
+          Alcotest.test_case "retryable" `Quick test_error_retryable;
+          Alcotest.test_case "context" `Quick test_error_context;
+        ] );
+      ( "run",
+        [
+          Alcotest.test_case "ok" `Quick test_run_ok;
+          Alcotest.test_case "crash" `Quick test_run_crash;
+          Alcotest.test_case "timeout" `Quick test_run_timeout;
+          Alcotest.test_case "retries io" `Quick test_run_retries_io;
+          Alcotest.test_case "no retry for crash" `Quick
+            test_run_no_retry_for_crash;
+          Alcotest.test_case "retries exhausted" `Quick
+            test_run_retries_exhausted;
+        ] );
+      ( "inject",
+        [
+          Alcotest.test_case "crash site" `Quick test_inject_crash_site;
+          Alcotest.test_case "disabled noop" `Quick test_inject_disabled_noop;
+          Alcotest.test_case "spec parsing" `Quick test_parse_injection_spec;
+        ] );
+    ]

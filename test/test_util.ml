@@ -194,6 +194,73 @@ let test_parallel_propagates_exception () =
            (fun x -> if x = 57 then raise Boom else x)
            arr))
 
+module Uerror = Ndetect_util.Error
+
+let test_try_map_isolates_failures () =
+  let arr = Array.init 100 Fun.id in
+  let results =
+    Parallel.try_map_array ~domains:4
+      (fun x -> if x mod 17 = 3 then failwith (string_of_int x) else x + 1)
+      arr
+  in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok v ->
+        Alcotest.(check bool) "ok index" true (i mod 17 <> 3);
+        Alcotest.(check int) "value" (i + 1) v
+      | Error e ->
+        Alcotest.(check bool) "error index" true (i mod 17 = 3);
+        Alcotest.(check string) "message carried" (string_of_int i)
+          e.Uerror.message)
+    results
+
+let test_map_array_reraises_lowest_index () =
+  (* With several failing items, the raising wrapper must surface the
+     lowest-index one regardless of domain scheduling. *)
+  let arr = Array.init 200 Fun.id in
+  Alcotest.(check bool) "lowest index wins" true
+    (try
+       ignore
+         (Parallel.map_array ~domains:7
+            (fun x -> if x = 23 || x = 150 then failwith (string_of_int x) else x)
+            arr);
+       false
+     with Failure m -> m = "23")
+
+(* The core try_map_array contract: an arbitrary failing subset yields
+   Error at exactly those indices, Ok everywhere else, for any domain
+   count. *)
+let try_map_gen =
+  QCheck.make
+    ~print:(fun (n, domains, fails) ->
+      Printf.sprintf "n=%d domains=%d fails={%s}" n domains
+        (String.concat ";" (List.map string_of_int fails)))
+    QCheck.Gen.(
+      int_range 0 64 >>= fun n ->
+      int_range 1 8 >>= fun domains ->
+      list_size (int_range 0 12) (int_range 0 (max 0 (n - 1)))
+      >|= fun fails -> (n, domains, List.sort_uniq Int.compare fails))
+
+let prop_try_map_exact_indices =
+  QCheck.Test.make ~name:"try_map_array errors exactly at failing indices"
+    ~count:100 try_map_gen (fun (n, domains, fails) ->
+      let fails = List.filter (fun i -> i < n) fails in
+      let results =
+        Parallel.try_map_array ~domains
+          (fun x -> if List.mem x fails then failwith "boom" else 2 * x)
+          (Array.init n Fun.id)
+      in
+      Array.length results = n
+      && Array.for_all Fun.id
+           (Array.mapi
+              (fun i r ->
+                match r with
+                | Ok v -> (not (List.mem i fails)) && v = 2 * i
+                | Error e ->
+                  List.mem i fails && e.Uerror.kind = Uerror.Invalid_input)
+              results))
+
 let () =
   Alcotest.run "util"
     [
@@ -232,5 +299,10 @@ let () =
           Alcotest.test_case "init" `Quick test_parallel_init;
           Alcotest.test_case "exception propagation" `Quick
             test_parallel_propagates_exception;
+          Alcotest.test_case "try_map isolates failures" `Quick
+            test_try_map_isolates_failures;
+          Alcotest.test_case "lowest failing index re-raised" `Quick
+            test_map_array_reraises_lowest_index;
+          QCheck_alcotest.to_alcotest prop_try_map_exact_indices;
         ] );
     ]

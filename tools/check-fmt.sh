@@ -1,0 +1,28 @@
+#!/bin/sh
+# Formatting gate for `dune runtest`: verifies every .ml/.mli is clean
+# under ocamlformat. Skips successfully when the formatter (or a
+# .ocamlformat profile) is not available, so the test suite does not
+# depend on the tool being installed in every environment.
+set -eu
+
+if ! command -v ocamlformat >/dev/null 2>&1; then
+  echo "check-fmt: ocamlformat not installed; skipping"
+  exit 0
+fi
+
+root=$(dirname "$0")/..
+cd "$root"
+
+if [ ! -f .ocamlformat ]; then
+  echo "check-fmt: no .ocamlformat profile; skipping"
+  exit 0
+fi
+
+status=0
+for f in $(find bin lib test bench tools -name '*.ml' -o -name '*.mli'); do
+  if ! ocamlformat --check "$f"; then
+    echo "check-fmt: $f is not formatted"
+    status=1
+  fi
+done
+exit $status
