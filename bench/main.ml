@@ -12,7 +12,10 @@
       bit-parallel vs naive fault simulation).
 
    Options: the Driver options (--tier, --k, --k2, --seed, --quiet) plus
-   --no-perf / --no-repro to skip a phase. *)
+   --no-perf / --no-repro to skip a phase, --quota-ms N to bound the
+   per-bench measurement budget, and --json FILE to append a
+   machine-readable record of every estimate (see BENCH_*.json at the
+   repository root for the recorded trajectory). *)
 
 open Bechamel
 open Toolkit
@@ -222,7 +225,7 @@ let all_benches =
       bench_partition;
     ]
 
-let run_perf () =
+let run_perf ~quota_ms () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
@@ -230,8 +233,9 @@ let run_perf () =
     Instance.[ minor_allocated; major_allocated; monotonic_clock ]
   in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true
-      ~compaction:false ()
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (float_of_int quota_ms /. 1000.0))
+      ~stabilize:true ~compaction:false ()
   in
   let raw_results = Benchmark.all cfg instances all_benches in
   let results =
@@ -256,19 +260,137 @@ let print_perf results =
   in
   img (window, results) |> eol |> output_image
 
+(* Machine-readable export: one record per benchmark with the OLS
+   per-run estimate of every measured instance. The schema is validated
+   as part of `dune runtest` (bench/validate_bench_json.ml), so the
+   emitter cannot rot silently. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.6f" f else "null"
+
+(* [results] maps measure label -> (benchmark name -> OLS result); the
+   per-run estimate is the coefficient of the [run] predictor. *)
+let estimate_of results ~label ~name =
+  match Hashtbl.find_opt results label with
+  | None -> None
+  | Some by_name -> (
+    match Hashtbl.find_opt by_name name with
+    | None -> None
+    | Some ols -> (
+      match Analyze.OLS.estimates ols with
+      | Some (e :: _) -> Some (e, Analyze.OLS.r_square ols)
+      | Some [] | None -> None))
+
+let bench_names results =
+  match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
+  | None -> []
+  | Some by_name ->
+    Hashtbl.fold (fun name _ acc -> name :: acc) by_name []
+    |> List.sort String.compare
+
+let perf_json ~quota_ms results =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"ndetect-bench/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"quota_ms\": %d,\n" quota_ms);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"domains_available\": %d,\n"
+       (Domain.recommended_domain_count ()));
+  Buffer.add_string buf "  \"benchmarks\": [";
+  let field label name key =
+    match estimate_of results ~label ~name with
+    | None -> Printf.sprintf "\"%s\": null" key
+    | Some (e, _) -> Printf.sprintf "\"%s\": %s" key (json_float e)
+  in
+  let clock_label = Measure.label Instance.monotonic_clock in
+  List.iteri
+    (fun i name ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n    {\n";
+      Buffer.add_string buf
+        (Printf.sprintf "      \"name\": \"%s\",\n" (json_escape name));
+      Buffer.add_string buf
+        (Printf.sprintf "      %s,\n"
+           (field clock_label name "monotonic_clock_ns_per_run"));
+      Buffer.add_string buf
+        (Printf.sprintf "      %s,\n"
+           (field
+              (Measure.label Instance.minor_allocated)
+              name "minor_allocated_per_run"));
+      Buffer.add_string buf
+        (Printf.sprintf "      %s,\n"
+           (field
+              (Measure.label Instance.major_allocated)
+              name "major_allocated_per_run"));
+      let r2 =
+        match estimate_of results ~label:clock_label ~name with
+        | Some (_, Some r2) -> json_float r2
+        | Some (_, None) | None -> "null"
+      in
+      Buffer.add_string buf (Printf.sprintf "      \"r_square\": %s\n" r2);
+      Buffer.add_string buf "    }")
+    (bench_names results);
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+let write_json ~path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  Printf.printf "[wrote %s]\n%!" path
+
+let bench_usage =
+  "bench extras: [--no-perf] [--no-repro] [--json FILE] [--quota-ms N]"
+
+let bad_usage message =
+  prerr_endline message;
+  prerr_endline bench_usage;
+  exit 2
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let no_perf = List.mem "--no-perf" args in
-  let no_repro = List.mem "--no-repro" args in
-  let driver_args =
-    List.filter (fun a -> a <> "--no-perf" && a <> "--no-repro") args
+  (* Strip the bench-only flags before handing the rest to the driver
+     parser; its usage errors are reprinted with the extras appended so
+     every accepted flag is discoverable from a bad invocation. *)
+  let rec strip (json, quota_ms, no_perf, no_repro, rest) = function
+    | [] -> (json, quota_ms, no_perf, no_repro, List.rev rest)
+    | "--no-perf" :: tl -> strip (json, quota_ms, true, no_repro, rest) tl
+    | "--no-repro" :: tl -> strip (json, quota_ms, no_perf, true, rest) tl
+    | [ "--json" ] -> bad_usage "--json requires a value"
+    | "--json" :: file :: tl ->
+      strip (Some file, quota_ms, no_perf, no_repro, rest) tl
+    | [ "--quota-ms" ] -> bad_usage "--quota-ms requires a value"
+    | "--quota-ms" :: v :: tl -> (
+      match int_of_string_opt v with
+      | Some q when q > 0 ->
+        strip (json, Some q, no_perf, no_repro, rest) tl
+      | Some _ | None ->
+        bad_usage
+          (Printf.sprintf "--quota-ms expects a positive integer, got %S" v))
+    | a :: tl -> strip (json, quota_ms, no_perf, no_repro, a :: rest) tl
   in
+  let json, quota_ms, no_perf, no_repro, driver_args =
+    strip (None, None, false, false, []) args
+  in
+  let quota_ms = Option.value quota_ms ~default:500 in
   let options =
     match Driver.parse_args driver_args with
     | options -> options
-    | exception Failure message ->
-      prerr_endline message;
-      exit 2
+    | exception Failure message -> bad_usage message
   in
   if not no_repro then begin
     print_endline "=== Reproduction: paper tables and figures ===";
@@ -279,5 +401,9 @@ let () =
     print_endline
       "=== Performance: one bench per table/figure + ablations ===";
     print_newline ();
-    print_perf (run_perf ())
+    let results = run_perf ~quota_ms () in
+    print_perf results;
+    Option.iter
+      (fun path -> write_json ~path (perf_json ~quota_ms results))
+      json
   end

@@ -1,0 +1,215 @@
+(* Schema validator for the bench --json export, run as part of
+   `dune runtest` against a freshly emitted file so the emitter and this
+   checker cannot drift apart. Exit 0 iff the file is well-formed JSON
+   matching the ndetect-bench/1 schema. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+(* Minimal recursive-descent JSON parser: the emitter only produces
+   objects, arrays, strings, numbers and null, which is all we accept. *)
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 'u' ->
+          (* Skip 'u' plus three hex digits here; the shared advance
+             below consumes the fourth. The decoded character is
+             irrelevant to schema validation. *)
+          advance ();
+          advance ();
+          advance ();
+          advance ();
+          Buffer.add_char buf '?'
+        | _ -> fail "bad escape");
+        advance ();
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((key, v) :: acc))
+          | _ -> fail "expected , or }"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            List (List.rev (v :: acc))
+          | _ -> fail "expected , or ]"
+        in
+        elements []
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some _ -> parse_number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let field obj key =
+  match obj with
+  | Obj members -> List.assoc_opt key members
+  | _ -> None
+
+let check cond msg = if not cond then raise (Bad msg)
+
+let check_number_or_null what = function
+  | Some (Num _) | Some Null -> ()
+  | Some _ -> raise (Bad (what ^ " must be a number or null"))
+  | None -> raise (Bad (what ^ " missing"))
+
+let validate doc =
+  check (field doc "schema" = Some (Str "ndetect-bench/1"))
+    "schema must be \"ndetect-bench/1\"";
+  (match field doc "quota_ms" with
+  | Some (Num q) -> check (q > 0.0) "quota_ms must be positive"
+  | _ -> raise (Bad "quota_ms missing or not a number"));
+  (match field doc "domains_available" with
+  | Some (Num d) -> check (d >= 1.0) "domains_available must be >= 1"
+  | _ -> raise (Bad "domains_available missing or not a number"));
+  match field doc "benchmarks" with
+  | Some (List benches) ->
+    check (benches <> []) "benchmarks must be non-empty";
+    List.iter
+      (fun b ->
+        let name =
+          match field b "name" with
+          | Some (Str name) when name <> "" -> name
+          | _ -> raise (Bad "benchmark name missing or empty")
+        in
+        List.iter
+          (fun key -> check_number_or_null (name ^ "." ^ key) (field b key))
+          [
+            "monotonic_clock_ns_per_run";
+            "minor_allocated_per_run";
+            "major_allocated_per_run";
+            "r_square";
+          ])
+      benches
+  | _ -> raise (Bad "benchmarks missing or not an array")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  content
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; path ] -> (
+    match validate (parse (read_file path)) with
+    | () -> Printf.printf "validate-bench-json: %s ok\n" path
+    | exception Bad msg ->
+      Printf.eprintf "validate-bench-json: %s: %s\n" path msg;
+      exit 1
+    | exception Sys_error msg ->
+      Printf.eprintf "validate-bench-json: %s\n" msg;
+      exit 1)
+  | _ ->
+    prerr_endline "usage: validate_bench_json FILE";
+    exit 2

@@ -22,7 +22,16 @@ type t = {
   untargeted_labels : string array;
   undetectable_untargeted : int;
   good : Good.t;
-  mutable inverted : int array array option;
+  (* Lazily-built memos. Tables are shared read-only across Parallel
+     domains (Procedure 1 fans out over test sets), so the memos must be
+     domain-safe: the inverted indices are published through Atomic
+     references (racing builders compute identical content; the first
+     CAS wins and every domain converges on one copy), and the
+     per-target output-set cache is a Hashtbl guarded by [memo_lock]
+     with the simulation itself run outside the lock. *)
+  inverted : int array array option Atomic.t;
+  untargeted_inverted : int array array option Atomic.t;
+  memo_lock : Mutex.t;
   output_sets : (int, Bitvec.t array) Hashtbl.t;
 }
 
@@ -97,7 +106,9 @@ let build ?(keep_undetectable_targets = false) ?(collapse = true)
     undetectable_untargeted =
       Array.length all_untargeted - Array.length untargeted;
     good;
-    inverted = None;
+    inverted = Atomic.make None;
+    untargeted_inverted = Atomic.make None;
+    memo_lock = Mutex.create ();
     output_sets = Hashtbl.create 64;
   }
 
@@ -125,26 +136,49 @@ let overlapping_targets t ~gj =
   done;
   !acc
 
-let detectors_of_vector t =
-  match t.inverted with
+(* Build-or-adopt for the atomic memos: competing domains may both build
+   the (deterministic, hence identical) index, but exactly one CAS
+   succeeds and everyone returns the winning copy. *)
+let memoized_index cell build =
+  match Atomic.get cell with
   | Some idx -> idx
   | None ->
-    let buckets = Array.make t.universe [] in
-    for i = Array.length t.target_sets - 1 downto 0 do
-      Bitvec.iter_set t.target_sets.(i) (fun v ->
-          buckets.(v) <- i :: buckets.(v))
-    done;
-    let idx = Array.map Array.of_list buckets in
-    t.inverted <- Some idx;
-    idx
+    let idx = build () in
+    if Atomic.compare_and_set cell None (Some idx) then idx
+    else (
+      match Atomic.get cell with
+      | Some winner -> winner
+      | None -> idx (* unreachable: the cell is only ever set *))
+
+let invert_sets ~universe sets =
+  let buckets = Array.make universe [] in
+  for i = Array.length sets - 1 downto 0 do
+    Bitvec.iter_set sets.(i) (fun v -> buckets.(v) <- i :: buckets.(v))
+  done;
+  Array.map Array.of_list buckets
+
+let detectors_of_vector t =
+  memoized_index t.inverted (fun () ->
+      invert_sets ~universe:t.universe t.target_sets)
+
+let untargeted_detectors_of_vector t =
+  memoized_index t.untargeted_inverted (fun () ->
+      invert_sets ~universe:t.universe t.untargeted_sets)
 
 let target_output_sets t ~fi =
-  match Hashtbl.find_opt t.output_sets fi with
+  let cached =
+    Mutex.protect t.memo_lock (fun () -> Hashtbl.find_opt t.output_sets fi)
+  in
+  match cached with
   | Some sets -> sets
   | None ->
     let sets = Fault_sim.stuck_detection_by_output t.good t.targets.(fi) in
-    Hashtbl.replace t.output_sets fi sets;
-    sets
+    Mutex.protect t.memo_lock (fun () ->
+        match Hashtbl.find_opt t.output_sets fi with
+        | Some winner -> winner
+        | None ->
+          Hashtbl.replace t.output_sets fi sets;
+          sets)
 
 let output_count t = Array.length (Netlist.outputs t.net)
 

@@ -77,7 +77,8 @@ val overlapping_targets : t -> gj:int -> int list
 
 val target_output_sets : t -> fi:int -> Bitvec.t array
 (** Per primary output, the vectors observing target [fi] at that output
-    (computed on first use and cached). Used by the multi-output
+    (computed on first use and cached; the cache is mutex-guarded, so
+    concurrent domains may call this freely). Used by the multi-output
     detection counting. *)
 
 val output_count : t -> int
@@ -85,7 +86,15 @@ val output_count : t -> int
 
 val detectors_of_vector : t -> int array array
 (** Inverted index over targets: entry [v] lists the target-fault indices
-    detected by vector [v]. Computed lazily once and cached. *)
+    detected by vector [v]. Computed lazily once, cached, and published
+    atomically — safe to call from concurrent domains. *)
+
+val untargeted_detectors_of_vector : t -> int array array
+(** Inverted index over untargeted faults: entry [v] lists the
+    untargeted-fault indices [gj] with [v ∈ T(gj)]. Same lazy, atomic,
+    domain-safe caching as {!detectors_of_vector}; Procedure 1 uses it
+    as the report index whenever the report is the full fault list, so
+    repeated runs over one table share a single inversion. *)
 
 val find_untargeted :
   t -> victim:string -> victim_value:bool -> aggressor:string ->

@@ -1,5 +1,6 @@
 module Bitvec = Ndetect_util.Bitvec
 module Rng = Ndetect_util.Rng
+module Parallel = Ndetect_util.Parallel
 
 type mode = Definition1 | Definition2 | Multi_output
 
@@ -13,6 +14,8 @@ type test_set = {
   mutable added : (int * int) list;  (* (vector, iteration), reverse order *)
   def1_counts : int array;  (* per target fault *)
   chains : int list array;  (* strict-mode counted detections, reversed *)
+  chain_lens : int array;  (* |chains.(fi)|, maintained incrementally so
+                              the inner loop never pays List.length *)
   output_masks : int array;  (* Multi_output: all outputs observing the fault *)
   chain_masks : int array;  (* Multi_output: outputs covered by the chain *)
   (* Once no unused test can raise a fault's strict count, none ever will
@@ -39,10 +42,183 @@ let build_report_index table report =
     report;
   Array.map Array.of_list buckets
 
-let run ?(cancel = Ndetect_util.Cancel.none) ?report_faults table config =
+(* The K test sets are mutually independent: each is constructed from its
+   own pre-split RNG stream against shared read-only tables. [run] fans
+   the sets out over domains in contiguous chunks; because stream
+   [rngs.(k)] fully determines set [k], the outcome is bit-identical for
+   every domain count (including the sequential domains = 1 path). *)
+
+(* Everything a set-construction worker reads, all of it immutable or
+   domain-safe: the detection table memos are published atomically /
+   under a mutex (see Detection_table), and the Multi_output per-target
+   output sets are precomputed before fan-out. *)
+type shared = {
+  table : Detection_table.t;
+  cfg : config;
+  universe : int;
+  f_count : int;
+  report_len : int;
+  report_detectors : int array array;  (* vector -> report positions *)
+  target_detectors : int array array;  (* vector -> target fault indices *)
+  output_sets : Bitvec.t array array;  (* Multi_output only; fi -> per-output *)
+}
+
+(* Outputs observing target [fi] under vector [v], as a bitmask. *)
+let observing_mask sh fi v =
+  let sets = sh.output_sets.(fi) in
+  let mask = ref 0 in
+  Array.iteri
+    (fun o set -> if Bitvec.get set v then mask := !mask lor (1 lsl o))
+    sets;
+  !mask
+
+let pick_uniform_diff rng tf members =
+  let available = Bitvec.diff_count tf members in
+  if available = 0 then None
+  else Some (Bitvec.nth_diff tf members (Rng.int rng ~bound:available))
+
+(* Uniform draw from the candidates of T(fi) - Tk satisfying [accepts]:
+   a few rejection samples first, then a scan of the unused tests in a
+   uniformly random order, returning the first acceptable one. Both
+   phases draw uniformly over the candidate set (the first acceptable
+   element of a uniform permutation is uniform over acceptables, by
+   symmetry), and the permutation scan only pays for the full set when
+   no candidate exists at all. *)
+let pick_candidate rng ~accepts s tf =
+  let rec sample attempts =
+    if attempts = 0 then None
+    else
+      match pick_uniform_diff rng tf s.members with
+      | None -> None
+      | Some v -> if accepts v then Some v else sample (attempts - 1)
+  in
+  match sample 8 with
+  | Some v -> Some v
+  | None ->
+    let unused =
+      Bitvec.fold_set tf ~init:[] ~f:(fun acc v ->
+          if Bitvec.get s.members v then acc else v :: acc)
+      |> Array.of_list
+    in
+    Rng.shuffle_in_place rng unused;
+    let rec scan i =
+      if i >= Array.length unused then None
+      else if accepts unused.(i) then Some unused.(i)
+      else scan (i + 1)
+    in
+    scan 0
+
+(* Construct one complete n-detection test set from its own RNG stream.
+   [def2] is the (chunk-local) Definition-2 oracle; [first_detected]
+   records, per report position, the iteration at which the set first
+   detected that fault (0 = never) — the global d(n, g) counters are
+   aggregated from these after the fan-out. *)
+let run_one cancel sh def2 rng =
+  let s =
+    {
+      members = Bitvec.create sh.universe;
+      added = [];
+      def1_counts = Array.make sh.f_count 0;
+      chains = Array.make sh.f_count [];
+      chain_lens = Array.make sh.f_count 0;
+      output_masks = Array.make sh.f_count 0;
+      chain_masks = Array.make sh.f_count 0;
+      strict_exhausted = Array.make sh.f_count false;
+    }
+  in
+  let first_detected = Array.make sh.report_len 0 in
+  let add_test ~iteration v =
+    Bitvec.set s.members v;
+    s.added <- (v, iteration) :: s.added;
+    Array.iter
+      (fun fi ->
+        s.def1_counts.(fi) <- s.def1_counts.(fi) + 1;
+        (match def2 with
+        | Some def2 ->
+          if
+            s.chain_lens.(fi) < sh.cfg.nmax
+            && Definition2.chain_extend def2 ~fi ~chain:s.chains.(fi) v
+          then begin
+            s.chains.(fi) <- v :: s.chains.(fi);
+            s.chain_lens.(fi) <- s.chain_lens.(fi) + 1
+          end
+        | None -> ());
+        if sh.cfg.mode = Multi_output then begin
+          (* A test joins the fault's counted chain iff it observes the
+             fault on an output the chain has not covered yet, so the
+             count stays a number of distinct tests. *)
+          let m = observing_mask sh fi v in
+          s.output_masks.(fi) <- s.output_masks.(fi) lor m;
+          if
+            s.chain_lens.(fi) < sh.cfg.nmax
+            && m land lnot s.chain_masks.(fi) <> 0
+          then begin
+            s.chains.(fi) <- v :: s.chains.(fi);
+            s.chain_lens.(fi) <- s.chain_lens.(fi) + 1;
+            s.chain_masks.(fi) <- s.chain_masks.(fi) lor m
+          end
+        end)
+      sh.target_detectors.(v);
+    Array.iter
+      (fun pos ->
+        if first_detected.(pos) = 0 then first_detected.(pos) <- iteration)
+      sh.report_detectors.(v)
+  in
+  for n = 1 to sh.cfg.nmax do
+    for fi = 0 to sh.f_count - 1 do
+      if fi land 63 = 0 then Ndetect_util.Cancel.poll cancel;
+      let tf = Detection_table.target_set sh.table fi in
+      let fallback_def1 () =
+        (* The stricter count cannot reach n: fall back to the standard
+           definition so the fault is not left far below n. *)
+        if s.def1_counts.(fi) < n then (
+          match pick_uniform_diff rng tf s.members with
+          | Some v -> add_test ~iteration:n v
+          | None -> ())
+      in
+      match sh.cfg.mode with
+      | Definition1 ->
+        if s.def1_counts.(fi) < n then (
+          match pick_uniform_diff rng tf s.members with
+          | Some v -> add_test ~iteration:n v
+          | None -> ())
+      | Definition2 ->
+        if s.chain_lens.(fi) < n then
+          if s.strict_exhausted.(fi) then fallback_def1 ()
+          else begin
+            let accepts v =
+              match def2 with
+              | Some def2 ->
+                Definition2.chain_extend def2 ~fi ~chain:s.chains.(fi) v
+              | None -> false
+            in
+            match pick_candidate rng ~accepts s tf with
+            | Some v -> add_test ~iteration:n v
+            | None ->
+              s.strict_exhausted.(fi) <- true;
+              fallback_def1 ()
+          end
+      | Multi_output ->
+        if s.chain_lens.(fi) < n then
+          if s.strict_exhausted.(fi) then fallback_def1 ()
+          else begin
+            let accepts v =
+              observing_mask sh fi v land lnot s.chain_masks.(fi) <> 0
+            in
+            match pick_candidate rng ~accepts s tf with
+            | Some v -> add_test ~iteration:n v
+            | None ->
+              s.strict_exhausted.(fi) <- true;
+              fallback_def1 ()
+          end
+    done
+  done;
+  (s, first_detected)
+
+let run ?(cancel = Ndetect_util.Cancel.none) ?domains ?report_faults table
+    config =
   if config.set_count < 1 || config.nmax < 1 then
     invalid_arg "Procedure1.run: bad config";
-  let rng = Rng.create ~seed:config.seed in
   let universe = Detection_table.universe table in
   let f_count = Detection_table.target_count table in
   let report =
@@ -52,168 +228,94 @@ let run ?(cancel = Ndetect_util.Cancel.none) ?report_faults table config =
   in
   let report_pos = Hashtbl.create (2 * Array.length report) in
   Array.iteri (fun pos gj -> Hashtbl.replace report_pos gj pos) report;
-  let report_detectors = build_report_index table report in
-  let target_detectors = Detection_table.detectors_of_vector table in
-  let def2 =
-    match config.mode with
-    | Definition2 -> Some (Definition2.create table)
-    | Definition1 | Multi_output -> None
+  let report_detectors =
+    match report_faults with
+    (* Identity report: positions coincide with fault indices, so the
+       table-wide memoized inversion is the report index — rebuilding it
+       per run was the dominant cost of repeated small-K runs. *)
+    | None -> Detection_table.untargeted_detectors_of_vector table
+    | Some _ -> build_report_index table report
   in
   if config.mode = Multi_output && Detection_table.output_count table > 62
   then invalid_arg "Procedure1.run: Multi_output limited to 62 outputs";
-  (* Outputs observing target [fi] under vector [v], as a bitmask. *)
-  let observing_mask fi v =
-    let sets = Detection_table.target_output_sets table ~fi in
-    let mask = ref 0 in
-    Array.iteri (fun o set -> if Bitvec.get set v then mask := !mask lor (1 lsl o)) sets;
-    !mask
-  in
-  let sets =
-    Array.init config.set_count (fun _ ->
-        {
-          members = Bitvec.create universe;
-          added = [];
-          def1_counts = Array.make f_count 0;
-          chains = Array.make f_count [];
-          output_masks = Array.make f_count 0;
-          chain_masks = Array.make f_count 0;
-          strict_exhausted = Array.make f_count false;
-        })
-  in
-  (* Monotone per-(set, report fault) detection flags and the running
-     d(n, g) counters they feed. *)
-  let set_detected =
-    Array.init config.set_count (fun _ ->
-        Bitvec.create (max 1 (Array.length report)))
-  in
-  let current_d = Array.make (Array.length report) 0 in
-  let detected = Array.make config.nmax [||] in
-  let add_test ~iteration k v =
-    let s = sets.(k) in
-    Bitvec.set s.members v;
-    s.added <- (v, iteration) :: s.added;
-    Array.iter
-      (fun fi ->
-        s.def1_counts.(fi) <- s.def1_counts.(fi) + 1;
-        (match def2 with
-        | Some def2 ->
-          if
-            List.length s.chains.(fi) < config.nmax
-            && Definition2.chain_extend def2 ~fi ~chain:s.chains.(fi) v
-          then s.chains.(fi) <- v :: s.chains.(fi)
-        | None -> ());
-        if config.mode = Multi_output then begin
-          (* A test joins the fault's counted chain iff it observes the
-             fault on an output the chain has not covered yet, so the
-             count stays a number of distinct tests. *)
-          let m = observing_mask fi v in
-          s.output_masks.(fi) <- s.output_masks.(fi) lor m;
-          if
-            List.length s.chains.(fi) < config.nmax
-            && m land lnot s.chain_masks.(fi) <> 0
-          then begin
-            s.chains.(fi) <- v :: s.chains.(fi);
-            s.chain_masks.(fi) <- s.chain_masks.(fi) lor m
-          end
-        end)
-      target_detectors.(v);
-    Array.iter
-      (fun pos ->
-        if not (Bitvec.get set_detected.(k) pos) then begin
-          Bitvec.set set_detected.(k) pos;
-          current_d.(pos) <- current_d.(pos) + 1
-        end)
-      report_detectors.(v)
-  in
-  let pick_uniform_diff tf members =
-    let available = Bitvec.diff_count tf members in
-    if available = 0 then None
-    else Some (Bitvec.nth_diff tf members (Rng.int rng ~bound:available))
-  in
-  (* Uniform draw from the candidates of T(fi) - Tk satisfying [accepts]:
-     a few rejection samples first, then a scan of the unused tests in a
-     uniformly random order, returning the first acceptable one. Both
-     phases draw uniformly over the candidate set (the first acceptable
-     element of a uniform permutation is uniform over acceptables, by
-     symmetry), and the permutation scan only pays for the full set when
-     no candidate exists at all. *)
-  let pick_candidate ~accepts s tf =
-    let rec sample attempts =
-      if attempts = 0 then None
-      else
-        match pick_uniform_diff tf s.members with
-        | None -> None
-        | Some v -> if accepts v then Some v else sample (attempts - 1)
-    in
-    match sample 8 with
-    | Some v -> Some v
-    | None ->
-      let unused =
-        Bitvec.fold_set tf ~init:[] ~f:(fun acc v ->
-            if Bitvec.get s.members v then acc else v :: acc)
-        |> Array.of_list
-      in
-      Rng.shuffle_in_place rng unused;
-      let rec scan i =
-        if i >= Array.length unused then None
-        else if accepts unused.(i) then Some unused.(i)
-        else scan (i + 1)
-      in
-      scan 0
-  in
-  for n = 1 to config.nmax do
-    for fi = 0 to f_count - 1 do
-      Ndetect_util.Cancel.poll cancel;
-      let tf = Detection_table.target_set table fi in
-      for k = 0 to config.set_count - 1 do
-        if k land 63 = 0 then Ndetect_util.Cancel.poll cancel;
-        let s = sets.(k) in
-        let fallback_def1 () =
-          (* The stricter count cannot reach n: fall back to the standard
-             definition so the fault is not left far below n. *)
-          if s.def1_counts.(fi) < n then (
-            match pick_uniform_diff tf s.members with
-            | Some v -> add_test ~iteration:n k v
-            | None -> ())
-        in
-        match config.mode with
-        | Definition1 ->
-          if s.def1_counts.(fi) < n then (
-            match pick_uniform_diff tf s.members with
-            | Some v -> add_test ~iteration:n k v
-            | None -> ())
-        | Definition2 ->
-          if List.length s.chains.(fi) < n then
-            if s.strict_exhausted.(fi) then fallback_def1 ()
-            else begin
-              let accepts v =
-                match def2 with
-                | Some def2 ->
-                  Definition2.chain_extend def2 ~fi ~chain:s.chains.(fi) v
-                | None -> false
-              in
-              match pick_candidate ~accepts s tf with
-              | Some v -> add_test ~iteration:n k v
-              | None ->
-                s.strict_exhausted.(fi) <- true;
-                fallback_def1 ()
-            end
+  let sh =
+    {
+      table;
+      cfg = config;
+      universe;
+      f_count;
+      report_len = Array.length report;
+      report_detectors;
+      target_detectors = Detection_table.detectors_of_vector table;
+      output_sets =
+        (match config.mode with
         | Multi_output ->
-          if List.length s.chains.(fi) < n then
-            if s.strict_exhausted.(fi) then fallback_def1 ()
-            else begin
-              let accepts v =
-                observing_mask fi v land lnot s.chain_masks.(fi) <> 0
-              in
-              match pick_candidate ~accepts s tf with
-              | Some v -> add_test ~iteration:n k v
-              | None ->
-                s.strict_exhausted.(fi) <- true;
-                fallback_def1 ()
-            end
-      done
-    done;
-    detected.(n - 1) <- Array.copy current_d
+          (* Forced before fan-out: workers then only read. *)
+          Array.init f_count (fun fi ->
+              Detection_table.target_output_sets table ~fi)
+        | Definition1 | Definition2 -> [||]);
+    }
+  in
+  (* One pre-split stream per set, split in set order (explicit loop:
+     Array.init's evaluation order is unspecified): the root generator
+     never crosses domains, and stream k is the same whatever the
+     chunking. *)
+  let root = Rng.create ~seed:config.seed in
+  let rngs = Array.make config.set_count root in
+  for k = 0 to config.set_count - 1 do
+    rngs.(k) <- Rng.split root
+  done;
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> Parallel.default_domains ()
+  in
+  let chunk_count = if domains <= 1 then 1 else min config.set_count (2 * domains) in
+  let chunk = (config.set_count + chunk_count - 1) / chunk_count in
+  let bounds =
+    Array.init chunk_count (fun c ->
+        (c * chunk, min config.set_count ((c + 1) * chunk) - 1))
+  in
+  let chunk_results =
+    Parallel.map_array ~domains
+      (fun (lo, hi) ->
+        if lo > hi then [||]
+        else begin
+          (* One Definition-2 oracle per chunk: its memo tables are
+             plain Hashtbls, so they must not cross domains; results are
+             pure, so per-chunk instances do not affect the outcome. *)
+          let def2 =
+            match config.mode with
+            | Definition2 -> Some (Definition2.create table)
+            | Definition1 | Multi_output -> None
+          in
+          Array.init
+            (hi - lo + 1)
+            (fun i -> run_one cancel sh def2 rngs.(lo + i))
+        end)
+      bounds
+  in
+  let per_set = Array.concat (Array.to_list chunk_results) in
+  assert (Array.length per_set = config.set_count);
+  let sets = Array.map fst per_set in
+  (* d(n, g) = #sets whose first detection of g happened at iteration
+     <= n: bucket the first-detection iterations, then prefix-sum. *)
+  let report_len = Array.length report in
+  let detected =
+    Array.init config.nmax (fun _ -> Array.make report_len 0)
+  in
+  Array.iter
+    (fun (_, first_detected) ->
+      Array.iteri
+        (fun pos n ->
+          if n > 0 then detected.(n - 1).(pos) <- detected.(n - 1).(pos) + 1)
+        first_detected)
+    per_set;
+  for n = 1 to config.nmax - 1 do
+    let prev = detected.(n - 1) and cur = detected.(n) in
+    for pos = 0 to report_len - 1 do
+      cur.(pos) <- cur.(pos) + prev.(pos)
+    done
   done;
   { config; report; report_pos; detected; sets }
 

@@ -37,11 +37,19 @@ type outcome
 
 val run :
   ?cancel:Ndetect_util.Cancel.token ->
+  ?domains:int ->
   ?report_faults:int array ->
   Detection_table.t -> config -> outcome
 (** [report_faults] lists the untargeted-fault indices whose detection
     probabilities are tracked (default: all of them). [cancel] is polled
-    throughout the construction loops. *)
+    throughout the construction loops.
+
+    The K sets are mutually independent, each drawn from its own
+    pre-split RNG stream ({!Ndetect_util.Rng.split}, split in set order
+    from [config.seed]), and are constructed in parallel over [domains]
+    domains (default {!Ndetect_util.Parallel.default_domains}). The
+    outcome is bit-identical for every [domains] value, including the
+    sequential [domains = 1] path. *)
 
 val config : outcome -> config
 val report_faults : outcome -> int array

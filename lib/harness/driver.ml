@@ -21,6 +21,7 @@ type options = {
   resume : bool;
   timeout_per_circuit : float option;
   inject : string option;
+  domains : int option;
 }
 
 let default_options =
@@ -36,18 +37,19 @@ let default_options =
     resume = false;
     timeout_per_circuit = None;
     inject = None;
+    domains = None;
   }
 
 let usage =
   "usage: reproduce [--tier small|medium|large] [--k N] [--k2 N] [--seed N]\n\
   \                 [--only table1..table6|figure2|all] [--quiet] [--csv DIR]\n\
   \                 [--checkpoint DIR] [--resume] [--timeout-per-circuit SECS]\n\
-  \                 [--inject SPEC]"
+  \                 [--inject SPEC] [--domains N]"
 
 let value_flags =
   [
     "--tier"; "--k"; "--k2"; "--seed"; "--only"; "--csv"; "--checkpoint";
-    "--timeout-per-circuit"; "--inject";
+    "--timeout-per-circuit"; "--inject"; "--domains";
   ]
 
 let parse_args args =
@@ -101,6 +103,13 @@ let parse_args args =
       match Supervise.parse_injection_spec spec with
       | Ok _ -> go { opts with inject = Some spec } rest
       | Error message -> failwith (Printf.sprintf "--inject: %s" message))
+    | "--domains" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> go { opts with domains = Some n } rest
+      | Some _ | None ->
+        failwith
+          (Printf.sprintf "--domains expects an integer >= 1, got %S\n%s" v
+             usage))
     | [ flag ] when List.mem flag value_flags ->
       failwith (Printf.sprintf "%s requires a value\n%s" flag usage)
     | arg :: _ -> failwith (Printf.sprintf "unknown argument %S\n%s" arg usage)
@@ -370,7 +379,9 @@ let run_table4 t =
       mode = Procedure1.Definition1;
     }
   in
-  let outcome = Procedure1.run a.Analysis.table config in
+  let outcome =
+    Procedure1.run ?domains:t.options.domains a.Analysis.table config
+  in
   let g6_line =
     match find_bridge a.Analysis.table Example.g6 with
     | None -> ""
@@ -455,8 +466,8 @@ let table5_items t =
         timed t
           (Printf.sprintf "procedure1 %s" name)
           (fun () ->
-            Procedure1.run ~cancel ~report_faults:hard a.Analysis.table
-              config)
+            Procedure1.run ~cancel ?domains:t.options.domains
+              ~report_faults:hard a.Analysis.table config)
       in
       {
         Paper_tables.circuit = name;
@@ -478,7 +489,8 @@ let table6_items t =
         timed t
           (Printf.sprintf "procedure1 %s (%s)" name label)
           (fun () ->
-            Procedure1.run ~cancel ~report_faults:hard a.Analysis.table
+            Procedure1.run ~cancel ?domains:t.options.domains
+              ~report_faults:hard a.Analysis.table
               {
                 Procedure1.seed = t.options.seed;
                 set_count = t.options.k2;

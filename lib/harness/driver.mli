@@ -39,6 +39,12 @@ type options = {
   inject : string option;
       (** Raw fault-injection spec, as accepted by
           {!Supervise.parse_injection_spec} (self-test only). *)
+  domains : int option;
+      (** Domain count for the parallel Procedure-1 construction
+          (default: {!Ndetect_util.Parallel.default_domains}). Output is
+          bit-identical for every value, so this is a pure throughput
+          knob and is deliberately excluded from the checkpoint
+          stamp. *)
 }
 
 val default_options : options
@@ -48,10 +54,10 @@ val default_options : options
 val parse_args : string list -> options
 (** Parse [--tier small|medium|large], [--k N], [--k2 N], [--seed N],
     [--only WHAT], [--quiet], [--csv DIR], [--checkpoint DIR],
-    [--resume], [--timeout-per-circuit SECS], [--inject SPEC]. Raises
-    [Failure] with a message naming the offending flag (and the usage
-    string) on malformed values, missing values, or unknown
-    arguments. *)
+    [--resume], [--timeout-per-circuit SECS], [--inject SPEC],
+    [--domains N]. Raises [Failure] with a message naming the offending
+    flag (and the usage string) on malformed values, missing values, or
+    unknown arguments. *)
 
 val usage : string
 (** The usage string appended to [parse_args] error messages. *)

@@ -6,58 +6,166 @@ module Netlist = Ndetect_circuit.Netlist
 module Stuck = Ndetect_faults.Stuck
 module Bridge = Ndetect_faults.Bridge
 
-(* Reusable propagation workspace: cone schedule for a seed node, plus
-   scratch arrays sized to the circuit. *)
+(* Reusable propagation workspace for the fanout cone of one or two seed
+   nodes. The update schedule is flattened once — per gate: its kind, and
+   a [flat] slice of fanin node ids with a parallel in-cone flag — so a
+   batch evaluation runs over plain int arrays into preallocated scratch
+   buffers without allocating. *)
 type cone = {
-  seed : int;
-  order : int array;  (* cone nodes in topo order; order.(0) = seed *)
+  seed : int;  (* primary seed; forced directly *)
+  seed2 : int;  (* second forced node (wired bridges), or -1 *)
+  sched : int array;  (* gates to (re)evaluate, topo order, seeds excluded *)
+  kinds : Gate.kind array;  (* kinds.(i) = kind of sched.(i) *)
+  offsets : int array;  (* length |sched|+1; fanins of sched.(i) live at
+                           flat.(offsets.(i)) .. flat.(offsets.(i+1))-1 *)
+  flat : int array;  (* flattened fanin node ids *)
+  flat_in_cone : bool array;  (* parallel to flat: faulty vs fault-free *)
   in_cone : bool array;
   cone_outputs : int array;
   faulty : Word.t array;  (* indexed by node id, valid only inside cone *)
+  scratch : Word.t array array;  (* scratch.(arity): reused argument buffer *)
 }
 
-let make_cone net seed =
-  let order = Netlist.fanout_cone_order net seed in
-  let in_cone = Array.make (Netlist.node_count net) false in
-  Array.iter (fun id -> in_cone.(id) <- true) order;
+let build_cone net ~in_cone ~seed ~seed2 cone_nodes =
+  let sched =
+    Array.of_seq
+      (Seq.filter
+         (fun id -> id <> seed && id <> seed2)
+         (Array.to_seq cone_nodes))
+  in
+  let kinds = Array.map (fun id -> Netlist.kind net id) sched in
+  let total_fanins =
+    Array.fold_left
+      (fun acc id -> acc + Array.length (Netlist.fanins net id))
+      0 sched
+  in
+  let offsets = Array.make (Array.length sched + 1) 0 in
+  let flat = Array.make (max 1 total_fanins) 0 in
+  let flat_in_cone = Array.make (max 1 total_fanins) false in
+  let max_arity = ref 0 in
+  let next = ref 0 in
+  Array.iteri
+    (fun i id ->
+      offsets.(i) <- !next;
+      let fanins = Netlist.fanins net id in
+      max_arity := max !max_arity (Array.length fanins);
+      Array.iter
+        (fun f ->
+          flat.(!next) <- f;
+          flat_in_cone.(!next) <- in_cone.(f);
+          incr next)
+        fanins)
+    sched;
+  offsets.(Array.length sched) <- !next;
   let cone_outputs =
     Array.of_seq
       (Seq.filter (fun id -> in_cone.(id)) (Array.to_seq (Netlist.outputs net)))
   in
   {
     seed;
-    order;
+    seed2;
+    sched;
+    kinds;
+    offsets;
+    flat;
+    flat_in_cone;
     in_cone;
     cone_outputs;
     faulty = Array.make (Netlist.node_count net) Word.zeroes;
+    scratch = Array.init (!max_arity + 1) (fun a -> Array.make a Word.zeroes);
   }
+
+let make_cone net seed =
+  let order = Netlist.fanout_cone_order net seed in
+  let in_cone = Array.make (Netlist.node_count net) false in
+  Array.iter (fun id -> in_cone.(id) <- true) order;
+  build_cone net ~in_cone ~seed ~seed2:(-1) order
+
+(* Two-seed variant for wired bridges: the faulty value is forced on both
+   bridged nodes, and the update schedule is the union of the two fanout
+   cones. *)
+let make_cone2 net a b =
+  let reach_a = Netlist.transitive_fanout net a in
+  let reach_b = Netlist.transitive_fanout net b in
+  let in_cone =
+    Array.init (Netlist.node_count net) (fun id -> reach_a.(id) || reach_b.(id))
+  in
+  let order =
+    Array.to_seq (Netlist.topo_order net)
+    |> Seq.filter (fun id -> in_cone.(id))
+    |> Array.of_seq
+  in
+  build_cone net ~in_cone ~seed:a ~seed2:b order
+
+(* Per-domain cone cache: stem/branch faults that share a seed node (a
+   gate's output stem and its input branches; every bridge victimizing
+   the same node) reuse one flattened schedule and one scratch set.
+   Cones are mutable workspaces, so the cache is domain-local
+   (Domain.DLS): no locks, and no cross-domain sharing of scratch
+   state. Keyed by {!Good.id} so distinct fault-free tables (even over
+   the same netlist) never alias. *)
+let cone_cache_limit = 1024
+
+let cone_cache : (int * int * int, cone) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let cached ~key build =
+  let tbl = Domain.DLS.get cone_cache in
+  match Hashtbl.find_opt tbl key with
+  | Some cone -> cone
+  | None ->
+    let cone = build () in
+    if Hashtbl.length tbl >= cone_cache_limit then Hashtbl.reset tbl;
+    Hashtbl.replace tbl key cone;
+    cone
+
+let cone_for good seed =
+  cached
+    ~key:(Good.id good, seed, -1)
+    (fun () -> make_cone (Good.net good) seed)
+
+let cone2_for good a b =
+  cached ~key:(Good.id good, a, b) (fun () -> make_cone2 (Good.net good) a b)
+
+(* Evaluate every scheduled gate of the cone for one batch, reading
+   forced/faulty values for in-cone fanins and the precomputed fault-free
+   table for the rest. Seeds must already be set in [cone.faulty]. Every
+   in-cone fanin is either a seed or an earlier schedule entry (topo
+   order), so no stale value is ever read. Allocation-free. *)
+let eval_sched good cone ~batch ~live =
+  let n = Array.length cone.sched in
+  for i = 0 to n - 1 do
+    let off = cone.offsets.(i) in
+    let arity = cone.offsets.(i + 1) - off in
+    let args = cone.scratch.(arity) in
+    for p = 0 to arity - 1 do
+      let f = cone.flat.(off + p) in
+      args.(p) <-
+        (if cone.flat_in_cone.(off + p) then cone.faulty.(f)
+         else Good.value good ~node:f ~batch)
+    done;
+    cone.faulty.(cone.sched.(i)) <-
+      Gate.eval_word cone.kinds.(i) args land live
+  done
+
+let output_diff good cone ~batch ~live =
+  let acc = ref Word.zeroes in
+  Array.iter
+    (fun o ->
+      acc := !acc lor (cone.faulty.(o) lxor Good.value good ~node:o ~batch))
+    cone.cone_outputs;
+  !acc land live
 
 (* Propagate a forced seed value through the cone for one batch and return
    the mask of lanes where some primary output differs from fault-free. *)
 let propagate good cone ~batch ~seed_value =
-  let net = Good.net good in
   let live = Good.live_mask good ~batch in
   let seed_good = Good.value good ~node:cone.seed ~batch in
   if seed_value land live = seed_good land live then Word.zeroes
   else begin
     cone.faulty.(cone.seed) <- seed_value land live;
-    let k = Array.length cone.order in
-    for i = 1 to k - 1 do
-      let id = cone.order.(i) in
-      let fanin_value f =
-        if cone.in_cone.(f) then cone.faulty.(f)
-        else Good.value good ~node:f ~batch
-      in
-      cone.faulty.(id) <-
-        Gate.eval_word (Netlist.kind net id)
-          (Array.map fanin_value (Netlist.fanins net id))
-        land live
-    done;
-    Array.fold_left
-      (fun acc o ->
-        acc lor (cone.faulty.(o) lxor Good.value good ~node:o ~batch))
-      Word.zeroes cone.cone_outputs
-    land live
+    eval_sched good cone ~batch ~live;
+    output_diff good cone ~batch ~live
   end
 
 (* A stuck fault is injected either at a stem (the node itself is forced)
@@ -85,7 +193,7 @@ let stuck_seed good fault =
     (gate, forced)
 
 let detection_set_of_seed good (seed, forced) =
-  let cone = make_cone (Good.net good) seed in
+  let cone = cone_for good seed in
   Good.detection_mask_to_set good (fun ~batch ->
       propagate good cone ~batch ~seed_value:(forced ~batch))
 
@@ -125,31 +233,8 @@ let bridge_detection_sets ?(cancel = Ndetect_util.Cancel.none) good faults =
       bridge_detection_set good f)
     faults
 
-(* Two-seed variant for wired bridges: the faulty value is forced on both
-   bridged nodes, and the update schedule is the union of the two fanout
-   cones. *)
-let make_cone2 net a b =
-  let reach_a = Netlist.transitive_fanout net a in
-  let reach_b = Netlist.transitive_fanout net b in
-  let in_cone =
-    Array.init (Netlist.node_count net) (fun id -> reach_a.(id) || reach_b.(id))
-  in
-  let order =
-    Array.to_seq (Netlist.topo_order net)
-    |> Seq.filter (fun id -> in_cone.(id))
-    |> Array.of_seq
-  in
-  let cone_outputs =
-    Array.to_seq (Netlist.outputs net)
-    |> Seq.filter (fun id -> in_cone.(id))
-    |> Array.of_seq
-  in
-  (order, in_cone, cone_outputs)
-
 let wired_detection_set good (fault : Ndetect_faults.Wired.t) =
-  let net = Good.net good in
-  let order, in_cone, cone_outputs = make_cone2 net fault.a fault.b in
-  let faulty = Array.make (Netlist.node_count net) Word.zeroes in
+  let cone = cone2_for good fault.a fault.b in
   Good.detection_mask_to_set good (fun ~batch ->
       let live = Good.live_mask good ~batch in
       let va = Good.value good ~node:fault.a ~batch in
@@ -161,24 +246,10 @@ let wired_detection_set good (fault : Ndetect_faults.Wired.t) =
       in
       if forced = va land live && forced = vb land live then Word.zeroes
       else begin
-        Array.iter
-          (fun id ->
-            if id = fault.a || id = fault.b then faulty.(id) <- forced
-            else
-              let fanin_value f =
-                if in_cone.(f) then faulty.(f)
-                else Good.value good ~node:f ~batch
-              in
-              faulty.(id) <-
-                Gate.eval_word (Netlist.kind net id)
-                  (Array.map fanin_value (Netlist.fanins net id))
-                land live)
-          order;
-        Array.fold_left
-          (fun acc o ->
-            acc lor (faulty.(o) lxor Good.value good ~node:o ~batch))
-          Word.zeroes cone_outputs
-        land live
+        cone.faulty.(fault.a) <- forced;
+        cone.faulty.(fault.b) <- forced;
+        eval_sched good cone ~batch ~live;
+        output_diff good cone ~batch ~live
       end)
 
 let wired_detection_sets ?(cancel = Ndetect_util.Cancel.none) good faults =
@@ -194,7 +265,7 @@ let stuck_detection_by_output good fault =
   let net = Good.net good in
   let outputs = Netlist.outputs net in
   let seed, forced = stuck_seed good fault in
-  let cone = make_cone net seed in
+  let cone = cone_for good seed in
   let universe = Good.universe good in
   let sets = Array.map (fun _ -> Bitvec.create universe) outputs in
   let in_cone o = cone.in_cone.(o) in
@@ -222,7 +293,7 @@ let detects_stuck good fault ~vector =
   if vector < 0 || vector >= Good.universe good then
     invalid_arg "Fault_sim.detects_stuck: vector outside universe";
   let seed, forced = stuck_seed good fault in
-  let cone = make_cone (Good.net good) seed in
+  let cone = cone_for good seed in
   let batch = vector / Word.width in
   let mask = propagate good cone ~batch ~seed_value:(forced ~batch) in
   Word.get mask (vector mod Word.width)

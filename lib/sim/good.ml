@@ -4,6 +4,7 @@ module Gate = Ndetect_circuit.Gate
 module Netlist = Ndetect_circuit.Netlist
 
 type t = {
+  id : int;  (* process-unique; keys the per-domain cone caches *)
   net : Netlist.t;
   universe : int;
   batch_count : int;
@@ -11,6 +12,9 @@ type t = {
   values : Word.t array array;
   live : Word.t array;
 }
+
+let next_id = Atomic.make 0
+let fresh_id () = Atomic.fetch_and_add next_id 1
 
 let compute net =
   let universe = Netlist.universe_size net in
@@ -39,7 +43,7 @@ let compute net =
             land live.(batch)))
       topo
   done;
-  { net; universe; batch_count; values; live }
+  { id = fresh_id (); net; universe; batch_count; values; live }
 
 let of_vectors net vectors =
   let pi = Netlist.input_count net in
@@ -82,8 +86,9 @@ let of_vectors net vectors =
             land live.(batch)))
       topo
   done;
-  { net; universe; batch_count; values; live }
+  { id = fresh_id (); net; universe; batch_count; values; live }
 
+let id t = t.id
 let net t = t.net
 let universe t = t.universe
 let batch_count t = t.batch_count

@@ -24,6 +24,10 @@ val of_vectors : Netlist.t -> int array -> t
     as universe vector values, so the input count must still fit an OCaml
     int: at most 62 inputs). *)
 
+val id : t -> int
+(** Process-unique identifier (assigned at construction, atomic across
+    domains). Keys the per-domain cone caches in {!Fault_sim}. *)
+
 val net : t -> Netlist.t
 val universe : t -> int
 val batch_count : t -> int
