@@ -194,6 +194,71 @@ let bench_partition =
            (Ndetect_core.Partition.analyze ~max_inputs:4 ~name:"mc"
               (Lazy.force mc_net))))
 
+(* Kernel micro-benches: the primitives under the worst-case scan. *)
+
+module Bitvec = Ndetect_util.Bitvec
+module Table_cache = Ndetect_harness.Table_cache
+
+let kernel_vectors =
+  lazy
+    (let len = 4096 in
+     let mk seed =
+       let v = Bitvec.create len in
+       let x = ref seed in
+       for i = 0 to len - 1 do
+         (* xorshift-ish; deterministic, roughly half-dense *)
+         x := (!x lxor (!x lsl 13)) land max_int;
+         x := !x lxor (!x lsr 7);
+         x := (!x lxor (!x lsl 17)) land max_int;
+         if !x land 1 = 1 then Bitvec.set v i
+       done;
+       v
+     in
+     (mk 0x9E3779B9, Array.init 64 (fun i -> mk (i + 1))))
+
+let bench_kernel_popcount =
+  Test.make ~name:"kernel-popcount(4096b)"
+    (Staged.stage (fun () ->
+         let probe, _ = Lazy.force kernel_vectors in
+         ignore (Bitvec.count probe)))
+
+let bench_kernel_inter_many =
+  Test.make ~name:"kernel-inter-many(64x4096b)"
+    (Staged.stage (fun () ->
+         let probe, targets = Lazy.force kernel_vectors in
+         ignore (Bitvec.inter_count_many probe targets)))
+
+(* Table cache: cold = fault-simulate and persist, warm = restore from
+   disk. Their ratio is the speedup --table-cache buys per circuit. *)
+
+let cache_dir =
+  lazy
+    (let dir = Filename.temp_file "ndetect-bench-cache" "" in
+     Sys.remove dir;
+     Ndetect_harness.Checkpoint.mkdir_recursive dir;
+     (* Seed the entry so the warm bench hits regardless of ordering. *)
+     let net = Lazy.force mc_net in
+     Table_cache.store ~dir ~key:(Table_cache.key net)
+       (Detection_table.build net);
+     dir)
+
+let bench_table_cache_cold =
+  Test.make ~name:"table-cache-cold(mc)"
+    (Staged.stage (fun () ->
+         let dir = Lazy.force cache_dir in
+         let net = Lazy.force mc_net in
+         Table_cache.store ~dir ~key:(Table_cache.key net)
+           (Detection_table.build net)))
+
+let bench_table_cache_warm =
+  Test.make ~name:"table-cache-warm(mc)"
+    (Staged.stage (fun () ->
+         let dir = Lazy.force cache_dir in
+         let net = Lazy.force mc_net in
+         match Table_cache.load ~dir ~key:(Table_cache.key net) net with
+         | Some _ -> ()
+         | None -> failwith "table-cache-warm: expected a hit"))
+
 let all_benches =
   Test.make_grouped ~name:"ndetect"
     [
@@ -223,6 +288,10 @@ let all_benches =
       bench_defect_level;
       bench_dictionary;
       bench_partition;
+      bench_kernel_popcount;
+      bench_kernel_inter_many;
+      bench_table_cache_cold;
+      bench_table_cache_warm;
     ]
 
 let run_perf ~quota_ms () =

@@ -42,8 +42,12 @@ let summary_of_worst ~name worst =
       Worst_case.count_at_least worst Worst_case.unbounded;
   }
 
-let analyze ?(cancel = Ndetect_util.Cancel.none) ~name net =
-  let table = Detection_table.build ~cancel net in
+let analyze ?(cancel = Ndetect_util.Cancel.none) ?build ~name net =
+  let table =
+    match build with
+    | Some build -> build ~cancel net
+    | None -> Detection_table.build ~cancel net
+  in
   let worst = Worst_case.compute ~cancel table in
   { name; table; worst; summary = summary_of_worst ~name worst }
 

@@ -32,10 +32,16 @@ type t = {
 }
 
 val analyze :
-  ?cancel:Ndetect_util.Cancel.token -> name:string -> Netlist.t -> t
+  ?cancel:Ndetect_util.Cancel.token ->
+  ?build:(cancel:Ndetect_util.Cancel.token -> Netlist.t -> Detection_table.t) ->
+  name:string ->
+  Netlist.t ->
+  t
 (** Build the detection table and run the worst-case analysis. [cancel]
     is threaded through both passes, so a supervised caller's deadline
-    cuts the analysis off at the next poll point. *)
+    cuts the analysis off at the next poll point. [build] replaces the
+    default [Detection_table.build] — the harness passes a cache-aware
+    builder here; it must produce a table over exactly [net]. *)
 
 val summary_of_worst : name:string -> Worst_case.t -> worst_summary
 

@@ -31,8 +31,16 @@ type t = {
      with the simulation itself run outside the lock. *)
   inverted : int array array option Atomic.t;
   untargeted_inverted : int array array option Atomic.t;
+  layout : target_layout option Atomic.t;
   memo_lock : Mutex.t;
   output_sets : (int, Bitvec.t array) Hashtbl.t;
+}
+
+and target_layout = {
+  rows : int;
+  rep : int array;
+  row_n : int array;
+  blocked : Bitvec.Blocked.t;
 }
 
 let build ?(keep_undetectable_targets = false) ?(collapse = true)
@@ -77,19 +85,21 @@ let build ?(keep_undetectable_targets = false) ?(collapse = true)
     |> List.filter (fun (j, _) -> not (Bitvec.is_empty all_sets.(j)))
   in
   let untargeted = Array.of_list (List.map snd kept_g) in
-  (* Symmetric bridges often share identical detection sets; keep one
-     physical copy per distinct set (halves memory on the big circuits
-     and lets downstream passes dedup by pointer-or-content). *)
+  (* Symmetric bridges (and equivalent stuck-at targets) often share
+     identical detection sets; keep one physical copy per distinct set
+     (halves memory on the big circuits and lets downstream passes dedup
+     by pointer-or-content). Keyed by content hash + word-wise equality —
+     no per-set key string is materialized. *)
   let share =
-    let canon : (string, Bitvec.t) Hashtbl.t = Hashtbl.create 1024 in
+    let canon : Bitvec.t Bitvec.Tbl.t = Bitvec.Tbl.create 1024 in
     fun set ->
-      let key = Bitvec.content_key set in
-      match Hashtbl.find_opt canon key with
+      match Bitvec.Tbl.find_opt canon set with
       | Some c -> c
       | None ->
-        Hashtbl.replace canon key set;
+        Bitvec.Tbl.replace canon set set;
         set
   in
+  let target_sets = Array.map share target_sets in
   let untargeted_sets =
     Array.of_list (List.map (fun (j, _) -> share all_sets.(j)) kept_g)
   in
@@ -108,6 +118,7 @@ let build ?(keep_undetectable_targets = false) ?(collapse = true)
     good;
     inverted = Atomic.make None;
     untargeted_inverted = Atomic.make None;
+    layout = Atomic.make None;
     memo_lock = Mutex.create ();
     output_sets = Hashtbl.create 64;
   }
@@ -139,16 +150,51 @@ let overlapping_targets t ~gj =
 (* Build-or-adopt for the atomic memos: competing domains may both build
    the (deterministic, hence identical) index, but exactly one CAS
    succeeds and everyone returns the winning copy. *)
-let memoized_index cell build =
+let memoized_index cell build_fn =
   match Atomic.get cell with
   | Some idx -> idx
   | None ->
-    let idx = build () in
+    let idx = build_fn () in
     if Atomic.compare_and_set cell None (Some idx) then idx
     else (
       match Atomic.get cell with
       | Some winner -> winner
       | None -> idx (* unreachable: the cell is only ever set *))
+
+(* Deduplicated, N-sorted, cache-blocked view of the target sets: one row
+   per distinct T(f) (first-occurrence target as representative), rows
+   sorted by ascending N(f) (ties by representative index, so the order
+   is deterministic), packed word-major for the batched M(g, f) kernel.
+   nmin only depends on the set contents, so duplicates are counted
+   once. *)
+let build_target_layout t =
+  let f_count = Array.length t.target_sets in
+  let canon : int Bitvec.Tbl.t = Bitvec.Tbl.create (2 * f_count) in
+  let reps = ref [] and rows = ref 0 in
+  for fi = 0 to f_count - 1 do
+    let set = t.target_sets.(fi) in
+    if not (Bitvec.Tbl.mem canon set) then begin
+      Bitvec.Tbl.replace canon set !rows;
+      reps := fi :: !reps;
+      incr rows
+    end
+  done;
+  let rep = Array.of_list (List.rev !reps) in
+  let ns = Array.map (fun fi -> Bitvec.count t.target_sets.(fi)) rep in
+  let order = Array.init !rows Fun.id in
+  Array.sort
+    (fun a b ->
+      let c = Int.compare ns.(a) ns.(b) in
+      if c <> 0 then c else Int.compare rep.(a) rep.(b))
+    order;
+  let rep = Array.map (fun row -> rep.(row)) order in
+  let row_n = Array.map (fun row -> ns.(row)) order in
+  let blocked =
+    Bitvec.Blocked.pack (Array.map (fun fi -> t.target_sets.(fi)) rep)
+  in
+  { rows = !rows; rep; row_n; blocked }
+
+let target_layout t = memoized_index t.layout (fun () -> build_target_layout t)
 
 let invert_sets ~universe sets =
   let buckets = Array.make universe [] in
@@ -181,6 +227,78 @@ let target_output_sets t ~fi =
           sets)
 
 let output_count t = Array.length (Netlist.outputs t.net)
+
+(* Persistence: everything the fault simulation produced, as marshal-safe
+   plain data. The fault-free table ([good]) is deliberately excluded —
+   it is one exhaustive simulation, cheap next to the per-fault sweeps,
+   and recomputing it on restore keeps snapshots small and
+   version-stable. Bitvec sharing (identical sets = one physical copy)
+   survives marshalling, so a snapshot is no bigger than the live
+   table. *)
+type snapshot = {
+  snap_universe : int;
+  snap_targets : Stuck.t array;
+  snap_target_sets : Bitvec.t array;
+  snap_target_labels : string array;
+  snap_undetectable_targets : int;
+  snap_untargeted : untargeted_fault array;
+  snap_untargeted_sets : Bitvec.t array;
+  snap_untargeted_labels : string array;
+  snap_undetectable_untargeted : int;
+}
+
+let snapshot t =
+  {
+    snap_universe = t.universe;
+    snap_targets = t.targets;
+    snap_target_sets = t.target_sets;
+    snap_target_labels = t.target_labels;
+    snap_undetectable_targets = t.undetectable_targets;
+    snap_untargeted = t.untargeted;
+    snap_untargeted_sets = t.untargeted_sets;
+    snap_untargeted_labels = t.untargeted_labels;
+    snap_undetectable_untargeted = t.undetectable_untargeted;
+  }
+
+let restore net snap =
+  let good = Good.compute net in
+  if Good.universe good <> snap.snap_universe then
+    invalid_arg "Detection_table.restore: universe mismatch";
+  let check_sets sets =
+    Array.iter
+      (fun s ->
+        if Bitvec.length s <> snap.snap_universe then
+          invalid_arg "Detection_table.restore: set length mismatch")
+      sets
+  in
+  check_sets snap.snap_target_sets;
+  check_sets snap.snap_untargeted_sets;
+  if
+    Array.length snap.snap_targets <> Array.length snap.snap_target_sets
+    || Array.length snap.snap_targets <> Array.length snap.snap_target_labels
+    || Array.length snap.snap_untargeted
+       <> Array.length snap.snap_untargeted_sets
+    || Array.length snap.snap_untargeted
+       <> Array.length snap.snap_untargeted_labels
+  then invalid_arg "Detection_table.restore: inconsistent snapshot";
+  {
+    net;
+    universe = snap.snap_universe;
+    targets = snap.snap_targets;
+    target_sets = snap.snap_target_sets;
+    target_labels = snap.snap_target_labels;
+    undetectable_targets = snap.snap_undetectable_targets;
+    untargeted = snap.snap_untargeted;
+    untargeted_sets = snap.snap_untargeted_sets;
+    untargeted_labels = snap.snap_untargeted_labels;
+    undetectable_untargeted = snap.snap_undetectable_untargeted;
+    good;
+    inverted = Atomic.make None;
+    untargeted_inverted = Atomic.make None;
+    layout = Atomic.make None;
+    memo_lock = Mutex.create ();
+    output_sets = Hashtbl.create 64;
+  }
 
 let find_untargeted t ~victim ~victim_value ~aggressor ~aggressor_value =
   let node name =

@@ -69,6 +69,23 @@ val undetectable_untargeted_count : t -> int
 val m : t -> gj:int -> fi:int -> int
 (** [M(g_j, f_i) = |T(f_i) ∩ T(g_j)|]. *)
 
+type target_layout = {
+  rows : int;  (** Distinct target detection sets. *)
+  rep : int array;
+      (** [rep.(row)] is the representative target index (the first
+          target with that set). *)
+  row_n : int array;  (** [N] per row, ascending. *)
+  blocked : Bitvec.Blocked.t;
+      (** The rows' sets, cache-blocked word-major, in row order. *)
+}
+
+val target_layout : t -> target_layout
+(** Deduplicated, N-sorted, cache-blocked view of the target sets — the
+    input of the batched worst-case scan. Rows are ordered by ascending
+    [N(f)] (ties by representative index), so a scan can early-exit at
+    block granularity. Computed lazily once and published atomically;
+    safe to call from concurrent domains. *)
+
 val overlapping_targets : t -> gj:int -> int list
 (** [F(g_j)]: indices of target faults whose detection set intersects
     [T(g_j)]. *)
@@ -100,3 +117,22 @@ val find_untargeted :
   t -> victim:string -> victim_value:bool -> aggressor:string ->
   aggressor_value:bool -> int option
 (** Index of a bridging fault by node names, for the worked example. *)
+
+(** {2 Persistence} *)
+
+type snapshot
+(** Everything the fault simulation produced (faults, detection sets,
+    labels, undetectable counts) as marshal-safe plain data — no
+    closures, no fault-free table. Produced by {!snapshot}, consumed by
+    {!restore}; the harness's table cache marshals these to disk. *)
+
+val snapshot : t -> snapshot
+
+val restore : Netlist.t -> snapshot -> t
+(** Rebuild a table from a snapshot: runs the (cheap, fault-free)
+    exhaustive good simulation for [net] and adopts the snapshot's
+    detection sets without any fault simulation. Lazy memos (inverted
+    indexes, blocked layout, per-output sets) start empty and rebuild on
+    demand. Raises [Invalid_argument] when the snapshot is inconsistent
+    with [net] (universe or array-shape mismatch) — callers treat that
+    as a cache miss. *)

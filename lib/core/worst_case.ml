@@ -8,72 +8,93 @@ type t = {
 
 let unbounded = max_int
 
-(* nmin(g) = min over f of N(f) - M(g, f) + 1. Scanning targets in
-   increasing N(f) admits a strong early exit: M(g, f) <= |T(g)|, so once
-   N(f) - |T(g)| + 1 is at least the best candidate found, no later target
-   can improve it. Untargeted faults with small detection sets (the
-   interesting, hard ones) additionally use a sparse membership
-   intersection instead of the word-wise popcount. *)
+(* nmin(g) = min over f of N(f) - M(g, f) + 1, computed over the
+   deduplicated, N-ascending, cache-blocked target layout
+   ({!Detection_table.target_layout}): identical T(f) rows are counted
+   once, and scanning rows in increasing N(f) admits a strong early
+   exit — M(g, f) <= |T(g)|, so once N(f) - |T(g)| + 1 is at least the
+   best candidate found, no later row can improve it (checked at block
+   granularity on the dense path). Untargeted faults with small
+   detection sets (the interesting, hard ones) use a sparse membership
+   intersection instead of the blocked popcount sweep. *)
 let sparse_threshold = 64
 
 let compute ?(cancel = Ndetect_util.Cancel.none) table =
   let g_count = Detection_table.untargeted_count table in
-  let f_count = Detection_table.target_count table in
-  let ns = Array.init f_count (Detection_table.target_n table) in
-  let order = Array.init f_count Fun.id in
-  Array.sort (fun a b -> Int.compare ns.(a) ns.(b)) order;
+  let layout = Detection_table.target_layout table in
+  let rows = layout.Detection_table.rows in
+  let row_n = layout.Detection_table.row_n in
+  let rep = layout.Detection_table.rep in
+  let blocked = layout.Detection_table.blocked in
+  let block_size = Bitvec.Blocked.block_size blocked in
+  let block_count = Bitvec.Blocked.block_count blocked in
   (* Per-untargeted-fault scans are independent pure reads of the table,
-     so they run on parallel domains. *)
+     so they run on parallel domains; the counts scratch is per-call,
+     never shared. *)
   let per_gj gj =
     Ndetect_util.Cancel.poll cancel;
     let tg = Detection_table.untargeted_set table gj in
     let tg_count = Bitvec.count tg in
-    let sparse =
-      if tg_count <= sparse_threshold then Some (Bitvec.to_list tg) else None
-    in
-    let m_of fi =
-      match sparse with
-      | Some vectors ->
-        List.fold_left
-          (fun acc v ->
-            if Bitvec.get (Detection_table.target_set table fi) v then
-              acc + 1
-            else acc)
-          0 vectors
-      | None -> Detection_table.m table ~gj ~fi
-    in
-    let rec scan idx best best_witness =
-      if idx >= f_count then (best, best_witness)
-      else begin
-        let fi = order.(idx) in
-        (* Even full overlap cannot beat the current best: stop. *)
-        if ns.(fi) - tg_count + 1 >= best then (best, best_witness)
+    if tg_count <= sparse_threshold then begin
+      (* Sparse path: membership probes, row-granular early exit. *)
+      let vectors = Bitvec.to_list tg in
+      let rec scan row best best_witness =
+        if row >= rows then (best, best_witness)
+        else if row_n.(row) - tg_count + 1 >= best then (best, best_witness)
         else begin
-          let m = m_of fi in
+          let set = Detection_table.target_set table rep.(row) in
+          let m =
+            List.fold_left
+              (fun acc v -> if Bitvec.unsafe_get set v then acc + 1 else acc)
+              0 vectors
+          in
           let best, best_witness =
-            if m > 0 && ns.(fi) - m + 1 < best then (ns.(fi) - m + 1, fi)
+            if m > 0 && row_n.(row) - m + 1 < best then
+              (row_n.(row) - m + 1, rep.(row))
             else (best, best_witness)
           in
-          scan (idx + 1) best best_witness
+          scan (row + 1) best best_witness
         end
-      end
-    in
-    scan 0 unbounded (-1)
+      in
+      scan 0 unbounded (-1)
+    end
+    else begin
+      (* Dense path: one word-major sweep per block of rows, early exit
+         at block granularity (rows are N-ascending, so the first row of
+         a block bounds the whole tail). *)
+      let counts = Array.make block_size 0 in
+      let best = ref unbounded and best_witness = ref (-1) in
+      let block = ref 0 and stop = ref false in
+      while (not !stop) && !block < block_count do
+        let base = !block * block_size in
+        if row_n.(base) - tg_count + 1 >= !best then stop := true
+        else begin
+          let k = Bitvec.Blocked.inter_counts_into blocked ~block:!block tg counts in
+          for r = 0 to k - 1 do
+            let m = counts.(r) in
+            if m > 0 && row_n.(base + r) - m + 1 < !best then begin
+              best := row_n.(base + r) - m + 1;
+              best_witness := rep.(base + r)
+            end
+          done;
+          incr block
+        end
+      done;
+      (!best, !best_witness)
+    end
   in
   (* Untargeted faults frequently share identical detection sets (e.g.
      symmetric bridges); nmin only depends on T(g), so compute once per
-     distinct set. *)
-  let groups : (string, int) Hashtbl.t = Hashtbl.create (2 * g_count) in
+     distinct set. Grouped by content hash + equality — no key strings. *)
+  let groups : int Bitvec.Tbl.t = Bitvec.Tbl.create (2 * g_count) in
   let representative = Array.make g_count (-1) in
   let unique = ref [] and unique_count = ref 0 in
   for gj = 0 to g_count - 1 do
-    let key =
-      Bitvec.content_key (Detection_table.untargeted_set table gj)
-    in
-    match Hashtbl.find_opt groups key with
+    let set = Detection_table.untargeted_set table gj in
+    match Bitvec.Tbl.find_opt groups set with
     | Some idx -> representative.(gj) <- idx
     | None ->
-      Hashtbl.replace groups key !unique_count;
+      Bitvec.Tbl.replace groups set !unique_count;
       representative.(gj) <- !unique_count;
       unique := gj :: !unique;
       incr unique_count

@@ -22,6 +22,7 @@ type options = {
   timeout_per_circuit : float option;
   inject : string option;
   domains : int option;
+  table_cache : string option;
 }
 
 let default_options =
@@ -38,18 +39,19 @@ let default_options =
     timeout_per_circuit = None;
     inject = None;
     domains = None;
+    table_cache = None;
   }
 
 let usage =
   "usage: reproduce [--tier small|medium|large] [--k N] [--k2 N] [--seed N]\n\
   \                 [--only table1..table6|figure2|all] [--quiet] [--csv DIR]\n\
   \                 [--checkpoint DIR] [--resume] [--timeout-per-circuit SECS]\n\
-  \                 [--inject SPEC] [--domains N]"
+  \                 [--inject SPEC] [--domains N] [--table-cache DIR]"
 
 let value_flags =
   [
     "--tier"; "--k"; "--k2"; "--seed"; "--only"; "--csv"; "--checkpoint";
-    "--timeout-per-circuit"; "--inject"; "--domains";
+    "--timeout-per-circuit"; "--inject"; "--domains"; "--table-cache";
   ]
 
 let parse_args args =
@@ -110,6 +112,8 @@ let parse_args args =
         failwith
           (Printf.sprintf "--domains expects an integer >= 1, got %S\n%s" v
              usage))
+    | "--table-cache" :: dir :: rest ->
+      go { opts with table_cache = Some dir } rest
     | [ flag ] when List.mem flag value_flags ->
       failwith (Printf.sprintf "%s requires a value\n%s" flag usage)
     | arg :: _ -> failwith (Printf.sprintf "unknown argument %S\n%s" arg usage)
@@ -213,6 +217,15 @@ let supervised t ~label ~site f =
   | Ok _ -> ());
   result
 
+(* With --table-cache, detection tables are looked up in (and persisted
+   to) the cache directory instead of being rebuilt by fault simulation
+   on every run; the cache key covers the netlist and the default build
+   parameters, so stale entries are impossible by construction. *)
+let table_builder t =
+  Option.map
+    (fun dir -> fun ~cancel net -> Table_cache.table ~dir ~cancel net)
+    t.options.table_cache
+
 let compute_analysis t entry =
   let name = entry.Registry.name in
   match
@@ -220,7 +233,9 @@ let compute_analysis t entry =
       (fun cancel ->
         timed t
           (Printf.sprintf "analyze %s" name)
-          (fun () -> Analysis.analyze ~cancel ~name (Registry.circuit entry)))
+          (fun () ->
+            Analysis.analyze ?build:(table_builder t) ~cancel ~name
+              (Registry.circuit entry)))
   with
   | Ok a ->
     store_ck t ("summary-" ^ name) a.Analysis.summary;
@@ -267,7 +282,10 @@ let example_analysis t =
   match t.example with
   | Some a -> a
   | None ->
-    let a = Analysis.analyze ~name:"example" (Example.circuit ()) in
+    let a =
+      Analysis.analyze ?build:(table_builder t) ~name:"example"
+        (Example.circuit ())
+    in
     t.example <- Some a;
     a
 

@@ -45,6 +45,12 @@ type options = {
           bit-identical for every value, so this is a pure throughput
           knob and is deliberately excluded from the checkpoint
           stamp. *)
+  table_cache : string option;
+      (** When set, detection tables are loaded from / persisted to this
+          directory ({!Table_cache}); a warm run performs no fault
+          simulation. Tables are keyed by netlist content, so — like
+          [domains] — the cache never changes any result and is excluded
+          from the checkpoint stamp. *)
 }
 
 val default_options : options
@@ -55,7 +61,8 @@ val parse_args : string list -> options
 (** Parse [--tier small|medium|large], [--k N], [--k2 N], [--seed N],
     [--only WHAT], [--quiet], [--csv DIR], [--checkpoint DIR],
     [--resume], [--timeout-per-circuit SECS], [--inject SPEC],
-    [--domains N]. Raises [Failure] with a message naming the offending
+    [--domains N], [--table-cache DIR]. Raises [Failure] with a message
+    naming the offending
     flag (and the usage string) on malformed values, missing values, or
     unknown arguments. *)
 

@@ -1,0 +1,131 @@
+module Detection_table = Ndetect_core.Detection_table
+module Netlist = Ndetect_circuit.Netlist
+module Gate = Ndetect_circuit.Gate
+module Wired = Ndetect_faults.Wired
+
+(* On-disk format (one file per table, named [key ^ ".tbl"]):
+
+     magic | Marshal (version : int, key : string) | Marshal snapshot
+
+   The raw magic prefix is checked before any unmarshalling, and the
+   small header is unmarshalled and validated before the snapshot blob
+   is touched, so a file written by a different format version (whose
+   snapshot type may differ) is rejected without ever interpreting its
+   payload. Writes go through {!Checkpoint.write_atomic}; any load
+   failure — missing file, truncation, corruption, version or key
+   mismatch, snapshot/netlist inconsistency — degrades to a cache
+   miss. *)
+
+let magic = "ndetect-table\n"
+let version = 1
+
+let kind_tag = function
+  | Gate.Input -> "i"
+  | Gate.Const0 -> "0"
+  | Gate.Const1 -> "1"
+  | Gate.Buf -> "b"
+  | Gate.Not -> "n"
+  | Gate.And -> "a"
+  | Gate.Nand -> "A"
+  | Gate.Or -> "o"
+  | Gate.Nor -> "O"
+  | Gate.Xor -> "x"
+  | Gate.Xnor -> "X"
+
+(* The key fingerprints everything the fault simulation depends on: the
+   exact netlist (structure and names — labels in the snapshot quote node
+   names) and the build parameters. MD5 hex, so it is filename-safe. *)
+let key ?(keep_undetectable_targets = false) ?(collapse = true)
+    ?(model = Detection_table.Four_way) net =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "params:";
+  Buffer.add_string buf (if keep_undetectable_targets then "K" else "k");
+  Buffer.add_string buf (if collapse then "C" else "c");
+  Buffer.add_string buf
+    (match model with
+    | Detection_table.Four_way -> "four-way"
+    | Detection_table.Wired Wired.Wired_and -> "wired-and"
+    | Detection_table.Wired Wired.Wired_or -> "wired-or");
+  Buffer.add_string buf ";net:";
+  Buffer.add_string buf (string_of_int (Netlist.input_count net));
+  for id = 0 to Netlist.node_count net - 1 do
+    Buffer.add_char buf '|';
+    Buffer.add_string buf (kind_tag (Netlist.kind net id));
+    Array.iter
+      (fun f ->
+        Buffer.add_char buf ',';
+        Buffer.add_string buf (string_of_int f))
+      (Netlist.fanins net id);
+    Buffer.add_char buf ':';
+    Buffer.add_string buf (Netlist.name net id)
+  done;
+  Buffer.add_string buf ";outputs:";
+  Array.iter
+    (fun o ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int o))
+    (Netlist.outputs net);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let path ~dir ~key = Filename.concat dir (key ^ ".tbl")
+
+let hit_count = Atomic.make 0
+let miss_count = Atomic.make 0
+let hits () = Atomic.get hit_count
+let misses () = Atomic.get miss_count
+
+let store ~dir ~key table =
+  Checkpoint.mkdir_recursive dir;
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf magic;
+  Buffer.add_string buf (Marshal.to_string (version, key) []);
+  Buffer.add_string buf (Marshal.to_string (Detection_table.snapshot table) []);
+  Checkpoint.write_atomic ~path:(path ~dir ~key) (Buffer.contents buf)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ~dir ~key net =
+  let result =
+    try
+      let raw = read_file (path ~dir ~key) in
+      let mlen = String.length magic in
+      if String.length raw < mlen || String.sub raw 0 mlen <> magic then None
+      else begin
+        let bytes = Bytes.unsafe_of_string raw in
+        let (file_version, file_key) : int * string =
+          Marshal.from_string raw mlen
+        in
+        if file_version <> version || file_key <> key then None
+        else begin
+          let snap_ofs = mlen + Marshal.total_size bytes mlen in
+          let snap : Detection_table.snapshot =
+            Marshal.from_string raw snap_ofs
+          in
+          Some (Detection_table.restore net snap)
+        end
+      end
+    with _ -> None
+  in
+  (match result with
+  | Some _ -> ignore (Atomic.fetch_and_add hit_count 1)
+  | None -> ignore (Atomic.fetch_and_add miss_count 1));
+  result
+
+let table ~dir ?keep_undetectable_targets ?collapse ?model
+    ?(cancel = Ndetect_util.Cancel.none) net =
+  let key = key ?keep_undetectable_targets ?collapse ?model net in
+  match load ~dir ~key net with
+  | Some table -> table
+  | None ->
+    let table =
+      Detection_table.build ?keep_undetectable_targets ?collapse ?model ~cancel
+        net
+    in
+    (* Best-effort persistence: an unwritable cache directory must not
+       fail the analysis itself. *)
+    (try store ~dir ~key table with Sys_error _ -> ());
+    table

@@ -1,0 +1,57 @@
+(** Persistent cache of detection tables.
+
+    Building a detection table is the dominant cost of every analysis:
+    one differential fault simulation per fault over the exhaustive
+    universe. The table itself, though, is a pure function of the
+    netlist and the build parameters — so it is cached on disk, one
+    versioned binary file per (netlist, parameters) fingerprint, and a
+    warm run performs {e zero} fault simulations
+    (see {!Ndetect_sim.Fault_sim.detection_sets_computed}).
+
+    Files are written atomically (temp file + rename, like
+    {!Checkpoint}) and validated defensively on load: a raw magic-prefix
+    check before any unmarshalling, then a version + key header check
+    before the snapshot payload is touched. {e Any} failure — missing or
+    truncated file, corruption, version bump, parameter or netlist
+    mismatch — silently degrades to a cache miss and a fresh build. *)
+
+module Detection_table = Ndetect_core.Detection_table
+module Netlist = Ndetect_circuit.Netlist
+
+val version : int
+(** On-disk format version; bumping it invalidates every cached table. *)
+
+val key :
+  ?keep_undetectable_targets:bool ->
+  ?collapse:bool ->
+  ?model:Detection_table.untargeted_model ->
+  Netlist.t ->
+  string
+(** Content fingerprint (MD5 hex, filename-safe) of the netlist —
+    structure and node names — and the table build parameters. Defaults
+    mirror {!Detection_table.build}. *)
+
+val table :
+  dir:string ->
+  ?keep_undetectable_targets:bool ->
+  ?collapse:bool ->
+  ?model:Detection_table.untargeted_model ->
+  ?cancel:Ndetect_util.Cancel.token ->
+  Netlist.t ->
+  Detection_table.t
+(** Load the table for this netlist + parameters from [dir], or build it
+    and persist it there. Storing is best-effort: an unwritable
+    directory never fails the analysis. *)
+
+val store : dir:string -> key:string -> Detection_table.t -> unit
+(** Persist a table's snapshot under [dir] (created if needed). *)
+
+val load : dir:string -> key:string -> Netlist.t -> Detection_table.t option
+(** Restore a cached table; [None] is a cache miss (absent, invalid, or
+    stale in any way). The restored table is rebuilt over [net] with no
+    fault simulation. *)
+
+val hits : unit -> int
+
+val misses : unit -> int
+(** Process-wide {!load} outcome counters, for benches and tests. *)

@@ -119,6 +119,13 @@ let cached ~key build =
     Hashtbl.replace tbl key cone;
     cone
 
+(* Process-wide count of full detection-set simulations. Tests and the
+   harness's table cache use it to prove that a warm cache run performs
+   no fault simulation at all. *)
+let sets_computed = Atomic.make 0
+let detection_sets_computed () = Atomic.get sets_computed
+let note_sets n = ignore (Atomic.fetch_and_add sets_computed n)
+
 let cone_for good seed =
   cached
     ~key:(Good.id good, seed, -1)
@@ -193,6 +200,7 @@ let stuck_seed good fault =
     (gate, forced)
 
 let detection_set_of_seed good (seed, forced) =
+  note_sets 1;
   let cone = cone_for good seed in
   Good.detection_mask_to_set good (fun ~batch ->
       propagate good cone ~batch ~seed_value:(forced ~batch))
@@ -226,14 +234,89 @@ let stuck_detection_sets ?(cancel = Ndetect_util.Cancel.none) good faults =
       stuck_detection_set good f)
     faults
 
+(* Bridges sharing a (victim, aggressor) direction differ only in the
+   required fault-free values, and those activation conditions are
+   pairwise disjoint (the victim cannot be both 0 and 1 in one lane).
+   Bit-parallel lanes are independent, so one cone propagation of the
+   union flip [victim_good lxor (act_1 lor ... lor act_k)] computes every
+   fault of the group at once: fault [i]'s detection mask is the
+   propagated difference ANDed with [act_i]. This halves the cone passes
+   per unordered line pair (2 instead of 4 under the paper's model). *)
+let bridge_group_sets good (faults : Bridge.t array) members =
+  let k = Array.length members in
+  note_sets k;
+  let first = faults.(members.(0)) in
+  let victim = first.Bridge.victim and aggressor = first.Bridge.aggressor in
+  let cone = cone_for good victim in
+  let universe = Good.universe good in
+  let sets = Array.init k (fun _ -> Bitvec.create universe) in
+  let acts = Array.make k Word.zeroes in
+  for batch = 0 to Good.batch_count good - 1 do
+    let live = Good.live_mask good ~batch in
+    let victim_good = Good.value good ~node:victim ~batch in
+    let aggressor_good = Good.value good ~node:aggressor ~batch in
+    let union_act = ref Word.zeroes in
+    for i = 0 to k - 1 do
+      let f = faults.(members.(i)) in
+      let act =
+        value_match victim_good ~value:f.Bridge.victim_value ~live
+        land value_match aggressor_good ~value:f.Bridge.aggressor_value ~live
+      in
+      acts.(i) <- act;
+      union_act := !union_act lor act
+    done;
+    if !union_act <> Word.zeroes then begin
+      let d =
+        propagate good cone ~batch ~seed_value:(victim_good lxor !union_act)
+      in
+      if d <> Word.zeroes then
+        for i = 0 to k - 1 do
+          let di = d land acts.(i) in
+          if di <> Word.zeroes then Bitvec.unsafe_set_word sets.(i) batch di
+        done
+    end
+  done;
+  sets
+
 let bridge_detection_sets ?(cancel = Ndetect_util.Cancel.none) good faults =
-  Ndetect_util.Parallel.map_array
-    (fun f ->
-      Ndetect_util.Cancel.poll cancel;
-      bridge_detection_set good f)
-    faults
+  (* Group by (victim, aggressor) in first-seen order; members keep their
+     enumeration order, so results scatter back positionally and the
+     output is deterministic regardless of domain scheduling. *)
+  let group_of : (int * int, int) Hashtbl.t =
+    Hashtbl.create (Array.length faults)
+  in
+  let groups : int list ref array = Array.make (Array.length faults) (ref []) in
+  let group_count = ref 0 in
+  Array.iteri
+    (fun idx (f : Bridge.t) ->
+      let key = (f.Bridge.victim, f.Bridge.aggressor) in
+      match Hashtbl.find_opt group_of key with
+      | Some g -> groups.(g) := idx :: !(groups.(g))
+      | None ->
+        Hashtbl.replace group_of key !group_count;
+        groups.(!group_count) <- ref [ idx ];
+        incr group_count)
+    faults;
+  let members =
+    Array.init !group_count (fun g ->
+        Array.of_list (List.rev !(groups.(g))))
+  in
+  let group_results =
+    Ndetect_util.Parallel.map_array
+      (fun ms ->
+        Ndetect_util.Cancel.poll cancel;
+        bridge_group_sets good faults ms)
+      members
+  in
+  let sets = Array.make (Array.length faults) (Bitvec.create 0) in
+  Array.iteri
+    (fun g ms ->
+      Array.iteri (fun i idx -> sets.(idx) <- group_results.(g).(i)) ms)
+    members;
+  sets
 
 let wired_detection_set good (fault : Ndetect_faults.Wired.t) =
+  note_sets 1;
   let cone = cone2_for good fault.a fault.b in
   Good.detection_mask_to_set good (fun ~batch ->
       let live = Good.live_mask good ~batch in
@@ -262,6 +345,7 @@ let wired_detection_sets ?(cancel = Ndetect_util.Cancel.none) good faults =
 (* Per-output detection: same cone propagation, but the per-output diff
    masks are collected instead of ORed. *)
 let stuck_detection_by_output good fault =
+  note_sets 1;
   let net = Good.net good in
   let outputs = Netlist.outputs net in
   let seed, forced = stuck_seed good fault in

@@ -26,6 +26,11 @@ val stuck_detection_sets :
 val bridge_detection_sets :
   ?cancel:Ndetect_util.Cancel.token ->
   Good.t -> Bridge.t array -> Bitvec.t array
+(** Equal to mapping {!bridge_detection_set}, but faults sharing a
+    (victim, aggressor) direction are simulated together: their
+    activation conditions are pairwise disjoint, so one cone propagation
+    of the union flip serves the whole group — two propagations per
+    unordered line pair instead of four. *)
 
 val wired_detection_set : Good.t -> Ndetect_faults.Wired.t -> Bitvec.t
 (** [T(w)] for a wired-AND / wired-OR bridge: both bridged lines are
@@ -44,3 +49,10 @@ val stuck_detection_by_output : Good.t -> Stuck.t -> Bitvec.t array
     {e at that output}. The union over outputs is {!stuck_detection_set}.
     Feeds the multi-output-propagation detection counting (the paper's
     reference [6]). *)
+
+val detection_sets_computed : unit -> int
+(** Process-wide count of full detection-set fault simulations performed
+    so far (stuck, bridge, wired, and per-output variants). Monotone;
+    sample it before and after an operation to count the simulations it
+    triggered. The table-cache tests use it to prove a warm cache run
+    simulates nothing. *)

@@ -100,13 +100,15 @@ let value_bit t ~node ~vector =
     invalid_arg "Good.value_bit: vector outside universe";
   Word.get t.values.(vector / Word.width).(node) (vector mod Word.width)
 
+(* Batch words and Bitvec words share a width (62), so batch [b] of the
+   universe IS payload word [b] of the detection set; the live mask has
+   already cleared the lanes beyond the universe. *)
+let () = assert (Word.width = 62)
+
 let detection_mask_to_set t mask_of_batch =
   let set = Bitvec.create t.universe in
   for batch = 0 to t.batch_count - 1 do
     let m = mask_of_batch ~batch land t.live.(batch) in
-    if m <> Word.zeroes then
-      for lane = 0 to Word.width - 1 do
-        if Word.get m lane then Bitvec.set set ((batch * Word.width) + lane)
-      done
+    if m <> Word.zeroes then Bitvec.unsafe_set_word set batch m
   done;
   set

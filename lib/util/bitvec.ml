@@ -23,6 +23,12 @@ let get t i =
   check t i;
   t.words.(i / bits_per_word) lsr (i mod bits_per_word) land 1 = 1
 
+let unsafe_get t i =
+  Array.unsafe_get t.words (i / bits_per_word)
+  lsr (i mod bits_per_word)
+  land 1
+  = 1
+
 let set t i =
   check t i;
   let w = i / bits_per_word in
@@ -35,26 +41,130 @@ let clear t i =
 
 let assign t i b = if b then set t i else clear t i
 
-let popcount_word w =
-  let rec go acc w = if w = 0 then acc else go (acc + 1) (w land (w - 1)) in
-  go 0 w
+let word_length t = Array.length t.words
+let unsafe_get_word t w = Array.unsafe_get t.words w
+let unsafe_set_word t w v = Array.unsafe_set t.words w v
 
-let count t = Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.words
+(* Branch-free SWAR popcount. Payloads are 62-bit (non-negative), so every
+   mask below fits in OCaml's 63-bit native int and the final byte-summing
+   multiply cannot overflow: after the 4-bit step each byte holds at most
+   8, so every byte of the product stays below 63 and the total (<= 62)
+   lands in bits 56..62. *)
+let popcount_word w =
+  let w = w - ((w lsr 1) land 0x1555555555555555) in
+  let w = (w land 0x3333333333333333) + ((w lsr 2) land 0x3333333333333333) in
+  let w = (w + (w lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  (w * 0x0101010101010101) lsr 56
+
+(* Count-trailing-zeros of the isolated lowest set bit via a 32-bit De
+   Bruijn multiply (OCaml ints are 63-bit, so the classic 64-bit constant
+   cannot be used directly; one halving branch keeps everything in
+   range). [low] must be a power of two. *)
+let ctz_table =
+  [| 0; 1; 28; 2; 29; 14; 24; 3; 30; 22; 20; 15; 25; 17; 4; 8; 31; 27; 13;
+     23; 21; 19; 16; 7; 26; 12; 18; 6; 11; 5; 10; 9 |]
+
+let ctz_low low =
+  if low land 0xFFFFFFFF <> 0 then
+    Array.unsafe_get ctz_table ((low * 0x077CB531 land 0xFFFFFFFF) lsr 27)
+  else
+    32
+    + Array.unsafe_get ctz_table
+        (((low lsr 32) * 0x077CB531 land 0xFFFFFFFF) lsr 27)
+
+let count t =
+  let acc = ref 0 in
+  for i = 0 to Array.length t.words - 1 do
+    acc := !acc + popcount_word (Array.unsafe_get t.words i)
+  done;
+  !acc
 
 let is_empty t = Array.for_all (fun w -> w = 0) t.words
 
 let same_len a b =
   if a.len <> b.len then invalid_arg "Bitvec: length mismatch"
 
-let equal a b = a.len = b.len && a.words = b.words
+(* Explicit word loop: polymorphic compare on the word arrays would walk
+   the same words but through the generic runtime path. *)
+let equal a b =
+  a.len = b.len
+  &&
+  let n = Array.length a.words in
+  let rec go i =
+    i >= n
+    || (Array.unsafe_get a.words i = Array.unsafe_get b.words i && go (i + 1))
+  in
+  go 0
+
+let compare a b =
+  let c = Int.compare a.len b.len in
+  if c <> 0 then c
+  else begin
+    let n = Array.length a.words in
+    let rec go i =
+      if i >= n then 0
+      else begin
+        let c =
+          Int.compare (Array.unsafe_get a.words i) (Array.unsafe_get b.words i)
+        in
+        if c <> 0 then c else go (i + 1)
+      end
+    in
+    go 0
+  end
+
+(* FNV-1a-style mix over (length, words); equal vectors (and hence equal
+   content_keys) hash identically. *)
+let hash t =
+  let h = ref (0x811C9DC5 lxor t.len) in
+  let mix v = h := (!h lxor v) * 0x01000193 land max_int in
+  for i = 0 to Array.length t.words - 1 do
+    let w = Array.unsafe_get t.words i in
+    mix (w land 0x7FFFFFFF);
+    mix (w lsr 31)
+  done;
+  !h land max_int
 
 let inter_count a b =
   same_len a b;
   let acc = ref 0 in
   for i = 0 to Array.length a.words - 1 do
-    acc := !acc + popcount_word (a.words.(i) land b.words.(i))
+    acc :=
+      !acc
+      + popcount_word (Array.unsafe_get a.words i land Array.unsafe_get b.words i)
   done;
   !acc
+
+let inter_count_upto ~limit a b =
+  same_len a b;
+  let n = Array.length a.words in
+  let acc = ref 0 and i = ref 0 in
+  while !acc < limit && !i < n do
+    acc :=
+      !acc
+      + popcount_word
+          (Array.unsafe_get a.words !i land Array.unsafe_get b.words !i);
+    incr i
+  done;
+  min !acc limit
+
+let inter_count_many a targets =
+  let counts = Array.make (Array.length targets) 0 in
+  let words = a.words in
+  let n = Array.length words in
+  for j = 0 to Array.length targets - 1 do
+    let b = Array.unsafe_get targets j in
+    same_len a b;
+    let acc = ref 0 in
+    for i = 0 to n - 1 do
+      acc :=
+        !acc
+        + popcount_word
+            (Array.unsafe_get words i land Array.unsafe_get b.words i)
+    done;
+    Array.unsafe_set counts j !acc
+  done;
+  counts
 
 let map2 op a b =
   same_len a b;
@@ -84,14 +194,10 @@ let subset a b =
 
 let iter_set t f =
   for wi = 0 to Array.length t.words - 1 do
-    let w = ref t.words.(wi) in
+    let w = ref (Array.unsafe_get t.words wi) in
     while !w <> 0 do
       let low = !w land - !w in
-      let bit =
-        let rec log2 acc v = if v = 1 then acc else log2 (acc + 1) (v lsr 1) in
-        log2 0 low
-      in
-      f ((wi * bits_per_word) + bit);
+      f ((wi * bits_per_word) + ctz_low low);
       w := !w land (!w - 1)
     done
   done
@@ -143,9 +249,7 @@ let nth_diff a b k =
         w := !w land (!w - 1);
         decr remaining
       done;
-      let low = !w land - !w in
-      let rec log2 acc v = if v = 1 then acc else log2 (acc + 1) (v lsr 1) in
-      result := (!wi * bits_per_word) + log2 0 low
+      result := (!wi * bits_per_word) + ctz_low (!w land - !w)
     end;
     incr wi
   done;
@@ -168,6 +272,90 @@ let content_key t =
     Bytes.set_int64_le bytes (8 * (i + 1)) (Int64.of_int t.words.(i))
   done;
   Bytes.unsafe_to_string bytes
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+(* Cache-blocked, word-major storage for a family of equal-length vectors:
+   rows are grouped into blocks of [block_size], and inside a block word
+   [w] of row [r] lives at [data.(w * rows_in_block + r)]. One pass over a
+   probe vector's words then scans a contiguous stripe per word, and
+   all-zero probe words skip whole stripes. *)
+let len_of (t : t) = t.len
+let words_of (t : t) = t.words
+
+module Blocked = struct
+  type vec = t
+
+  type t = {
+    len : int;
+    rows : int;
+    block_size : int;
+    blocks : int array array;  (* blocks.(b).(w * k + r), k rows in block *)
+  }
+
+  let block_count t = Array.length t.blocks
+  let rows t = t.rows
+  let block_size t = t.block_size
+
+  let rows_in_block t b =
+    min t.block_size (t.rows - (b * t.block_size))
+
+  let pack ?(block_size = 8) (vectors : vec array) =
+    if block_size < 1 then invalid_arg "Bitvec.Blocked.pack: block_size < 1";
+    let rows = Array.length vectors in
+    let len = if rows = 0 then 0 else len_of vectors.(0) in
+    Array.iter
+      (fun v ->
+        if len_of v <> len then
+          invalid_arg "Bitvec.Blocked.pack: length mismatch")
+      vectors;
+    let words = if rows = 0 then 0 else Array.length (words_of vectors.(0)) in
+    let block_count = (rows + block_size - 1) / block_size in
+    let blocks =
+      Array.init block_count (fun b ->
+          let base = b * block_size in
+          let k = min block_size (rows - base) in
+          let data = Array.make (max 1 (words * k)) 0 in
+          for r = 0 to k - 1 do
+            let src = words_of vectors.(base + r) in
+            for w = 0 to words - 1 do
+              data.((w * k) + r) <- Array.unsafe_get src w
+            done
+          done;
+          data)
+    in
+    { len; rows; block_size; blocks }
+
+  (* Intersection counts of [probe] against every row of block [b],
+     written into [dst.(0 .. k-1)]; returns [k]. One sweep of the probe's
+     words; a zero probe word skips its whole stripe. *)
+  let inter_counts_into t ~block probe dst =
+    if len_of probe <> t.len then
+      invalid_arg "Bitvec.Blocked.inter_counts_into: length mismatch";
+    let k = rows_in_block t block in
+    if Array.length dst < k then
+      invalid_arg "Bitvec.Blocked.inter_counts_into: dst too small";
+    let data = t.blocks.(block) in
+    Array.fill dst 0 k 0;
+    let pw = words_of probe in
+    for w = 0 to Array.length pw - 1 do
+      let a = Array.unsafe_get pw w in
+      if a <> 0 then begin
+        let base = w * k in
+        for r = 0 to k - 1 do
+          Array.unsafe_set dst r
+            (Array.unsafe_get dst r
+            + popcount_word (a land Array.unsafe_get data (base + r)))
+        done
+      end
+    done;
+    k
+end
 
 let pp ppf t =
   let first = ref true in

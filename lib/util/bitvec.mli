@@ -30,10 +30,46 @@ val count : t -> int
 (** Number of set bits. *)
 
 val equal : t -> t -> bool
+(** Structural equality by explicit word comparison (no polymorphic
+    compare). *)
+
+val compare : t -> t -> int
+(** Total order consistent with {!equal}: by length, then lexicographic
+    on the word arrays. *)
+
+val hash : t -> int
+(** Content hash; {!equal} vectors (equivalently, vectors with equal
+    {!content_key}s) hash identically. *)
+
+val unsafe_get : t -> int -> bool
+(** {!get} without the bounds check — the hot sparse-membership probe.
+    The index must be in [0 .. length - 1]. *)
+
+val word_length : t -> int
+(** Number of backing words ([ceil (length / 62)], at least 1). *)
+
+val unsafe_get_word : t -> int -> int
+(** Raw 62-bit payload word [w] (bits [62w .. 62w+61]). No bounds
+    check. *)
+
+val unsafe_set_word : t -> int -> int -> unit
+(** Overwrite payload word [w]. No bounds check; the caller must not set
+    bits at or above [length] (bit-parallel callers pass masks already
+    ANDed with the batch live mask). *)
 
 val inter_count : t -> t -> int
 (** [inter_count a b] is [count (inter a b)] without allocating. Lengths
     must agree. *)
+
+val inter_count_upto : limit:int -> t -> t -> int
+(** [min (inter_count a b) limit], sweeping only until the count reaches
+    [limit]. [intersects a b = (inter_count_upto ~limit:1 a b > 0)]. *)
+
+val inter_count_many : t -> t array -> int array
+(** [inter_count_many a targets] is
+    [Array.map (inter_count a) targets] in one call: the probe's words
+    stay hot in cache across the whole block of target sets. For the
+    word-major cache-blocked variant see {!Blocked}. *)
 
 val inter : t -> t -> t
 
@@ -86,3 +122,36 @@ val content_key : t -> string
 (** A compact byte string determined exactly by (length, contents); equal
     vectors give equal keys. Used to group faults with identical
     detection sets. *)
+
+module Tbl : Hashtbl.S with type key = t
+(** Hash tables keyed by vector {e content} ({!equal} + {!hash}), without
+    materializing a {!content_key} string per probe. *)
+
+(** Cache-blocked, word-major storage for a family of equal-length
+    vectors. Rows are grouped into blocks; within a block, word [w] of
+    every row is contiguous, so one pass over a probe vector's words
+    scans a short stripe per word and skips stripes whose probe word is
+    zero. This is the layout behind the worst-case analysis's batched
+    [M(g, f)] counting. *)
+module Blocked : sig
+  type vec := t
+  type t
+
+  val pack : ?block_size:int -> vec array -> t
+  (** Pack rows (all of one length) into blocks of [block_size]
+      (default 8). Row order is preserved: row [i] of the pack is
+      [vectors.(i)]. *)
+
+  val rows : t -> int
+  val block_size : t -> int
+  val block_count : t -> int
+
+  val rows_in_block : t -> int -> int
+  (** Rows in block [b]: [block_size] except possibly the last block. *)
+
+  val inter_counts_into : t -> block:int -> vec -> int array -> int
+  (** [inter_counts_into t ~block probe dst] stores
+      [inter_count probe row] for every row of the block into
+      [dst.(0 ..)] (rows in pack order) and returns the number of rows
+      written. [dst] must hold at least {!rows_in_block} entries. *)
+end

@@ -171,6 +171,124 @@ let test_write_atomic () =
       Alcotest.(check (list string)) "single file" [ "out.csv" ]
         (Array.to_list (Sys.readdir dir)))
 
+(* table cache *)
+
+module Table_cache = Ndetect_harness.Table_cache
+module Detection_table = Ndetect_core.Detection_table
+module Fault_sim = Ndetect_sim.Fault_sim
+module Bitvec = Ndetect_util.Bitvec
+
+let tables_identical a b =
+  Detection_table.target_count a = Detection_table.target_count b
+  && Detection_table.untargeted_count a = Detection_table.untargeted_count b
+  && Detection_table.universe a = Detection_table.universe b
+  && Detection_table.undetectable_target_count a
+     = Detection_table.undetectable_target_count b
+  && List.for_all
+       (fun fi ->
+         Bitvec.equal
+           (Detection_table.target_set a fi)
+           (Detection_table.target_set b fi)
+         && Detection_table.target_label a fi = Detection_table.target_label b fi)
+       (List.init (Detection_table.target_count a) Fun.id)
+  && List.for_all
+       (fun gj ->
+         Bitvec.equal
+           (Detection_table.untargeted_set a gj)
+           (Detection_table.untargeted_set b gj)
+         && Detection_table.untargeted_label a gj
+            = Detection_table.untargeted_label b gj)
+       (List.init (Detection_table.untargeted_count a) Fun.id)
+
+let test_table_cache_roundtrip () =
+  with_temp_dir (fun dir ->
+      let net = Registry.circuit (Option.get (Registry.find "lion")) in
+      let built = Detection_table.build net in
+      let key = Table_cache.key net in
+      Table_cache.store ~dir ~key built;
+      match Table_cache.load ~dir ~key net with
+      | None -> Alcotest.fail "expected a cache hit"
+      | Some restored ->
+        Alcotest.(check bool) "bit-identical tables" true
+          (tables_identical built restored);
+        (* The restored table feeds the analyses exactly like a built
+           one: worst-case distributions agree entry for entry. *)
+        let module Worst_case = Ndetect_core.Worst_case in
+        Alcotest.(check (array int)) "same nmin distribution"
+          (Worst_case.distribution (Worst_case.compute built))
+          (Worst_case.distribution (Worst_case.compute restored)))
+
+let test_table_cache_corruption () =
+  with_temp_dir (fun dir ->
+      let net = Registry.circuit (Option.get (Registry.find "lion")) in
+      let key = Table_cache.key net in
+      Table_cache.store ~dir ~key (Detection_table.build net);
+      let path = Filename.concat dir (key ^ ".tbl") in
+      (* Truncate mid-payload: the magic survives but the snapshot blob
+         is torn. Load must miss, not raise. *)
+      let raw = In_channel.with_open_bin path In_channel.input_all in
+      let oc = open_out_bin path in
+      output_string oc (String.sub raw 0 (String.length raw / 2));
+      close_out oc;
+      Alcotest.(check bool) "torn file is a miss" true
+        (Table_cache.load ~dir ~key net = None);
+      (* Arbitrary garbage (wrong magic). *)
+      let oc = open_out_bin path in
+      output_string oc "not a table at all";
+      close_out oc;
+      Alcotest.(check bool) "garbage is a miss" true
+        (Table_cache.load ~dir ~key net = None))
+
+let test_table_cache_version_mismatch () =
+  with_temp_dir (fun dir ->
+      let net = Registry.circuit (Option.get (Registry.find "lion")) in
+      let key = Table_cache.key net in
+      (* A file from a future format version: valid magic and header, but
+         the payload type is unknowable — it must be rejected from the
+         header alone, without interpreting the payload. *)
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf "ndetect-table\n";
+      Buffer.add_string buf
+        (Marshal.to_string (Table_cache.version + 1, key) []);
+      Buffer.add_string buf (Marshal.to_string () []);
+      Checkpoint.write_atomic
+        ~path:(Filename.concat dir (key ^ ".tbl"))
+        (Buffer.contents buf);
+      Alcotest.(check bool) "future version is a miss" true
+        (Table_cache.load ~dir ~key net = None))
+
+let test_table_cache_key_covers_params () =
+  let net = Registry.circuit (Option.get (Registry.find "lion")) in
+  let base = Table_cache.key net in
+  Alcotest.(check bool) "collapse in key" true
+    (base <> Table_cache.key ~collapse:false net);
+  Alcotest.(check bool) "model in key" true
+    (base
+    <> Table_cache.key
+         ~model:(Detection_table.Wired Ndetect_faults.Wired.Wired_and)
+         net);
+  let other = Registry.circuit (Option.get (Registry.find "mc")) in
+  Alcotest.(check bool) "netlist in key" true (base <> Table_cache.key other)
+
+let test_table_cache_warm_run_simulates_nothing () =
+  with_temp_dir (fun dir ->
+      let opts = { small_options with Driver.table_cache = Some dir } in
+      let reference = Driver.create small_options in
+      let cold = Driver.create opts in
+      let expected_t2 = Driver.table2_csv reference in
+      Alcotest.(check string) "cold cached run matches uncached" expected_t2
+        (Driver.table2_csv cold);
+      (* Warm run: every table restored from disk, zero fault
+         simulations, byte-identical output. *)
+      let before = Fault_sim.detection_sets_computed () in
+      let warm = Driver.create opts in
+      Alcotest.(check string) "warm run byte-identical" expected_t2
+        (Driver.table2_csv warm);
+      Alcotest.(check int) "zero fault simulations when warm" before
+        (Fault_sim.detection_sets_computed ());
+      Alcotest.(check int) "no failures" 0
+        (List.length (Driver.failures warm)))
+
 (* supervision: containment, timeout rows, kill-and-resume *)
 
 let test_crash_containment () =
@@ -337,6 +455,19 @@ let () =
           Alcotest.test_case "corruption tolerated" `Quick
             test_checkpoint_corruption;
           Alcotest.test_case "atomic writes" `Quick test_write_atomic;
+        ] );
+      ( "table-cache",
+        [
+          Alcotest.test_case "roundtrip bit-identical" `Quick
+            test_table_cache_roundtrip;
+          Alcotest.test_case "corruption tolerated" `Quick
+            test_table_cache_corruption;
+          Alcotest.test_case "version mismatch tolerated" `Quick
+            test_table_cache_version_mismatch;
+          Alcotest.test_case "key covers parameters" `Quick
+            test_table_cache_key_covers_params;
+          Alcotest.test_case "warm run simulates nothing" `Quick
+            test_table_cache_warm_run_simulates_nothing;
         ] );
       ( "supervision",
         [

@@ -77,6 +77,23 @@ let prop_bridge_sim_matches_naive =
                (Naive.bridge_detection_set net fault))
            (Bridge.enumerate net)))
 
+(* The grouped batch path (one shared cone propagation per
+   (victim, aggressor) direction) must agree fault-for-fault with the
+   independent single-fault simulations, which in turn match naive full
+   re-simulation above. *)
+let prop_bridge_batch_matches_singles =
+  QCheck.Test.make ~name:"bridge batch == per-fault simulation" ~count:25
+    Helpers.circuit_arbitrary
+    (Helpers.apply_circuit (fun net ->
+         let good = Good.compute net in
+         let faults = Bridge.enumerate net in
+         let batch = Fault_sim.bridge_detection_sets good faults in
+         Array.length batch = Array.length faults
+         && Array.for_all2
+              (fun set fault ->
+                Bitvec.equal set (Fault_sim.bridge_detection_set good fault))
+              batch faults))
+
 let test_example_detection_sets () =
   (* Table 1 of the paper, fault by fault. *)
   let net = Example.circuit () in
@@ -248,6 +265,7 @@ let () =
             test_naive_branch_fault_localized;
           QCheck_alcotest.to_alcotest prop_stuck_sim_matches_naive;
           QCheck_alcotest.to_alcotest prop_bridge_sim_matches_naive;
+          QCheck_alcotest.to_alcotest prop_bridge_batch_matches_singles;
         ] );
       ( "ternary",
         [

@@ -162,6 +162,96 @@ let test_length_mismatch () =
   Alcotest.check_raises "mismatch" (Invalid_argument "Bitvec: length mismatch")
     (fun () -> ignore (Bitvec.inter_count a b))
 
+(* Kernel properties: every fast path (SWAR popcount, De Bruijn ctz
+   iteration, early-exit and batched intersection counts, the blocked
+   word-major layout) against its naive list-based meaning. *)
+
+let prop_count_naive =
+  QCheck.Test.make ~name:"count = naive popcount" ~count:300 bitvec_gen
+    (fun (len, xs) ->
+      Bitvec.count (Bitvec.of_list len xs)
+      = List.length (List.sort_uniq Int.compare xs))
+
+let prop_iter_set_order =
+  QCheck.Test.make ~name:"iter_set enumerates sorted members" ~count:300
+    bitvec_gen (fun (len, xs) ->
+      Bitvec.to_list (Bitvec.of_list len xs)
+      = List.sort_uniq Int.compare xs)
+
+let prop_inter_count_upto =
+  QCheck.make
+    ~print:(fun ((len, a, b), limit) ->
+      Printf.sprintf "len=%d |a|=%d |b|=%d limit=%d" len (List.length a)
+        (List.length b) limit)
+    QCheck.Gen.(pair pair_gen (int_range 0 50))
+  |> fun arb ->
+  QCheck.Test.make ~name:"inter_count_upto = min(count, limit)" ~count:300 arb
+    (fun ((len, a, b), limit) ->
+      let va = Bitvec.of_list len a and vb = Bitvec.of_list len b in
+      Bitvec.inter_count_upto ~limit va vb
+      = min (Bitvec.inter_count va vb) limit)
+
+let family_gen =
+  QCheck.make
+    ~print:(fun (len, probe, rows) ->
+      Printf.sprintf "len=%d |probe|=%d rows=%d" len (List.length probe)
+        (List.length rows))
+    QCheck.Gen.(
+      int_range 1 300 >>= fun len ->
+      let idx = list_size (int_range 0 40) (int_range 0 (len - 1)) in
+      idx >>= fun probe ->
+      list_size (int_range 0 30) idx >|= fun rows -> (len, probe, rows))
+
+let prop_inter_count_many =
+  QCheck.Test.make ~name:"inter_count_many = map inter_count" ~count:200
+    family_gen (fun (len, probe, rows) ->
+      let p = Bitvec.of_list len probe in
+      let targets = Array.of_list (List.map (Bitvec.of_list len) rows) in
+      Bitvec.inter_count_many p targets
+      = Array.map (Bitvec.inter_count p) targets)
+
+let prop_blocked_inter_counts =
+  QCheck.make
+    ~print:(fun ((len, _, rows), bs) ->
+      Printf.sprintf "len=%d rows=%d block_size=%d" len (List.length rows) bs)
+    QCheck.Gen.(pair (QCheck.gen family_gen) (int_range 1 9))
+  |> fun arb ->
+  QCheck.Test.make ~name:"Blocked.inter_counts_into = per-row inter_count"
+    ~count:200 arb (fun ((len, probe, rows), block_size) ->
+      let p = Bitvec.of_list len probe in
+      let vecs = Array.of_list (List.map (Bitvec.of_list len) rows) in
+      let packed = Bitvec.Blocked.pack ~block_size vecs in
+      let got = Array.make (Array.length vecs) (-1) in
+      let dst = Array.make block_size 0 in
+      for b = 0 to Bitvec.Blocked.block_count packed - 1 do
+        let k = Bitvec.Blocked.inter_counts_into packed ~block:b p dst in
+        Array.blit dst 0 got (b * block_size) k
+      done;
+      Bitvec.Blocked.rows packed = Array.length vecs
+      && got = Array.map (Bitvec.inter_count p) vecs)
+
+let prop_equal_compare_hash =
+  QCheck.make
+    ~print:(fun ((l1, x1), (l2, x2)) ->
+      Printf.sprintf "len=%d/%d |a|=%d |b|=%d" l1 l2 (List.length x1)
+        (List.length x2))
+    QCheck.Gen.(pair (QCheck.gen bitvec_gen) (QCheck.gen bitvec_gen))
+  |> fun arb ->
+  QCheck.Test.make ~name:"equal/compare/hash/content_key consistent" ~count:300
+    arb (fun ((l1, x1), (l2, x2)) ->
+      let a = Bitvec.of_list l1 x1 and b = Bitvec.of_list l2 x2 in
+      let eq = Bitvec.equal a b in
+      eq = (Bitvec.compare a b = 0)
+      && eq = (Bitvec.content_key a = Bitvec.content_key b)
+      && ((not eq) || Bitvec.hash a = Bitvec.hash b))
+
+let prop_equal_reflexive =
+  QCheck.Test.make ~name:"equal on copies" ~count:200 bitvec_gen
+    (fun (len, xs) ->
+      let a = Bitvec.of_list len xs in
+      let b = Bitvec.copy a in
+      Bitvec.equal a b && Bitvec.compare a b = 0 && Bitvec.hash a = Bitvec.hash b)
+
 module Parallel = Ndetect_util.Parallel
 
 let test_parallel_matches_sequential () =
@@ -290,6 +380,16 @@ let () =
           QCheck_alcotest.to_alcotest prop_diff_and_union;
           QCheck_alcotest.to_alcotest prop_nth_diff;
           QCheck_alcotest.to_alcotest prop_nth_set;
+        ] );
+      ( "bitvec kernels",
+        [
+          QCheck_alcotest.to_alcotest prop_count_naive;
+          QCheck_alcotest.to_alcotest prop_iter_set_order;
+          QCheck_alcotest.to_alcotest prop_inter_count_upto;
+          QCheck_alcotest.to_alcotest prop_inter_count_many;
+          QCheck_alcotest.to_alcotest prop_blocked_inter_counts;
+          QCheck_alcotest.to_alcotest prop_equal_compare_hash;
+          QCheck_alcotest.to_alcotest prop_equal_reflexive;
         ] );
       ( "parallel",
         [
