@@ -457,9 +457,9 @@ let () =
   in
   let quota_ms = Option.value quota_ms ~default:500 in
   let options =
-    match Driver.parse_args driver_args with
-    | options -> options
-    | exception Failure message -> bad_usage message
+    match Driver.parse_args_result driver_args with
+    | Ok options -> options
+    | Error message -> bad_usage message
   in
   if not no_repro then begin
     print_endline "=== Reproduction: paper tables and figures ===";

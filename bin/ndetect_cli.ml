@@ -556,8 +556,7 @@ let tables_run tier k k2 seed only quiet =
       exit 2
   in
   Driver.run_all
-    (Driver.create
-       { Driver.default_options with Driver.tier; k; k2; seed; only; quiet })
+    (Driver.create (Driver.Options.make ~tier ~k ~k2 ~seed ~only ~quiet ()))
 
 let tables_cmd =
   let tier =

@@ -4,6 +4,7 @@
                     [--seed N] [--only tableN|figure2] [--quiet]
                     [--csv DIR] [--checkpoint DIR] [--resume]
                     [--timeout-per-circuit SECS] [--inject SPEC]
+                    [--trace FILE] [--metrics]
 
    Defaults are sized so a medium-tier run finishes in about a minute;
    pass --tier large --k 10000 --k2 1000 for the paper-scale experiment
@@ -16,11 +17,11 @@
 module Driver = Ndetect_harness.Driver
 
 let () =
-  match Driver.parse_args (List.tl (Array.to_list Sys.argv)) with
-  | exception Failure message ->
+  match Driver.parse_args_result (List.tl (Array.to_list Sys.argv)) with
+  | Error message ->
     prerr_endline message;
     exit 2
-  | options -> (
+  | Ok options -> (
     match Driver.create options with
     | exception Failure message ->
       prerr_endline message;

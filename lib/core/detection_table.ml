@@ -5,6 +5,11 @@ module Bridge = Ndetect_faults.Bridge
 module Wired = Ndetect_faults.Wired
 module Good = Ndetect_sim.Good
 module Fault_sim = Ndetect_sim.Fault_sim
+module Telemetry = Ndetect_util.Telemetry
+
+let c_builds = Telemetry.Counter.create "table.builds"
+let c_dedup_hits = Telemetry.Counter.create "table.dedup_hits"
+let c_restores = Telemetry.Counter.create "table.restores"
 
 type untargeted_model = Four_way | Wired of Wired.semantics
 
@@ -45,11 +50,19 @@ and target_layout = {
 
 let build ?(keep_undetectable_targets = false) ?(collapse = true)
     ?(model = Four_way) ?(cancel = Ndetect_util.Cancel.none) net =
+  Telemetry.Counter.incr c_builds;
+  Telemetry.with_span "table.build"
+    ~args:[ ("inputs", string_of_int (Netlist.input_count net)) ]
+  @@ fun () ->
   let good = Good.compute net in
   Ndetect_util.Cancel.check_deadline cancel;
   let universe = Good.universe good in
   let stuck_list = if collapse then Stuck.collapse net else Stuck.all net in
-  let stuck_sets = Fault_sim.stuck_detection_sets ~cancel good stuck_list in
+  let stuck_sets =
+    Telemetry.with_span "table.sim.targets"
+      ~args:[ ("faults", string_of_int (Array.length stuck_list)) ]
+      (fun () -> Fault_sim.stuck_detection_sets ~cancel good stuck_list)
+  in
   let keep_target i =
     keep_undetectable_targets || not (Bitvec.is_empty stuck_sets.(i))
   in
@@ -66,7 +79,9 @@ let build ?(keep_undetectable_targets = false) ?(collapse = true)
     | Four_way ->
       let bridges = Bridge.enumerate net in
       ( Array.map (fun b -> Bridge_fault b) bridges,
-        Fault_sim.bridge_detection_sets ~cancel good bridges,
+        Telemetry.with_span "table.sim.untargeted"
+          ~args:[ ("faults", string_of_int (Array.length bridges)) ]
+          (fun () -> Fault_sim.bridge_detection_sets ~cancel good bridges),
         fun f ->
           match f with
           | Bridge_fault b -> Bridge.to_string net b
@@ -74,7 +89,9 @@ let build ?(keep_undetectable_targets = false) ?(collapse = true)
     | Wired semantics ->
       let wired = Wired.enumerate net semantics in
       ( Array.map (fun w -> Wired_fault w) wired,
-        Fault_sim.wired_detection_sets ~cancel good wired,
+        Telemetry.with_span "table.sim.untargeted"
+          ~args:[ ("faults", string_of_int (Array.length wired)) ]
+          (fun () -> Fault_sim.wired_detection_sets ~cancel good wired),
         fun f ->
           match f with
           | Bridge_fault b -> Bridge.to_string net b
@@ -94,7 +111,9 @@ let build ?(keep_undetectable_targets = false) ?(collapse = true)
     let canon : Bitvec.t Bitvec.Tbl.t = Bitvec.Tbl.create 1024 in
     fun set ->
       match Bitvec.Tbl.find_opt canon set with
-      | Some c -> c
+      | Some c ->
+        Telemetry.Counter.incr c_dedup_hits;
+        c
       | None ->
         Bitvec.Tbl.replace canon set set;
         set
@@ -261,6 +280,7 @@ let snapshot t =
   }
 
 let restore net snap =
+  Telemetry.Counter.incr c_restores;
   let good = Good.compute net in
   if Good.universe good <> snap.snap_universe then
     invalid_arg "Detection_table.restore: universe mismatch";

@@ -1,8 +1,14 @@
 module Bitvec = Ndetect_util.Bitvec
 module Rng = Ndetect_util.Rng
 module Parallel = Ndetect_util.Parallel
+module Telemetry = Ndetect_util.Telemetry
 
 type mode = Definition1 | Definition2 | Multi_output
+
+let mode_name = function
+  | Definition1 -> "definition1"
+  | Definition2 -> "definition2"
+  | Multi_output -> "multi_output"
 
 type config = { seed : int; set_count : int; nmax : int; mode : mode }
 
@@ -219,6 +225,14 @@ let run ?(cancel = Ndetect_util.Cancel.none) ?domains ?report_faults table
     config =
   if config.set_count < 1 || config.nmax < 1 then
     invalid_arg "Procedure1.run: bad config";
+  Telemetry.with_span "procedure1.run"
+    ~args:
+      [
+        ("sets", string_of_int config.set_count);
+        ("nmax", string_of_int config.nmax);
+        ("mode", mode_name config.mode);
+      ]
+  @@ fun () ->
   let universe = Detection_table.universe table in
   let f_count = Detection_table.target_count table in
   let report =
@@ -280,7 +294,12 @@ let run ?(cancel = Ndetect_util.Cancel.none) ?domains ?report_faults table
     Parallel.map_array ~domains
       (fun (lo, hi) ->
         if lo > hi then [||]
-        else begin
+        else
+          Telemetry.with_span "procedure1.chunk"
+            ~args:
+              [ ("lo", string_of_int lo); ("hi", string_of_int hi) ]
+          @@ fun () ->
+          begin
           (* One Definition-2 oracle per chunk: its memo tables are
              plain Hashtbls, so they must not cross domains; results are
              pure, so per-chunk instances do not affect the outcome. *)

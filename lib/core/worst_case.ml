@@ -1,4 +1,12 @@
 module Bitvec = Ndetect_util.Bitvec
+module Telemetry = Ndetect_util.Telemetry
+
+(* Kernel calls = intersection sweeps actually performed (sparse row
+   probes plus dense block popcounts); early exits = scans cut short by
+   the N-ascending bound. Both are per-unique-detection-set totals, so
+   they are identical for every domain count. *)
+let c_kernel_calls = Telemetry.Counter.create "worst.kernel_calls"
+let c_early_exits = Telemetry.Counter.create "worst.early_exits"
 
 type t = {
   table : Detection_table.t;
@@ -21,6 +29,9 @@ let sparse_threshold = 64
 
 let compute ?(cancel = Ndetect_util.Cancel.none) table =
   let g_count = Detection_table.untargeted_count table in
+  Telemetry.with_span "worst.compute"
+    ~args:[ ("untargeted", string_of_int g_count) ]
+  @@ fun () ->
   let layout = Detection_table.target_layout table in
   let rows = layout.Detection_table.rows in
   let row_n = layout.Detection_table.row_n in
@@ -38,10 +49,15 @@ let compute ?(cancel = Ndetect_util.Cancel.none) table =
     if tg_count <= sparse_threshold then begin
       (* Sparse path: membership probes, row-granular early exit. *)
       let vectors = Bitvec.to_list tg in
+      let kernels = ref 0 in
       let rec scan row best best_witness =
         if row >= rows then (best, best_witness)
-        else if row_n.(row) - tg_count + 1 >= best then (best, best_witness)
+        else if row_n.(row) - tg_count + 1 >= best then begin
+          Telemetry.Counter.incr c_early_exits;
+          (best, best_witness)
+        end
         else begin
+          incr kernels;
           let set = Detection_table.target_set table rep.(row) in
           let m =
             List.fold_left
@@ -56,7 +72,9 @@ let compute ?(cancel = Ndetect_util.Cancel.none) table =
           scan (row + 1) best best_witness
         end
       in
-      scan 0 unbounded (-1)
+      let result = scan 0 unbounded (-1) in
+      Telemetry.Counter.add c_kernel_calls !kernels;
+      result
     end
     else begin
       (* Dense path: one word-major sweep per block of rows, early exit
@@ -65,10 +83,15 @@ let compute ?(cancel = Ndetect_util.Cancel.none) table =
       let counts = Array.make block_size 0 in
       let best = ref unbounded and best_witness = ref (-1) in
       let block = ref 0 and stop = ref false in
+      let kernels = ref 0 in
       while (not !stop) && !block < block_count do
         let base = !block * block_size in
-        if row_n.(base) - tg_count + 1 >= !best then stop := true
+        if row_n.(base) - tg_count + 1 >= !best then begin
+          Telemetry.Counter.incr c_early_exits;
+          stop := true
+        end
         else begin
+          incr kernels;
           let k = Bitvec.Blocked.inter_counts_into blocked ~block:!block tg counts in
           for r = 0 to k - 1 do
             let m = counts.(r) in
@@ -80,6 +103,7 @@ let compute ?(cancel = Ndetect_util.Cancel.none) table =
           incr block
         end
       done;
+      Telemetry.Counter.add c_kernel_calls !kernels;
       (!best, !best_witness)
     end
   in

@@ -8,6 +8,7 @@ module Example = Ndetect_suite.Example
 module Paper_tables = Ndetect_report.Paper_tables
 module Bitvec = Ndetect_util.Bitvec
 module Supervise = Ndetect_util.Supervise
+module Telemetry = Ndetect_util.Telemetry
 
 type options = {
   tier : Registry.tier;
@@ -23,6 +24,8 @@ type options = {
   inject : string option;
   domains : int option;
   table_cache : string option;
+  trace : string option;
+  metrics : bool;
 }
 
 let default_options =
@@ -40,21 +43,57 @@ let default_options =
     inject = None;
     domains = None;
     table_cache = None;
+    trace = None;
+    metrics = false;
   }
+
+module Options = struct
+  type nonrec t = options
+
+  let make ?(tier = default_options.tier) ?(k = default_options.k)
+      ?(k2 = default_options.k2) ?(seed = default_options.seed)
+      ?(only = default_options.only) ?(quiet = default_options.quiet)
+      ?csv_dir ?checkpoint_dir ?(resume = default_options.resume)
+      ?timeout_per_circuit ?inject ?domains ?table_cache ?trace
+      ?(metrics = default_options.metrics) () =
+    {
+      tier;
+      k;
+      k2;
+      seed;
+      only;
+      quiet;
+      csv_dir;
+      checkpoint_dir;
+      resume;
+      timeout_per_circuit;
+      inject;
+      domains;
+      table_cache;
+      trace;
+      metrics;
+    }
+end
 
 let usage =
   "usage: reproduce [--tier small|medium|large] [--k N] [--k2 N] [--seed N]\n\
   \                 [--only table1..table6|figure2|all] [--quiet] [--csv DIR]\n\
   \                 [--checkpoint DIR] [--resume] [--timeout-per-circuit SECS]\n\
-  \                 [--inject SPEC] [--domains N] [--table-cache DIR]"
+  \                 [--inject SPEC] [--domains N] [--table-cache DIR]\n\
+  \                 [--trace FILE] [--metrics]"
 
 let value_flags =
   [
     "--tier"; "--k"; "--k2"; "--seed"; "--only"; "--csv"; "--checkpoint";
     "--timeout-per-circuit"; "--inject"; "--domains"; "--table-cache";
+    "--trace";
   ]
 
-let parse_args args =
+(* The flag grammar is written with [failwith] (every arm wants to abort
+   with a message); [parse_args_result] catches that at the boundary and
+   is the primary entry point — the raising [parse_args] is a thin
+   compatibility layer on top. *)
+let parse_args_exn args =
   let int_value flag v =
     match int_of_string_opt v with
     | Some n -> n
@@ -114,6 +153,8 @@ let parse_args args =
              usage))
     | "--table-cache" :: dir :: rest ->
       go { opts with table_cache = Some dir } rest
+    | "--trace" :: file :: rest -> go { opts with trace = Some file } rest
+    | "--metrics" :: rest -> go { opts with metrics = true } rest
     | [ flag ] when List.mem flag value_flags ->
       failwith (Printf.sprintf "%s requires a value\n%s" flag usage)
     | arg :: _ -> failwith (Printf.sprintf "unknown argument %S\n%s" arg usage)
@@ -122,6 +163,16 @@ let parse_args args =
   if opts.resume && opts.checkpoint_dir = None then
     failwith (Printf.sprintf "--resume requires --checkpoint DIR\n%s" usage);
   opts
+
+let parse_args_result args =
+  match parse_args_exn args with
+  | opts -> Ok opts
+  | exception Failure message -> Error message
+
+let parse_args args =
+  match parse_args_result args with
+  | Ok opts -> opts
+  | Error message -> failwith message
 
 (* Per-circuit execution state. [Summarized] means only the worst-case
    summary was recovered from a checkpoint; the full analysis is
@@ -137,6 +188,9 @@ type t = {
   checkpoint : Checkpoint.t option;
   mutable failures : (string * Supervise.failure) list;  (* newest first *)
   mutable example : Analysis.t option;
+  mutable trace_sink : Telemetry.Jsonl.t option;
+  mutable memory_sink : Telemetry.Memory.t option;
+  mutable unit_metrics : (string * (string * int) list) list;  (* newest first *)
 }
 
 let tier_name = function
@@ -173,15 +227,36 @@ let create options =
       if not (Sys.is_directory dir) then
         failwith (Printf.sprintf "csv path %s is not a directory" dir))
     options.csv_dir;
+  (* Sinks are attached for the driver's lifetime and released by
+     {!finish} (run_all calls it): --trace streams every span to the
+     JSONL file, --metrics additionally keeps the span tree in memory
+     for the final profile table. *)
+  let trace_sink =
+    Option.map (fun path -> Telemetry.Jsonl.attach ~path) options.trace
+  in
+  let memory_sink =
+    if options.metrics then Some (Telemetry.Memory.attach ()) else None
+  in
   {
     options;
     statuses = Hashtbl.create 64;
     checkpoint;
     failures = [];
     example = None;
+    trace_sink;
+    memory_sink;
+    unit_metrics = [];
   }
 
 let failures t = List.rev t.failures
+
+let unit_metrics t = List.rev t.unit_metrics
+
+let finish t =
+  Option.iter Telemetry.Jsonl.detach t.trace_sink;
+  t.trace_sink <- None;
+  Option.iter Telemetry.Memory.detach t.memory_sink;
+  t.memory_sink <- None
 
 let timed t label f =
   if t.options.quiet then f ()
@@ -206,12 +281,23 @@ let store_ck t key payload =
    deterministic injection at [site], bounded retry for I/O errors, and
    the failure recorded for the final exit status. *)
 let supervised t ~label ~site f =
+  let before = if t.options.metrics then Telemetry.counters () else [] in
   let result =
     Supervise.run ?deadline:t.options.timeout_per_circuit ~retries:2
       (fun cancel ->
-        Supervise.inject ~cancel site;
-        f cancel)
+        (* The span lives inside the supervised attempt so a crash or
+           timeout unwinds through it and the failure is annotated with
+           the open span stack. *)
+        Telemetry.with_span label
+          ~args:[ ("site", site) ]
+          (fun () ->
+            Supervise.inject ~cancel site;
+            f cancel))
   in
+  if t.options.metrics then
+    t.unit_metrics <-
+      (label, Telemetry.delta ~before ~after:(Telemetry.counters ()))
+      :: t.unit_metrics;
   (match result with
   | Error failure -> t.failures <- (label, failure) :: t.failures
   | Ok _ -> ());
@@ -551,6 +637,27 @@ let cached_section t ~key f =
     if t.failures = [] then store_ck t key section;
     section
 
+(* The --metrics report: per-supervised-unit counter deltas (only the
+   counters the unit moved), the process-wide totals, and — from the
+   in-memory sink — the aggregated span profile. *)
+let print_metrics t =
+  print_string "== Telemetry ==\n\n";
+  List.iter
+    (fun (label, delta) ->
+      Printf.printf "%s:\n" label;
+      if delta = [] then print_string "  (no counter activity)\n"
+      else
+        List.iter (fun (name, v) -> Printf.printf "  %-28s %d\n" name v) delta)
+    (unit_metrics t);
+  print_string "totals:\n";
+  List.iter
+    (fun (name, v) -> Printf.printf "  %-28s %d\n" name v)
+    (Telemetry.counters ());
+  Option.iter
+    (fun sink -> Printf.printf "\n%s" (Telemetry.Memory.render sink))
+    t.memory_sink;
+  flush stdout
+
 let run_all t =
   let wants what = t.options.only = "all" || t.options.only = what in
   let emit title (text, csv) =
@@ -617,6 +724,8 @@ let run_all t =
              else Some ("table6.csv", Paper_tables.table6_csv rows)
            in
            (text, csv)));
+  if t.options.metrics then print_metrics t;
+  finish t;
   if failures t <> [] then begin
     Printf.eprintf "%d supervised unit(s) failed:\n" (List.length (failures t));
     List.iter

@@ -51,20 +51,59 @@ type options = {
           simulation. Tables are keyed by netlist content, so — like
           [domains] — the cache never changes any result and is excluded
           from the checkpoint stamp. *)
+  trace : string option;
+      (** When set, every {!Ndetect_util.Telemetry} span of the run is
+          streamed to this file as JSONL (schema ["ndetect-trace/1"]).
+          Pure observability: never changes any result. *)
+  metrics : bool;
+      (** Print a telemetry report after [run_all]: per-supervised-unit
+          counter deltas, process-wide totals and the aggregated span
+          profile. Pure observability, like [trace]. *)
 }
 
 val default_options : options
 (** Medium tier, [k = 1000], [k2 = 200], [seed = 1], everything; no
-    checkpointing, no timeout, no injection. *)
+    checkpointing, no timeout, no injection, no telemetry. *)
 
-val parse_args : string list -> options
+(** Smart constructor: build an {!options} value by overriding only the
+    fields you care about, robust to future field additions (unlike a
+    record literal, which every new field breaks). *)
+module Options : sig
+  type t = options
+
+  val make :
+    ?tier:Registry.tier ->
+    ?k:int ->
+    ?k2:int ->
+    ?seed:int ->
+    ?only:string ->
+    ?quiet:bool ->
+    ?csv_dir:string ->
+    ?checkpoint_dir:string ->
+    ?resume:bool ->
+    ?timeout_per_circuit:float ->
+    ?inject:string ->
+    ?domains:int ->
+    ?table_cache:string ->
+    ?trace:string ->
+    ?metrics:bool ->
+    unit ->
+    t
+  (** Every omitted argument takes its {!default_options} value. *)
+end
+
+val parse_args_result : string list -> (options, string) result
 (** Parse [--tier small|medium|large], [--k N], [--k2 N], [--seed N],
     [--only WHAT], [--quiet], [--csv DIR], [--checkpoint DIR],
     [--resume], [--timeout-per-circuit SECS], [--inject SPEC],
-    [--domains N], [--table-cache DIR]. Raises [Failure] with a message
-    naming the offending
-    flag (and the usage string) on malformed values, missing values, or
-    unknown arguments. *)
+    [--domains N], [--table-cache DIR], [--trace FILE], [--metrics].
+    [Error message] names the offending flag (and includes the usage
+    string) on malformed values, missing values, or unknown
+    arguments. *)
+
+val parse_args : string list -> options
+(** {!parse_args_result}, raising [Failure] instead of returning
+    [Error]. Prefer the result form in new code. *)
 
 val usage : string
 (** The usage string appended to [parse_args] error messages. *)
@@ -81,6 +120,17 @@ val failures : t -> (string * Supervise.failure) list
 (** Supervised units that failed so far, in execution order, labelled
     ["analyze CIRCUIT"] / ["procedure1 CIRCUIT"] / .... Empty after a
     fully clean run; [bin/reproduce] exits 3 when non-empty. *)
+
+val unit_metrics : t -> (string * (string * int) list) list
+(** With [metrics] set: per supervised unit (execution order), the
+    telemetry counters that unit moved ({!Ndetect_util.Telemetry.delta}
+    of the registry across the unit). Empty otherwise. *)
+
+val finish : t -> unit
+(** Detach the driver's telemetry sinks: flushes and closes the [trace]
+    JSONL file (writing its final counters record) and releases the
+    in-memory profile. Idempotent; [run_all] calls it. Only needed
+    directly when using the per-table entry points below. *)
 
 val analysis_of : t -> Registry.entry -> Analysis.t
 (** Analyze a suite circuit (cached). Raises [Failure] if the circuit's

@@ -2,6 +2,7 @@ module Detection_table = Ndetect_core.Detection_table
 module Netlist = Ndetect_circuit.Netlist
 module Gate = Ndetect_circuit.Gate
 module Wired = Ndetect_faults.Wired
+module Telemetry = Ndetect_util.Telemetry
 
 (* On-disk format (one file per table, named [key ^ ".tbl"]):
 
@@ -69,10 +70,15 @@ let key ?(keep_undetectable_targets = false) ?(collapse = true)
 
 let path ~dir ~key = Filename.concat dir (key ^ ".tbl")
 
-let hit_count = Atomic.make 0
-let miss_count = Atomic.make 0
-let hits () = Atomic.get hit_count
-let misses () = Atomic.get miss_count
+(* Outcome accounting lives in the Telemetry registry; [hits]/[misses]
+   stay as thin accessors for existing callers. "table_cache.corrupt"
+   counts the misses where a cache file existed but failed validation
+   (truncation, corruption, version or key mismatch, bad snapshot). *)
+let c_hits = Telemetry.Counter.create "table_cache.hits"
+let c_misses = Telemetry.Counter.create "table_cache.misses"
+let c_corrupt = Telemetry.Counter.create "table_cache.corrupt"
+let hits () = Telemetry.Counter.value c_hits
+let misses () = Telemetry.Counter.value c_misses
 
 let store ~dir ~key table =
   Checkpoint.mkdir_recursive dir;
@@ -89,9 +95,11 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let load ~dir ~key net =
+  let file = path ~dir ~key in
+  let existed = Sys.file_exists file in
   let result =
     try
-      let raw = read_file (path ~dir ~key) in
+      let raw = read_file file in
       let mlen = String.length magic in
       if String.length raw < mlen || String.sub raw 0 mlen <> magic then None
       else begin
@@ -111,12 +119,15 @@ let load ~dir ~key net =
     with _ -> None
   in
   (match result with
-  | Some _ -> ignore (Atomic.fetch_and_add hit_count 1)
-  | None -> ignore (Atomic.fetch_and_add miss_count 1));
+  | Some _ -> Telemetry.Counter.incr c_hits
+  | None ->
+    Telemetry.Counter.incr c_misses;
+    if existed then Telemetry.Counter.incr c_corrupt);
   result
 
 let table ~dir ?keep_undetectable_targets ?collapse ?model
     ?(cancel = Ndetect_util.Cancel.none) net =
+  Telemetry.with_span "table_cache.lookup" @@ fun () ->
   let key = key ?keep_undetectable_targets ?collapse ?model net in
   match load ~dir ~key net with
   | Some table -> table

@@ -54,4 +54,8 @@ val load : dir:string -> key:string -> Netlist.t -> Detection_table.t option
 val hits : unit -> int
 
 val misses : unit -> int
-(** Process-wide {!load} outcome counters, for benches and tests. *)
+(** Process-wide {!load} outcome counters, for benches and tests. Thin
+    accessors over the {!Ndetect_util.Telemetry} counters
+    ["table_cache.hits"] and ["table_cache.misses"]; the companion
+    ["table_cache.corrupt"] counter (no accessor) counts the subset of
+    misses where a cache file existed but failed validation. *)

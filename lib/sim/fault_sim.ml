@@ -119,12 +119,20 @@ let cached ~key build =
     Hashtbl.replace tbl key cone;
     cone
 
-(* Process-wide count of full detection-set simulations. Tests and the
-   harness's table cache use it to prove that a warm cache run performs
-   no fault simulation at all. *)
-let sets_computed = Atomic.make 0
-let detection_sets_computed () = Atomic.get sets_computed
-let note_sets n = ignore (Atomic.fetch_and_add sets_computed n)
+(* Work accounting lives in the Telemetry registry (one atomic add per
+   fault or group, never per inner loop). "sim.detection_sets" is the
+   counter the table-cache tests hold flat across a warm run;
+   "sim.cone_propagations" counts per-batch propagation passes and
+   "sim.bridge_groups" the grouped (victim, aggressor) simulations.
+   All three count deterministic work, so their totals are identical
+   for every domain count. *)
+module Telemetry = Ndetect_util.Telemetry
+
+let c_sets = Telemetry.Counter.create "sim.detection_sets"
+let c_propagations = Telemetry.Counter.create "sim.cone_propagations"
+let c_bridge_groups = Telemetry.Counter.create "sim.bridge_groups"
+let detection_sets_computed () = Telemetry.Counter.value c_sets
+let note_sets n = Telemetry.Counter.add c_sets n
 
 let cone_for good seed =
   cached
@@ -201,6 +209,7 @@ let stuck_seed good fault =
 
 let detection_set_of_seed good (seed, forced) =
   note_sets 1;
+  Telemetry.Counter.add c_propagations (Good.batch_count good);
   let cone = cone_for good seed in
   Good.detection_mask_to_set good (fun ~batch ->
       propagate good cone ~batch ~seed_value:(forced ~batch))
@@ -245,6 +254,8 @@ let stuck_detection_sets ?(cancel = Ndetect_util.Cancel.none) good faults =
 let bridge_group_sets good (faults : Bridge.t array) members =
   let k = Array.length members in
   note_sets k;
+  Telemetry.Counter.incr c_bridge_groups;
+  let propagated = ref 0 in
   let first = faults.(members.(0)) in
   let victim = first.Bridge.victim and aggressor = first.Bridge.aggressor in
   let cone = cone_for good victim in
@@ -266,6 +277,7 @@ let bridge_group_sets good (faults : Bridge.t array) members =
       union_act := !union_act lor act
     done;
     if !union_act <> Word.zeroes then begin
+      incr propagated;
       let d =
         propagate good cone ~batch ~seed_value:(victim_good lxor !union_act)
       in
@@ -276,6 +288,7 @@ let bridge_group_sets good (faults : Bridge.t array) members =
         done
     end
   done;
+  Telemetry.Counter.add c_propagations !propagated;
   sets
 
 let bridge_detection_sets ?(cancel = Ndetect_util.Cancel.none) good faults =
@@ -317,6 +330,7 @@ let bridge_detection_sets ?(cancel = Ndetect_util.Cancel.none) good faults =
 
 let wired_detection_set good (fault : Ndetect_faults.Wired.t) =
   note_sets 1;
+  Telemetry.Counter.add c_propagations (Good.batch_count good);
   let cone = cone2_for good fault.a fault.b in
   Good.detection_mask_to_set good (fun ~batch ->
       let live = Good.live_mask good ~batch in
@@ -346,6 +360,7 @@ let wired_detection_sets ?(cancel = Ndetect_util.Cancel.none) good faults =
    masks are collected instead of ORed. *)
 let stuck_detection_by_output good fault =
   note_sets 1;
+  Telemetry.Counter.add c_propagations (Good.batch_count good);
   let net = Good.net good in
   let outputs = Netlist.outputs net in
   let seed, forced = stuck_seed good fault in

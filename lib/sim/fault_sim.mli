@@ -50,9 +50,26 @@ val stuck_detection_by_output : Good.t -> Stuck.t -> Bitvec.t array
     Feeds the multi-output-propagation detection counting (the paper's
     reference [6]). *)
 
+(** {2 Work accounting}
+
+    Simulation work is counted in the {!Ndetect_util.Telemetry}
+    registry (always on; one atomic add per fault or group):
+
+    - ["sim.detection_sets"] — full detection-set simulations (stuck,
+      bridge, wired and per-output variants).
+    - ["sim.cone_propagations"] — per-batch cone propagation passes
+      handed to the kernel (a pass may still short-circuit when the
+      seed is not activated in that batch).
+    - ["sim.bridge_groups"] — grouped (victim, aggressor) bridge
+      simulations.
+
+    All three count deterministic work, so totals are identical for
+    every domain count. *)
+
 val detection_sets_computed : unit -> int
-(** Process-wide count of full detection-set fault simulations performed
-    so far (stuck, bridge, wired, and per-output variants). Monotone;
-    sample it before and after an operation to count the simulations it
-    triggered. The table-cache tests use it to prove a warm cache run
-    simulates nothing. *)
+(** Deprecated thin wrapper over the ["sim.detection_sets"] telemetry
+    counter, kept for existing callers (the table-cache tests use it to
+    prove a warm cache run simulates nothing). New code should read
+    [Telemetry.counter_value "sim.detection_sets"]. Monotone; sample it
+    before and after an operation to count the simulations it
+    triggered. *)

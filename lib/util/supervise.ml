@@ -1,10 +1,14 @@
 type failure =
-  | Timed_out of { budget : float }
+  | Timed_out of { budget : float; spans : string list }
   | Crashed of Error.t
   | Skipped of string
 
 let describe = function
-  | Timed_out { budget } -> Printf.sprintf "timed out after %gs" budget
+  | Timed_out { budget; spans = [] } ->
+    Printf.sprintf "timed out after %gs" budget
+  | Timed_out { budget; spans } ->
+    Printf.sprintf "timed out after %gs (in %s)" budget
+      (String.concat " > " (List.rev spans))
   | Crashed err -> "crashed: " ^ Error.to_string err
   | Skipped reason -> "skipped: " ^ reason
 
@@ -81,10 +85,25 @@ let run ?deadline ?(retries = 0) ?(backoff = 0.1)
     match f token with
     | value -> Ok value
     | exception Cancel.Cancelled ->
-      Error (Timed_out { budget = Option.value deadline ~default:0.0 })
+      Error
+        (Timed_out
+           {
+             budget = Option.value deadline ~default:0.0;
+             spans = Telemetry.error_spans Cancel.Cancelled;
+           })
     | exception e ->
       let backtrace = Printexc.get_raw_backtrace () in
       let err = Error.of_exn ~backtrace e in
+      (* With telemetry live, name the span tree the crash unwound
+         through (e.g. "analyze mc > table.build") as a context frame. *)
+      let err =
+        match Telemetry.error_spans e with
+        | [] -> err
+        | spans ->
+          Error.with_context
+            ("in " ^ String.concat " > " (List.rev spans))
+            err
+      in
       if remaining > 0 && is_retryable err then begin
         Unix.sleepf delay;
         attempt (remaining - 1) (delay *. 2.0)

@@ -8,9 +8,15 @@
     a future service loop) can record partial results and keep going. *)
 
 type failure =
-  | Timed_out of { budget : float }
-      (** The work polled its {!Cancel.token} past the deadline. *)
+  | Timed_out of { budget : float; spans : string list }
+      (** The work polled its {!Cancel.token} past the deadline.
+          [spans] is the {!Telemetry} span stack (innermost first) that
+          was open when the cancellation unwound — empty when telemetry
+          is disabled. *)
   | Crashed of Error.t
+      (** When telemetry is live, the error's context frames include
+          the open span tree at the raise point
+          (["in analyze mc > table.build"]). *)
   | Skipped of string
       (** Not attempted (e.g. a dependency already failed). *)
 

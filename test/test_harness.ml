@@ -20,15 +20,8 @@ let with_temp_dir f =
     (fun () -> f dir)
 
 let small_options =
-  {
-    Driver.default_options with
-    Driver.tier = Registry.Small;
-    k = 20;
-    k2 = 10;
-    seed = 1;
-    only = "all";
-    quiet = true;
-  }
+  Driver.Options.make ~tier:Registry.Small ~k:20 ~k2:10 ~seed:1 ~only:"all"
+    ~quiet:true ()
 
 let test_parse_args_defaults () =
   let opts = Driver.parse_args [] in
@@ -89,6 +82,44 @@ let test_parse_args_friendly_messages () =
   let m = failure_message [ "--timeout-per-circuit"; "-3" ] in
   Alcotest.(check bool) "non-positive timeout" true
     (Helpers.contains_substring m "--timeout-per-circuit expects a positive")
+
+let test_parse_args_result () =
+  (match Driver.parse_args_result [ "--k"; "5" ] with
+  | Ok opts -> Alcotest.(check int) "ok carries options" 5 opts.Driver.k
+  | Error _ -> Alcotest.fail "expected Ok");
+  (match Driver.parse_args_result [ "--k"; "abc" ] with
+  | Ok _ -> Alcotest.fail "expected Error"
+  | Error m ->
+    Alcotest.(check bool) "error names the flag" true
+      (Helpers.contains_substring m "--k expects an integer");
+    (* The raising form reports the same message. *)
+    Alcotest.(check string) "parse_args raises same message" m
+      (failure_message [ "--k"; "abc" ]))
+
+let test_parse_args_telemetry_flags () =
+  let opts = Driver.parse_args [ "--trace"; "out.jsonl"; "--metrics" ] in
+  Alcotest.(check (option string)) "trace file" (Some "out.jsonl")
+    opts.Driver.trace;
+  Alcotest.(check bool) "metrics" true opts.Driver.metrics;
+  let defaults = Driver.parse_args [] in
+  Alcotest.(check (option string)) "trace off by default" None
+    defaults.Driver.trace;
+  Alcotest.(check bool) "metrics off by default" false
+    defaults.Driver.metrics;
+  Alcotest.(check bool) "--trace requires a value" true
+    (Helpers.contains_substring
+       (failure_message [ "--trace" ])
+       "--trace requires a value")
+
+let test_options_make () =
+  Alcotest.(check bool) "no overrides = defaults" true
+    (Driver.Options.make () = Driver.default_options);
+  let opts = Driver.Options.make ~k:7 ~trace:"t.jsonl" () in
+  Alcotest.(check int) "override applied" 7 opts.Driver.k;
+  Alcotest.(check (option string)) "option field" (Some "t.jsonl")
+    opts.Driver.trace;
+  Alcotest.(check int) "untouched field keeps default"
+    Driver.default_options.Driver.k2 opts.Driver.k2
 
 let test_parse_args_supervision_flags () =
   let opts =
@@ -289,6 +320,107 @@ let test_table_cache_warm_run_simulates_nothing () =
       Alcotest.(check int) "no failures" 0
         (List.length (Driver.failures warm)))
 
+(* telemetry wiring: tracing/metrics never change results, warm cache
+   runs trace no simulation, deterministic counters ignore --domains *)
+
+let test_output_identical_with_telemetry () =
+  with_temp_dir (fun dir ->
+      let plain = Driver.create small_options in
+      let expected = Driver.run_table2 plain in
+      let path = Filename.concat dir "trace.jsonl" in
+      let traced =
+        Driver.create
+          { small_options with Driver.trace = Some path; metrics = true }
+      in
+      let got = Driver.run_table2 traced in
+      Driver.finish traced;
+      Alcotest.(check string) "table2 byte-identical" expected got;
+      Alcotest.(check bool) "trace written" true (Sys.file_exists path);
+      (* finish is idempotent. *)
+      Driver.finish traced)
+
+let trace_begin_names path =
+  In_channel.with_open_bin path In_channel.input_all
+  |> String.split_on_char '\n'
+  |> List.filter (fun l ->
+         Helpers.contains_substring l "\"type\":\"begin\"")
+
+let test_warm_cache_trace_has_no_sim_spans () =
+  with_temp_dir (fun cache ->
+      with_temp_dir (fun dir ->
+          (* Cold run fills the cache (untraced). *)
+          let cold =
+            Driver.create
+              { small_options with Driver.table_cache = Some cache }
+          in
+          ignore (Driver.run_table2 cold);
+          let path = Filename.concat dir "trace.jsonl" in
+          let warm =
+            Driver.create
+              { small_options with
+                Driver.table_cache = Some cache;
+                trace = Some path }
+          in
+          ignore (Driver.run_table2 warm);
+          Driver.finish warm;
+          let begins = trace_begin_names path in
+          Alcotest.(check bool) "cache lookups traced" true
+            (List.exists
+               (fun l ->
+                 Helpers.contains_substring l "\"name\":\"table_cache.lookup\"")
+               begins);
+          (* The whole point of a warm cache: no table construction, no
+             fault simulation — so no such spans in the trace. *)
+          List.iter
+            (fun forbidden ->
+              Alcotest.(check bool) (forbidden ^ " absent") true
+                (not
+                   (List.exists
+                      (fun l -> Helpers.contains_substring l forbidden)
+                      begins)))
+            [
+              "\"name\":\"table.build\"";
+              "\"name\":\"table.sim.targets\"";
+              "\"name\":\"table.sim.untargeted\"";
+            ]))
+
+(* The deterministic work counters (simulation, kernel, dedup activity)
+   must not depend on the domain count; sample them per supervised unit
+   via --metrics and compare across --domains values. *)
+let deterministic_unit_metrics driver =
+  List.map
+    (fun (label, delta) ->
+      ( label,
+        List.filter
+          (fun (name, _) ->
+            List.exists
+              (fun prefix -> String.starts_with ~prefix name)
+              [ "sim."; "worst."; "table." ])
+          delta ))
+    (Driver.unit_metrics driver)
+
+let test_metrics_domain_invariant () =
+  let run domains =
+    let driver =
+      Driver.create
+        { small_options with Driver.metrics = true; domains = Some domains }
+    in
+    ignore (Driver.run_table2 driver);
+    let m = deterministic_unit_metrics driver in
+    Driver.finish driver;
+    m
+  in
+  let reference = run 1 in
+  Alcotest.(check bool) "counters moved" true
+    (List.exists (fun (_, delta) -> delta <> []) reference);
+  List.iter
+    (fun domains ->
+      Alcotest.(check bool)
+        (Printf.sprintf "domains %d matches domains 1" domains)
+        true
+        (run domains = reference))
+    [ 2; 4 ]
+
 (* supervision: containment, timeout rows, kill-and-resume *)
 
 let test_crash_containment () =
@@ -444,6 +576,10 @@ let () =
           Alcotest.test_case "errors" `Quick test_parse_args_errors;
           Alcotest.test_case "friendly messages" `Quick
             test_parse_args_friendly_messages;
+          Alcotest.test_case "result form" `Quick test_parse_args_result;
+          Alcotest.test_case "telemetry flags" `Quick
+            test_parse_args_telemetry_flags;
+          Alcotest.test_case "options make" `Quick test_options_make;
           Alcotest.test_case "supervision flags" `Quick
             test_parse_args_supervision_flags;
         ] );
@@ -468,6 +604,15 @@ let () =
             test_table_cache_key_covers_params;
           Alcotest.test_case "warm run simulates nothing" `Quick
             test_table_cache_warm_run_simulates_nothing;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "output identical with telemetry" `Quick
+            test_output_identical_with_telemetry;
+          Alcotest.test_case "warm cache trace has no sim spans" `Quick
+            test_warm_cache_trace_has_no_sim_spans;
+          Alcotest.test_case "metrics ignore domain count" `Quick
+            test_metrics_domain_invariant;
         ] );
       ( "supervision",
         [

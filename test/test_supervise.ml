@@ -102,7 +102,7 @@ let test_run_timeout () =
             Supervise.inject ~cancel "slow";
             0)
       with
-      | Error (Supervise.Timed_out { budget }) ->
+      | Error (Supervise.Timed_out { budget; _ }) ->
         Alcotest.(check bool) "budget recorded" true (budget = 0.05)
       | _ -> Alcotest.fail "expected Timed_out")
 
