@@ -1,7 +1,7 @@
 (* ndetect: command-line interface to the n-detection analysis library.
 
-   Subcommands: list, analyze, average, atpg, tables, synth, dot,
-   evaluate, partition, transition, equiv, scoap. *)
+   Subcommands: list, analyze, average, atpg, tables, check, synth,
+   dot, evaluate, partition, transition, equiv, scoap. *)
 
 module Netlist = Ndetect_circuit.Netlist
 module Dot = Ndetect_circuit.Dot
@@ -21,6 +21,7 @@ module Paper_tables = Ndetect_report.Paper_tables
 module Ascii_table = Ndetect_report.Ascii_table
 module Ndet_atpg = Ndetect_tgen.Ndet_atpg
 module Driver = Ndetect_harness.Driver
+module Campaign = Ndetect_check.Campaign
 open Cmdliner
 
 (* A circuit argument is a suite name or a .bench / .kiss2 / .pla /
@@ -586,6 +587,53 @@ let tables_cmd =
     (Cmd.info "tables" ~doc)
     Term.(const tables_run $ tier $ k $ k2 $ seed_arg $ only $ quiet)
 
+(* check *)
+
+let check_run circuits seed max_pi mutate =
+  let report =
+    try Campaign.run ~mutate ~circuits ~seed ~max_pi ()
+    with Invalid_argument message ->
+      prerr_endline message;
+      exit 2
+  in
+  print_string (Campaign.render report);
+  let divergent = report.Campaign.failures <> [] in
+  if mutate && not divergent then begin
+    prerr_endline
+      "check --mutate: the injected bug was NOT caught (checker is broken)";
+    exit 1
+  end;
+  if (not mutate) && divergent then exit 1
+
+let check_cmd =
+  let circuits =
+    Arg.(
+      value & opt int 200
+      & info [ "circuits" ] ~docv:"N" ~doc:"Random circuits to cross-check.")
+  in
+  let max_pi =
+    Arg.(
+      value & opt int 6
+      & info [ "max-pi" ] ~docv:"N"
+          ~doc:"Largest primary-input count (the oracle is exhaustive).")
+  in
+  let mutate =
+    Arg.(
+      value & flag
+      & info [ "mutate" ]
+          ~doc:
+            "Self-test: flip one bit of one optimized detection set per \
+             circuit and require the checker to report a divergence.")
+  in
+  let doc =
+    "Differential check: run the optimized analyses and a brute-force \
+     reference side by side on random circuits, diff every table cell, and \
+     shrink any divergence to a minimal reproducer."
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(const check_run $ circuits $ seed_arg $ max_pi $ mutate)
+
 (* synth *)
 
 let synth_run file scheme out format =
@@ -673,9 +721,9 @@ let main_cmd =
   Cmd.group
     (Cmd.info "ndetect" ~version:"1.0.0" ~doc)
     [
-      list_cmd; analyze_cmd; average_cmd; atpg_cmd; tables_cmd; synth_cmd;
-      dot_cmd; evaluate_cmd; partition_cmd; transition_cmd; equiv_cmd;
-      scoap_cmd;
+      list_cmd; analyze_cmd; average_cmd; atpg_cmd; tables_cmd; check_cmd;
+      synth_cmd; dot_cmd; evaluate_cmd; partition_cmd; transition_cmd;
+      equiv_cmd; scoap_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

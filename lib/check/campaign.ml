@@ -1,0 +1,340 @@
+module Rng = Ndetect_util.Rng
+module Bitvec = Ndetect_util.Bitvec
+module Netlist = Ndetect_circuit.Netlist
+module Stuck = Ndetect_faults.Stuck
+module Bridge = Ndetect_faults.Bridge
+module Good = Ndetect_sim.Good
+module Detection_table = Ndetect_core.Detection_table
+module Worst_case = Ndetect_core.Worst_case
+module Definition2 = Ndetect_core.Definition2
+module Procedure1 = Ndetect_core.Procedure1
+module Random_circuit = Ndetect_suite.Random_circuit
+
+type divergence = { cell : string; expected : string; actual : string }
+
+type failure = {
+  spec : Random_circuit.spec;
+  divergences : divergence list;
+  divergence_count : int;
+}
+
+type report = {
+  circuits_run : int;
+  failures : failure list;
+  reproducer : (Random_circuit.spec * divergence) option;
+}
+
+let max_divergences = 20
+
+(* The replay config: small on purpose — every quantity is compared
+   cell by cell, so a handful of sets over a few iterations already
+   exercises every draw path (uniform picks, rejection sampling, the
+   shuffled scan, strict exhaustion, the Definition-1 fallback). *)
+let proc_set_count = 4
+let proc_nmax = 3
+
+let modes =
+  [| Procedure1.Definition1; Procedure1.Definition2; Procedure1.Multi_output |]
+
+let ints_to_string vs =
+  "[" ^ String.concat ";" (List.map string_of_int vs) ^ "]"
+
+let check_net_counted ?(mutate = false) ?proc_mode ~seed net =
+  let divs = ref [] and total = ref 0 in
+  let emit cell expected actual =
+    incr total;
+    if !total <= max_divergences then divs := { cell; expected; actual } :: !divs
+  in
+  let check_int cell ~expected ~actual =
+    if expected <> actual then
+      emit cell (string_of_int expected) (string_of_int actual)
+  in
+  let check_bool cell ~expected ~actual =
+    if not (Bool.equal expected actual) then
+      emit cell (string_of_bool expected) (string_of_bool actual)
+  in
+  let check_list cell ~expected ~actual =
+    if expected <> actual then
+      emit cell (ints_to_string expected) (ints_to_string actual)
+  in
+  let rt = Ref_table.build net in
+  let table = Detection_table.build net in
+  if mutate then begin
+    let tcount = Detection_table.target_count table in
+    if tcount > 0 then
+      Detection_table.corrupt_target_set table ~fi:(abs seed mod tcount)
+        ~vector:(abs seed mod Detection_table.universe table)
+  end;
+  let universe = Ref_table.universe rt in
+  (* Fault-free simulation: the optimized bit-parallel table against the
+     reference recursion, every vector, every output. *)
+  let good = Good.compute net in
+  let outs = Netlist.outputs net in
+  for v = 0 to universe - 1 do
+    let ref_out = Ref_eval.good_outputs net v in
+    Array.iteri
+      (fun o node ->
+        check_bool
+          (Printf.sprintf "good(v=%d,out=%d)" v o)
+          ~expected:ref_out.(o)
+          ~actual:(Good.value_bit good ~node ~vector:v))
+      outs
+  done;
+  (* Fault-list shapes must match before any aligned comparison. *)
+  let f_count = Ref_table.target_count rt in
+  let g_count = Ref_table.untargeted_count rt in
+  check_int "targets kept" ~expected:f_count
+    ~actual:(Detection_table.target_count table);
+  check_int "targets dropped"
+    ~expected:(Ref_table.undetectable_target_count rt)
+    ~actual:(Detection_table.undetectable_target_count table);
+  check_int "untargeted kept" ~expected:g_count
+    ~actual:(Detection_table.untargeted_count table);
+  check_int "untargeted dropped"
+    ~expected:(Ref_table.undetectable_untargeted_count rt)
+    ~actual:(Detection_table.undetectable_untargeted_count table);
+  let shapes_ok =
+    f_count = Detection_table.target_count table
+    && g_count = Detection_table.untargeted_count table
+  in
+  if shapes_ok then begin
+    for fi = 0 to f_count - 1 do
+      let ref_fault = Ref_table.target_fault rt fi in
+      if not (Stuck.equal ref_fault (Detection_table.target_fault table fi))
+      then
+        emit
+          (Printf.sprintf "target fault f%d" fi)
+          (Stuck.to_string net ref_fault)
+          (Stuck.to_string net (Detection_table.target_fault table fi));
+      check_int
+        (Printf.sprintf "N(f%d)" fi)
+        ~expected:(Ref_table.n rt fi)
+        ~actual:(Detection_table.target_n table fi);
+      check_list
+        (Printf.sprintf "T(f%d)" fi)
+        ~expected:(Ref_table.members (Ref_table.target_set rt fi))
+        ~actual:(Bitvec.to_list (Detection_table.target_set table fi))
+    done;
+    for gj = 0 to g_count - 1 do
+      let ref_fault = Ref_table.untargeted_fault rt gj in
+      (match Detection_table.untargeted_fault table gj with
+      | Detection_table.Bridge_fault b when Bridge.equal b ref_fault -> ()
+      | Detection_table.Bridge_fault b ->
+        emit
+          (Printf.sprintf "untargeted fault g%d" gj)
+          (Bridge.to_string net ref_fault)
+          (Bridge.to_string net b)
+      | Detection_table.Wired_fault _ ->
+        emit
+          (Printf.sprintf "untargeted fault g%d" gj)
+          (Bridge.to_string net ref_fault)
+          "wired fault");
+      check_list
+        (Printf.sprintf "T(g%d)" gj)
+        ~expected:(Ref_table.members (Ref_table.untargeted_set rt gj))
+        ~actual:(Bitvec.to_list (Detection_table.untargeted_set table gj));
+      for fi = 0 to f_count - 1 do
+        check_int
+          (Printf.sprintf "M(g%d,f%d)" gj fi)
+          ~expected:(Ref_table.m rt ~gj ~fi)
+          ~actual:(Detection_table.m table ~gj ~fi)
+      done
+    done;
+    (* Worst case: the blocked early-exit scan against the direct
+       definition, plus witness consistency. *)
+    let wc = Worst_case.compute table in
+    for gj = 0 to g_count - 1 do
+      let expected = Ref_worst.nmin rt gj in
+      check_int
+        (Printf.sprintf "nmin(g%d)" gj)
+        ~expected ~actual:(Worst_case.nmin wc gj);
+      match Worst_case.nmin_witness wc gj with
+      | Some fi -> (
+        match Ref_worst.nmin_pair rt ~gj ~fi with
+        | Some v when v = expected -> ()
+        | Some v ->
+          emit
+            (Printf.sprintf "nmin_witness(g%d)" gj)
+            (string_of_int expected)
+            (Printf.sprintf "witness f%d gives %d" fi v)
+        | None ->
+          emit
+            (Printf.sprintf "nmin_witness(g%d)" gj)
+            (string_of_int expected)
+            (Printf.sprintf "witness f%d has M=0" fi))
+      | None ->
+        if expected <> Ref_worst.unbounded then
+          emit
+            (Printf.sprintf "nmin_witness(g%d)" gj)
+            (string_of_int expected) "no witness"
+    done;
+    (* Definition 2 verdicts on sampled vector pairs: the memoized cone
+       oracle against the whole-circuit re-evaluation. *)
+    let def2_opt = Definition2.create table in
+    let def2_ref =
+      Ref_def2.create net (Array.init f_count (Ref_table.target_fault rt))
+    in
+    for fi = 0 to min f_count 8 - 1 do
+      let members =
+        Array.of_list (Ref_table.members (Ref_table.target_set rt fi))
+      in
+      let picked =
+        List.init (min (Array.length members) 5) (fun i ->
+            members.(i * Array.length members / min (Array.length members) 5))
+      in
+      let vectors =
+        List.sort_uniq Int.compare ((universe - 1) :: 0 :: picked)
+      in
+      List.iteri
+        (fun i v1 ->
+          List.iteri
+            (fun j v2 ->
+              if i < j then
+                check_bool
+                  (Printf.sprintf "def2(f%d,%d,%d)" fi v1 v2)
+                  ~expected:(Ref_def2.different def2_ref ~fi v1 v2)
+                  ~actual:(Definition2.different def2_opt ~fi v1 v2))
+            vectors)
+        vectors
+    done;
+    (* Procedure 1: full replay from the same split streams. *)
+    let mode =
+      match proc_mode with
+      | Some m -> m
+      | None -> modes.(abs seed mod Array.length modes)
+    in
+    let cfg =
+      { Procedure1.seed; set_count = proc_set_count; nmax = proc_nmax; mode }
+    in
+    let opt = Procedure1.run table cfg in
+    let refo = Ref_procedure1.run rt cfg in
+    for n = 1 to cfg.nmax do
+      for gj = 0 to g_count - 1 do
+        check_int
+          (Printf.sprintf "d(%d,g%d)" n gj)
+          ~expected:(Ref_procedure1.detected_count refo ~n ~gj)
+          ~actual:(Procedure1.detected_count opt ~n ~gj)
+      done
+    done;
+    for k = 0 to cfg.set_count - 1 do
+      check_list
+        (Printf.sprintf "test_set(k=%d)" k)
+        ~expected:(Ref_procedure1.test_set refo ~k)
+        ~actual:(Procedure1.test_set opt ~k);
+      for fi = 0 to f_count - 1 do
+        check_int
+          (Printf.sprintf "def1_count(k=%d,f%d)" k fi)
+          ~expected:(Ref_procedure1.detection_count_def1 refo ~k ~fi)
+          ~actual:(Procedure1.detection_count_def1 opt ~k ~fi);
+        (match mode with
+        | Procedure1.Definition2 | Procedure1.Multi_output ->
+          check_list
+            (Printf.sprintf "chain(k=%d,f%d)" k fi)
+            ~expected:(Ref_procedure1.chain_def2 refo ~k ~fi)
+            ~actual:(Procedure1.chain_def2 opt ~k ~fi)
+        | Procedure1.Definition1 -> ());
+        if mode = Procedure1.Multi_output then
+          check_int
+            (Printf.sprintf "output_mask(k=%d,f%d)" k fi)
+            ~expected:(Ref_procedure1.output_mask refo ~k ~fi)
+            ~actual:(Procedure1.output_mask opt ~k ~fi)
+      done
+    done
+  end;
+  (List.rev !divs, !total)
+
+let check_net ?mutate ?proc_mode ~seed net =
+  fst (check_net_counted ?mutate ?proc_mode ~seed net)
+
+let check_spec_counted ?mutate (spec : Random_circuit.spec) =
+  check_net_counted ?mutate ~seed:spec.Random_circuit.seed
+    (Random_circuit.of_spec spec)
+
+let check_spec ?mutate spec = fst (check_spec_counted ?mutate spec)
+
+let shrink ?mutate spec0 =
+  let first_div spec =
+    match check_spec ?mutate spec with [] -> None | d :: _ -> Some d
+  in
+  match first_div spec0 with
+  | None -> invalid_arg "Campaign.shrink: spec does not diverge"
+  | Some d0 ->
+    (* Each candidate strictly decreases one field and leaves the others
+       alone, so the walk terminates. *)
+    let rec go (spec : Random_circuit.spec) d =
+      let candidates =
+        [
+          { spec with Random_circuit.gates = spec.Random_circuit.gates / 2 };
+          { spec with Random_circuit.gates = spec.Random_circuit.gates - 1 };
+          { spec with Random_circuit.inputs = spec.Random_circuit.inputs - 1 };
+          { spec with Random_circuit.seed = spec.Random_circuit.seed / 2 };
+        ]
+        |> List.filter (fun (s : Random_circuit.spec) ->
+               s.Random_circuit.gates >= 1
+               && s.Random_circuit.inputs >= 1
+               && s <> spec)
+      in
+      match
+        List.find_map
+          (fun s -> Option.map (fun d -> (s, d)) (first_div s))
+          candidates
+      with
+      | Some (s, d) -> go s d
+      | None -> (spec, d)
+    in
+    go spec0 d0
+
+let run ?(mutate = false) ~circuits ~seed ~max_pi () =
+  if circuits < 1 then invalid_arg "Campaign.run: circuits < 1";
+  if max_pi < 1 || max_pi > 12 then
+    invalid_arg "Campaign.run: max_pi must be in 1..12 (exhaustive oracle)";
+  let rng = Rng.create ~seed in
+  let failures = ref [] in
+  for _ = 1 to circuits do
+    let spec =
+      Random_circuit.draw_spec rng ~max_inputs:max_pi
+        ~max_gates:((2 * max_pi) + 6)
+    in
+    match check_spec_counted ~mutate spec with
+    | [], _ -> ()
+    | divergences, divergence_count ->
+      failures := { spec; divergences; divergence_count } :: !failures
+  done;
+  let failures = List.rev !failures in
+  let reproducer =
+    match failures with
+    | [] -> None
+    | { spec; _ } :: _ -> Some (shrink ~mutate spec)
+  in
+  { circuits_run = circuits; failures; reproducer }
+
+let render r =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "differential check: %d circuit(s), %d divergent\n"
+    r.circuits_run (List.length r.failures);
+  List.iter
+    (fun f ->
+      Printf.bprintf b "FAIL %s: %d divergence(s)\n"
+        (Random_circuit.spec_to_string f.spec)
+        f.divergence_count;
+      List.iteri
+        (fun i d ->
+          if i < 5 then
+            Printf.bprintf b "  %s: reference=%s optimized=%s\n" d.cell
+              d.expected d.actual)
+        f.divergences;
+      if f.divergence_count > 5 then
+        Printf.bprintf b "  ... (%d more)\n" (f.divergence_count - 5))
+    r.failures;
+  (match r.reproducer with
+  | Some (spec, d) ->
+    Printf.bprintf b
+      "shrunk reproducer: %s\n  first divergence: %s: reference=%s \
+       optimized=%s\n"
+      (Random_circuit.spec_to_string spec)
+      d.cell d.expected d.actual
+  | None ->
+    if r.failures = [] then
+      Printf.bprintf b
+        "all table cells agree with the brute-force reference\n");
+  Buffer.contents b

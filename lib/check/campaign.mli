@@ -1,0 +1,67 @@
+(** Randomized differential cross-checking campaigns.
+
+    A campaign draws random circuits ({!Ndetect_suite.Random_circuit}),
+    runs the optimized stack and the naive reference side by side, and
+    diffs every derived quantity: fault-free output values, kept fault
+    lists, every detection set, every [N]/[M] table cell, the full
+    [nmin] distribution and its witnesses, sampled Definition 2
+    verdicts, and a complete Procedure 1 replay (detection counts, test
+    sets, per-fault Definition 1 counts, strict chains, output masks).
+    Any divergence is shrunk to a minimal circuit spec.
+
+    [mutate] flips one bit of one optimized detection set right after
+    the table is built ({!Ndetect_core.Detection_table.corrupt_target_set})
+    — a simulated kernel bug proving the checker reports divergences
+    rather than vacuously passing. *)
+
+module Random_circuit = Ndetect_suite.Random_circuit
+module Procedure1 = Ndetect_core.Procedure1
+module Netlist = Ndetect_circuit.Netlist
+
+type divergence = {
+  cell : string;  (** E.g. ["N(f3)"], ["M(g7,f2)"], ["d(2,g5) k=4"]. *)
+  expected : string;  (** Reference value. *)
+  actual : string;  (** Optimized value. *)
+}
+
+type failure = {
+  spec : Random_circuit.spec;
+  divergences : divergence list;  (** First {!max_divergences} found. *)
+  divergence_count : int;  (** Total, including truncated ones. *)
+}
+
+type report = {
+  circuits_run : int;
+  failures : failure list;  (** In discovery order. *)
+  reproducer : (Random_circuit.spec * divergence) option;
+      (** Shrunk spec + its first divergence, for the first failure. *)
+}
+
+val max_divergences : int
+(** Per-circuit cap on recorded divergences (counting continues). *)
+
+val check_net :
+  ?mutate:bool -> ?proc_mode:Procedure1.mode -> seed:int -> Netlist.t ->
+  divergence list
+(** Cross-check one circuit. [seed] drives the Procedure 1 config and
+    the mutation site; [proc_mode] overrides the replayed mode
+    (defaults to a seed-determined choice so campaigns exercise all
+    three). *)
+
+val check_spec : ?mutate:bool -> Random_circuit.spec -> divergence list
+(** {!check_net} on the regenerated spec. *)
+
+val shrink :
+  ?mutate:bool -> Random_circuit.spec -> Random_circuit.spec * divergence
+(** Greedily minimize a diverging spec (fewer gates, then fewer inputs,
+    then a smaller seed) while it keeps diverging. Raises
+    [Invalid_argument] if the spec does not diverge. *)
+
+val run :
+  ?mutate:bool -> circuits:int -> seed:int -> max_pi:int -> unit -> report
+(** Run a campaign of [circuits] random circuits with at most [max_pi]
+    primary inputs. Deterministic in [seed]. *)
+
+val render : report -> string
+(** Human-readable summary (campaign size, each failing spec with its
+    first divergences, the shrunk reproducer). *)

@@ -1,0 +1,19 @@
+module Netlist = Ndetect_circuit.Netlist
+module Stuck = Ndetect_faults.Stuck
+
+type t = { net : Netlist.t; faults : Stuck.t array }
+
+let create net faults = { net; faults }
+
+let different t ~fi v1 v2 =
+  v1 <> v2
+  &&
+  let tij =
+    Ref_eval.common
+      (Ref_eval.tri_of_vector t.net v1)
+      (Ref_eval.tri_of_vector t.net v2)
+  in
+  not (Ref_eval.detects_stuck3 t.net t.faults.(fi) tij)
+
+let chain_extend t ~fi ~chain v =
+  List.for_all (fun s -> different t ~fi v s) chain

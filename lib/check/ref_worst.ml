@@ -1,0 +1,16 @@
+let unbounded = max_int
+
+let nmin_pair rt ~gj ~fi =
+  let m = Ref_table.m rt ~gj ~fi in
+  if m = 0 then None else Some (Ref_table.n rt fi - m + 1)
+
+let nmin rt gj =
+  let best = ref unbounded in
+  for fi = 0 to Ref_table.target_count rt - 1 do
+    match nmin_pair rt ~gj ~fi with
+    | Some v when v < !best -> best := v
+    | Some _ | None -> ()
+  done;
+  !best
+
+let distribution rt = Array.init (Ref_table.untargeted_count rt) (nmin rt)

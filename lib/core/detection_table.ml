@@ -320,6 +320,17 @@ let restore net snap =
     output_sets = Hashtbl.create 64;
   }
 
+let corrupt_target_set t ~fi ~vector =
+  if fi < 0 || fi >= Array.length t.target_sets then
+    invalid_arg "Detection_table.corrupt_target_set: bad target index";
+  if vector < 0 || vector >= t.universe then
+    invalid_arg "Detection_table.corrupt_target_set: vector outside universe";
+  (* Detection sets are deduplicated ([share]), so corrupt a private copy:
+     the injected wrong answer must stay confined to this one target. *)
+  let set = Bitvec.copy t.target_sets.(fi) in
+  Bitvec.assign set vector (not (Bitvec.get set vector));
+  t.target_sets.(fi) <- set
+
 let find_untargeted t ~victim ~victim_value ~aggressor ~aggressor_value =
   let node name =
     match Netlist.find_by_name t.net name with

@@ -118,6 +118,18 @@ val find_untargeted :
   aggressor_value:bool -> int option
 (** Index of a bridging fault by node names, for the worked example. *)
 
+(** {2 Self-test} *)
+
+val corrupt_target_set : t -> fi:int -> vector:int -> unit
+(** Flip one membership bit of target [fi]'s detection set — a simulated
+    kernel-level wrong answer, used by the differential checker's
+    [--mutate] self-test ({!Ndetect_check.Campaign}) to prove a
+    divergence would be caught. Call it right after {!build}, before any
+    derived quantity (layouts, inverted indexes, analyses) is computed:
+    the lazy memos snapshot the sets on first use, so corrupting after
+    they are forced would leave the table internally inconsistent.
+    Never called by any analysis path. *)
+
 (** {2 Persistence} *)
 
 type snapshot

@@ -160,8 +160,28 @@ let parse_args_exn args =
     | arg :: _ -> failwith (Printf.sprintf "unknown argument %S\n%s" arg usage)
   in
   let opts = go default_options args in
+  (* Cross-flag validation: combinations each flag parser accepts in
+     isolation but that would silently do the wrong thing as a whole —
+     a run selecting no section, or empty sample sizes that render
+     every table vacuously. *)
   if opts.resume && opts.checkpoint_dir = None then
     failwith (Printf.sprintf "--resume requires --checkpoint DIR\n%s" usage);
+  let sections =
+    [ "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "figure2";
+      "all" ]
+  in
+  if not (List.mem opts.only sections) then
+    failwith
+      (Printf.sprintf "--only: unknown section %S (expected %s)\n%s" opts.only
+         (String.concat ", " sections) usage);
+  if opts.k < 1 then
+    failwith
+      (Printf.sprintf "--k expects a positive sample count, got %d\n%s" opts.k
+         usage);
+  if opts.k2 < 1 then
+    failwith
+      (Printf.sprintf "--k2 expects a positive sample count, got %d\n%s"
+         opts.k2 usage);
   opts
 
 let parse_args_result args =

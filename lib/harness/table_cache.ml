@@ -6,19 +6,21 @@ module Telemetry = Ndetect_util.Telemetry
 
 (* On-disk format (one file per table, named [key ^ ".tbl"]):
 
-     magic | Marshal (version : int, key : string) | Marshal snapshot
+     magic | "<version> <key> <md5-hex payload> <payload length>\n" | payload
 
-   The raw magic prefix is checked before any unmarshalling, and the
-   small header is unmarshalled and validated before the snapshot blob
-   is touched, so a file written by a different format version (whose
-   snapshot type may differ) is rejected without ever interpreting its
-   payload. Writes go through {!Checkpoint.write_atomic}; any load
-   failure — missing file, truncation, corruption, version or key
-   mismatch, snapshot/netlist inconsistency — degrades to a cache
-   miss. *)
+   where the payload is the marshalled snapshot. The header is plain
+   ASCII — parsed with string operations, never unmarshalled — and the
+   payload is only handed to [Marshal.from_string] after its exact
+   length and MD5 digest have been verified against the header. A
+   Marshal blob does not reliably self-detect damage (a flipped bit in
+   the middle can still decode, into a wrong table), so the digest
+   check is what turns {e any} corruption — truncation, bit flips in
+   header or body, a different format version — into a plain cache
+   miss instead of a wrong answer. Writes go through
+   {!Checkpoint.write_atomic}. *)
 
 let magic = "ndetect-table\n"
-let version = 1
+let version = 2
 
 let kind_tag = function
   | Gate.Input -> "i"
@@ -82,10 +84,14 @@ let misses () = Telemetry.Counter.value c_misses
 
 let store ~dir ~key table =
   Checkpoint.mkdir_recursive dir;
-  let buf = Buffer.create (1 lsl 16) in
+  let payload = Marshal.to_string (Detection_table.snapshot table) [] in
+  let buf = Buffer.create (String.length payload + 128) in
   Buffer.add_string buf magic;
-  Buffer.add_string buf (Marshal.to_string (version, key) []);
-  Buffer.add_string buf (Marshal.to_string (Detection_table.snapshot table) []);
+  Buffer.add_string buf
+    (Printf.sprintf "%d %s %s %d\n" version key
+       (Digest.to_hex (Digest.string payload))
+       (String.length payload));
+  Buffer.add_string buf payload;
   Checkpoint.write_atomic ~path:(path ~dir ~key) (Buffer.contents buf)
 
 let read_file path =
@@ -94,28 +100,41 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Parse and verify everything before touching Marshal. Exceptions
+   (missing file, malformed header fields, out-of-range lengths) are
+   all equivalent to [None] in the caller. *)
+let validated_payload raw ~key =
+  let mlen = String.length magic in
+  if String.length raw < mlen || String.sub raw 0 mlen <> magic then None
+  else
+    match String.index_from_opt raw mlen '\n' with
+    | None -> None
+    | Some nl -> (
+      let header = String.sub raw mlen (nl - mlen) in
+      match String.split_on_char ' ' header with
+      | [ v; file_key; digest_hex; len ] -> (
+        match (int_of_string_opt v, int_of_string_opt len) with
+        | Some file_version, Some payload_len
+          when file_version = version && file_key = key
+               && payload_len >= 0
+               && String.length raw - (nl + 1) = payload_len ->
+          let payload = String.sub raw (nl + 1) payload_len in
+          if Digest.to_hex (Digest.string payload) = digest_hex then
+            Some payload
+          else None
+        | _ -> None)
+      | _ -> None)
+
 let load ~dir ~key net =
   let file = path ~dir ~key in
   let existed = Sys.file_exists file in
   let result =
     try
-      let raw = read_file file in
-      let mlen = String.length magic in
-      if String.length raw < mlen || String.sub raw 0 mlen <> magic then None
-      else begin
-        let bytes = Bytes.unsafe_of_string raw in
-        let (file_version, file_key) : int * string =
-          Marshal.from_string raw mlen
-        in
-        if file_version <> version || file_key <> key then None
-        else begin
-          let snap_ofs = mlen + Marshal.total_size bytes mlen in
-          let snap : Detection_table.snapshot =
-            Marshal.from_string raw snap_ofs
-          in
-          Some (Detection_table.restore net snap)
-        end
-      end
+      match validated_payload (read_file file) ~key with
+      | None -> None
+      | Some payload ->
+        let snap : Detection_table.snapshot = Marshal.from_string payload 0 in
+        Some (Detection_table.restore net snap)
     with _ -> None
   in
   (match result with

@@ -10,10 +10,14 @@
 
     Files are written atomically (temp file + rename, like
     {!Checkpoint}) and validated defensively on load: a raw magic-prefix
-    check before any unmarshalling, then a version + key header check
-    before the snapshot payload is touched. {e Any} failure — missing or
-    truncated file, corruption, version bump, parameter or netlist
-    mismatch — silently degrades to a cache miss and a fresh build. *)
+    check, then an ASCII header carrying the format version, the key,
+    and the exact length and MD5 digest of the marshalled payload — all
+    verified {e before} the payload is unmarshalled, since a damaged
+    Marshal blob can otherwise decode into a wrong table. {e Any}
+    failure — missing or truncated file, a flipped bit anywhere,
+    version bump, parameter or netlist mismatch — silently degrades to
+    a cache miss and a fresh build (and bumps the
+    ["table_cache.corrupt"] counter when a file existed). *)
 
 module Detection_table = Ndetect_core.Detection_table
 module Netlist = Ndetect_circuit.Netlist

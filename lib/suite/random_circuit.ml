@@ -6,6 +6,20 @@ type profile = { allow_xor : bool; max_arity : int; extra_outputs : int }
 
 let default_profile = { allow_xor = true; max_arity = 4; extra_outputs = 2 }
 
+type spec = { seed : int; inputs : int; gates : int }
+
+let spec_to_string { seed; inputs; gates } =
+  Printf.sprintf "seed=%d inputs=%d gates=%d" seed inputs gates
+
+let draw_spec rng ~max_inputs ~max_gates =
+  if max_inputs < 1 || max_gates < 1 then
+    invalid_arg "Random_circuit.draw_spec";
+  {
+    seed = Rng.int rng ~bound:1_000_000;
+    inputs = (if max_inputs = 1 then 1 else 2 + Rng.int rng ~bound:(max_inputs - 1));
+    gates = 1 + Rng.int rng ~bound:max_gates;
+  }
+
 let generate ?(profile = default_profile) ~seed ~inputs ~gates () =
   if inputs < 1 || gates < 1 then invalid_arg "Random_circuit.generate";
   if profile.max_arity < 2 then
@@ -47,3 +61,6 @@ let generate ?(profile = default_profile) ~seed ~inputs ~gates () =
   in
   Netlist.Builder.set_outputs b outputs;
   Netlist.Builder.finalize b
+
+let of_spec ?profile { seed; inputs; gates } =
+  generate ?profile ~seed ~inputs ~gates ()

@@ -17,3 +17,20 @@ val generate :
     earlier nodes, the last node is always observed, and
     [profile.extra_outputs] random nodes are observed too (which keeps
     most faults detectable). Deterministic in [seed]. *)
+
+type spec = { seed : int; inputs : int; gates : int }
+(** A reproducer for one random circuit: {!of_spec} regenerates it
+    exactly. The differential checker ({!Ndetect_check.Campaign}) shrinks
+    failures to a minimal spec, so a spec is the unit of reporting. *)
+
+val spec_to_string : spec -> string
+(** ["seed=S inputs=I gates=G"]. *)
+
+val draw_spec :
+  Ndetect_util.Rng.t -> max_inputs:int -> max_gates:int -> spec
+(** Draw a spec uniformly: [inputs] in [2 .. max_inputs] (or exactly 1
+    when [max_inputs = 1]), [gates] in [1 .. max_gates], [seed] below one
+    million. *)
+
+val of_spec : ?profile:profile -> spec -> Ndetect_circuit.Netlist.t
+(** [generate] with the spec's parameters. *)

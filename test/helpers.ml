@@ -23,6 +23,20 @@ let circuit_arbitrary =
 let apply_circuit f (seed, inputs, gates) =
   f (random_circuit ~seed ~inputs ~gates)
 
+(* Wrap a qcheck property as an alcotest case. Honors NDETECT_QCHECK_SEED
+   so a failing seed printed by a CI run can be replayed exactly:
+   NDETECT_QCHECK_SEED=1234 dune runtest. *)
+let qcheck test =
+  let rand =
+    match Sys.getenv_opt "NDETECT_QCHECK_SEED" with
+    | None -> None
+    | Some s ->
+      Option.map
+        (fun n -> Random.State.make [| n |])
+        (int_of_string_opt (String.trim s))
+  in
+  QCheck_alcotest.to_alcotest ?rand test
+
 let contains_substring haystack needle =
   let nh = String.length haystack and nn = String.length needle in
   let rec go i =

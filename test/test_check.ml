@@ -1,0 +1,199 @@
+(* Differential oracle subsystem: the reference implementations agree
+   with the optimized stack on fixed and random circuits, and the
+   --mutate self-test proves a seeded wrong answer is reported. *)
+
+module Bitvec = Ndetect_util.Bitvec
+module Netlist = Ndetect_circuit.Netlist
+module Detection_table = Ndetect_core.Detection_table
+module Worst_case = Ndetect_core.Worst_case
+module Definition2 = Ndetect_core.Definition2
+module Procedure1 = Ndetect_core.Procedure1
+module Example = Ndetect_suite.Example
+module Random_circuit = Ndetect_suite.Random_circuit
+module Ref_eval = Ndetect_check.Ref_eval
+module Ref_table = Ndetect_check.Ref_table
+module Ref_worst = Ndetect_check.Ref_worst
+module Ref_def2 = Ndetect_check.Ref_def2
+module Ref_procedure1 = Ndetect_check.Ref_procedure1
+module Campaign = Ndetect_check.Campaign
+
+let no_divergences label divs =
+  Alcotest.(check int)
+    (label ^ ": no divergences"
+    ^
+    match divs with
+    | [] -> ""
+    | d :: _ ->
+      Printf.sprintf " (first: %s ref=%s opt=%s)" d.Campaign.cell
+        d.Campaign.expected d.Campaign.actual)
+    0 (List.length divs)
+
+(* The paper's worked example (Figure 1) must agree cell for cell in
+   every Procedure 1 mode. *)
+let test_example_circuit_agrees () =
+  List.iter
+    (fun mode ->
+      no_divergences "example"
+        (Campaign.check_net ~proc_mode:mode ~seed:3 (Example.circuit ())))
+    [ Procedure1.Definition1; Procedure1.Definition2; Procedure1.Multi_output ]
+
+(* The reference tables reproduce the example's published numbers
+   independently of the optimized stack. *)
+let test_ref_table_example_numbers () =
+  let net = Example.circuit () in
+  let rt = Ref_table.build net in
+  let table = Detection_table.build net in
+  Alcotest.(check int)
+    "target count" (Detection_table.target_count table)
+    (Ref_table.target_count rt);
+  Alcotest.(check int)
+    "untargeted count"
+    (Detection_table.untargeted_count table)
+    (Ref_table.untargeted_count rt)
+
+let test_ref_worst_unbounded () =
+  (* A fault with no intersecting target set gets the sentinel. *)
+  Alcotest.(check int) "sentinel" max_int Ref_worst.unbounded
+
+(* Definition 2 verdicts: memoized cone oracle vs whole-circuit ternary
+   re-evaluation, all pairs over the example circuit's universe. *)
+let test_def2_all_pairs_example () =
+  let net = Example.circuit () in
+  let rt = Ref_table.build net in
+  let table = Detection_table.build net in
+  let universe = Ref_table.universe rt in
+  let opt = Definition2.create table in
+  let refo =
+    Ref_def2.create net
+      (Array.init (Ref_table.target_count rt) (Ref_table.target_fault rt))
+  in
+  for fi = 0 to Ref_table.target_count rt - 1 do
+    for v1 = 0 to universe - 1 do
+      for v2 = 0 to universe - 1 do
+        Alcotest.(check bool)
+          (Printf.sprintf "different(f%d,%d,%d)" fi v1 v2)
+          (Ref_def2.different refo ~fi v1 v2)
+          (Definition2.different opt ~fi v1 v2)
+      done
+    done
+  done
+
+(* Random-circuit property: a clean campaign finds no divergences. Kept
+   small; the runtest rule on the CLI runs a larger one and the full
+   campaign is `ndetect check --circuits 200 --seed 42`. *)
+let test_clean_campaign () =
+  let report = Campaign.run ~circuits:8 ~seed:42 ~max_pi:5 () in
+  Alcotest.(check int) "circuits" 8 report.Campaign.circuits_run;
+  Alcotest.(check int)
+    ("no failures: " ^ Campaign.render report)
+    0
+    (List.length report.Campaign.failures);
+  Alcotest.(check bool)
+    "no reproducer" true
+    (report.Campaign.reproducer = None)
+
+let prop_random_circuit_agrees =
+  QCheck.Test.make ~count:15 ~name:"optimized stack agrees with reference"
+    Helpers.circuit_arbitrary (fun (seed, inputs, gates) ->
+      (* Bound the universe: the oracle is exhaustive. *)
+      let inputs = min inputs 5 in
+      let spec = { Random_circuit.seed; inputs; gates = min gates 12 } in
+      Campaign.check_spec spec = [])
+
+(* The self-test: a seeded single-bit corruption of one optimized
+   detection set must be reported and shrink to a smaller spec. *)
+let test_mutate_campaign_catches_bug () =
+  let report = Campaign.run ~mutate:true ~circuits:3 ~seed:7 ~max_pi:4 () in
+  Alcotest.(check bool)
+    "at least one failure" true
+    (report.Campaign.failures <> []);
+  match report.Campaign.reproducer with
+  | None -> Alcotest.fail "mutate campaign produced no reproducer"
+  | Some (spec, d) ->
+    let orig = (List.hd report.Campaign.failures).Campaign.spec in
+    Alcotest.(check bool)
+      "shrunk spec is no larger" true
+      (spec.Random_circuit.gates <= orig.Random_circuit.gates
+      && spec.Random_circuit.inputs <= orig.Random_circuit.inputs);
+    (* The shrunk spec still reproduces. *)
+    Alcotest.(check bool)
+      "reproducer diverges" true
+      (Campaign.check_spec ~mutate:true spec <> []);
+    Alcotest.(check bool) "divergence has a cell" true (d.Campaign.cell <> "")
+
+let test_corrupt_target_set_is_local () =
+  let net = Example.circuit () in
+  let table = Detection_table.build net in
+  let before =
+    Array.init (Detection_table.target_count table) (fun fi ->
+        Bitvec.to_list (Detection_table.target_set table fi))
+  in
+  Detection_table.corrupt_target_set table ~fi:0 ~vector:0;
+  let changed = ref 0 in
+  Array.iteri
+    (fun fi old ->
+      if Bitvec.to_list (Detection_table.target_set table fi) <> old then
+        incr changed)
+    before;
+  Alcotest.(check int) "exactly one set changed" 1 !changed
+
+let test_shrink_requires_divergence () =
+  Alcotest.check_raises "non-diverging spec"
+    (Invalid_argument "Campaign.shrink: spec does not diverge")
+    (fun () ->
+      ignore
+        (Campaign.shrink { Random_circuit.seed = 1; inputs = 2; gates = 2 }))
+
+(* Ref_eval's from-scratch semantics pin down the basics on a circuit
+   small enough to check by hand: g = AND(i0, i1), observed. *)
+let test_ref_eval_hand_checked () =
+  let b = Netlist.Builder.create () in
+  let i0 = Netlist.Builder.add_input b ~name:"i0" in
+  let i1 = Netlist.Builder.add_input b ~name:"i1" in
+  let g =
+    Netlist.Builder.add_gate b ~kind:Ndetect_circuit.Gate.And
+      ~fanins:[| i0; i1 |] ~name:"g"
+  in
+  Netlist.Builder.set_outputs b [| g |];
+  let net = Netlist.Builder.finalize b in
+  (* Vector 3 = i0:1 i1:1 (first input is the MSB). *)
+  Alcotest.(check bool) "AND(1,1)" true (Ref_eval.good_outputs net 3).(0);
+  Alcotest.(check bool) "AND(1,0)" false (Ref_eval.good_outputs net 2).(0);
+  (* Output stuck-at-0 is detected exactly by vector 3. *)
+  let fault =
+    { Ndetect_faults.Stuck.line = Ndetect_circuit.Line.Stem g; value = false }
+  in
+  Alcotest.(check bool) "sa0 at 3" true (Ref_eval.detects_stuck net fault 3);
+  Alcotest.(check bool) "sa0 at 2" false (Ref_eval.detects_stuck net fault 2)
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "example circuit agrees (all modes)" `Quick
+            test_example_circuit_agrees;
+          Alcotest.test_case "ref table shapes match" `Quick
+            test_ref_table_example_numbers;
+          Alcotest.test_case "ref worst sentinel" `Quick
+            test_ref_worst_unbounded;
+          Alcotest.test_case "def2 all pairs (example)" `Quick
+            test_def2_all_pairs_example;
+          Alcotest.test_case "clean campaign" `Quick test_clean_campaign;
+          Helpers.qcheck prop_random_circuit_agrees;
+        ] );
+      ( "self-test",
+        [
+          Alcotest.test_case "mutate campaign catches the bug" `Quick
+            test_mutate_campaign_catches_bug;
+          Alcotest.test_case "corruption is confined to one set" `Quick
+            test_corrupt_target_set_is_local;
+          Alcotest.test_case "shrink rejects clean specs" `Quick
+            test_shrink_requires_divergence;
+        ] );
+      ( "ref-eval",
+        [
+          Alcotest.test_case "hand-checked AND circuit" `Quick
+            test_ref_eval_hand_checked;
+        ] );
+    ]

@@ -283,7 +283,7 @@ let () =
       ( "gates",
         [
           Alcotest.test_case "truth tables" `Quick test_gate_eval_kinds;
-          QCheck_alcotest.to_alcotest prop_eval_consistency;
+          Helpers.qcheck prop_eval_consistency;
         ] );
       ("dot", [ Alcotest.test_case "export" `Quick test_dot_export ]);
       ( "equiv",
@@ -293,7 +293,7 @@ let () =
             test_equiv_counterexample;
           Alcotest.test_case "interface mismatch" `Quick
             test_equiv_interface_mismatch;
-          QCheck_alcotest.to_alcotest prop_equiv_multilevel;
+          Helpers.qcheck prop_equiv_multilevel;
         ] );
       ( "random-circuit",
         [

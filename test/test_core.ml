@@ -469,8 +469,8 @@ let () =
           Alcotest.test_case "example (paper numbers)" `Quick
             test_worst_case_example;
           Alcotest.test_case "counters" `Quick test_worst_case_counters;
-          QCheck_alcotest.to_alcotest prop_nmin_adversarial_bound;
-          QCheck_alcotest.to_alcotest prop_nmin_guarantee;
+          Helpers.qcheck prop_nmin_adversarial_bound;
+          Helpers.qcheck prop_nmin_guarantee;
         ] );
       ( "procedure1",
         [
@@ -484,15 +484,15 @@ let () =
             test_procedure1_multi_output;
           Alcotest.test_case "per-output detection sets" `Quick
             test_output_sets_partition_detection;
-          QCheck_alcotest.to_alcotest prop_procedure1_sets_valid;
-          QCheck_alcotest.to_alcotest prop_procedure1_multi_output_valid;
-          QCheck_alcotest.to_alcotest prop_procedure1_monotone;
+          Helpers.qcheck prop_procedure1_sets_valid;
+          Helpers.qcheck prop_procedure1_multi_output_valid;
+          Helpers.qcheck prop_procedure1_monotone;
         ] );
       ( "definition2",
         [
           Alcotest.test_case "example pairs" `Quick test_definition2_example;
           Alcotest.test_case "symmetry" `Quick test_definition2_symmetric;
-          QCheck_alcotest.to_alcotest prop_def2_greedy_le_exact;
+          Helpers.qcheck prop_def2_greedy_le_exact;
         ] );
       ( "average-case",
         [

@@ -385,7 +385,7 @@ let () =
     [
       ( "pattern-sim",
         [
-          QCheck_alcotest.to_alcotest prop_pattern_sim_matches_universe;
+          Helpers.qcheck prop_pattern_sim_matches_universe;
           Alcotest.test_case "test_eval example" `Quick test_test_eval_example;
           Alcotest.test_case "test_eval def2" `Quick test_test_eval_def2_capped;
           Alcotest.test_case "is_n_detection" `Quick
@@ -410,7 +410,7 @@ let () =
           Alcotest.test_case "example" `Quick test_wired_example;
           Alcotest.test_case "analysis with wired model" `Quick
             test_wired_analysis_model;
-          QCheck_alcotest.to_alcotest prop_wired_sim_matches_naive;
+          Helpers.qcheck prop_wired_sim_matches_naive;
         ] );
       ( "checkpoints",
         [ Alcotest.test_case "example" `Quick test_checkpoints_example ] );
@@ -422,7 +422,7 @@ let () =
           Alcotest.test_case "off-set cover" `Quick test_blif_offset_cover;
           Alcotest.test_case "roundtrip example" `Quick test_blif_roundtrip;
           Alcotest.test_case "errors" `Quick test_blif_errors;
-          QCheck_alcotest.to_alcotest prop_blif_roundtrip_random;
+          Helpers.qcheck prop_blif_roundtrip_random;
         ] );
       ( "verilog",
         [

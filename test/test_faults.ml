@@ -155,8 +155,8 @@ let () =
           Alcotest.test_case "collapse classes" `Quick
             test_collapse_classes_example;
           Alcotest.test_case "labels" `Quick test_stuck_to_string;
-          QCheck_alcotest.to_alcotest prop_collapse_equivalent;
-          QCheck_alcotest.to_alcotest prop_collapse_partition;
+          Helpers.qcheck prop_collapse_equivalent;
+          Helpers.qcheck prop_collapse_partition;
         ] );
       ( "bridge",
         [
@@ -166,7 +166,7 @@ let () =
             test_bridge_feedback_filtered;
           Alcotest.test_case "single-input gates excluded" `Quick
             test_bridge_excludes_single_input_gates;
-          QCheck_alcotest.to_alcotest prop_bridge_four_per_pair;
-          QCheck_alcotest.to_alcotest prop_bridge_no_feedback_pairs;
+          Helpers.qcheck prop_bridge_four_per_pair;
+          Helpers.qcheck prop_bridge_no_feedback_pairs;
         ] );
     ]

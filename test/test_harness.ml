@@ -96,6 +96,39 @@ let test_parse_args_result () =
     Alcotest.(check string) "parse_args raises same message" m
       (failure_message [ "--k"; "abc" ]))
 
+(* Flag combinations that every individual parser accepts but that are
+   wrong as a whole must be an [Error], not a run that silently does
+   nothing (an unknown --only section selects zero tables; k/k2 < 1
+   render every sampled table vacuously). *)
+let test_parse_args_rejects_contradictions () =
+  let expect_error label args needle =
+    match Driver.parse_args_result args with
+    | Ok _ -> Alcotest.fail (label ^ ": expected Error")
+    | Error m ->
+      Alcotest.(check bool)
+        (label ^ " message mentions cause")
+        true
+        (Helpers.contains_substring m needle)
+  in
+  expect_error "unknown section" [ "--only"; "table9" ] "unknown section";
+  expect_error "zero k" [ "--k"; "0" ] "--k expects a positive";
+  expect_error "negative k2" [ "--k2"; "-5" ] "--k2 expects a positive";
+  expect_error "resume without checkpoint" [ "--resume" ]
+    "--resume requires --checkpoint";
+  (* Case-insensitivity and the valid spellings stay accepted. *)
+  List.iter
+    (fun args ->
+      match Driver.parse_args_result args with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail ("unexpected Error: " ^ m))
+    [
+      [ "--only"; "Table5" ];
+      [ "--only"; "figure2" ];
+      [ "--only"; "all" ];
+      [ "--k"; "1" ];
+      [ "--resume"; "--checkpoint"; "ck" ];
+    ]
+
 let test_parse_args_telemetry_flags () =
   let opts = Driver.parse_args [ "--trace"; "out.jsonl"; "--metrics" ] in
   Alcotest.(check (option string)) "trace file" (Some "out.jsonl")
@@ -270,18 +303,82 @@ let test_table_cache_corruption () =
       Alcotest.(check bool) "garbage is a miss" true
         (Table_cache.load ~dir ~key net = None))
 
+(* Exhaustive damage sweep: truncations at structural boundaries and
+   single-bit flips in the magic, the header, and the payload must all
+   degrade to a miss — never raise, never return a wrong table — and
+   each must bump the "table_cache.corrupt" counter (a file existed
+   but failed validation). The payload is a Marshal blob, which does
+   not self-detect single-bit damage; only the header digest makes
+   these cases safe. *)
+let test_table_cache_damage_sweep () =
+  with_temp_dir (fun dir ->
+      let module Telemetry = Ndetect_util.Telemetry in
+      let net = Registry.circuit (Option.get (Registry.find "lion")) in
+      let key = Table_cache.key net in
+      Table_cache.store ~dir ~key (Detection_table.build net);
+      let path = Filename.concat dir (key ^ ".tbl") in
+      let pristine = In_channel.with_open_bin path In_channel.input_all in
+      let len = String.length pristine in
+      let header_end = String.index_from pristine 14 '\n' in
+      let write raw =
+        let oc = open_out_bin path in
+        output_string oc raw;
+        close_out oc
+      in
+      let flip raw pos =
+        let b = Bytes.of_string raw in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 1));
+        Bytes.to_string b
+      in
+      let expect_corrupt_miss label raw =
+        write raw;
+        let corrupt_before = Telemetry.counter_value "table_cache.corrupt" in
+        Alcotest.(check bool)
+          (label ^ " is a miss")
+          true
+          (Table_cache.load ~dir ~key net = None);
+        Alcotest.(check int)
+          (label ^ " counted as corrupt")
+          (corrupt_before + 1)
+          (Telemetry.counter_value "table_cache.corrupt")
+      in
+      (* Truncations: empty file, torn magic, torn header, header only
+         (payload gone), torn payload. *)
+      List.iter
+        (fun cut ->
+          expect_corrupt_miss
+            (Printf.sprintf "truncated to %d/%d bytes" cut len)
+            (String.sub pristine 0 cut))
+        [ 0; 7; header_end - 3; header_end + 1; len - 1; len / 2 ];
+      (* Single-bit flips: magic, version digit, key, digest, declared
+         length, payload start / middle / last byte. *)
+      List.iter
+        (fun pos ->
+          expect_corrupt_miss
+            (Printf.sprintf "bit flip at byte %d/%d" pos len)
+            (flip pristine pos))
+        [ 0; 14; 16; header_end - 2; header_end - 1; header_end + 1;
+          (header_end + 1 + len) / 2; len - 1 ];
+      (* And the pristine bytes restored still hit. *)
+      write pristine;
+      Alcotest.(check bool) "pristine file hits again" true
+        (Table_cache.load ~dir ~key net <> None))
+
 let test_table_cache_version_mismatch () =
   with_temp_dir (fun dir ->
       let net = Registry.circuit (Option.get (Registry.find "lion")) in
       let key = Table_cache.key net in
-      (* A file from a future format version: valid magic and header, but
-         the payload type is unknowable — it must be rejected from the
-         header alone, without interpreting the payload. *)
+      (* A file from a future format version: consistent header and
+         digest, but the payload type is unknowable — it must be
+         rejected from the version field alone. *)
+      let payload = Marshal.to_string () [] in
       let buf = Buffer.create 256 in
       Buffer.add_string buf "ndetect-table\n";
       Buffer.add_string buf
-        (Marshal.to_string (Table_cache.version + 1, key) []);
-      Buffer.add_string buf (Marshal.to_string () []);
+        (Printf.sprintf "%d %s %s %d\n" (Table_cache.version + 1) key
+           (Digest.to_hex (Digest.string payload))
+           (String.length payload));
+      Buffer.add_string buf payload;
       Checkpoint.write_atomic
         ~path:(Filename.concat dir (key ^ ".tbl"))
         (Buffer.contents buf);
@@ -501,6 +598,44 @@ let test_kill_and_resume_equivalence () =
       Alcotest.(check int) "no failures after resume" 0
         (List.length (Driver.failures resumed)))
 
+(* The same kill/resume contract under parallel execution: a
+   checkpointed --domains 2 run crashed mid-run, then resumed with
+   --domains 2, must be byte-identical to an uninterrupted --domains 2
+   run — and to the sequential one (parallel analysis is
+   deterministic), so a checkpoint written by a parallel run cannot
+   poison a later resume in either configuration. *)
+let test_kill_and_resume_equivalence_parallel () =
+  with_temp_dir (fun dir ->
+      let parallel_options = { small_options with Driver.domains = Some 2 } in
+      let clean = Driver.create parallel_options in
+      let expected_t2 = Driver.table2_csv clean in
+      let expected_t3 = Driver.table3_csv clean in
+      Alcotest.(check string) "parallel clean run matches sequential"
+        (Driver.table2_csv (Driver.create small_options))
+        expected_t2;
+      let interrupted =
+        Driver.create
+          { parallel_options with
+            Driver.checkpoint_dir = Some dir;
+            inject = Some "crash=analyze:mc" }
+      in
+      Alcotest.(check bool) "interrupted parallel run differs" true
+        (Driver.table2_csv interrupted <> expected_t2);
+      Alcotest.(check int) "one failure" 1
+        (List.length (Driver.failures interrupted));
+      let resumed =
+        Driver.create
+          { parallel_options with
+            Driver.checkpoint_dir = Some dir;
+            resume = true }
+      in
+      Alcotest.(check string) "table2 csv identical" expected_t2
+        (Driver.table2_csv resumed);
+      Alcotest.(check string) "table3 csv identical" expected_t3
+        (Driver.table3_csv resumed);
+      Alcotest.(check int) "no failures after resume" 0
+        (List.length (Driver.failures resumed)))
+
 let test_resume_skips_checkpointed_work () =
   with_temp_dir (fun dir ->
       let opts = { small_options with Driver.checkpoint_dir = Some dir } in
@@ -577,6 +712,8 @@ let () =
           Alcotest.test_case "friendly messages" `Quick
             test_parse_args_friendly_messages;
           Alcotest.test_case "result form" `Quick test_parse_args_result;
+          Alcotest.test_case "contradictory flags rejected" `Quick
+            test_parse_args_rejects_contradictions;
           Alcotest.test_case "telemetry flags" `Quick
             test_parse_args_telemetry_flags;
           Alcotest.test_case "options make" `Quick test_options_make;
@@ -598,6 +735,8 @@ let () =
             test_table_cache_roundtrip;
           Alcotest.test_case "corruption tolerated" `Quick
             test_table_cache_corruption;
+          Alcotest.test_case "damage sweep: truncations and bit flips" `Quick
+            test_table_cache_damage_sweep;
           Alcotest.test_case "version mismatch tolerated" `Quick
             test_table_cache_version_mismatch;
           Alcotest.test_case "key covers parameters" `Quick
@@ -621,6 +760,8 @@ let () =
           Alcotest.test_case "timeout row" `Quick test_timeout_row;
           Alcotest.test_case "kill and resume" `Quick
             test_kill_and_resume_equivalence;
+          Alcotest.test_case "kill and resume (domains 2)" `Quick
+            test_kill_and_resume_equivalence_parallel;
           Alcotest.test_case "resume skips work" `Quick
             test_resume_skips_checkpointed_work;
         ] );

@@ -86,7 +86,7 @@ let test_file_result_io () =
 let () =
   Alcotest.run "netparse-fuzz"
     [
-      ("fuzz", List.map QCheck_alcotest.to_alcotest props);
+      ("fuzz", List.map Helpers.qcheck props);
       ( "files",
         [ Alcotest.test_case "missing file is `Io" `Quick test_file_result_io ]
       );

@@ -212,5 +212,5 @@ let () =
             test_multi_output_chain_regression;
         ] );
       ( "cone cache",
-        [ QCheck_alcotest.to_alcotest prop_cone_cache_transparent ] );
+        [ Helpers.qcheck prop_cone_cache_transparent ] );
     ]

@@ -252,7 +252,7 @@ let () =
           Alcotest.test_case "example outputs" `Quick test_example_outputs;
         ] );
       ( "good",
-        [ QCheck_alcotest.to_alcotest prop_good_matches_scalar ] );
+        [ Helpers.qcheck prop_good_matches_scalar ] );
       ( "fault-sim",
         [
           Alcotest.test_case "example stuck sets (Table 1)" `Quick
@@ -263,9 +263,9 @@ let () =
             test_detects_stuck_single_vector;
           Alcotest.test_case "branch fault localized" `Quick
             test_naive_branch_fault_localized;
-          QCheck_alcotest.to_alcotest prop_stuck_sim_matches_naive;
-          QCheck_alcotest.to_alcotest prop_bridge_sim_matches_naive;
-          QCheck_alcotest.to_alcotest prop_bridge_batch_matches_singles;
+          Helpers.qcheck prop_stuck_sim_matches_naive;
+          Helpers.qcheck prop_bridge_sim_matches_naive;
+          Helpers.qcheck prop_bridge_batch_matches_singles;
         ] );
       ( "ternary",
         [
@@ -273,7 +273,7 @@ let () =
             test_ternary_full_vectors_match_boolean;
           Alcotest.test_case "partial detection" `Quick
             test_ternary_partial_detection;
-          QCheck_alcotest.to_alcotest prop_ternary_detection_sound;
-          QCheck_alcotest.to_alcotest prop_ternary_cone_matches_full;
+          Helpers.qcheck prop_ternary_detection_sound;
+          Helpers.qcheck prop_ternary_cone_matches_full;
         ] );
     ]

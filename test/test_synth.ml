@@ -273,11 +273,11 @@ let () =
           Alcotest.test_case "contains" `Quick test_cube_contains;
           Alcotest.test_case "merge" `Quick test_cube_merge;
           Alcotest.test_case "intersects" `Quick test_cube_intersects;
-          QCheck_alcotest.to_alcotest prop_minimize_preserves_function;
-          QCheck_alcotest.to_alcotest prop_minimize_no_growth;
-          QCheck_alcotest.to_alcotest prop_tautology_matches_semantics;
-          QCheck_alcotest.to_alcotest prop_expand_irredundant_preserve;
-          QCheck_alcotest.to_alcotest prop_expand_gives_primes;
+          Helpers.qcheck prop_minimize_preserves_function;
+          Helpers.qcheck prop_minimize_no_growth;
+          Helpers.qcheck prop_tautology_matches_semantics;
+          Helpers.qcheck prop_expand_irredundant_preserve;
+          Helpers.qcheck prop_expand_gives_primes;
         ] );
       ( "encode",
         [
@@ -296,7 +296,7 @@ let () =
             test_synthesis_nondeterminism_rejected;
           Alcotest.test_case "output conflict rejected" `Quick
             test_synthesis_output_conflict_rejected;
-          QCheck_alcotest.to_alcotest prop_generated_fsm_synthesizes;
+          Helpers.qcheck prop_generated_fsm_synthesizes;
           Alcotest.test_case "strong minimizer equivalent" `Quick
             test_strong_synthesis_equivalent;
         ] );
@@ -306,6 +306,6 @@ let () =
             test_multilevel_respects_max_fanin;
           Alcotest.test_case "bbtas equivalence" `Quick
             test_multilevel_equivalence_bbtas;
-          QCheck_alcotest.to_alcotest prop_multilevel_equivalent;
+          Helpers.qcheck prop_multilevel_equivalent;
         ] );
     ]

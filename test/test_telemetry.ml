@@ -319,7 +319,7 @@ let () =
           Alcotest.test_case "nesting" `Quick test_span_nesting;
           Alcotest.test_case "args and render" `Quick
             test_span_args_and_render;
-          QCheck_alcotest.to_alcotest prop_span_tree;
+          Helpers.qcheck prop_span_tree;
           Alcotest.test_case "exception propagates" `Quick
             test_span_exception_propagates;
           Alcotest.test_case "error spans" `Quick test_error_spans;

@@ -180,8 +180,8 @@ let () =
           Alcotest.test_case "constants and NOT" `Quick
             test_scoap_constants_and_not;
           Alcotest.test_case "xor" `Quick test_scoap_xor;
-          QCheck_alcotest.to_alcotest prop_scoap_finite_for_detectable;
-          QCheck_alcotest.to_alcotest prop_scoap_positive;
+          Helpers.qcheck prop_scoap_finite_for_detectable;
+          Helpers.qcheck prop_scoap_positive;
         ] );
       ( "lfsr",
         [

@@ -198,7 +198,7 @@ let () =
             test_podem_redundant_fault;
           Alcotest.test_case "randomized diversity" `Quick
             test_podem_randomized_diversity;
-          QCheck_alcotest.to_alcotest prop_podem_complete;
+          Helpers.qcheck prop_podem_complete;
         ] );
       ( "ndet-atpg",
         [
@@ -214,6 +214,6 @@ let () =
             test_greedy_cover_size_grows_with_n;
           Alcotest.test_case "reverse-order pass" `Quick
             test_reverse_order_pass;
-          QCheck_alcotest.to_alcotest prop_greedy_cover_random;
+          Helpers.qcheck prop_greedy_cover_random;
         ] );
     ]

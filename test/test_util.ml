@@ -230,6 +230,135 @@ let prop_blocked_inter_counts =
       Bitvec.Blocked.rows packed = Array.length vecs
       && got = Array.map (Bitvec.inter_count p) vecs)
 
+(* Dense differential oracles: the sparse list generators above rarely
+   fill whole words, so the SWAR fast paths and the ragged-last-word
+   masking are exercised here against literal [Bitvec.get] bit loops.
+   Vectors are ~half-full, reproducible from a (len, seed) pair, and
+   lengths concentrate on word boundaries of the 62-bit layout
+   (61/62/63/123/124) plus arbitrary sizes. *)
+
+let ragged_lengths = [| 1; 2; 61; 62; 63; 100; 123; 124; 186; 248; 300 |]
+
+let dense_of_seed len seed =
+  let rng = Rng.create ~seed in
+  let v = Bitvec.create len in
+  for i = 0 to len - 1 do
+    if Rng.bool rng then Bitvec.set v i
+  done;
+  v
+
+let dense_pair_gen =
+  QCheck.make
+    ~print:(fun (len, sa, sb) ->
+      Printf.sprintf "len=%d seed_a=%d seed_b=%d" len sa sb)
+    QCheck.Gen.(
+      let len =
+        oneof
+          [
+            oneofa ragged_lengths;
+            int_range 1 300;
+          ]
+      in
+      triple len (int_bound 10_000) (int_bound 10_000))
+
+let naive_inter_count len a b =
+  let c = ref 0 in
+  for i = 0 to len - 1 do
+    if Bitvec.get a i && Bitvec.get b i then incr c
+  done;
+  !c
+
+let prop_dense_inter_count =
+  QCheck.Test.make ~name:"inter_count = naive get loop (dense)" ~count:300
+    dense_pair_gen (fun (len, sa, sb) ->
+      let a = dense_of_seed len sa and b = dense_of_seed len sb in
+      Bitvec.inter_count a b = naive_inter_count len a b)
+
+let prop_dense_inter_count_upto =
+  QCheck.make
+    ~print:(fun ((len, sa, sb), limit) ->
+      Printf.sprintf "len=%d seed_a=%d seed_b=%d limit=%d" len sa sb limit)
+    QCheck.Gen.(pair (QCheck.gen dense_pair_gen) (int_range 0 305))
+  |> fun arb ->
+  QCheck.Test.make ~name:"inter_count_upto = naive get loop (dense)"
+    ~count:300 arb (fun ((len, sa, sb), limit) ->
+      let a = dense_of_seed len sa and b = dense_of_seed len sb in
+      Bitvec.inter_count_upto ~limit a b
+      = min (naive_inter_count len a b) limit)
+
+let prop_dense_inter_count_many =
+  QCheck.make
+    ~print:(fun (len, sp, rows) ->
+      Printf.sprintf "len=%d seed_p=%d rows=%d" len sp rows)
+    QCheck.Gen.(
+      triple (oneofa ragged_lengths) (int_bound 10_000) (int_range 0 12))
+  |> fun arb ->
+  QCheck.Test.make ~name:"inter_count_many = naive get loops (dense)"
+    ~count:200 arb (fun (len, sp, rows) ->
+      let p = dense_of_seed len sp in
+      let targets = Array.init rows (fun r -> dense_of_seed len (r + 17)) in
+      Bitvec.inter_count_many p targets
+      = Array.map (naive_inter_count len p) targets)
+
+let prop_dense_blocked =
+  QCheck.make
+    ~print:(fun (len, sp, rows, bs) ->
+      Printf.sprintf "len=%d seed_p=%d rows=%d block_size=%d" len sp rows bs)
+    QCheck.Gen.(
+      quad (oneofa ragged_lengths) (int_bound 10_000) (int_range 0 12)
+        (int_range 1 9))
+  |> fun arb ->
+  QCheck.Test.make ~name:"Blocked = naive get loops (dense, ragged)"
+    ~count:200 arb (fun (len, sp, rows, block_size) ->
+      let p = dense_of_seed len sp in
+      let vecs = Array.init rows (fun r -> dense_of_seed len (r + 31)) in
+      let packed = Bitvec.Blocked.pack ~block_size vecs in
+      let got = Array.make rows (-1) in
+      let dst = Array.make block_size 0 in
+      for b = 0 to Bitvec.Blocked.block_count packed - 1 do
+        let k = Bitvec.Blocked.inter_counts_into packed ~block:b p dst in
+        Array.blit dst 0 got (b * block_size) k
+      done;
+      got = Array.map (naive_inter_count len p) vecs)
+
+(* Empty operands hit the all-zero-word paths and the limit=0 early
+   exit; spelled out per ragged length rather than left to chance. *)
+let test_intersection_kernels_empty_sets () =
+  Array.iter
+    (fun len ->
+      let empty = Bitvec.create len in
+      let dense = dense_of_seed len 5 in
+      List.iter
+        (fun (label, a, b) ->
+          Alcotest.(check int)
+            (Printf.sprintf "inter_count %s len=%d" label len)
+            0 (Bitvec.inter_count a b);
+          Alcotest.(check int)
+            (Printf.sprintf "inter_count_upto %s len=%d" label len)
+            0
+            (Bitvec.inter_count_upto ~limit:3 a b))
+        [ ("0∩0", empty, empty); ("0∩d", empty, dense); ("d∩0", dense, empty) ];
+      Alcotest.(check int)
+        (Printf.sprintf "limit=0 len=%d" len)
+        0
+        (Bitvec.inter_count_upto ~limit:0 dense dense);
+      Alcotest.(check (array int))
+        (Printf.sprintf "many vs empties len=%d" len)
+        [| 0; 0 |]
+        (Bitvec.inter_count_many empty [| dense; empty |]);
+      let packed = Bitvec.Blocked.pack ~block_size:2 [| empty; dense |] in
+      let dst = Array.make 2 (-1) in
+      let k = Bitvec.Blocked.inter_counts_into packed ~block:0 empty dst in
+      Alcotest.(check int) (Printf.sprintf "blocked rows len=%d" len) 2 k;
+      Alcotest.(check (array int))
+        (Printf.sprintf "blocked vs empty probe len=%d" len)
+        [| 0; 0 |] dst)
+    ragged_lengths;
+  (* No rows at all: nothing to count, nothing to pack. *)
+  Alcotest.(check (array int))
+    "many with zero targets" [||]
+    (Bitvec.inter_count_many (dense_of_seed 63 1) [||])
+
 let prop_equal_compare_hash =
   QCheck.make
     ~print:(fun ((l1, x1), (l2, x2)) ->
@@ -376,20 +505,26 @@ let () =
             test_nth_diff_not_found;
           Alcotest.test_case "union in place" `Quick test_union_in_place;
           Alcotest.test_case "length mismatch" `Quick test_length_mismatch;
-          QCheck_alcotest.to_alcotest prop_inter_count;
-          QCheck_alcotest.to_alcotest prop_diff_and_union;
-          QCheck_alcotest.to_alcotest prop_nth_diff;
-          QCheck_alcotest.to_alcotest prop_nth_set;
+          Helpers.qcheck prop_inter_count;
+          Helpers.qcheck prop_diff_and_union;
+          Helpers.qcheck prop_nth_diff;
+          Helpers.qcheck prop_nth_set;
         ] );
       ( "bitvec kernels",
         [
-          QCheck_alcotest.to_alcotest prop_count_naive;
-          QCheck_alcotest.to_alcotest prop_iter_set_order;
-          QCheck_alcotest.to_alcotest prop_inter_count_upto;
-          QCheck_alcotest.to_alcotest prop_inter_count_many;
-          QCheck_alcotest.to_alcotest prop_blocked_inter_counts;
-          QCheck_alcotest.to_alcotest prop_equal_compare_hash;
-          QCheck_alcotest.to_alcotest prop_equal_reflexive;
+          Helpers.qcheck prop_count_naive;
+          Helpers.qcheck prop_iter_set_order;
+          Helpers.qcheck prop_inter_count_upto;
+          Helpers.qcheck prop_inter_count_many;
+          Helpers.qcheck prop_blocked_inter_counts;
+          Helpers.qcheck prop_dense_inter_count;
+          Helpers.qcheck prop_dense_inter_count_upto;
+          Helpers.qcheck prop_dense_inter_count_many;
+          Helpers.qcheck prop_dense_blocked;
+          Alcotest.test_case "empty sets (all kernels)" `Quick
+            test_intersection_kernels_empty_sets;
+          Helpers.qcheck prop_equal_compare_hash;
+          Helpers.qcheck prop_equal_reflexive;
         ] );
       ( "parallel",
         [
@@ -403,6 +538,6 @@ let () =
             test_try_map_isolates_failures;
           Alcotest.test_case "lowest failing index re-raised" `Quick
             test_map_array_reraises_lowest_index;
-          QCheck_alcotest.to_alcotest prop_try_map_exact_indices;
+          Helpers.qcheck prop_try_map_exact_indices;
         ] );
     ]

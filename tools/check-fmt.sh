@@ -5,13 +5,23 @@
 # depend on the tool being installed in every environment.
 set -eu
 
+root=$(dirname "$0")/..
+cd "$root"
+
+# Sanity-check the sweep's coverage before trusting it (even when the
+# formatter is absent): the differential-oracle library must be in the
+# file list — a rename or a narrowed find would otherwise silently
+# drop it from the gate.
+if ! find bin lib test bench tools -name '*.ml' -o -name '*.mli' \
+    | grep -q '^lib/check/'; then
+  echo "check-fmt: lib/check sources missing from the sweep"
+  exit 1
+fi
+
 if ! command -v ocamlformat >/dev/null 2>&1; then
   echo "check-fmt: ocamlformat not installed; skipping"
   exit 0
 fi
-
-root=$(dirname "$0")/..
-cd "$root"
 
 if [ ! -f .ocamlformat ]; then
   echo "check-fmt: no .ocamlformat profile; skipping"
