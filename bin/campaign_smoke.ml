@@ -1,0 +1,198 @@
+(* Chaos acceptance smoke for the sharded campaign runner, part of
+   `dune runtest` (see docs/internals.md, "Sharded campaigns").
+
+   Takes the path of the ndetect CLI executable and runs a scoped
+   small-tier campaign three ways:
+
+   1. a clean single-process baseline (--workers 1), which must exit 0;
+   2. a 2-worker --chaos run, where the coordinator SIGKILLs a worker
+      mid-campaign: it must exit 0, report shard.reassigned >= 1 on the
+      counters line, and produce a report byte-identical to (1);
+   3. a poison scenario (--inject crash=unit:...): every attempt at one
+      worst unit crashes deterministically, so the campaign must
+      quarantine the unit, exit 3 and render a structured failure row
+      for the affected circuit while completing the rest.
+
+   A chaos run that finishes before the fault injector finds a victim
+   proves nothing, so scenario 2 retries with a fresh ledger until a
+   kill actually landed (bounded; see [chaos_attempts]). *)
+
+let scenario_args =
+  [
+    "campaign"; "--tier"; "small"; "-k"; "16"; "--nmax"; "2";
+    "--fault-block"; "32"; "--set-chunk"; "2"; "--circuits"; "mc,s8";
+    "--seed"; "1"; "--lease-secs"; "3"; "--max-wall-secs"; "240";
+  ]
+
+let chaos_attempts = 5
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("campaign-smoke: FAIL: " ^ msg);
+      exit 1)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Run [cli args], stdout to [out], returning (exit code, stderr). *)
+let run cli args ~out =
+  let err = Filename.temp_file "campaign-smoke" ".err" in
+  let open_sink path =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  let fd_out = open_sink out and fd_err = open_sink err in
+  let pid =
+    Unix.create_process cli
+      (Array.of_list (cli :: args))
+      Unix.stdin fd_out fd_err
+  in
+  Unix.close fd_out;
+  Unix.close fd_err;
+  let _, status = Unix.waitpid [] pid in
+  let code =
+    match status with
+    | Unix.WEXITED n -> n
+    | Unix.WSIGNALED n | Unix.WSTOPPED n -> 128 + n
+  in
+  let stderr_text = read_file err in
+  (try Sys.remove err with Sys_error _ -> ());
+  (code, stderr_text)
+
+(* Value of [key]= on the "campaign counters:" stderr line. *)
+let counter stderr_text key =
+  let needle = key ^ "=" in
+  let line =
+    String.split_on_char '\n' stderr_text
+    |> List.find_opt (fun l ->
+           String.length l >= 18 && String.sub l 0 18 = "campaign counters:")
+  in
+  match line with
+  | None -> None
+  | Some line -> (
+      let rec find i =
+        if i + String.length needle > String.length line then None
+        else if String.sub line i (String.length needle) = needle then
+          Some (i + String.length needle)
+        else find (i + 1)
+      in
+      match find 0 with
+      | None -> None
+      | Some start ->
+          let stop = ref start in
+          while
+            !stop < String.length line
+            && match line.[!stop] with '0' .. '9' -> true | _ -> false
+          do
+            incr stop
+          done;
+          int_of_string_opt (String.sub line start (!stop - start)))
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let () =
+  if Array.length Sys.argv < 2 then die "usage: campaign_smoke NDETECT_CLI";
+  (* [create_process] PATH-searches a bare name, and dune hands the exe
+     path relative to the rule directory — anchor it. *)
+  let cli =
+    if Filename.is_relative Sys.argv.(1) then
+      Filename.concat (Sys.getcwd ()) Sys.argv.(1)
+    else Sys.argv.(1)
+  in
+  let root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "campaign-smoke-%d" (Unix.getpid ()))
+  in
+  let fresh name =
+    let dir = Filename.concat root name in
+    let rec rm path =
+      match Unix.lstat path with
+      | { Unix.st_kind = Unix.S_DIR; _ } ->
+          Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+          Unix.rmdir path
+      | _ -> Sys.remove path
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+    in
+    rm dir;
+    dir
+  in
+  (try Unix.mkdir root 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+
+  (* 1. Clean sequential baseline. *)
+  let base_out = Filename.concat root "base.report" in
+  let code, err =
+    run cli
+      (scenario_args
+      @ [ "--workers"; "1"; "--ledger"; fresh "base" ])
+      ~out:base_out
+  in
+  if code <> 0 then die "baseline campaign exited %d\n%s" code err;
+  let baseline = read_file base_out in
+  if not (contains baseline "Table 2:") then
+    die "baseline report is missing Table 2";
+
+  (* 2. Chaos: a worker is SIGKILLed mid-campaign; the merge must still
+     be byte-identical and the orphaned units reassigned. *)
+  let chaos_out = Filename.concat root "chaos.report" in
+  let rec chaos attempt =
+    if attempt > chaos_attempts then
+      die "chaos injector found no victim in %d attempts" chaos_attempts;
+    let code, err =
+      run cli
+        (scenario_args
+        @ [
+            "--workers"; "2"; "--chaos";
+            "--ledger"; fresh (Printf.sprintf "chaos-%d" attempt);
+          ])
+        ~out:chaos_out
+    in
+    if code <> 0 then die "chaos campaign exited %d\n%s" code err;
+    match counter err "chaos_kills" with
+    | Some kills when kills >= 1 -> err
+    | _ -> chaos (attempt + 1)
+  in
+  let chaos_err = chaos 1 in
+  (match counter chaos_err "reassigned" with
+  | Some n when n >= 1 -> ()
+  | got ->
+      die "chaos run killed a worker but reassigned=%s\n%s"
+        (match got with Some n -> string_of_int n | None -> "?")
+        chaos_err);
+  if read_file chaos_out <> baseline then
+    die "chaos report differs from the sequential baseline";
+
+  (* 3. Poison: a unit that crashes deterministically is quarantined
+     after max retries; the campaign completes, renders a structured
+     failure row and exits 3. *)
+  let poison_out = Filename.concat root "poison.report" in
+  let code, err =
+    run cli
+      (scenario_args
+      @ [
+          "--workers"; "2"; "--inject"; "crash=unit:worst-mc-0-32";
+          "--ledger"; fresh "poison";
+        ])
+      ~out:poison_out
+  in
+  if code <> 3 then die "poison campaign exited %d, want 3\n%s" code err;
+  (match counter err "poisoned" with
+  | Some n when n >= 1 -> ()
+  | _ -> die "poison campaign reported no poisoned units\n%s" err);
+  let poison_report = read_file poison_out in
+  if not (contains poison_report "poisoned: ") then
+    die "poison report has no structured failure row";
+  if not (contains poison_report "worst-mc-0-32") then
+    die "poison report does not name the quarantined unit";
+  if not (contains poison_report "s8") then
+    die "poison report lost the unaffected circuit";
+
+  print_endline "campaign-smoke: OK (baseline, chaos byte-identity, poison)"

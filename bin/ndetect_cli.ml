@@ -1,7 +1,8 @@
 (* ndetect: command-line interface to the n-detection analysis library.
 
    Subcommands: list, analyze, average, atpg, tables, check, synth,
-   dot, evaluate, partition, transition, equiv, scoap. *)
+   dot, evaluate, partition, transition, equiv, scoap, campaign,
+   worker. *)
 
 module Netlist = Ndetect_circuit.Netlist
 module Dot = Ndetect_circuit.Dot
@@ -22,6 +23,10 @@ module Ascii_table = Ndetect_report.Ascii_table
 module Ndet_atpg = Ndetect_tgen.Ndet_atpg
 module Driver = Ndetect_harness.Driver
 module Campaign = Ndetect_check.Campaign
+module Supervise = Ndetect_util.Supervise
+module Shard_spec = Ndetect_shard.Spec
+module Coordinator = Ndetect_shard.Coordinator
+module Shard_worker = Ndetect_shard.Worker
 open Cmdliner
 
 (* A circuit argument is a suite name or a .bench / .kiss2 / .pla /
@@ -713,6 +718,223 @@ let dot_cmd =
     (Cmd.info "dot" ~doc)
     Term.(const dot_run $ circuit_arg $ scheme_arg $ out)
 
+(* campaign / worker *)
+
+(* The campaign flags funnel through [Driver.parse_args_result] so the
+   CLI and the reproduction driver share one validated grammar (worker
+   and lease bounds, the chaos/workers cross-check, injection specs). *)
+let campaign_run tier k seed nmax fault_block set_chunk circuits workers
+    lease_secs max_unit_retries chaos ledger inject quiet max_wall =
+  let args =
+    [
+      "--tier"; tier; "--k"; string_of_int k; "--seed"; string_of_int seed;
+      "--workers"; string_of_int workers; "--lease-secs";
+      Printf.sprintf "%g" lease_secs; "--max-unit-retries";
+      string_of_int max_unit_retries; "--ledger"; ledger;
+    ]
+    @ (if chaos then [ "--chaos" ] else [])
+    @ (match inject with Some s -> [ "--inject"; s ] | None -> [])
+  in
+  match Driver.parse_args_result args with
+  | Error message ->
+    prerr_endline message;
+    exit 2
+  | Ok opts ->
+    (match opts.Driver.inject with
+    | None -> ()
+    | Some spec -> (
+      match Supervise.parse_injection_spec spec with
+      | Ok plan -> Supervise.set_injection plan
+      | Error message ->
+        prerr_endline message;
+        exit 2));
+    let campaign =
+      try
+        Shard_spec.make_campaign ~fault_block
+          ?set_chunk:(if set_chunk > 0 then Some set_chunk else None)
+          ?circuits:
+            (match circuits with
+            | None -> None
+            | Some names ->
+              Some (String.split_on_char ',' names |> List.map String.trim))
+          ~nmax ~tier:opts.Driver.tier ~seed:opts.Driver.seed
+          ~set_count:opts.Driver.k ()
+      with Invalid_argument message ->
+        prerr_endline message;
+        exit 2
+    in
+    let base = Coordinator.default_config ~ledger_dir:ledger in
+    let config =
+      {
+        base with
+        Coordinator.workers = Option.value opts.Driver.workers ~default:2;
+        lease_secs =
+          Option.value opts.Driver.lease_secs
+            ~default:Shard_worker.default_lease_secs;
+        max_unit_retries = Option.value opts.Driver.max_unit_retries ~default:3;
+        chaos = opts.Driver.chaos;
+        chaos_seed = opts.Driver.seed;
+        inject = opts.Driver.inject;
+        max_wall_secs = max_wall;
+        log = (if quiet then fun _ -> () else base.Coordinator.log);
+      }
+    in
+    (match Coordinator.run config campaign with
+    | Ok outcome ->
+      print_string outcome.Coordinator.report;
+      Printf.eprintf
+        "campaign counters: reassigned=%d speculative_wins=%d poisoned=%d \
+         ledger_corrupt=%d spawn_failures=%d chaos_kills=%d \
+         workers_spawned=%d\n%!"
+        outcome.Coordinator.reassigned outcome.Coordinator.speculative_wins
+        outcome.Coordinator.poisoned_count outcome.Coordinator.ledger_corrupt
+        outcome.Coordinator.spawn_failures outcome.Coordinator.chaos_kills
+        outcome.Coordinator.workers_spawned;
+      if outcome.Coordinator.poisoned_units <> [] then exit 3
+    | Error message ->
+      prerr_endline ("campaign: " ^ message);
+      if Supervise.terminating () then exit Supervise.sigterm_exit_code
+      else exit 1)
+
+let campaign_cmd =
+  let tier =
+    Arg.(
+      value & opt string "medium"
+      & info [ "tier" ] ~docv:"TIER" ~doc:"small, medium or large.")
+  in
+  let k =
+    Arg.(
+      value & opt int 1000
+      & info [ "k"; "sets" ] ~docv:"K" ~doc:"Procedure-1 test sets.")
+  in
+  let nmax =
+    Arg.(
+      value & opt int 10
+      & info [ "nmax" ] ~docv:"N" ~doc:"Largest number of detections.")
+  in
+  let fault_block =
+    Arg.(
+      value & opt int 256
+      & info [ "fault-block" ] ~docv:"N"
+          ~doc:"Untargeted faults per worst-case work unit.")
+  in
+  let set_chunk =
+    Arg.(
+      value & opt int 0
+      & info [ "set-chunk" ] ~docv:"N"
+          ~doc:"Test sets per average-case work unit (0 = K/8).")
+  in
+  let circuits =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "circuits" ] ~docv:"NAMES"
+          ~doc:"Comma-separated subset of the tier's circuits.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker subprocesses (>= 1).")
+  in
+  let lease_secs =
+    Arg.(
+      value & opt float Shard_worker.default_lease_secs
+      & info [ "lease-secs" ] ~docv:"SECS"
+          ~doc:"Heartbeat lease before a worker is presumed dead.")
+  in
+  let max_unit_retries =
+    Arg.(
+      value & opt int 3
+      & info [ "max-unit-retries" ] ~docv:"N"
+          ~doc:"Failed attempts before a unit is poisoned.")
+  in
+  let chaos =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Chaos mode: randomly SIGKILL and stall workers mid-campaign. \
+             The merged report must stay byte-identical.")
+  in
+  let ledger =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"DIR" ~doc:"Work-ledger directory.")
+  in
+  let inject =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"SPEC"
+          ~doc:"Fault-injection plan, forwarded to every worker.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress progress lines.")
+  in
+  let max_wall =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-wall-secs" ] ~docv:"SECS"
+          ~doc:"Abort (resumably) past this wall-clock budget.")
+  in
+  let doc =
+    "Fault-tolerant sharded reproduction: decompose the suite into \
+     ledger work units, farm them to supervised worker subprocesses, \
+     and merge a report byte-identical to a single-process run."
+  in
+  Cmd.v
+    (Cmd.info "campaign" ~doc)
+    Term.(
+      const campaign_run $ tier $ k $ seed_arg $ nmax $ fault_block
+      $ set_chunk $ circuits $ workers $ lease_secs $ max_unit_retries
+      $ chaos $ ledger $ inject $ quiet $ max_wall)
+
+let worker_run ledger worker_id lease_secs inject =
+  (match inject with
+  | None -> ()
+  | Some spec -> (
+    match Supervise.parse_injection_spec spec with
+    | Ok plan -> Supervise.set_injection plan
+    | Error message ->
+      prerr_endline message;
+      exit 2));
+  exit (Shard_worker.run ~lease_secs ~dir:ledger ~worker_id ())
+
+let worker_cmd =
+  let ledger =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"DIR" ~doc:"Work-ledger directory.")
+  in
+  let worker_id =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "worker-id" ] ~docv:"ID" ~doc:"Ledger identity of this worker.")
+  in
+  let lease_secs =
+    Arg.(
+      value & opt float Shard_worker.default_lease_secs
+      & info [ "lease-secs" ] ~docv:"SECS" ~doc:"Heartbeat lease.")
+  in
+  let inject =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"SPEC" ~doc:"Fault-injection plan.")
+  in
+  let doc =
+    "Campaign worker subprocess (normally spawned by $(b,ndetect \
+     campaign)): claim, compute and record ledger work units until the \
+     campaign drains."
+  in
+  Cmd.v
+    (Cmd.info "worker" ~doc)
+    Term.(const worker_run $ ledger $ worker_id $ lease_secs $ inject)
+
 let main_cmd =
   let doc =
     "worst-case and average-case analysis of n-detection test sets \
@@ -723,7 +945,7 @@ let main_cmd =
     [
       list_cmd; analyze_cmd; average_cmd; atpg_cmd; tables_cmd; check_cmd;
       synth_cmd; dot_cmd; evaluate_cmd; partition_cmd; transition_cmd;
-      equiv_cmd; scoap_cmd;
+      equiv_cmd; scoap_cmd; campaign_cmd; worker_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -221,18 +221,10 @@ let run_one cancel sh def2 rng =
   done;
   (s, first_detected)
 
-let run ?(cancel = Ndetect_util.Cancel.none) ?domains ?report_faults table
-    config =
-  if config.set_count < 1 || config.nmax < 1 then
-    invalid_arg "Procedure1.run: bad config";
-  Telemetry.with_span "procedure1.run"
-    ~args:
-      [
-        ("sets", string_of_int config.set_count);
-        ("nmax", string_of_int config.nmax);
-        ("mode", mode_name config.mode);
-      ]
-  @@ fun () ->
+(* Shared setup of the read-only tables behind a run: everything
+   [run_one] consults, fully determined by the table, the config and the
+   report choice. *)
+let make_shared ?report_faults table config =
   let universe = Detection_table.universe table in
   let f_count = Detection_table.target_count table in
   let report =
@@ -270,15 +262,56 @@ let run ?(cancel = Ndetect_util.Cancel.none) ?domains ?report_faults table
         | Definition1 | Definition2 -> [||]);
     }
   in
-  (* One pre-split stream per set, split in set order (explicit loop:
-     Array.init's evaluation order is unspecified): the root generator
-     never crosses domains, and stream k is the same whatever the
-     chunking. *)
-  let root = Rng.create ~seed:config.seed in
-  let rngs = Array.make config.set_count root in
-  for k = 0 to config.set_count - 1 do
+  (sh, report, report_pos)
+
+(* One pre-split stream per set, split in set order (explicit loop:
+   Array.init's evaluation order is unspecified): the root generator
+   never crosses domains, and stream k is the same whatever the
+   chunking — or, for the sharded campaign, whatever process computes
+   it. *)
+let split_streams ~seed ~count =
+  let root = Rng.create ~seed in
+  let rngs = Array.make count root in
+  for k = 0 to count - 1 do
     rngs.(k) <- Rng.split root
   done;
+  rngs
+
+(* d(n, g) = #sets whose first detection of g happened at iteration
+   <= n: bucket the first-detection iterations, then prefix-sum. Both
+   steps are additive over any partition of the sets, which is what
+   makes the campaign's K-chunk merge exact. *)
+let aggregate_detected ~nmax ~report_len per_set =
+  let detected = Array.init nmax (fun _ -> Array.make report_len 0) in
+  Array.iter
+    (fun (_, first_detected) ->
+      Array.iteri
+        (fun pos n ->
+          if n > 0 then detected.(n - 1).(pos) <- detected.(n - 1).(pos) + 1)
+        first_detected)
+    per_set;
+  for n = 1 to nmax - 1 do
+    let prev = detected.(n - 1) and cur = detected.(n) in
+    for pos = 0 to report_len - 1 do
+      cur.(pos) <- cur.(pos) + prev.(pos)
+    done
+  done;
+  detected
+
+let run ?(cancel = Ndetect_util.Cancel.none) ?domains ?report_faults table
+    config =
+  if config.set_count < 1 || config.nmax < 1 then
+    invalid_arg "Procedure1.run: bad config";
+  Telemetry.with_span "procedure1.run"
+    ~args:
+      [
+        ("sets", string_of_int config.set_count);
+        ("nmax", string_of_int config.nmax);
+        ("mode", mode_name config.mode);
+      ]
+  @@ fun () ->
+  let sh, report, report_pos = make_shared ?report_faults table config in
+  let rngs = split_streams ~seed:config.seed ~count:config.set_count in
   let domains =
     match domains with
     | Some d -> max 1 d
@@ -317,26 +350,41 @@ let run ?(cancel = Ndetect_util.Cancel.none) ?domains ?report_faults table
   let per_set = Array.concat (Array.to_list chunk_results) in
   assert (Array.length per_set = config.set_count);
   let sets = Array.map fst per_set in
-  (* d(n, g) = #sets whose first detection of g happened at iteration
-     <= n: bucket the first-detection iterations, then prefix-sum. *)
-  let report_len = Array.length report in
   let detected =
-    Array.init config.nmax (fun _ -> Array.make report_len 0)
+    aggregate_detected ~nmax:config.nmax ~report_len:(Array.length report)
+      per_set
   in
-  Array.iter
-    (fun (_, first_detected) ->
-      Array.iteri
-        (fun pos n ->
-          if n > 0 then detected.(n - 1).(pos) <- detected.(n - 1).(pos) + 1)
-        first_detected)
-    per_set;
-  for n = 1 to config.nmax - 1 do
-    let prev = detected.(n - 1) and cur = detected.(n) in
-    for pos = 0 to report_len - 1 do
-      cur.(pos) <- cur.(pos) + prev.(pos)
-    done
-  done;
   { config; report; report_pos; detected; sets }
+
+let run_slice ?(cancel = Ndetect_util.Cancel.none) ?report_faults table
+    config ~lo ~hi =
+  if config.set_count < 1 || config.nmax < 1 then
+    invalid_arg "Procedure1.run_slice: bad config";
+  if lo < 0 || hi < lo || hi > config.set_count then
+    invalid_arg "Procedure1.run_slice: bad range";
+  Telemetry.with_span "procedure1.slice"
+    ~args:
+      [
+        ("lo", string_of_int lo);
+        ("hi", string_of_int hi);
+        ("mode", mode_name config.mode);
+      ]
+  @@ fun () ->
+  let sh, report, _report_pos = make_shared ?report_faults table config in
+  (* Stream k is obtained by splitting the root k + 1 times, so a slice
+     only needs the prefix of splits up to [hi] — set k's set is then
+     bit-identical whichever process (or chunking) computes it. *)
+  let rngs = split_streams ~seed:config.seed ~count:hi in
+  let def2 =
+    match config.mode with
+    | Definition2 -> Some (Definition2.create table)
+    | Definition1 | Multi_output -> None
+  in
+  let per_set =
+    Array.init (hi - lo) (fun i -> run_one cancel sh def2 rngs.(lo + i))
+  in
+  aggregate_detected ~nmax:config.nmax ~report_len:(Array.length report)
+    per_set
 
 let config o = o.config
 let report_faults o = Array.copy o.report

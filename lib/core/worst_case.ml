@@ -27,11 +27,10 @@ let unbounded = max_int
    intersection instead of the blocked popcount sweep. *)
 let sparse_threshold = 64
 
-let compute ?(cancel = Ndetect_util.Cancel.none) table =
-  let g_count = Detection_table.untargeted_count table in
-  Telemetry.with_span "worst.compute"
-    ~args:[ ("untargeted", string_of_int g_count) ]
-  @@ fun () ->
+(* The per-untargeted-fault scan, shared by the whole-table [compute]
+   and the fault-block [compute_slice]: a pure read of the table, so any
+   partition of the untargeted faults yields the same nmin values. *)
+let make_scanner cancel table =
   let layout = Detection_table.target_layout table in
   let rows = layout.Detection_table.rows in
   let row_n = layout.Detection_table.row_n in
@@ -107,32 +106,59 @@ let compute ?(cancel = Ndetect_util.Cancel.none) table =
       (!best, !best_witness)
     end
   in
-  (* Untargeted faults frequently share identical detection sets (e.g.
-     symmetric bridges); nmin only depends on T(g), so compute once per
-     distinct set. Grouped by content hash + equality — no key strings. *)
-  let groups : int Bitvec.Tbl.t = Bitvec.Tbl.create (2 * g_count) in
-  let representative = Array.make g_count (-1) in
+  per_gj
+
+(* Untargeted faults frequently share identical detection sets (e.g.
+   symmetric bridges); nmin only depends on T(g), so compute once per
+   distinct set within the requested range. Grouped by content hash +
+   equality — no key strings. Results are written at [gj - lo]. *)
+let scan_range per_gj table ~lo ~hi =
+  let len = hi - lo in
+  let groups : int Bitvec.Tbl.t = Bitvec.Tbl.create (2 * len) in
+  let representative = Array.make (max len 1) (-1) in
   let unique = ref [] and unique_count = ref 0 in
-  for gj = 0 to g_count - 1 do
+  for gj = lo to hi - 1 do
     let set = Detection_table.untargeted_set table gj in
     match Bitvec.Tbl.find_opt groups set with
-    | Some idx -> representative.(gj) <- idx
+    | Some idx -> representative.(gj - lo) <- idx
     | None ->
       Bitvec.Tbl.replace groups set !unique_count;
-      representative.(gj) <- !unique_count;
+      representative.(gj - lo) <- !unique_count;
       unique := gj :: !unique;
       incr unique_count
   done;
   let unique = Array.of_list (List.rev !unique) in
   let unique_results = Ndetect_util.Parallel.map_array per_gj unique in
-  let nmin = Array.make g_count unbounded in
-  let witness = Array.make g_count (-1) in
-  for gj = 0 to g_count - 1 do
-    let n, w = unique_results.(representative.(gj)) in
-    nmin.(gj) <- n;
-    witness.(gj) <- w
+  let nmin = Array.make (max len 0) unbounded in
+  let witness = Array.make (max len 0) (-1) in
+  for i = 0 to len - 1 do
+    let n, w = unique_results.(representative.(i)) in
+    nmin.(i) <- n;
+    witness.(i) <- w
   done;
+  (nmin, witness)
+
+let compute ?(cancel = Ndetect_util.Cancel.none) table =
+  let g_count = Detection_table.untargeted_count table in
+  Telemetry.with_span "worst.compute"
+    ~args:[ ("untargeted", string_of_int g_count) ]
+  @@ fun () ->
+  let per_gj = make_scanner cancel table in
+  let nmin, witness = scan_range per_gj table ~lo:0 ~hi:g_count in
   { table; nmin; witness }
+
+let compute_slice ?(cancel = Ndetect_util.Cancel.none) table ~lo ~hi =
+  let g_count = Detection_table.untargeted_count table in
+  if lo < 0 || hi < lo || hi > g_count then
+    invalid_arg "Worst_case.compute_slice: bad range";
+  Telemetry.with_span "worst.compute_slice"
+    ~args:[ ("lo", string_of_int lo); ("hi", string_of_int hi) ]
+  @@ fun () ->
+  if lo = hi then [||]
+  else begin
+    let per_gj = make_scanner cancel table in
+    fst (scan_range per_gj table ~lo ~hi)
+  end
 
 let table t = t.table
 

@@ -17,6 +17,16 @@ val unbounded : int
 val compute : ?cancel:Ndetect_util.Cancel.token -> Detection_table.t -> t
 (** [cancel] is polled once per untargeted fault. *)
 
+val compute_slice :
+  ?cancel:Ndetect_util.Cancel.token ->
+  Detection_table.t -> lo:int -> hi:int -> int array
+(** [nmin(g_j)] for the untargeted faults [lo <= g_j < hi] only —
+    exactly [Array.sub (distribution (compute table)) lo (hi - lo)],
+    since each scan is a pure read of the table. The fault-block work
+    unit of the sharded campaign runner: concatenating the slices of
+    any partition of [0, untargeted_count) rebuilds the full
+    distribution bit for bit. *)
+
 val table : t -> Detection_table.t
 
 val nmin_pair : t -> gj:int -> fi:int -> int option

@@ -55,6 +55,10 @@ let path_of t key =
   Filename.concat t.root (sanitized ^ ".ckpt")
 
 let store t ~key payload =
+  (* Injection site for the checkpoint I/O path, so ENOSPC/EACCES-style
+     faults can be driven through the supervised retry policy
+     end to end (see Supervise.parse_injection_spec). *)
+  Ndetect_util.Supervise.inject "checkpoint:store";
   let content =
     Marshal.to_string ((magic, t.stamp, key), payload) []
   in

@@ -35,7 +35,9 @@ val dir : t -> string
 
 val store : t -> key:string -> 'a -> unit
 (** Persist an entry atomically. The payload must be marshal-safe plain
-    data. *)
+    data. Passes the ["checkpoint:store"] injection site
+    ({!Ndetect_util.Supervise.inject}) before writing, so checkpoint
+    I/O faults can be simulated and retried end to end. *)
 
 val load : t -> key:string -> 'a option
 (** Read an entry back; [None] when absent, unreadable, or stamped by a

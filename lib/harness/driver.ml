@@ -26,6 +26,12 @@ type options = {
   table_cache : string option;
   trace : string option;
   metrics : bool;
+  (* Campaign-mode flags (the [ndetect campaign] subcommand). *)
+  workers : int option;
+  lease_secs : float option;
+  max_unit_retries : int option;
+  chaos : bool;
+  ledger_dir : string option;
 }
 
 let default_options =
@@ -45,6 +51,11 @@ let default_options =
     table_cache = None;
     trace = None;
     metrics = false;
+    workers = None;
+    lease_secs = None;
+    max_unit_retries = None;
+    chaos = false;
+    ledger_dir = None;
   }
 
 module Options = struct
@@ -55,7 +66,8 @@ module Options = struct
       ?(only = default_options.only) ?(quiet = default_options.quiet)
       ?csv_dir ?checkpoint_dir ?(resume = default_options.resume)
       ?timeout_per_circuit ?inject ?domains ?table_cache ?trace
-      ?(metrics = default_options.metrics) () =
+      ?(metrics = default_options.metrics) ?workers ?lease_secs
+      ?max_unit_retries ?(chaos = default_options.chaos) ?ledger_dir () =
     {
       tier;
       k;
@@ -72,6 +84,11 @@ module Options = struct
       table_cache;
       trace;
       metrics;
+      workers;
+      lease_secs;
+      max_unit_retries;
+      chaos;
+      ledger_dir;
     }
 end
 
@@ -80,13 +97,15 @@ let usage =
   \                 [--only table1..table6|figure2|all] [--quiet] [--csv DIR]\n\
   \                 [--checkpoint DIR] [--resume] [--timeout-per-circuit SECS]\n\
   \                 [--inject SPEC] [--domains N] [--table-cache DIR]\n\
-  \                 [--trace FILE] [--metrics]"
+  \                 [--trace FILE] [--metrics]\n\
+  \                 [--workers N] [--lease-secs SECS] [--max-unit-retries N]\n\
+  \                 [--chaos] [--ledger DIR]"
 
 let value_flags =
   [
     "--tier"; "--k"; "--k2"; "--seed"; "--only"; "--csv"; "--checkpoint";
     "--timeout-per-circuit"; "--inject"; "--domains"; "--table-cache";
-    "--trace";
+    "--trace"; "--workers"; "--lease-secs"; "--max-unit-retries"; "--ledger";
   ]
 
 (* The flag grammar is written with [failwith] (every arm wants to abort
@@ -155,6 +174,30 @@ let parse_args_exn args =
       go { opts with table_cache = Some dir } rest
     | "--trace" :: file :: rest -> go { opts with trace = Some file } rest
     | "--metrics" :: rest -> go { opts with metrics = true } rest
+    | "--workers" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> go { opts with workers = Some n } rest
+      | Some _ | None ->
+        failwith
+          (Printf.sprintf "--workers expects an integer >= 1, got %S\n%s" v
+             usage))
+    | "--lease-secs" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some s when s >= 1.0 -> go { opts with lease_secs = Some s } rest
+      | Some _ | None ->
+        failwith
+          (Printf.sprintf
+             "--lease-secs expects a number of seconds >= 1, got %S\n%s" v
+             usage))
+    | "--max-unit-retries" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> go { opts with max_unit_retries = Some n } rest
+      | Some _ | None ->
+        failwith
+          (Printf.sprintf
+             "--max-unit-retries expects an integer >= 1, got %S\n%s" v usage))
+    | "--chaos" :: rest -> go { opts with chaos = true } rest
+    | "--ledger" :: dir :: rest -> go { opts with ledger_dir = Some dir } rest
     | [ flag ] when List.mem flag value_flags ->
       failwith (Printf.sprintf "%s requires a value\n%s" flag usage)
     | arg :: _ -> failwith (Printf.sprintf "unknown argument %S\n%s" arg usage)
@@ -182,6 +225,13 @@ let parse_args_exn args =
     failwith
       (Printf.sprintf "--k2 expects a positive sample count, got %d\n%s"
          opts.k2 usage);
+  (match (opts.chaos, opts.workers) with
+  | true, Some w when w >= 2 -> ()
+  | true, _ ->
+    (* Chaos kills workers mid-campaign; with fewer than two there is
+       nothing left to make progress while the victim is down. *)
+    failwith (Printf.sprintf "--chaos requires --workers >= 2\n%s" usage)
+  | false, _ -> ());
   opts
 
 let parse_args_result args =

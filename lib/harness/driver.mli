@@ -59,6 +59,19 @@ type options = {
       (** Print a telemetry report after [run_all]: per-supervised-unit
           counter deltas, process-wide totals and the aggregated span
           profile. Pure observability, like [trace]. *)
+  workers : int option;
+      (** [ndetect campaign] only: worker subprocess count (>= 1).
+          Ignored by the reproduction driver. *)
+  lease_secs : float option;
+      (** Campaign only: heartbeat lease before a worker is presumed
+          dead and its units reassigned (>= 1 second). *)
+  max_unit_retries : int option;
+      (** Campaign only: failed attempts before a unit is poisoned
+          (>= 1). *)
+  chaos : bool;
+      (** Campaign only: randomly SIGKILL / stall workers mid-run.
+          Requires [workers >= 2]. *)
+  ledger_dir : string option;  (** Campaign only: the work ledger. *)
 }
 
 val default_options : options
@@ -87,6 +100,11 @@ module Options : sig
     ?table_cache:string ->
     ?trace:string ->
     ?metrics:bool ->
+    ?workers:int ->
+    ?lease_secs:float ->
+    ?max_unit_retries:int ->
+    ?chaos:bool ->
+    ?ledger_dir:string ->
     unit ->
     t
   (** Every omitted argument takes its {!default_options} value. *)
@@ -96,10 +114,12 @@ val parse_args_result : string list -> (options, string) result
 (** Parse [--tier small|medium|large], [--k N], [--k2 N], [--seed N],
     [--only WHAT], [--quiet], [--csv DIR], [--checkpoint DIR],
     [--resume], [--timeout-per-circuit SECS], [--inject SPEC],
-    [--domains N], [--table-cache DIR], [--trace FILE], [--metrics].
-    [Error message] names the offending flag (and includes the usage
-    string) on malformed values, missing values, or unknown
-    arguments. *)
+    [--domains N], [--table-cache DIR], [--trace FILE], [--metrics],
+    and the campaign flags [--workers N] (>= 1), [--lease-secs SECS]
+    (>= 1), [--max-unit-retries N] (>= 1), [--chaos] (rejected unless
+    [--workers >= 2]) and [--ledger DIR]. [Error message] names the
+    offending flag (and includes the usage string) on malformed values,
+    missing values, or unknown arguments. *)
 
 val parse_args : string list -> options
 (** {!parse_args_result}, raising [Failure] instead of returning

@@ -1,0 +1,82 @@
+(** The campaign coordinator: decomposes the run into ledger work
+    units, supervises a fleet of worker subprocesses, and merges the
+    results into the paper-table report.
+
+    Supervision loop (one tick every ~20 ms):
+
+    - {b reap}: collect exited workers; claims they still held are
+      released for reassignment (["shard.reassigned"]), and a crashed
+      (non-chaos) worker leaves a structured failure row against each
+      unit it was holding — the crash-attribution input to poisoning.
+    - {b leases}: a live worker whose heartbeat is older than the lease
+      is presumed wedged and SIGKILLed (its units then reassign); a
+      claim left by a worker of a previous, dead run expires the same
+      way, which is what makes a half-dead campaign resumable by just
+      rerunning it.
+    - {b speculation}: a claim older than three leases under a healthy
+      heartbeat is a straggler; the claim is released so a second
+      worker can race it. Results are bit-identical by construction, so
+      whichever lands first wins (["shard.speculative_wins"] counts
+      races won by the newcomer).
+    - {b poison}: a unit with [max_unit_retries] recorded failures is
+      quarantined (["shard.poisoned"]) and rendered as a failure row —
+      a deterministically crashing unit cannot take the campaign down
+      or starve it.
+    - {b expansion}: when a generation fully resolves, the next one is
+      derived from its results and appended; after the last, the
+      ledger is sealed.
+    - {b fleet}: dead workers are replaced while unclaimed work
+      remains, up to a respawn budget; a spawn that fails (exits 127
+      before its first heartbeat) shrinks the fleet instead of looping.
+      With no fleet left — or [workers = 0] — the coordinator degrades
+      to executing units in-process, so a campaign always completes.
+    - {b chaos} (opt-in): SIGSTOP a claim-holding worker, then either
+      SIGKILL it (at most twice per campaign) or hold it frozen past
+      its lease to exercise the hung path. Chaos-inflicted deaths are
+      exempt from crash attribution, so a chaos run merges
+      byte-identically to a clean one. *)
+
+type config = {
+  ledger_dir : string;
+  workers : int;  (** Fleet size; [0] = in-process only. *)
+  lease_secs : float;
+  max_unit_retries : int;
+  chaos : bool;
+  chaos_seed : int;
+  worker_cmd : string array option;
+      (** Argv prefix for spawning workers; [None] =
+          [[| Sys.executable_name; "worker" |]]. The coordinator
+          appends [--ledger], [--worker-id], [--lease-secs] and
+          [--inject]. *)
+  inject : string option;  (** Forwarded verbatim to every worker. *)
+  max_wall_secs : float option;
+      (** Abort (leaving the ledger resumable) when exceeded. *)
+  log : string -> unit;  (** Progress lines; never part of the report. *)
+}
+
+val default_config : ledger_dir:string -> config
+(** [workers = 2], [lease_secs = Worker.default_lease_secs],
+    [max_unit_retries = 3], chaos off, logging to [stderr]. *)
+
+type outcome = {
+  report : string;  (** Deterministic merged report ({!Merge}). *)
+  failed_circuits : int;
+  poisoned_units : (string * string) list;
+  reassigned : int;  (** This run's ["shard.reassigned"] delta. *)
+  speculative_wins : int;
+  poisoned_count : int;
+  ledger_corrupt : int;
+      (** Damaged records healed by this process
+          (["shard.ledger_corrupt"] delta). *)
+  spawn_failures : int;
+  chaos_kills : int;
+  workers_spawned : int;
+}
+
+val run : config -> Spec.campaign -> (outcome, string) result
+(** Run (or resume — the call is the same) the campaign to completion.
+    [Error] on a ledger/campaign mismatch, wall-clock abort, or
+    SIGTERM; on SIGTERM the fleet is shut down first and the ledger
+    keeps every completed unit, so callers should exit with
+    {!Ndetect_util.Supervise.sigterm_exit_code} when
+    {!Ndetect_util.Supervise.terminating} is set. *)

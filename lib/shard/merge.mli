@@ -1,0 +1,28 @@
+(** Deterministic assembly of a completed campaign's ledger into the
+    paper-table report.
+
+    The merge is a pure function of the campaign spec and the per-unit
+    results, consumed in unit enumeration order: nmin fault-block
+    slices concatenate ({!Ndetect_core.Worst_case.compute_slice} is
+    exact), detection matrices of K-chunks sum elementwise
+    ({!Ndetect_core.Procedure1.run_slice} is additive), and summaries
+    come from {!Ndetect_core.Analysis.summary_of_nmin}. Worker
+    attribution, claim history and scheduling order never enter the
+    output, so the rendered report is byte-identical for any worker
+    count, any interleaving, and any amount of chaos — the property
+    the chaos acceptance test pins. Poisoned units render as
+    structured failure rows, never as an abort. *)
+
+type outcome = {
+  report : string;  (** The full rendered report. *)
+  failed_circuits : int;
+      (** Circuits whose tables could not be assembled (some unit
+          poisoned). *)
+  poisoned_units : (string * string) list;
+      (** [(unit id, first recorded reason)], in enumeration order. *)
+}
+
+val merge : Ledger.t -> (outcome, string) result
+(** [Error] when the ledger is not sealed or some unit is neither
+    computed nor poisoned — i.e. the campaign has not actually
+    finished. *)

@@ -1,0 +1,174 @@
+module Registry = Ndetect_suite.Registry
+module Detection_table = Ndetect_core.Detection_table
+module Worst_case = Ndetect_core.Worst_case
+module Procedure1 = Ndetect_core.Procedure1
+
+type campaign = {
+  format_version : int;
+  tier : string;
+  circuits : string list;
+  seed : int;
+  set_count : int;
+  nmax : int;
+  fault_block : int;
+  set_chunk : int;
+}
+
+let format_version = 1
+
+let tier_name = function
+  | Registry.Small -> "small"
+  | Registry.Medium -> "medium"
+  | Registry.Large -> "large"
+
+let make_campaign ?(fault_block = 256) ?set_chunk ?(nmax = 10) ?circuits
+    ~tier ~seed ~set_count () =
+  if fault_block < 1 then invalid_arg "Spec.make_campaign: fault_block < 1";
+  if set_count < 1 then invalid_arg "Spec.make_campaign: set_count < 1";
+  let set_chunk =
+    match set_chunk with Some c -> c | None -> max 1 (set_count / 8)
+  in
+  if set_chunk < 1 then invalid_arg "Spec.make_campaign: set_chunk < 1";
+  let tier_circuits =
+    List.map (fun e -> e.Registry.name) (Registry.of_tier tier)
+  in
+  let circuits =
+    match circuits with
+    | None -> tier_circuits
+    | Some only ->
+      List.iter
+        (fun name ->
+          if not (List.mem name tier_circuits) then
+            invalid_arg
+              (Printf.sprintf
+                 "Spec.make_campaign: %S is not a %s-tier suite circuit" name
+                 (tier_name tier)))
+        only;
+      (* Keep registry order regardless of how the filter was given. *)
+      List.filter (fun name -> List.mem name only) tier_circuits
+  in
+  {
+    format_version;
+    tier = tier_name tier;
+    circuits;
+    seed;
+    set_count;
+    nmax;
+    fault_block;
+    set_chunk;
+  }
+
+let stamp c =
+  Printf.sprintf "v%d tier=%s seed=%d K=%d nmax=%d block=%d chunk=%d [%s]"
+    c.format_version c.tier c.seed c.set_count c.nmax c.fault_block
+    c.set_chunk
+    (String.concat "," c.circuits)
+
+type kind =
+  | Plan of { circuit : string }
+  | Worst of { circuit : string; lo : int; hi : int }
+  | Avg of { circuit : string; lo : int; hi : int; hard : int array }
+
+type t = { id : string; kind : kind }
+
+let circuit_of t =
+  match t.kind with
+  | Plan { circuit } | Worst { circuit; _ } | Avg { circuit; _ } -> circuit
+
+(* Registry names are already alphanumeric, but unit ids become ledger
+   filenames, so neutralise anything else defensively. *)
+let safe name =
+  String.map
+    (fun ch ->
+      match ch with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.' -> ch
+      | _ -> '_')
+    name
+
+let plan_unit circuit =
+  { id = Printf.sprintf "plan-%s" (safe circuit); kind = Plan { circuit } }
+
+let worst_unit circuit ~lo ~hi =
+  {
+    id = Printf.sprintf "worst-%s-%d-%d" (safe circuit) lo hi;
+    kind = Worst { circuit; lo; hi };
+  }
+
+let avg_unit circuit ~lo ~hi ~hard =
+  {
+    id = Printf.sprintf "avg-%s-%d-%d" (safe circuit) lo hi;
+    kind = Avg { circuit; lo; hi; hard };
+  }
+
+let fingerprint c t =
+  let spec =
+    match t.kind with
+    | Plan { circuit } -> Printf.sprintf "plan %s" circuit
+    | Worst { circuit; lo; hi } -> Printf.sprintf "worst %s %d %d" circuit lo hi
+    | Avg { circuit; lo; hi; hard } ->
+        Printf.sprintf "avg %s %d %d [%s]" circuit lo hi
+          (String.concat "," (Array.to_list (Array.map string_of_int hard)))
+  in
+  Digest.to_hex (Digest.string (stamp c ^ "|" ^ t.id ^ "|" ^ spec))
+
+let ranges ~total ~step =
+  let rec go lo acc =
+    if lo >= total then List.rev acc
+    else
+      let hi = min total (lo + step) in
+      go hi ((lo, hi) :: acc)
+  in
+  go 0 []
+
+let plan_units c = List.map plan_unit c.circuits
+
+let worst_units c ~circuit ~untargeted =
+  List.map
+    (fun (lo, hi) -> worst_unit circuit ~lo ~hi)
+    (ranges ~total:untargeted ~step:c.fault_block)
+
+let avg_units c ~circuit ~hard =
+  if Array.length hard = 0 then []
+  else
+    List.map
+      (fun (lo, hi) -> avg_unit circuit ~lo ~hi ~hard)
+      (ranges ~total:c.set_count ~step:c.set_chunk)
+
+type plan_info = { untargeted : int; target_faults : int }
+
+type result =
+  | Plan_result of plan_info
+  | Worst_result of int array
+  | Avg_result of int array array
+
+let table_of ~cancel ~tables_dir circuit =
+  match Registry.find circuit with
+  | None -> failwith (Printf.sprintf "unknown circuit %S" circuit)
+  | Some entry ->
+      let net = Registry.circuit entry in
+      Ndetect_harness.Table_cache.table ~dir:tables_dir ~cancel net
+
+let compute ?(cancel = Ndetect_util.Cancel.none) ~tables_dir c t =
+  Ndetect_util.Supervise.inject ~cancel ("unit:" ^ t.id);
+  match t.kind with
+  | Plan { circuit } ->
+      let table = table_of ~cancel ~tables_dir circuit in
+      Plan_result
+        {
+          untargeted = Detection_table.untargeted_count table;
+          target_faults = Detection_table.target_count table;
+        }
+  | Worst { circuit; lo; hi } ->
+      let table = table_of ~cancel ~tables_dir circuit in
+      Worst_result (Worst_case.compute_slice ~cancel table ~lo ~hi)
+  | Avg { circuit; lo; hi; hard } ->
+      let table = table_of ~cancel ~tables_dir circuit in
+      let config =
+        {
+          Procedure1.seed = c.seed;
+          set_count = c.set_count;
+          nmax = c.nmax;
+          mode = Procedure1.Definition1;
+        }
+      in
+      Avg_result (Procedure1.run_slice ~cancel ~report_faults:hard table config ~lo ~hi)

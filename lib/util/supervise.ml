@@ -21,7 +21,52 @@ let () =
     | Injected site -> Some (Error.Injected, "at " ^ site)
     | _ -> None)
 
-type injection = Inject_crash | Inject_stall of float
+(* Graceful termination: the flag is an Atomic (the handler may run on
+   any safe point) and the in-flight tokens are tracked so the current
+   supervised unit unwinds at its next poll instead of running to
+   completion against a dying process. *)
+
+let sigterm_exit_code = 4
+
+let terminating_flag = Atomic.make false
+
+let active_tokens : Cancel.token list Atomic.t = Atomic.make []
+
+let rec track_token token =
+  let old = Atomic.get active_tokens in
+  if not (Atomic.compare_and_set active_tokens old (token :: old)) then
+    track_token token
+
+let rec untrack_token token =
+  let old = Atomic.get active_tokens in
+  let updated = List.filter (fun t -> t != token) old in
+  if not (Atomic.compare_and_set active_tokens old updated) then
+    untrack_token token
+
+let terminating () = Atomic.get terminating_flag
+
+let request_termination () =
+  Atomic.set terminating_flag true;
+  List.iter Cancel.cancel (Atomic.get active_tokens)
+
+let sigterm_installed = Atomic.make false
+
+let install_sigterm () =
+  if not (Atomic.exchange sigterm_installed true) then
+    match
+      Sys.set_signal Sys.sigterm
+        (Sys.Signal_handle (fun _ -> request_termination ()))
+    with
+    | () -> ()
+    | exception (Invalid_argument _ | Sys_error _) ->
+      (* Platform without SIGTERM handling: degrade to the default
+         disposition rather than failing the caller. *)
+      Atomic.set sigterm_installed false
+
+type injection =
+  | Inject_crash
+  | Inject_stall of float
+  | Inject_io of { error : Unix.error; mutable remaining : int }
 
 let plan : (string * injection) list ref = ref []
 
@@ -39,6 +84,18 @@ let inject ?cancel site =
       | None -> ());
       Unix.sleepf 0.005
     done
+  | Some (Inject_io io) ->
+    if io.remaining > 0 then begin
+      io.remaining <- io.remaining - 1;
+      raise (Unix.Unix_error (io.error, "inject", site))
+    end
+
+let unix_error_of_name = function
+  | "enospc" -> Some Unix.ENOSPC
+  | "eacces" -> Some Unix.EACCES
+  | "eio" -> Some Unix.EIO
+  | "eintr" -> Some Unix.EINTR
+  | _ -> None
 
 let parse_injection_spec spec =
   let parse_item item =
@@ -51,6 +108,33 @@ let parse_injection_spec spec =
       | "crash" ->
         if arg = "" then Error "crash= needs a site name"
         else Ok (arg, Inject_crash)
+      | "io" -> (
+        (* io=SITE:ERROR[:COUNT]; the site itself may contain ':'
+           (e.g. unit:avg-mc-0-16), so parse from the right. *)
+        let fields = String.split_on_char ':' arg in
+        let with_parts site err count =
+          match (unix_error_of_name (String.lowercase_ascii err), count) with
+          | Some error, Some remaining when remaining >= 1 && site <> "" ->
+            Ok (site, Inject_io { error; remaining })
+          | _ ->
+            Error
+              (Printf.sprintf
+                 "io item %S needs SITE:ERROR[:COUNT] (enospc, eacces, eio, \
+                  eintr; COUNT >= 1)"
+                 item)
+        in
+        match List.rev fields with
+        | count :: err :: (_ :: _ as site_rev)
+          when int_of_string_opt count <> None ->
+          with_parts
+            (String.concat ":" (List.rev site_rev))
+            err
+            (int_of_string_opt count)
+        | err :: (_ :: _ as site_rev) ->
+          with_parts (String.concat ":" (List.rev site_rev)) err (Some 1)
+        | _ ->
+          Error
+            (Printf.sprintf "io item %S needs SITE:ERROR[:COUNT]" item))
       | "stall" -> (
         match String.rindex_opt arg ':' with
         | None ->
@@ -81,33 +165,50 @@ let parse_injection_spec spec =
 let run ?deadline ?(retries = 0) ?(backoff = 0.1)
     ?(is_retryable = Error.retryable) f =
   let rec attempt remaining delay =
-    let token = Cancel.create ?deadline_in:deadline () in
-    match f token with
-    | value -> Ok value
-    | exception Cancel.Cancelled ->
-      Error
-        (Timed_out
-           {
-             budget = Option.value deadline ~default:0.0;
-             spans = Telemetry.error_spans Cancel.Cancelled;
-           })
-    | exception e ->
-      let backtrace = Printexc.get_raw_backtrace () in
-      let err = Error.of_exn ~backtrace e in
-      (* With telemetry live, name the span tree the crash unwound
-         through (e.g. "analyze mc > table.build") as a context frame. *)
-      let err =
-        match Telemetry.error_spans e with
-        | [] -> err
-        | spans ->
-          Error.with_context
-            ("in " ^ String.concat " > " (List.rev spans))
-            err
+    if terminating () then Error (Skipped "terminating: SIGTERM received")
+    else begin
+      let token = Cancel.create ?deadline_in:deadline () in
+      track_token token;
+      (* A SIGTERM between the flag check and the tracking still
+         cancels: re-check after registration so the token cannot be
+         missed by [request_termination]. *)
+      if terminating () then Cancel.cancel token;
+      let detached =
+        Fun.protect
+          ~finally:(fun () -> untrack_token token)
+          (fun () ->
+            match f token with
+            | value -> Ok value
+            | exception e ->
+              let backtrace = Printexc.get_raw_backtrace () in
+              Error (e, backtrace))
       in
-      if remaining > 0 && is_retryable err then begin
-        Unix.sleepf delay;
-        attempt (remaining - 1) (delay *. 2.0)
-      end
-      else Error (Crashed err)
+      match detached with
+      | Ok value -> Ok value
+      | Error (Cancel.Cancelled, _) ->
+        Error
+          (Timed_out
+             {
+               budget = Option.value deadline ~default:0.0;
+               spans = Telemetry.error_spans Cancel.Cancelled;
+             })
+      | Error (e, backtrace) ->
+        let err = Error.of_exn ~backtrace e in
+        (* With telemetry live, name the span tree the crash unwound
+           through (e.g. "analyze mc > table.build") as a context frame. *)
+        let err =
+          match Telemetry.error_spans e with
+          | [] -> err
+          | spans ->
+            Error.with_context
+              ("in " ^ String.concat " > " (List.rev spans))
+              err
+        in
+        if remaining > 0 && is_retryable err && not (terminating ()) then begin
+          Unix.sleepf delay;
+          attempt (remaining - 1) (delay *. 2.0)
+        end
+        else Error (Crashed err)
+    end
   in
   attempt (max 0 retries) (max 0.0 backoff)

@@ -18,7 +18,8 @@ type failure =
           the open span tree at the raise point
           (["in analyze mc > table.build"]). *)
   | Skipped of string
-      (** Not attempted (e.g. a dependency already failed). *)
+      (** Not attempted (e.g. a dependency already failed, or the
+          process received SIGTERM). *)
 
 val describe : failure -> string
 (** Short human-readable form: ["timed out after 30s"],
@@ -41,7 +42,38 @@ val run :
     - [backoff] (default 0.1): seconds slept before the first retry;
       doubles each further retry.
     - [is_retryable] (default {!Error.retryable}): which crashes are
-      worth retrying. Timeouts are never retried. *)
+      worth retrying. Timeouts are never retried.
+
+    When {!terminating} is set (SIGTERM), no new attempt is started:
+    the pending work returns [Skipped] instead of running, and a
+    retryable failure is not retried. *)
+
+(** {2 Graceful termination (SIGTERM)}
+
+    A cooperative process-wide shutdown flag. {!install_sigterm}
+    installs a handler that sets the flag and cancels the tokens of
+    every in-flight {!run}, so the current unit of work unwinds at its
+    next poll point; already-persisted checkpoint / ledger records are
+    never lost because all stores are atomic. Long-running drivers
+    (the reproduction driver, campaign workers) consult {!terminating}
+    between units and exit with {!sigterm_exit_code}. *)
+
+val sigterm_exit_code : int
+(** [4]: the distinct exit status of a run cut short by SIGTERM (0 =
+    clean, 2 = usage, 3 = completed with failed units). *)
+
+val install_sigterm : unit -> unit
+(** Install (idempotently) the SIGTERM handler. No-op on platforms
+    without [Sys.sigterm] handling. *)
+
+val terminating : unit -> bool
+(** Whether termination was requested (by SIGTERM or
+    {!request_termination}). *)
+
+val request_termination : unit -> unit
+(** Set the flag and cancel in-flight supervised tokens, exactly as
+    the signal handler does (exposed for tests and for coordinators
+    relaying a shutdown to their own loop). *)
 
 (** {2 Deterministic fault injection}
 
@@ -49,11 +81,23 @@ val run :
     calls {!inject} with its site name; with no plan installed (the
     default) this is a no-op costing one list lookup on an empty list.
     The reproduction driver names its sites ["analyze:<circuit>"],
-    ["table5:<circuit>"] and ["table6:<circuit>"]. *)
+    ["table5:<circuit>"] and ["table6:<circuit>"]; the sharded campaign
+    runner adds ["unit:<unit-id>"] around each work unit and
+    ["ledger:claim"] / ["ledger:result"] / ["ledger:units"] /
+    ["checkpoint:store"] on its persistence paths, so I/O failures
+    (ENOSPC, EACCES, ...) can be injected end to end, not just compute
+    crashes. *)
 
 type injection =
   | Inject_crash  (** Raise {!Injected} at the site. *)
   | Inject_stall of float  (** Busy-wait (polling) for the given seconds. *)
+  | Inject_io of { error : Unix.error; mutable remaining : int }
+      (** Raise [Unix.Unix_error (error, "inject", site)] — classified
+          {!Error.Io}, hence retryable — for the next [remaining] hits
+          of the site, then disarm. This is how a transient filesystem
+          fault (full disk, permission flap, failed partial write) is
+          simulated: the first attempt fails, the supervised retry
+          succeeds. *)
 
 exception Injected of string
 (** Raised by {!inject} at a crash site; classified as
@@ -70,5 +114,6 @@ val inject : ?cancel:Cancel.token -> string -> unit
 val parse_injection_spec :
   string -> ((string * injection) list, string) result
 (** Parse a command-line plan: comma-separated items, each
-    ["crash=SITE"] or ["stall=SITE:SECONDS"], e.g.
-    ["crash=analyze:mc,stall=analyze:dk27:2.5"]. *)
+    ["crash=SITE"], ["stall=SITE:SECONDS"] or ["io=SITE:ERROR[:COUNT]"]
+    (ERROR one of [enospc], [eacces], [eio], [eintr]; COUNT defaults to
+    1), e.g. ["crash=analyze:mc,io=ledger:result:enospc:2"]. *)

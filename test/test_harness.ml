@@ -115,6 +115,19 @@ let test_parse_args_rejects_contradictions () =
   expect_error "negative k2" [ "--k2"; "-5" ] "--k2 expects a positive";
   expect_error "resume without checkpoint" [ "--resume" ]
     "--resume requires --checkpoint";
+  (* Campaign flags: degenerate values and contradictory combinations. *)
+  expect_error "zero workers" [ "--workers"; "0" ]
+    "--workers expects an integer >= 1";
+  expect_error "non-integer workers" [ "--workers"; "two" ]
+    "--workers expects an integer >= 1";
+  expect_error "sub-second lease" [ "--lease-secs"; "0.5" ]
+    "--lease-secs expects a number of seconds >= 1";
+  expect_error "zero retries" [ "--max-unit-retries"; "0" ]
+    "--max-unit-retries expects an integer >= 1";
+  expect_error "chaos without workers" [ "--chaos" ]
+    "--chaos requires --workers >= 2";
+  expect_error "chaos with one worker" [ "--chaos"; "--workers"; "1" ]
+    "--chaos requires --workers >= 2";
   (* Case-insensitivity and the valid spellings stay accepted. *)
   List.iter
     (fun args ->
@@ -127,7 +140,21 @@ let test_parse_args_rejects_contradictions () =
       [ "--only"; "all" ];
       [ "--k"; "1" ];
       [ "--resume"; "--checkpoint"; "ck" ];
-    ]
+      [ "--workers"; "4"; "--lease-secs"; "30"; "--max-unit-retries"; "3" ];
+      [ "--chaos"; "--workers"; "2" ];
+    ];
+  (* The parsed campaign values round-trip. *)
+  match
+    Driver.parse_args_result
+      [ "--workers"; "4"; "--lease-secs"; "12.5"; "--max-unit-retries"; "5" ]
+  with
+  | Error m -> Alcotest.fail ("unexpected Error: " ^ m)
+  | Ok opts ->
+    Alcotest.(check (option int)) "workers" (Some 4) opts.Driver.workers;
+    Alcotest.(check bool) "lease" true (opts.Driver.lease_secs = Some 12.5);
+    Alcotest.(check (option int)) "retries" (Some 5)
+      opts.Driver.max_unit_retries;
+    Alcotest.(check bool) "chaos off by default" false opts.Driver.chaos
 
 let test_parse_args_telemetry_flags () =
   let opts = Driver.parse_args [ "--trace"; "out.jsonl"; "--metrics" ] in

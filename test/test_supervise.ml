@@ -182,6 +182,96 @@ let test_parse_injection_spec () =
         (Result.is_error (Supervise.parse_injection_spec bad)))
     [ "bogus"; "crash="; "stall=x"; "stall=x:notanumber"; "stall=x:-1" ]
 
+let test_parse_io_spec () =
+  (match Supervise.parse_injection_spec "io=ledger:result:enospc:2" with
+  | Ok [ ("ledger:result", Supervise.Inject_io { error; remaining }) ] ->
+    Alcotest.(check bool) "error" true (error = Unix.ENOSPC);
+    Alcotest.(check int) "count" 2 remaining
+  | _ -> Alcotest.fail "io item with count");
+  (* COUNT defaults to 1; the site may itself contain ':'. *)
+  (match Supervise.parse_injection_spec "io=unit:avg-mc-0-16:eacces" with
+  | Ok [ ("unit:avg-mc-0-16", Supervise.Inject_io { error; remaining }) ] ->
+    Alcotest.(check bool) "error" true (error = Unix.EACCES);
+    Alcotest.(check int) "default count" 1 remaining
+  | _ -> Alcotest.fail "io item with colon in site");
+  (match Supervise.parse_injection_spec "io=checkpoint:store:eio,crash=a" with
+  | Ok
+      [
+        ("checkpoint:store", Supervise.Inject_io _); ("a", Supervise.Inject_crash);
+      ] ->
+    ()
+  | _ -> Alcotest.fail "io mixes with other actions");
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) (bad ^ " rejected") true
+        (Result.is_error (Supervise.parse_injection_spec bad)))
+    [ "io="; "io=site"; "io=site:ebadname"; "io=site:enospc:0"; "io=:enospc" ]
+
+(* Inject_io raises a Unix_error — classified Io, hence retryable — for
+   its next [remaining] hits, then disarms: exactly the shape of a
+   transient filesystem fault, so a supervised retry must recover. *)
+let test_inject_io_fires_then_disarms () =
+  Supervise.set_injection
+    [ ("ledger:result", Supervise.Inject_io { error = Unix.ENOSPC; remaining = 2 }) ];
+  Fun.protect
+    ~finally:(fun () -> Supervise.set_injection [])
+    (fun () ->
+      let hit () =
+        try
+          Supervise.inject "ledger:result";
+          None
+        with Unix.Unix_error (e, _, site) -> Some (e, site)
+      in
+      (match hit () with
+      | Some (Unix.ENOSPC, "ledger:result") -> ()
+      | _ -> Alcotest.fail "first hit should raise ENOSPC");
+      (match hit () with
+      | Some (Unix.ENOSPC, _) -> ()
+      | _ -> Alcotest.fail "second hit should raise ENOSPC");
+      Alcotest.(check bool) "disarmed after count" true (hit () = None);
+      (* The raised error sits in the retryable Io class. *)
+      let err =
+        Uerror.of_exn (Unix.Unix_error (Unix.ENOSPC, "inject", "ledger:result"))
+      in
+      Alcotest.check kind "classified Io" Uerror.Io err.Uerror.kind;
+      Alcotest.(check bool) "retryable" true (Uerror.retryable err))
+
+let test_inject_io_recovered_by_retry () =
+  Supervise.set_injection
+    [ ("checkpoint:store", Supervise.Inject_io { error = Unix.EIO; remaining = 1 }) ];
+  Fun.protect
+    ~finally:(fun () -> Supervise.set_injection [])
+    (fun () ->
+      let attempts = ref 0 in
+      let result =
+        Supervise.run ~retries:2 ~backoff:0.001 (fun cancel ->
+            incr attempts;
+            Supervise.inject ~cancel "checkpoint:store";
+            "stored")
+      in
+      Alcotest.(check bool) "recovered" true (result = Ok "stored");
+      Alcotest.(check int) "one retry" 2 !attempts;
+      (* Without retries the same fault is a Crashed Io failure. *)
+      Supervise.set_injection
+        [ ("checkpoint:store", Supervise.Inject_io { error = Unix.EIO; remaining = 1 }) ];
+      match Supervise.run (fun cancel -> Supervise.inject ~cancel "checkpoint:store") with
+      | Error (Supervise.Crashed e) ->
+        Alcotest.check kind "Io failure" Uerror.Io e.Uerror.kind
+      | _ -> Alcotest.fail "expected Crashed")
+
+(* Runs last: the termination flag is process-wide and sticky by
+   design (a SIGTERM'd process never un-terminates), so this test
+   would poison any supervised run scheduled after it. *)
+let test_request_termination () =
+  Alcotest.(check int) "exit code" 4 Supervise.sigterm_exit_code;
+  Supervise.request_termination ();
+  Alcotest.(check bool) "flag set" true (Supervise.terminating ());
+  match Supervise.run (fun _ -> 1) with
+  | Error (Supervise.Skipped reason) ->
+    Alcotest.(check bool) "skip names SIGTERM" true
+      (Helpers.contains_substring reason "SIGTERM")
+  | _ -> Alcotest.fail "expected Skipped while terminating"
+
 let () =
   Alcotest.run "supervise"
     [
@@ -215,5 +305,16 @@ let () =
           Alcotest.test_case "crash site" `Quick test_inject_crash_site;
           Alcotest.test_case "disabled noop" `Quick test_inject_disabled_noop;
           Alcotest.test_case "spec parsing" `Quick test_parse_injection_spec;
+          Alcotest.test_case "io spec parsing" `Quick test_parse_io_spec;
+          Alcotest.test_case "io fires then disarms" `Quick
+            test_inject_io_fires_then_disarms;
+          Alcotest.test_case "io recovered by retry" `Quick
+            test_inject_io_recovered_by_retry;
+        ] );
+      ( "termination",
+        [
+          (* Keep last: sets the sticky process-wide flag. *)
+          Alcotest.test_case "request_termination" `Quick
+            test_request_termination;
         ] );
     ]
