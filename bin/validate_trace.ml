@@ -228,9 +228,29 @@ let validate_record lineno doc =
         (fun (name, v) ->
           check (name <> "") (where "empty counter name");
           match v with
-          | Num _ -> ()
+          | Num f ->
+            (* Counters only ever count up; the kernel.backend gauge is
+               an index into Kernel.backends. Nothing here may go
+               negative. *)
+            check (f >= 0.0) (where ("counter " ^ name ^ " negative"))
           | _ -> raise (Bad (where ("counter " ^ name ^ " not a number"))))
-        values
+        values;
+      (* Traces come from processes that link the kernel registry, so
+         the backend gauge must be reported — a reader replaying the
+         trace needs it to attribute timings to swar vs c. The mmap
+         accounting pair travels together: bytes without hits (or the
+         reverse) means the emitter dropped one. *)
+      check
+        (List.mem_assoc "kernel.backend" values)
+        (where "counters must include the kernel.backend gauge");
+      let has name =
+        match List.assoc_opt name values with
+        | Some (Num f) -> f > 0.0
+        | _ -> false
+      in
+      check
+        (not (has "table.mmap_hits" <> has "table.mmap_bytes"))
+        (where "table.mmap_hits and table.mmap_bytes must move together")
     | _ -> raise (Bad (where "values missing or not an object")))
   | Some (Str other) -> raise (Bad (where ("unknown record type " ^ other)))
   | Some _ -> raise (Bad (where "type must be a string"))

@@ -20,11 +20,9 @@ type t = {
   universe : int;
   targets : Stuck.t array;
   target_sets : Bitvec.t array;
-  target_labels : string array;
   undetectable_targets : int;
   untargeted : untargeted_fault array;
   untargeted_sets : Bitvec.t array;
-  untargeted_labels : string array;
   undetectable_untargeted : int;
   good : Good.t;
   (* Lazily-built memos. Tables are shared read-only across Parallel
@@ -37,6 +35,13 @@ type t = {
   inverted : int array array option Atomic.t;
   untargeted_inverted : int array array option Atomic.t;
   layout : target_layout option Atomic.t;
+  (* Labels are pure functions of net + fault, so they are derived on
+     first use (reports are the only consumer) instead of being paid on
+     every build or cache restore — the mmap load path stays free of
+     per-fault string formatting. Same Atomic publication scheme as the
+     inverted indices. *)
+  target_labels : string array option Atomic.t;
+  untargeted_labels : string array option Atomic.t;
   memo_lock : Mutex.t;
   output_sets : (int, Bitvec.t array) Hashtbl.t;
 }
@@ -74,28 +79,20 @@ let build ?(keep_undetectable_targets = false) ?(collapse = true)
   let target_sets =
     Array.of_list (List.map (fun (i, _) -> stuck_sets.(i)) kept_t)
   in
-  let all_untargeted, all_sets, label =
+  let all_untargeted, all_sets =
     match model with
     | Four_way ->
       let bridges = Bridge.enumerate net in
       ( Array.map (fun b -> Bridge_fault b) bridges,
         Telemetry.with_span "table.sim.untargeted"
           ~args:[ ("faults", string_of_int (Array.length bridges)) ]
-          (fun () -> Fault_sim.bridge_detection_sets ~cancel good bridges),
-        fun f ->
-          match f with
-          | Bridge_fault b -> Bridge.to_string net b
-          | Wired_fault w -> Wired.to_string net w )
+          (fun () -> Fault_sim.bridge_detection_sets ~cancel good bridges) )
     | Wired semantics ->
       let wired = Wired.enumerate net semantics in
       ( Array.map (fun w -> Wired_fault w) wired,
         Telemetry.with_span "table.sim.untargeted"
           ~args:[ ("faults", string_of_int (Array.length wired)) ]
-          (fun () -> Fault_sim.wired_detection_sets ~cancel good wired),
-        fun f ->
-          match f with
-          | Bridge_fault b -> Bridge.to_string net b
-          | Wired_fault w -> Wired.to_string net w )
+          (fun () -> Fault_sim.wired_detection_sets ~cancel good wired) )
   in
   let kept_g =
     Array.to_list (Array.mapi (fun j g -> (j, g)) all_untargeted)
@@ -127,17 +124,17 @@ let build ?(keep_undetectable_targets = false) ?(collapse = true)
     universe;
     targets;
     target_sets;
-    target_labels = Array.map (Stuck.to_string net) targets;
     undetectable_targets = Array.length stuck_list - Array.length targets;
     untargeted;
     untargeted_sets;
-    untargeted_labels = Array.map label untargeted;
     undetectable_untargeted =
       Array.length all_untargeted - Array.length untargeted;
     good;
     inverted = Atomic.make None;
     untargeted_inverted = Atomic.make None;
     layout = Atomic.make None;
+    target_labels = Atomic.make None;
+    untargeted_labels = Atomic.make None;
     memo_lock = Mutex.create ();
     output_sets = Hashtbl.create 64;
   }
@@ -148,13 +145,36 @@ let target_count t = Array.length t.targets
 let target_fault t i = t.targets.(i)
 let target_set t i = t.target_sets.(i)
 let target_n t i = Bitvec.count t.target_sets.(i)
-let target_label t i = t.target_labels.(i)
 let undetectable_target_count t = t.undetectable_targets
 let untargeted_count t = Array.length t.untargeted
 let untargeted_fault t j = t.untargeted.(j)
 let untargeted_set t j = t.untargeted_sets.(j)
-let untargeted_label t j = t.untargeted_labels.(j)
 let undetectable_untargeted_count t = t.undetectable_untargeted
+
+let untargeted_label_of net = function
+  | Bridge_fault b -> Bridge.to_string net b
+  | Wired_fault w -> Wired.to_string net w
+
+(* Racing domains compute identical arrays; the first CAS wins and the
+   loser's copy (same content) is returned directly. *)
+let memo_labels cell compute =
+  match Atomic.get cell with
+  | Some labels -> labels
+  | None ->
+    let labels = compute () in
+    ignore (Atomic.compare_and_set cell None (Some labels));
+    labels
+
+let target_labels t =
+  memo_labels t.target_labels (fun () ->
+      Array.map (Stuck.to_string t.net) t.targets)
+
+let untargeted_labels t =
+  memo_labels t.untargeted_labels (fun () ->
+      Array.map (untargeted_label_of t.net) t.untargeted)
+
+let target_label t i = (target_labels t).(i)
+let untargeted_label t j = (untargeted_labels t).(j)
 
 let m t ~gj ~fi = Bitvec.inter_count t.target_sets.(fi) t.untargeted_sets.(gj)
 
@@ -271,11 +291,11 @@ let snapshot t =
     snap_universe = t.universe;
     snap_targets = t.targets;
     snap_target_sets = t.target_sets;
-    snap_target_labels = t.target_labels;
+    snap_target_labels = target_labels t;
     snap_undetectable_targets = t.undetectable_targets;
     snap_untargeted = t.untargeted;
     snap_untargeted_sets = t.untargeted_sets;
-    snap_untargeted_labels = t.untargeted_labels;
+    snap_untargeted_labels = untargeted_labels t;
     snap_undetectable_untargeted = t.undetectable_untargeted;
   }
 
@@ -306,16 +326,79 @@ let restore net snap =
     universe = snap.snap_universe;
     targets = snap.snap_targets;
     target_sets = snap.snap_target_sets;
-    target_labels = snap.snap_target_labels;
     undetectable_targets = snap.snap_undetectable_targets;
     untargeted = snap.snap_untargeted;
     untargeted_sets = snap.snap_untargeted_sets;
-    untargeted_labels = snap.snap_untargeted_labels;
     undetectable_untargeted = snap.snap_undetectable_untargeted;
     good;
     inverted = Atomic.make None;
     untargeted_inverted = Atomic.make None;
     layout = Atomic.make None;
+    (* The snapshot carries the labels; adopt them instead of
+       reformatting. *)
+    target_labels = Atomic.make (Some snap.snap_target_labels);
+    untargeted_labels = Atomic.make (Some snap.snap_untargeted_labels);
+    memo_lock = Mutex.create ();
+    output_sets = Hashtbl.create 64;
+  }
+
+(* Snapshot-free restore: adopt detection sets (and, optionally, an
+   already-built blocked layout) produced by an external decoder — the
+   table cache's v3 mmap loader. Labels are derived lazily from the
+   netlist on first report use (they are pure functions of net + fault,
+   so the binary format does not store them), and the layout, when
+   preset, seeds the same atomic memo that [target_layout] would fill —
+   the decoder adopted its rows zero-copy from the mapped file, and
+   rebuilding it would both copy and re-sort for nothing. *)
+let restore_parts net ~universe ~targets ~target_sets ~undetectable_targets
+    ~untargeted ~untargeted_sets ~undetectable_untargeted ?layout () =
+  Telemetry.Counter.incr c_restores;
+  let good = Good.compute net in
+  if Good.universe good <> universe then
+    invalid_arg "Detection_table.restore_parts: universe mismatch";
+  let check_sets sets =
+    Array.iter
+      (fun s ->
+        if Bitvec.length s <> universe then
+          invalid_arg "Detection_table.restore_parts: set length mismatch")
+      sets
+  in
+  check_sets target_sets;
+  check_sets untargeted_sets;
+  if
+    Array.length targets <> Array.length target_sets
+    || Array.length untargeted <> Array.length untargeted_sets
+    || undetectable_targets < 0
+    || undetectable_untargeted < 0
+  then invalid_arg "Detection_table.restore_parts: inconsistent parts";
+  (match layout with
+  | None -> ()
+  | Some l ->
+    if
+      l.rows < 0
+      || Array.length l.rep <> l.rows
+      || Array.length l.row_n <> l.rows
+      || Bitvec.Blocked.rows l.blocked <> l.rows
+      || not
+           (Array.for_all
+              (fun fi -> fi >= 0 && fi < Array.length targets)
+              l.rep)
+    then invalid_arg "Detection_table.restore_parts: inconsistent layout");
+  {
+    net;
+    universe;
+    targets;
+    target_sets;
+    undetectable_targets;
+    untargeted;
+    untargeted_sets;
+    undetectable_untargeted;
+    good;
+    inverted = Atomic.make None;
+    untargeted_inverted = Atomic.make None;
+    layout = Atomic.make layout;
+    target_labels = Atomic.make None;
+    untargeted_labels = Atomic.make None;
     memo_lock = Mutex.create ();
     output_sets = Hashtbl.create 64;
   }

@@ -148,3 +148,25 @@ val restore : Netlist.t -> snapshot -> t
     demand. Raises [Invalid_argument] when the snapshot is inconsistent
     with [net] (universe or array-shape mismatch) — callers treat that
     as a cache miss. *)
+
+val restore_parts :
+  Netlist.t ->
+  universe:int ->
+  targets:Stuck.t array ->
+  target_sets:Bitvec.t array ->
+  undetectable_targets:int ->
+  untargeted:untargeted_fault array ->
+  untargeted_sets:Bitvec.t array ->
+  undetectable_untargeted:int ->
+  ?layout:target_layout ->
+  unit ->
+  t
+(** Snapshot-free {!restore} for external decoders (the table cache's v3
+    mmap loader): adopts the given arrays directly — the detection sets
+    may be zero-copy {!Bitvec.of_view}s into a mapped file — and
+    recomputes labels and the fault-free table from [net]. When
+    [layout] is given it seeds the {!target_layout} memo, so the
+    worst-case scan runs over the mapped rows without repacking. Same
+    validation and [Invalid_argument] contract as {!restore}, extended
+    to the layout's shape ([rep]/[row_n] lengths, row counts,
+    representative indices in range). *)

@@ -38,6 +38,8 @@ let make_scanner cancel table =
   let blocked = layout.Detection_table.blocked in
   let block_size = Bitvec.Blocked.block_size blocked in
   let block_count = Bitvec.Blocked.block_count blocked in
+  (* Kernel backend resolved once per scanner, not per block sweep. *)
+  let sweep = Bitvec.Blocked.scanner blocked in
   (* Per-untargeted-fault scans are independent pure reads of the table,
      so they run on parallel domains; the counts scratch is per-call,
      never shared. *)
@@ -91,7 +93,7 @@ let make_scanner cancel table =
         end
         else begin
           incr kernels;
-          let k = Bitvec.Blocked.inter_counts_into blocked ~block:!block tg counts in
+          let k = sweep ~block:!block tg counts in
           for r = 0 to k - 1 do
             let m = counts.(r) in
             if m > 0 && row_n.(base + r) - m + 1 < !best then begin

@@ -7,6 +7,7 @@ module Registry = Ndetect_suite.Registry
 module Example = Ndetect_suite.Example
 module Paper_tables = Ndetect_report.Paper_tables
 module Bitvec = Ndetect_util.Bitvec
+module Kernel = Ndetect_util.Kernel
 module Supervise = Ndetect_util.Supervise
 module Telemetry = Ndetect_util.Telemetry
 
@@ -26,6 +27,7 @@ type options = {
   table_cache : string option;
   trace : string option;
   metrics : bool;
+  kernel_backend : string option;
   (* Campaign-mode flags (the [ndetect campaign] subcommand). *)
   workers : int option;
   lease_secs : float option;
@@ -51,6 +53,7 @@ let default_options =
     table_cache = None;
     trace = None;
     metrics = false;
+    kernel_backend = None;
     workers = None;
     lease_secs = None;
     max_unit_retries = None;
@@ -66,8 +69,9 @@ module Options = struct
       ?(only = default_options.only) ?(quiet = default_options.quiet)
       ?csv_dir ?checkpoint_dir ?(resume = default_options.resume)
       ?timeout_per_circuit ?inject ?domains ?table_cache ?trace
-      ?(metrics = default_options.metrics) ?workers ?lease_secs
-      ?max_unit_retries ?(chaos = default_options.chaos) ?ledger_dir () =
+      ?(metrics = default_options.metrics) ?kernel_backend ?workers
+      ?lease_secs ?max_unit_retries ?(chaos = default_options.chaos)
+      ?ledger_dir () =
     {
       tier;
       k;
@@ -84,6 +88,7 @@ module Options = struct
       table_cache;
       trace;
       metrics;
+      kernel_backend;
       workers;
       lease_secs;
       max_unit_retries;
@@ -97,7 +102,7 @@ let usage =
   \                 [--only table1..table6|figure2|all] [--quiet] [--csv DIR]\n\
   \                 [--checkpoint DIR] [--resume] [--timeout-per-circuit SECS]\n\
   \                 [--inject SPEC] [--domains N] [--table-cache DIR]\n\
-  \                 [--trace FILE] [--metrics]\n\
+  \                 [--trace FILE] [--metrics] [--kernel-backend swar|c]\n\
   \                 [--workers N] [--lease-secs SECS] [--max-unit-retries N]\n\
   \                 [--chaos] [--ledger DIR]"
 
@@ -105,7 +110,8 @@ let value_flags =
   [
     "--tier"; "--k"; "--k2"; "--seed"; "--only"; "--csv"; "--checkpoint";
     "--timeout-per-circuit"; "--inject"; "--domains"; "--table-cache";
-    "--trace"; "--workers"; "--lease-secs"; "--max-unit-retries"; "--ledger";
+    "--trace"; "--kernel-backend"; "--workers"; "--lease-secs";
+    "--max-unit-retries"; "--ledger";
   ]
 
 (* The flag grammar is written with [failwith] (every arm wants to abort
@@ -174,6 +180,16 @@ let parse_args_exn args =
       go { opts with table_cache = Some dir } rest
     | "--trace" :: file :: rest -> go { opts with trace = Some file } rest
     | "--metrics" :: rest -> go { opts with metrics = true } rest
+    | "--kernel-backend" :: v :: rest ->
+      let name = String.lowercase_ascii v in
+      if List.mem_assoc name Kernel.backends then
+        go { opts with kernel_backend = Some name } rest
+      else
+        failwith
+          (Printf.sprintf "--kernel-backend: unknown backend %S (expected %s)\n%s"
+             v
+             (String.concat ", " (List.map fst Kernel.backends))
+             usage)
     | "--workers" :: v :: rest -> (
       match int_of_string_opt v with
       | Some n when n >= 1 -> go { opts with workers = Some n } rest
@@ -269,6 +285,16 @@ let tier_name = function
   | Registry.Large -> "large"
 
 let create options =
+  (* Backend selection before any analysis touches a Bitvec: the flag
+     wins over NDETECT_KERNEL (which Kernel read at init). The name was
+     validated at parse time; re-validate anyway for programmatic
+     [Options.make] callers. *)
+  (match options.kernel_backend with
+  | None -> ()
+  | Some name -> (
+    match Kernel.select name with
+    | Ok () -> ()
+    | Error message -> failwith (Printf.sprintf "--kernel-backend: %s" message)));
   (match options.inject with
   | None -> Supervise.set_injection []
   | Some spec -> (

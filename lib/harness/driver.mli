@@ -59,6 +59,14 @@ type options = {
       (** Print a telemetry report after [run_all]: per-supervised-unit
           counter deltas, process-wide totals and the aggregated span
           profile. Pure observability, like [trace]. *)
+  kernel_backend : string option;
+      (** When set, {!create} switches the process-wide intersection
+          kernel ({!Ndetect_util.Kernel.select}) before any analysis
+          runs — overriding the [NDETECT_KERNEL] environment default.
+          Both backends are bit-identical, so — like [domains] — this is
+          a pure throughput knob, excluded from checkpoint stamps and
+          cache keys. The selection is visible as the
+          ["kernel.backend"] gauge in [--metrics] and traces. *)
   workers : int option;
       (** [ndetect campaign] only: worker subprocess count (>= 1).
           Ignored by the reproduction driver. *)
@@ -100,6 +108,7 @@ module Options : sig
     ?table_cache:string ->
     ?trace:string ->
     ?metrics:bool ->
+    ?kernel_backend:string ->
     ?workers:int ->
     ?lease_secs:float ->
     ?max_unit_retries:int ->
@@ -115,7 +124,8 @@ val parse_args_result : string list -> (options, string) result
     [--only WHAT], [--quiet], [--csv DIR], [--checkpoint DIR],
     [--resume], [--timeout-per-circuit SECS], [--inject SPEC],
     [--domains N], [--table-cache DIR], [--trace FILE], [--metrics],
-    and the campaign flags [--workers N] (>= 1), [--lease-secs SECS]
+    [--kernel-backend NAME] (a registered
+    {!Ndetect_util.Kernel.backends} name), and the campaign flags [--workers N] (>= 1), [--lease-secs SECS]
     (>= 1), [--max-unit-retries N] (>= 1), [--chaos] (rejected unless
     [--workers >= 2]) and [--ledger DIR]. [Error message] names the
     offending flag (and includes the usage string) on malformed values,

@@ -16,7 +16,7 @@ type t = {
 let next_id = Atomic.make 0
 let fresh_id () = Atomic.fetch_and_add next_id 1
 
-let compute net =
+let compute_fresh net =
   let universe = Netlist.universe_size net in
   let batch_count = Word.batches ~universe in
   let pi = Netlist.input_count net in
@@ -44,6 +44,22 @@ let compute net =
       topo
   done;
   { id = fresh_id (); net; universe; batch_count; values; live }
+
+(* [compute] is pure per netlist and its result is immutable after
+   construction, so repeated calls on the {e same} netlist (every
+   restore of a cached detection table, every rebuild in a sweep) can
+   share one simulation. A single-entry memo keyed by physical equality
+   keeps at most one extra table alive; a lost race between domains just
+   recomputes, which is always correct. *)
+let memo : (Netlist.t * t) option Atomic.t = Atomic.make None
+
+let compute net =
+  match Atomic.get memo with
+  | Some (n, good) when n == net -> good
+  | _ ->
+    let good = compute_fresh net in
+    Atomic.set memo (Some (net, good));
+    good
 
 let of_vectors net vectors =
   let pi = Netlist.input_count net in

@@ -11,7 +11,10 @@ module Word = Ndetect_logic.Word
 type t
 
 val compute : Netlist.t -> t
-(** Simulate the whole universe. *)
+(** Simulate the whole universe. Memoized on the last netlist (physical
+    equality): the result is immutable, so repeated calls on the same
+    netlist — e.g. every warm cache restore of its detection table —
+    return the same shared simulation instead of resimulating. *)
 
 val of_vectors : Netlist.t -> int array -> t
 (** [of_vectors net vectors] simulates an arbitrary pattern list instead of

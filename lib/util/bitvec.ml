@@ -1,60 +1,84 @@
-(* Bits are packed into OCaml native ints, 62 payload bits per word; using
-   62 rather than 63 keeps the same batch width as the bit-parallel
-   simulator, which simplifies cross-checking, and costs almost nothing. *)
+(* Bits are packed 62 payload bits per word; using 62 rather than 63
+   keeps the same batch width as the bit-parallel simulator, which
+   simplifies cross-checking, and costs almost nothing.
+
+   The backing store is a Bigarray of untagged native ints
+   ({!Kernel.buf}) rather than an [int array]: the C kernel backend
+   reads the data pointer directly, [Bigarray.Array1.sub] gives
+   zero-copy views, and [Unix.map_file] gives vectors (and whole
+   blocked layouts) living in a file — the table cache's v3 mmap path
+   builds every detection set as a view into one mapping. Invariant:
+   words hold non-negative 62-bit payloads and every bit at or above
+   [len] is zero (creation zero-fills; setters mask; external buffers
+   are checksum-verified by their producer).
+
+   Bulk counting ops route through the process-wide kernel backend
+   ({!Kernel.current}), dereferenced once per call — never per word.
+   Everything else (single-bit access, iteration, set algebra) is
+   backend-independent OCaml. *)
+
+module A1 = Bigarray.Array1
 
 let bits_per_word = 62
 
-type t = { len : int; words : int array }
+type buf = Kernel.buf
+type t = { len : int; buf : buf }
 
 let word_count len = (len + bits_per_word - 1) / bits_per_word
 
+let alloc_words n =
+  (* Array1.create is uninitialized memory; the zero fill is load-bearing
+     (padding words above [len] must be zero for the kernels). *)
+  let b = A1.create Bigarray.int Bigarray.c_layout (max 1 n) in
+  A1.fill b 0;
+  b
+
 let create len =
   if len < 0 then invalid_arg "Bitvec.create: negative length";
-  { len; words = Array.make (max 1 (word_count len)) 0 }
+  { len; buf = alloc_words (word_count len) }
 
 let length t = t.len
 
-let copy t = { len = t.len; words = Array.copy t.words }
+let copy t =
+  let b = alloc_words (A1.dim t.buf) in
+  A1.blit t.buf b;
+  { len = t.len; buf = b }
+
+let of_view len (buf : buf) =
+  if len < 0 then invalid_arg "Bitvec.of_view: negative length";
+  if A1.dim buf <> max 1 (word_count len) then
+    invalid_arg "Bitvec.of_view: buffer dimension mismatch";
+  { len; buf }
 
 let check t i =
   if i < 0 || i >= t.len then invalid_arg "Bitvec: index out of bounds"
 
 let get t i =
   check t i;
-  t.words.(i / bits_per_word) lsr (i mod bits_per_word) land 1 = 1
+  A1.get t.buf (i / bits_per_word) lsr (i mod bits_per_word) land 1 = 1
 
 let unsafe_get t i =
-  Array.unsafe_get t.words (i / bits_per_word)
-  lsr (i mod bits_per_word)
-  land 1
-  = 1
+  A1.unsafe_get t.buf (i / bits_per_word) lsr (i mod bits_per_word) land 1 = 1
 
 let set t i =
   check t i;
   let w = i / bits_per_word in
-  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+  A1.set t.buf w (A1.get t.buf w lor (1 lsl (i mod bits_per_word)))
 
 let clear t i =
   check t i;
   let w = i / bits_per_word in
-  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+  A1.set t.buf w (A1.get t.buf w land lnot (1 lsl (i mod bits_per_word)))
 
 let assign t i b = if b then set t i else clear t i
 
-let word_length t = Array.length t.words
-let unsafe_get_word t w = Array.unsafe_get t.words w
-let unsafe_set_word t w v = Array.unsafe_set t.words w v
+let word_length t = A1.dim t.buf
+let unsafe_get_word t w = A1.unsafe_get t.buf w
+let unsafe_set_word t w v = A1.unsafe_set t.buf w v
 
-(* Branch-free SWAR popcount. Payloads are 62-bit (non-negative), so every
-   mask below fits in OCaml's 63-bit native int and the final byte-summing
-   multiply cannot overflow: after the 4-bit step each byte holds at most
-   8, so every byte of the product stays below 63 and the total (<= 62)
-   lands in bits 56..62. *)
-let popcount_word w =
-  let w = w - ((w lsr 1) land 0x1555555555555555) in
-  let w = (w land 0x3333333333333333) + ((w lsr 2) land 0x3333333333333333) in
-  let w = (w + (w lsr 4)) land 0x0F0F0F0F0F0F0F0F in
-  (w * 0x0101010101010101) lsr 56
+(* Local SWAR popcount for the backend-independent paths (diff counts,
+   ordered iteration); the bulk counting kernels live in {!Kernel}. *)
+let popcount_word = Kernel.popcount_word
 
 (* Count-trailing-zeros of the isolated lowest set bit via a 32-bit De
    Bruijn multiply (OCaml ints are 63-bit, so the classic 64-bit constant
@@ -73,26 +97,25 @@ let ctz_low low =
         (((low lsr 32) * 0x077CB531 land 0xFFFFFFFF) lsr 27)
 
 let count t =
-  let acc = ref 0 in
-  for i = 0 to Array.length t.words - 1 do
-    acc := !acc + popcount_word (Array.unsafe_get t.words i)
-  done;
-  !acc
+  let k = Kernel.current () in
+  k.Kernel.popcount_words t.buf (A1.dim t.buf)
 
-let is_empty t = Array.for_all (fun w -> w = 0) t.words
+let is_empty t =
+  let n = A1.dim t.buf in
+  let rec go i = i >= n || (A1.unsafe_get t.buf i = 0 && go (i + 1)) in
+  go 0
 
 let same_len a b =
   if a.len <> b.len then invalid_arg "Bitvec: length mismatch"
 
-(* Explicit word loop: polymorphic compare on the word arrays would walk
-   the same words but through the generic runtime path. *)
+(* Explicit word loop: polymorphic compare on the buffers would walk the
+   same words but through the generic runtime path. *)
 let equal a b =
   a.len = b.len
   &&
-  let n = Array.length a.words in
+  let n = A1.dim a.buf in
   let rec go i =
-    i >= n
-    || (Array.unsafe_get a.words i = Array.unsafe_get b.words i && go (i + 1))
+    i >= n || (A1.unsafe_get a.buf i = A1.unsafe_get b.buf i && go (i + 1))
   in
   go 0
 
@@ -100,13 +123,11 @@ let compare a b =
   let c = Int.compare a.len b.len in
   if c <> 0 then c
   else begin
-    let n = Array.length a.words in
+    let n = A1.dim a.buf in
     let rec go i =
       if i >= n then 0
       else begin
-        let c =
-          Int.compare (Array.unsafe_get a.words i) (Array.unsafe_get b.words i)
-        in
+        let c = Int.compare (A1.unsafe_get a.buf i) (A1.unsafe_get b.buf i) in
         if c <> 0 then c else go (i + 1)
       end
     in
@@ -118,8 +139,8 @@ let compare a b =
 let hash t =
   let h = ref (0x811C9DC5 lxor t.len) in
   let mix v = h := (!h lxor v) * 0x01000193 land max_int in
-  for i = 0 to Array.length t.words - 1 do
-    let w = Array.unsafe_get t.words i in
+  for i = 0 to A1.dim t.buf - 1 do
+    let w = A1.unsafe_get t.buf i in
     mix (w land 0x7FFFFFFF);
     mix (w lsr 31)
   done;
@@ -127,48 +148,33 @@ let hash t =
 
 let inter_count a b =
   same_len a b;
-  let acc = ref 0 in
-  for i = 0 to Array.length a.words - 1 do
-    acc :=
-      !acc
-      + popcount_word (Array.unsafe_get a.words i land Array.unsafe_get b.words i)
-  done;
-  !acc
+  let k = Kernel.current () in
+  k.Kernel.inter_count a.buf b.buf (A1.dim a.buf)
 
 let inter_count_upto ~limit a b =
   same_len a b;
-  let n = Array.length a.words in
-  let acc = ref 0 and i = ref 0 in
-  while !acc < limit && !i < n do
-    acc :=
-      !acc
-      + popcount_word
-          (Array.unsafe_get a.words !i land Array.unsafe_get b.words !i);
-    incr i
-  done;
-  min !acc limit
+  let k = Kernel.current () in
+  k.Kernel.inter_count_upto a.buf b.buf (A1.dim a.buf) ~limit
 
 let inter_count_many a targets =
-  let counts = Array.make (Array.length targets) 0 in
-  let words = a.words in
-  let n = Array.length words in
-  for j = 0 to Array.length targets - 1 do
-    let b = Array.unsafe_get targets j in
-    same_len a b;
-    let acc = ref 0 in
-    for i = 0 to n - 1 do
-      acc :=
-        !acc
-        + popcount_word
-            (Array.unsafe_get words i land Array.unsafe_get b.words i)
-    done;
-    Array.unsafe_set counts j !acc
-  done;
+  let n = Array.length targets in
+  let counts = Array.make n 0 in
+  if n > 0 then begin
+    Array.iter (fun b -> same_len a b) targets;
+    let bufs = Array.map (fun b -> b.buf) targets in
+    let k = Kernel.current () in
+    k.Kernel.inter_count_many a.buf bufs (A1.dim a.buf) counts
+  end;
   counts
 
 let map2 op a b =
   same_len a b;
-  { len = a.len; words = Array.map2 op a.words b.words }
+  let n = A1.dim a.buf in
+  let dst = alloc_words n in
+  for i = 0 to n - 1 do
+    A1.unsafe_set dst i (op (A1.unsafe_get a.buf i) (A1.unsafe_get b.buf i))
+  done;
+  { len = a.len; buf = dst }
 
 let inter a b = map2 ( land ) a b
 let union a b = map2 ( lor ) a b
@@ -176,25 +182,31 @@ let diff a b = map2 (fun x y -> x land lnot y) a b
 
 let union_in_place a b =
   same_len a b;
-  for i = 0 to Array.length a.words - 1 do
-    a.words.(i) <- a.words.(i) lor b.words.(i)
+  for i = 0 to A1.dim a.buf - 1 do
+    A1.unsafe_set a.buf i (A1.unsafe_get a.buf i lor A1.unsafe_get b.buf i)
   done
 
 let intersects a b =
   same_len a b;
-  let n = Array.length a.words in
-  let rec go i = i < n && (a.words.(i) land b.words.(i) <> 0 || go (i + 1)) in
+  let n = A1.dim a.buf in
+  let rec go i =
+    i < n && (A1.unsafe_get a.buf i land A1.unsafe_get b.buf i <> 0 || go (i + 1))
+  in
   go 0
 
 let subset a b =
   same_len a b;
-  let n = Array.length a.words in
-  let rec go i = i >= n || (a.words.(i) land lnot b.words.(i) = 0 && go (i + 1)) in
+  let n = A1.dim a.buf in
+  let rec go i =
+    i >= n
+    || (A1.unsafe_get a.buf i land lnot (A1.unsafe_get b.buf i) = 0
+       && go (i + 1))
+  in
   go 0
 
 let iter_set t f =
-  for wi = 0 to Array.length t.words - 1 do
-    let w = ref (Array.unsafe_get t.words wi) in
+  for wi = 0 to A1.dim t.buf - 1 do
+    let w = ref (A1.unsafe_get t.buf wi) in
     while !w <> 0 do
       let low = !w land - !w in
       f ((wi * bits_per_word) + ctz_low low);
@@ -228,8 +240,10 @@ let choose t =
 let diff_count a b =
   same_len a b;
   let acc = ref 0 in
-  for i = 0 to Array.length a.words - 1 do
-    acc := !acc + popcount_word (a.words.(i) land lnot b.words.(i))
+  for i = 0 to A1.dim a.buf - 1 do
+    acc :=
+      !acc
+      + popcount_word (A1.unsafe_get a.buf i land lnot (A1.unsafe_get b.buf i))
   done;
   !acc
 
@@ -237,9 +251,9 @@ let nth_diff a b k =
   same_len a b;
   if k < 0 then raise Not_found;
   let remaining = ref k and result = ref (-1) and wi = ref 0 in
-  let n = Array.length a.words in
+  let n = A1.dim a.buf in
   while !result < 0 && !wi < n do
-    let w = ref (a.words.(!wi) land lnot b.words.(!wi)) in
+    let w = ref (A1.unsafe_get a.buf !wi land lnot (A1.unsafe_get b.buf !wi)) in
     let c = popcount_word !w in
     if c <= !remaining then remaining := !remaining - c
     else begin
@@ -265,11 +279,11 @@ let nth_set t k =
   with Found i -> i
 
 let content_key t =
-  let words = Array.length t.words in
+  let words = A1.dim t.buf in
   let bytes = Bytes.create (8 * (words + 1)) in
   Bytes.set_int64_le bytes 0 (Int64.of_int t.len);
   for i = 0 to words - 1 do
-    Bytes.set_int64_le bytes (8 * (i + 1)) (Int64.of_int t.words.(i))
+    Bytes.set_int64_le bytes (8 * (i + 1)) (Int64.of_int (A1.get t.buf i))
   done;
   Bytes.unsafe_to_string bytes
 
@@ -282,11 +296,14 @@ end)
 
 (* Cache-blocked, word-major storage for a family of equal-length vectors:
    rows are grouped into blocks of [block_size], and inside a block word
-   [w] of row [r] lives at [data.(w * rows_in_block + r)]. One pass over a
-   probe vector's words then scans a contiguous stripe per word, and
-   all-zero probe words skip whole stripes. *)
+   [w] of row [r] lives at [data.(off + w * k + r)] where [k] is the
+   block's row count. The whole layout is one contiguous buffer (block
+   [b] starts at word [b * block_size * words]), so it can be written to
+   disk and mapped back verbatim; [subs] holds one zero-copy sub-view
+   per block, created once, so the per-block kernel call allocates
+   nothing. *)
 let len_of (t : t) = t.len
-let words_of (t : t) = t.words
+let buf_of (t : t) = t.buf
 
 module Blocked = struct
   type vec = t
@@ -295,15 +312,42 @@ module Blocked = struct
     len : int;
     rows : int;
     block_size : int;
-    blocks : int array array;  (* blocks.(b).(w * k + r), k rows in block *)
+    words : int;  (* words per row; 0 iff rows = 0 *)
+    data : buf;  (* contiguous, [rows * words] payload words *)
+    subs : buf array;  (* per-block views into [data] *)
   }
 
-  let block_count t = Array.length t.blocks
+  let block_count t = Array.length t.subs
   let rows t = t.rows
   let block_size t = t.block_size
+  let raw t = t.data
+  let words_per_row t = t.words
 
-  let rows_in_block t b =
-    min t.block_size (t.rows - (b * t.block_size))
+  let rows_in_block t b = min t.block_size (t.rows - (b * t.block_size))
+
+  let make_subs ~rows ~block_size ~words data =
+    let block_count = (rows + block_size - 1) / block_size in
+    Array.init block_count (fun b ->
+        let base = b * block_size in
+        let k = min block_size (rows - base) in
+        A1.sub data (base * words) (k * words))
+
+  let of_buffer ?(block_size = 8) ~len ~rows data =
+    if block_size < 1 then
+      invalid_arg "Bitvec.Blocked.of_buffer: block_size < 1";
+    if len < 0 || rows < 0 then
+      invalid_arg "Bitvec.Blocked.of_buffer: negative dimension";
+    let words = if rows = 0 then 0 else max 1 (word_count len) in
+    if A1.dim data < rows * words then
+      invalid_arg "Bitvec.Blocked.of_buffer: buffer too small";
+    {
+      len;
+      rows;
+      block_size;
+      words;
+      data;
+      subs = make_subs ~rows ~block_size ~words data;
+    }
 
   let pack ?(block_size = 8) (vectors : vec array) =
     if block_size < 1 then invalid_arg "Bitvec.Blocked.pack: block_size < 1";
@@ -314,47 +358,49 @@ module Blocked = struct
         if len_of v <> len then
           invalid_arg "Bitvec.Blocked.pack: length mismatch")
       vectors;
-    let words = if rows = 0 then 0 else Array.length (words_of vectors.(0)) in
-    let block_count = (rows + block_size - 1) / block_size in
-    let blocks =
-      Array.init block_count (fun b ->
-          let base = b * block_size in
-          let k = min block_size (rows - base) in
-          let data = Array.make (max 1 (words * k)) 0 in
-          for r = 0 to k - 1 do
-            let src = words_of vectors.(base + r) in
-            for w = 0 to words - 1 do
-              data.((w * k) + r) <- Array.unsafe_get src w
-            done
-          done;
-          data)
-    in
-    { len; rows; block_size; blocks }
+    let words = if rows = 0 then 0 else A1.dim (buf_of vectors.(0)) in
+    let data = alloc_words (rows * words) in
+    for b = 0 to ((rows + block_size - 1) / block_size) - 1 do
+      let base = b * block_size in
+      let k = min block_size (rows - base) in
+      let off = base * words in
+      for r = 0 to k - 1 do
+        let src = buf_of vectors.(base + r) in
+        for w = 0 to words - 1 do
+          A1.unsafe_set data (off + (w * k) + r) (A1.unsafe_get src w)
+        done
+      done
+    done;
+    {
+      len;
+      rows;
+      block_size;
+      words;
+      data;
+      subs = make_subs ~rows ~block_size ~words data;
+    }
 
   (* Intersection counts of [probe] against every row of block [b],
-     written into [dst.(0 .. k-1)]; returns [k]. One sweep of the probe's
-     words; a zero probe word skips its whole stripe. *)
-  let inter_counts_into t ~block probe dst =
+     written into [dst.(0 .. k-1)]; returns [k]. One kernel call per
+     block — the backend is resolved per call here; hot scans hoist it
+     with {!scanner}. *)
+  let counts_with (kern : Kernel.ops) t ~block probe dst =
     if len_of probe <> t.len then
       invalid_arg "Bitvec.Blocked.inter_counts_into: length mismatch";
     let k = rows_in_block t block in
     if Array.length dst < k then
       invalid_arg "Bitvec.Blocked.inter_counts_into: dst too small";
-    let data = t.blocks.(block) in
-    Array.fill dst 0 k 0;
-    let pw = words_of probe in
-    for w = 0 to Array.length pw - 1 do
-      let a = Array.unsafe_get pw w in
-      if a <> 0 then begin
-        let base = w * k in
-        for r = 0 to k - 1 do
-          Array.unsafe_set dst r
-            (Array.unsafe_get dst r
-            + popcount_word (a land Array.unsafe_get data (base + r)))
-        done
-      end
-    done;
+    kern.Kernel.inter_counts_block ~probe:(buf_of probe)
+      ~data:(Array.unsafe_get t.subs block)
+      ~k ~words:t.words ~dst;
     k
+
+  let inter_counts_into t ~block probe dst =
+    counts_with (Kernel.current ()) t ~block probe dst
+
+  let scanner t =
+    let kern = Kernel.current () in
+    fun ~block probe dst -> counts_with kern t ~block probe dst
 end
 
 let pp ppf t =

@@ -3,13 +3,36 @@
     The analysis represents every detection set [T(h)] as a bit vector over
     the input universe [U = 0 .. 2^PI - 1], so intersection sizes
     ([M(g, f)]) and cardinalities ([N(f)]) reduce to word-wise logic and
-    popcounts. *)
+    popcounts.
+
+    Vectors are backed by {!Kernel.buf} bigarrays (untagged native
+    words), and every bulk counting operation routes through the
+    process-wide kernel backend ({!Kernel.current}) — selected once, by
+    [NDETECT_KERNEL] or [--kernel-backend], and dereferenced once per
+    bulk call. *)
 
 type t
 (** A fixed-length vector of bits. Indices run from [0] to [length - 1]. *)
 
+val bits_per_word : int
+(** Payload bits per backing word (62 — the bit-parallel simulator's
+    batch width). *)
+
+val word_count : int -> int
+(** [word_count len] is [ceil (len / bits_per_word)] — payload words
+    needed for [len] bits (backing buffers are at least 1 word even for
+    [len = 0]). *)
+
 val create : int -> t
 (** [create len] is an all-zero vector of [len] bits. *)
+
+val of_view : int -> Kernel.buf -> t
+(** [of_view len buf] wraps an external word buffer — typically an
+    [Array1.sub] view into an mmap'd table file — as a [len]-bit vector
+    {e without copying}. [buf] must have exactly
+    [max 1 (word_count len)] words, with every bit at or above [len]
+    zero (the table cache verifies this via its checksums before
+    constructing views). Mutating the view mutates the buffer. *)
 
 val length : t -> int
 
@@ -140,7 +163,24 @@ module Blocked : sig
   val pack : ?block_size:int -> vec array -> t
   (** Pack rows (all of one length) into blocks of [block_size]
       (default 8). Row order is preserved: row [i] of the pack is
-      [vectors.(i)]. *)
+      [vectors.(i)]. The layout is one contiguous buffer: block [b]
+      starts at word [b * block_size * words_per_row], and inside a
+      block word [w] of row [r] is at offset [w * k + r] ([k] rows in
+      the block) — exactly the bytes {!raw} exposes and {!of_buffer}
+      adopts. *)
+
+  val of_buffer : ?block_size:int -> len:int -> rows:int -> Kernel.buf -> t
+  (** Adopt an existing contiguous blocked layout — typically a view
+      into an mmap'd table cache file — {e without copying}. The buffer
+      must hold at least [rows * max 1 (word_count len)] words laid out
+      as {!pack} writes them (same [block_size]); contents are trusted
+      (the table cache checksum-verifies before adopting). *)
+
+  val raw : t -> Kernel.buf
+  (** The contiguous backing buffer ([rows * words_per_row] payload
+      words) — what the table cache writes to disk. *)
+
+  val words_per_row : t -> int
 
   val rows : t -> int
   val block_size : t -> int
@@ -153,5 +193,11 @@ module Blocked : sig
   (** [inter_counts_into t ~block probe dst] stores
       [inter_count probe row] for every row of the block into
       [dst.(0 ..)] (rows in pack order) and returns the number of rows
-      written. [dst] must hold at least {!rows_in_block} entries. *)
+      written. [dst] must hold at least {!rows_in_block} entries.
+      Resolves the kernel backend per call; hot scans use {!scanner}. *)
+
+  val scanner : t -> block:int -> vec -> int array -> int
+  (** [scanner t] is {!inter_counts_into} with the kernel backend
+      resolved once at partial application — the worst-case scan builds
+      one scanner per table and pays no per-call dispatch. *)
 end

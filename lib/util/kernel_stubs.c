@@ -1,0 +1,246 @@
+/* C kernel backend for Ndetect_util.Kernel.
+ *
+ * Operands are OCaml bigarrays of kind int (untagged native words, low
+ * 62 bits carry the payload, top two bits are zero by the Bitvec
+ * invariant), so the data pointer can be popcounted directly with
+ * __builtin_popcountll. When the dune feature probe
+ * (lib/util/probe_cflags.sh) grants -march=native and the host has
+ * AVX2, the long sweeps additionally run a 4-words-per-iteration
+ * nibble-LUT popcount (Mula's method); the scalar tail keeps results
+ * exactly equal to the SWAR reference on every length.
+ *
+ * Every stub is [@@noalloc]: no OCaml allocation, no callbacks, and the
+ * only OCaml-heap writes are immediate ints (Val_long) into int arrays,
+ * which need no write barrier. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/bigarray.h>
+#include <stdint.h>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+
+/* Per-64-bit-lane popcount of a 256-bit vector: nibble lookup + psadbw
+ * horizontal byte sums (Mula). */
+static inline __m256i ndetect_popcnt256(__m256i v) {
+  const __m256i lookup =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  __m256i lo = _mm256_and_si256(v, low_mask);
+  __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+  __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                                _mm256_shuffle_epi8(lookup, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+static inline intnat ndetect_hsum256(__m256i acc) {
+  __m128i lo = _mm256_castsi256_si128(acc);
+  __m128i hi = _mm256_extracti128_si256(acc, 1);
+  __m128i s = _mm_add_epi64(lo, hi);
+  return (intnat)(_mm_extract_epi64(s, 0) + _mm_extract_epi64(s, 1));
+}
+#endif
+
+static intnat ndetect_pc_words(const uint64_t *a, intnat n) {
+  intnat acc = 0;
+  intnat i = 0;
+#if defined(__AVX2__)
+  __m256i vacc = _mm256_setzero_si256();
+  for (; i + 4 <= n; i += 4) {
+    __m256i va = _mm256_loadu_si256((const __m256i *)(a + i));
+    vacc = _mm256_add_epi64(vacc, ndetect_popcnt256(va));
+  }
+  acc = ndetect_hsum256(vacc);
+#endif
+  for (; i < n; i++) acc += __builtin_popcountll(a[i]);
+  return acc;
+}
+
+static intnat ndetect_pc_and(const uint64_t *a, const uint64_t *b, intnat n) {
+  intnat acc = 0;
+  intnat i = 0;
+#if defined(__AVX2__)
+  __m256i vacc = _mm256_setzero_si256();
+  for (; i + 4 <= n; i += 4) {
+    __m256i va = _mm256_loadu_si256((const __m256i *)(a + i));
+    __m256i vb = _mm256_loadu_si256((const __m256i *)(b + i));
+    vacc = _mm256_add_epi64(vacc, ndetect_popcnt256(_mm256_and_si256(va, vb)));
+  }
+  acc = ndetect_hsum256(vacc);
+#endif
+  for (; i < n; i++) acc += __builtin_popcountll(a[i] & b[i]);
+  return acc;
+}
+
+CAMLprim value ndetect_c_popcount_words(value vb, value vn) {
+  return Val_long(
+      ndetect_pc_words((const uint64_t *)Caml_ba_data_val(vb), Long_val(vn)));
+}
+
+CAMLprim value ndetect_c_inter_count(value va, value vb, value vn) {
+  return Val_long(ndetect_pc_and((const uint64_t *)Caml_ba_data_val(va),
+                                 (const uint64_t *)Caml_ba_data_val(vb),
+                                 Long_val(vn)));
+}
+
+CAMLprim value ndetect_c_inter_count_upto(value va, value vb, value vn,
+                                          value vlimit) {
+  const uint64_t *a = (const uint64_t *)Caml_ba_data_val(va);
+  const uint64_t *b = (const uint64_t *)Caml_ba_data_val(vb);
+  intnat n = Long_val(vn);
+  intnat limit = Long_val(vlimit);
+  intnat acc = 0;
+  intnat i = 0;
+  while (acc < limit && i < n) {
+    acc += __builtin_popcountll(a[i] & b[i]);
+    i++;
+  }
+  return Val_long(acc < limit ? acc : limit);
+}
+
+CAMLprim value ndetect_c_inter_count_many(value vprobe, value vtargets,
+                                          value vn, value vdst) {
+  const uint64_t *p = (const uint64_t *)Caml_ba_data_val(vprobe);
+  intnat n = Long_val(vn);
+  mlsize_t count = Wosize_val(vtargets);
+  mlsize_t j;
+  for (j = 0; j < count; j++) {
+    const uint64_t *t = (const uint64_t *)Caml_ba_data_val(Field(vtargets, j));
+    Field(vdst, j) = Val_long(ndetect_pc_and(p, t, n));
+  }
+  return Val_unit;
+}
+
+/* Blocked word-major sweep: data holds k rows interleaved as
+ * data[w * k + r]; overwrite dst[0 .. k-1] with the per-row
+ * intersection counts. Stripes are short (k = block_size, 8 by
+ * default), so this stays scalar; the win is the contiguous stripe
+ * access plus the hardware popcount. Counts accumulate in a stack
+ * buffer to avoid per-update tag/untag churn on the OCaml array. */
+#define NDETECT_BLOCK_STACK 64
+
+CAMLprim value ndetect_c_inter_counts_block(value vprobe, value vdata,
+                                            value vk, value vwords,
+                                            value vdst) {
+  const uint64_t *p = (const uint64_t *)Caml_ba_data_val(vprobe);
+  const uint64_t *d = (const uint64_t *)Caml_ba_data_val(vdata);
+  intnat k = Long_val(vk);
+  intnat words = Long_val(vwords);
+  intnat w, r;
+  if (k <= NDETECT_BLOCK_STACK) {
+    intnat tmp[NDETECT_BLOCK_STACK];
+    for (r = 0; r < k; r++) tmp[r] = 0;
+    for (w = 0; w < words; w++) {
+      uint64_t a = p[w];
+      if (a) {
+        const uint64_t *row = d + (size_t)w * (size_t)k;
+        for (r = 0; r < k; r++) tmp[r] += __builtin_popcountll(a & row[r]);
+      }
+    }
+    for (r = 0; r < k; r++) Field(vdst, r) = Val_long(tmp[r]);
+  } else {
+    /* Oversized blocks (never hit by the default layout): accumulate
+     * straight into the OCaml int array. */
+    for (r = 0; r < k; r++) Field(vdst, r) = Val_long(0);
+    for (w = 0; w < words; w++) {
+      uint64_t a = p[w];
+      if (a) {
+        const uint64_t *row = d + (size_t)w * (size_t)k;
+        for (r = 0; r < k; r++)
+          Field(vdst, r) = Val_long(Long_val(Field(vdst, r)) +
+                                    __builtin_popcountll(a & row[r]));
+      }
+    }
+  }
+  return Val_unit;
+}
+
+/* File-verification helpers (not backend-dispatched; used by the
+ * table-cache loader over a read-only mapping of a cache file). They
+ * take the same kind-int bigarray the loader adopts: C reads the raw
+ * 64-bit memory directly, so bit 63 is fully visible here even though
+ * OCaml-side reads of the same buffer go through Val_long and would
+ * silently drop it. Single linear passes at memory bandwidth — the
+ * pure-OCaml equivalent boxes an Int64 per word and is ~50x slower on
+ * multi-megabyte tables. */
+
+#define NDETECT_FNV_BASIS UINT64_C(0xcbf29ce484222325)
+#define NDETECT_FNV_PRIME UINT64_C(0x100000001b3)
+
+/* Four-lane FNV-1a: lane k digests the words at indices == k (mod 4),
+ * and the region digest folds the four lane digests (as words, in lane
+ * order) into a fifth FNV-1a chain. Splitting the lanes breaks the
+ * serial xor-multiply dependency chain — a single chain runs at the
+ * multiplier's latency (~5 cycles/word), four interleaved chains run
+ * at memory bandwidth. The OCaml writer in Table_cache computes the
+ * same function; changing either side is a format break. */
+static uint64_t ndetect_fnv1a_region(const uint64_t *a, intnat n,
+                                     uint64_t *seen_out) {
+  uint64_t h0 = NDETECT_FNV_BASIS, h1 = NDETECT_FNV_BASIS;
+  uint64_t h2 = NDETECT_FNV_BASIS, h3 = NDETECT_FNV_BASIS;
+  uint64_t seen = 0;
+  intnat i = 0;
+  for (; i + 4 <= n; i += 4) {
+    uint64_t w0 = a[i], w1 = a[i + 1], w2 = a[i + 2], w3 = a[i + 3];
+    seen |= w0 | w1 | w2 | w3;
+    h0 = (h0 ^ w0) * NDETECT_FNV_PRIME;
+    h1 = (h1 ^ w1) * NDETECT_FNV_PRIME;
+    h2 = (h2 ^ w2) * NDETECT_FNV_PRIME;
+    h3 = (h3 ^ w3) * NDETECT_FNV_PRIME;
+  }
+  for (; i < n; i++) {
+    uint64_t w = a[i];
+    seen |= w;
+    switch (i & 3) {
+    case 0: h0 = (h0 ^ w) * NDETECT_FNV_PRIME; break;
+    case 1: h1 = (h1 ^ w) * NDETECT_FNV_PRIME; break;
+    case 2: h2 = (h2 ^ w) * NDETECT_FNV_PRIME; break;
+    default: h3 = (h3 ^ w) * NDETECT_FNV_PRIME; break;
+    }
+  }
+  if (seen_out) *seen_out = seen;
+  {
+    uint64_t h = NDETECT_FNV_BASIS;
+    h = (h ^ h0) * NDETECT_FNV_PRIME;
+    h = (h ^ h1) * NDETECT_FNV_PRIME;
+    h = (h ^ h2) * NDETECT_FNV_PRIME;
+    h = (h ^ h3) * NDETECT_FNV_PRIME;
+    return h;
+  }
+}
+
+/* Lane-split FNV-1a over words [off .. off+n-1] of the raw 64-bit
+ * data. */
+CAMLprim value ndetect_c_fnv1a_region(value vb, value voff, value vn) {
+  const uint64_t *a = (const uint64_t *)Caml_ba_data_val(vb) + Long_val(voff);
+  return caml_copy_int64((int64_t)ndetect_fnv1a_region(a, Long_val(vn), 0));
+}
+
+/* Fused digest + 62-bit payload range check over the same region in one
+ * sweep: Some digest when every word has bits 62-63 clear, None
+ * otherwise (one pass instead of two halves the memory traffic and the
+ * page-fault count on a freshly mapped file). */
+CAMLprim value ndetect_c_verify_region(value vb, value voff, value vn) {
+  CAMLparam3(vb, voff, vn);
+  CAMLlocal2(vdigest, vsome);
+  const uint64_t *a = (const uint64_t *)Caml_ba_data_val(vb) + Long_val(voff);
+  uint64_t seen = 0;
+  uint64_t h = ndetect_fnv1a_region(a, Long_val(vn), &seen);
+  if ((seen >> 62) != 0) CAMLreturn(Val_none);
+  vdigest = caml_copy_int64((int64_t)h);
+  vsome = caml_alloc_small(1, Tag_some);
+  Field(vsome, 0) = vdigest;
+  CAMLreturn(vsome);
+}
+
+CAMLprim value ndetect_c_description(value vunit) {
+  (void)vunit;
+#if defined(__AVX2__)
+  return caml_copy_string("C __builtin_popcountll + AVX2 nibble-LUT sweeps");
+#else
+  return caml_copy_string("C __builtin_popcountll (no SIMD probed)");
+#endif
+}

@@ -330,13 +330,15 @@ let test_table_cache_corruption () =
       Alcotest.(check bool) "garbage is a miss" true
         (Table_cache.load ~dir ~key net = None))
 
-(* Exhaustive damage sweep: truncations at structural boundaries and
-   single-bit flips in the magic, the header, and the payload must all
-   degrade to a miss — never raise, never return a wrong table — and
-   each must bump the "table_cache.corrupt" counter (a file existed
-   but failed validation). The payload is a Marshal blob, which does
-   not self-detect single-bit damage; only the header digest makes
-   these cases safe. *)
+(* Exhaustive damage sweep over the current (v3) format: truncations at
+   structural boundaries and single-bit flips in every region — magic,
+   header fields (version, key, digests, lengths), the alignment pad,
+   the meta section, and the raw words (first, middle, last — the words
+   are covered by their own FNV digest and the 62-bit range check, the
+   meta by its digest) — must all degrade to a miss, never raise, never
+   return a wrong table. Each must bump the "table_cache.corrupt"
+   counter and delete the damaged file (corrupt entries can only miss
+   again). *)
 let test_table_cache_damage_sweep () =
   with_temp_dir (fun dir ->
       let module Telemetry = Ndetect_util.Telemetry in
@@ -347,6 +349,24 @@ let test_table_cache_damage_sweep () =
       let pristine = In_channel.with_open_bin path In_channel.input_all in
       let len = String.length pristine in
       let header_end = String.index_from pristine 14 '\n' in
+      (* Region boundaries straight from the header:
+         "3 key meta_fnv meta_len words_off nwords fnv". The pad sits
+         between header and meta, so meta ends exactly at words_off. *)
+      let meta_len, words_off, nwords =
+        match
+          String.split_on_char ' '
+            (String.sub pristine 14 (header_end - 14))
+        with
+        | [ _v; _key; _meta_fnv; meta_len; words_off; nwords; _fnv ] ->
+          ( int_of_string meta_len,
+            int_of_string words_off,
+            int_of_string nwords )
+        | _ -> Alcotest.fail "unexpected v3 header shape"
+      in
+      let pad_start = header_end + 1 in
+      let meta_start = words_off - meta_len in
+      Alcotest.(check int) "file size = words_off + 8*nwords" len
+        (words_off + (8 * nwords));
       let write raw =
         let oc = open_out_bin path in
         output_string oc raw;
@@ -367,25 +387,43 @@ let test_table_cache_damage_sweep () =
         Alcotest.(check int)
           (label ^ " counted as corrupt")
           (corrupt_before + 1)
-          (Telemetry.counter_value "table_cache.corrupt")
+          (Telemetry.counter_value "table_cache.corrupt");
+        Alcotest.(check bool)
+          (label ^ " file deleted")
+          false (Sys.file_exists path)
       in
-      (* Truncations: empty file, torn magic, torn header, header only
-         (payload gone), torn payload. *)
+      (* Truncations: empty file, torn magic, torn header, meta torn,
+         words torn mid-word and at the last byte. *)
       List.iter
         (fun cut ->
           expect_corrupt_miss
             (Printf.sprintf "truncated to %d/%d bytes" cut len)
             (String.sub pristine 0 cut))
-        [ 0; 7; header_end - 3; header_end + 1; len - 1; len / 2 ];
-      (* Single-bit flips: magic, version digit, key, digest, declared
-         length, payload start / middle / last byte. *)
+        [ 0; 7; header_end - 3; meta_start; words_off - 1; words_off + 3;
+          len - 8; len - 1 ];
+      (* Single-bit flips, one per structural region: magic, version
+         digit, key, digests/lengths, meta fixed fields, meta arrays,
+         alignment pad (must be zero), first / middle / last word —
+         including the top bit of a word, which an OCaml bigarray read
+         cannot even see (Val_long drops bit 63) but the C digest pass
+         over the raw mapped memory must catch. *)
+      let top_bit_of_last_word =
+        let b = Bytes.of_string pristine in
+        (* Words are little-endian: byte 7 of the word holds bit 63. *)
+        let pos = len - 1 in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x80));
+        Bytes.to_string b
+      in
       List.iter
         (fun pos ->
           expect_corrupt_miss
             (Printf.sprintf "bit flip at byte %d/%d" pos len)
             (flip pristine pos))
-        [ 0; 14; 16; header_end - 2; header_end - 1; header_end + 1;
-          (header_end + 1 + len) / 2; len - 1 ];
+        ([ 0; 14; 16; header_end - 2; header_end - 1; meta_start;
+           meta_start + 40; words_off - 1; words_off;
+           words_off + (8 * (nwords / 2)); len - 1 ]
+        @ (if meta_start > pad_start then [ pad_start ] else []));
+      expect_corrupt_miss "top bit of last word" top_bit_of_last_word;
       (* And the pristine bytes restored still hit. *)
       write pristine;
       Alcotest.(check bool) "pristine file hits again" true
@@ -397,20 +435,77 @@ let test_table_cache_version_mismatch () =
       let key = Table_cache.key net in
       (* A file from a future format version: consistent header and
          digest, but the payload type is unknowable — it must be
-         rejected from the version field alone. *)
+         rejected from the version field alone, and (unlike a corrupt
+         file) left on disk: a rolled-back binary must not destroy a
+         newer binary's cache. *)
       let payload = Marshal.to_string () [] in
       let buf = Buffer.create 256 in
       Buffer.add_string buf "ndetect-table\n";
       Buffer.add_string buf
         (Printf.sprintf "%d %s %s %d\n" (Table_cache.version + 1) key
            (Digest.to_hex (Digest.string payload))
-           (String.length payload));
+           (String.length payload))
+      ;
       Buffer.add_string buf payload;
-      Checkpoint.write_atomic
-        ~path:(Filename.concat dir (key ^ ".tbl"))
-        (Buffer.contents buf);
+      let path = Filename.concat dir (key ^ ".tbl") in
+      Checkpoint.write_atomic ~path (Buffer.contents buf);
       Alcotest.(check bool) "future version is a miss" true
-        (Table_cache.load ~dir ~key net = None))
+        (Table_cache.load ~dir ~key net = None);
+      Alcotest.(check bool) "future-version file is spared deletion" true
+        (Sys.file_exists path);
+      (* A past version that is no longer read at all (v1) is ordinary
+         corruption: miss, and reclaimed. *)
+      let v1 = Buffer.contents buf in
+      let v1 =
+        let b = Bytes.of_string v1 in
+        Bytes.set b 14 '1';
+        Bytes.to_string b
+      in
+      Checkpoint.write_atomic ~path v1;
+      Alcotest.(check bool) "unreadable past version is a miss" true
+        (Table_cache.load ~dir ~key net = None);
+      Alcotest.(check bool) "unreadable past version reclaimed" false
+        (Sys.file_exists path))
+
+(* One release of coexistence: a v2 (marshalled snapshot) entry still
+   loads — identically, just without the mmap fast path — and the next
+   store rewrites it in the current format, after which loads go
+   through the map (table.mmap_hits / table.mmap_bytes advance). *)
+let test_table_cache_v2_coexistence () =
+  with_temp_dir (fun dir ->
+      let module Telemetry = Ndetect_util.Telemetry in
+      let net = Registry.circuit (Option.get (Registry.find "lion")) in
+      let built = Detection_table.build net in
+      let key = Table_cache.key net in
+      let path = Filename.concat dir (key ^ ".tbl") in
+      let version_token () =
+        let raw = In_channel.with_open_bin path In_channel.input_all in
+        String.sub raw 14 (String.index_from raw 14 ' ' - 14)
+      in
+      Table_cache.store_v2 ~dir ~key built;
+      Alcotest.(check string) "written as v2" "2" (version_token ());
+      let mmap_before = Telemetry.counter_value "table.mmap_hits" in
+      (match Table_cache.load ~dir ~key net with
+      | None -> Alcotest.fail "v2 file must still load"
+      | Some restored ->
+        Alcotest.(check bool) "v2 restore identical" true
+          (tables_identical built restored));
+      Alcotest.(check int) "v2 load does not mmap" mmap_before
+        (Telemetry.counter_value "table.mmap_hits");
+      Table_cache.store ~dir ~key built;
+      Alcotest.(check string) "rewritten in the current format"
+        (string_of_int Table_cache.version)
+        (version_token ());
+      let bytes_before = Telemetry.counter_value "table.mmap_bytes" in
+      (match Table_cache.load ~dir ~key net with
+      | None -> Alcotest.fail "rewritten file must load"
+      | Some restored ->
+        Alcotest.(check bool) "v3 restore identical" true
+          (tables_identical built restored));
+      Alcotest.(check int) "v3 load mapped the words" (mmap_before + 1)
+        (Telemetry.counter_value "table.mmap_hits");
+      Alcotest.(check bool) "mapped bytes accounted" true
+        (Telemetry.counter_value "table.mmap_bytes" > bytes_before))
 
 let test_table_cache_key_covers_params () =
   let net = Registry.circuit (Option.get (Registry.find "lion")) in
@@ -766,6 +861,8 @@ let () =
             test_table_cache_damage_sweep;
           Alcotest.test_case "version mismatch tolerated" `Quick
             test_table_cache_version_mismatch;
+          Alcotest.test_case "v2 coexistence: loads, rewritten as v3" `Quick
+            test_table_cache_v2_coexistence;
           Alcotest.test_case "key covers parameters" `Quick
             test_table_cache_key_covers_params;
           Alcotest.test_case "warm run simulates nothing" `Quick

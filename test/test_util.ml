@@ -268,58 +268,71 @@ let naive_inter_count len a b =
   done;
   !c
 
+(* Property bodies are named so the backend-pinned suite below can run
+   the exact same differential checks under each registered kernel. *)
+
+let dense_inter_count_body (len, sa, sb) =
+  let a = dense_of_seed len sa and b = dense_of_seed len sb in
+  Bitvec.inter_count a b = naive_inter_count len a b
+
 let prop_dense_inter_count =
   QCheck.Test.make ~name:"inter_count = naive get loop (dense)" ~count:300
-    dense_pair_gen (fun (len, sa, sb) ->
-      let a = dense_of_seed len sa and b = dense_of_seed len sb in
-      Bitvec.inter_count a b = naive_inter_count len a b)
+    dense_pair_gen dense_inter_count_body
 
-let prop_dense_inter_count_upto =
+let dense_upto_gen =
   QCheck.make
     ~print:(fun ((len, sa, sb), limit) ->
       Printf.sprintf "len=%d seed_a=%d seed_b=%d limit=%d" len sa sb limit)
     QCheck.Gen.(pair (QCheck.gen dense_pair_gen) (int_range 0 305))
-  |> fun arb ->
-  QCheck.Test.make ~name:"inter_count_upto = naive get loop (dense)"
-    ~count:300 arb (fun ((len, sa, sb), limit) ->
-      let a = dense_of_seed len sa and b = dense_of_seed len sb in
-      Bitvec.inter_count_upto ~limit a b
-      = min (naive_inter_count len a b) limit)
 
-let prop_dense_inter_count_many =
+let dense_inter_count_upto_body ((len, sa, sb), limit) =
+  let a = dense_of_seed len sa and b = dense_of_seed len sb in
+  Bitvec.inter_count_upto ~limit a b = min (naive_inter_count len a b) limit
+
+let prop_dense_inter_count_upto =
+  QCheck.Test.make ~name:"inter_count_upto = naive get loop (dense)"
+    ~count:300 dense_upto_gen dense_inter_count_upto_body
+
+let dense_many_gen =
   QCheck.make
     ~print:(fun (len, sp, rows) ->
       Printf.sprintf "len=%d seed_p=%d rows=%d" len sp rows)
     QCheck.Gen.(
       triple (oneofa ragged_lengths) (int_bound 10_000) (int_range 0 12))
-  |> fun arb ->
-  QCheck.Test.make ~name:"inter_count_many = naive get loops (dense)"
-    ~count:200 arb (fun (len, sp, rows) ->
-      let p = dense_of_seed len sp in
-      let targets = Array.init rows (fun r -> dense_of_seed len (r + 17)) in
-      Bitvec.inter_count_many p targets
-      = Array.map (naive_inter_count len p) targets)
 
-let prop_dense_blocked =
+let dense_inter_count_many_body (len, sp, rows) =
+  let p = dense_of_seed len sp in
+  let targets = Array.init rows (fun r -> dense_of_seed len (r + 17)) in
+  Bitvec.inter_count_many p targets
+  = Array.map (naive_inter_count len p) targets
+
+let prop_dense_inter_count_many =
+  QCheck.Test.make ~name:"inter_count_many = naive get loops (dense)"
+    ~count:200 dense_many_gen dense_inter_count_many_body
+
+let dense_blocked_gen =
   QCheck.make
     ~print:(fun (len, sp, rows, bs) ->
       Printf.sprintf "len=%d seed_p=%d rows=%d block_size=%d" len sp rows bs)
     QCheck.Gen.(
       quad (oneofa ragged_lengths) (int_bound 10_000) (int_range 0 12)
         (int_range 1 9))
-  |> fun arb ->
+
+let dense_blocked_body (len, sp, rows, block_size) =
+  let p = dense_of_seed len sp in
+  let vecs = Array.init rows (fun r -> dense_of_seed len (r + 31)) in
+  let packed = Bitvec.Blocked.pack ~block_size vecs in
+  let got = Array.make rows (-1) in
+  let dst = Array.make block_size 0 in
+  for b = 0 to Bitvec.Blocked.block_count packed - 1 do
+    let k = Bitvec.Blocked.inter_counts_into packed ~block:b p dst in
+    Array.blit dst 0 got (b * block_size) k
+  done;
+  got = Array.map (naive_inter_count len p) vecs
+
+let prop_dense_blocked =
   QCheck.Test.make ~name:"Blocked = naive get loops (dense, ragged)"
-    ~count:200 arb (fun (len, sp, rows, block_size) ->
-      let p = dense_of_seed len sp in
-      let vecs = Array.init rows (fun r -> dense_of_seed len (r + 31)) in
-      let packed = Bitvec.Blocked.pack ~block_size vecs in
-      let got = Array.make rows (-1) in
-      let dst = Array.make block_size 0 in
-      for b = 0 to Bitvec.Blocked.block_count packed - 1 do
-        let k = Bitvec.Blocked.inter_counts_into packed ~block:b p dst in
-        Array.blit dst 0 got (b * block_size) k
-      done;
-      got = Array.map (naive_inter_count len p) vecs)
+    ~count:200 dense_blocked_gen dense_blocked_body
 
 (* Empty operands hit the all-zero-word paths and the limit=0 early
    exit; spelled out per ragged length rather than left to chance. *)
@@ -358,6 +371,111 @@ let test_intersection_kernels_empty_sets () =
   Alcotest.(check (array int))
     "many with zero targets" [||]
     (Bitvec.inter_count_many (dense_of_seed 63 1) [||])
+
+(* Backend pinning: the dense differential properties re-run with each
+   registered kernel backend forced — the C stubs must be bit-identical
+   to the SWAR reference on ragged lengths, whole-word masks, empty
+   sets and the blocked layout — plus a direct swar-vs-c agreement
+   check over structured edge inputs and the registry contract
+   (select, the "kernel.backend" gauge, unknown names). *)
+
+module Kernel = Ndetect_util.Kernel
+module Telemetry = Ndetect_util.Telemetry
+
+let with_backend name f =
+  let prev = Kernel.current_name () in
+  (match Kernel.select name with
+  | Ok () -> ()
+  | Error m -> failwith m);
+  Fun.protect ~finally:(fun () -> ignore (Kernel.select prev)) f
+
+let backend_props backend =
+  let wrap body x = with_backend backend (fun () -> body x) in
+  let name s = Printf.sprintf "%s [%s]" s backend in
+  [
+    QCheck.Test.make
+      ~name:(name "inter_count = naive (dense)")
+      ~count:200 dense_pair_gen
+      (wrap dense_inter_count_body);
+    QCheck.Test.make
+      ~name:(name "inter_count_upto = naive (dense)")
+      ~count:200 dense_upto_gen
+      (wrap dense_inter_count_upto_body);
+    QCheck.Test.make
+      ~name:(name "inter_count_many = naive (dense)")
+      ~count:150 dense_many_gen
+      (wrap dense_inter_count_many_body);
+    QCheck.Test.make
+      ~name:(name "Blocked = naive (dense, ragged)")
+      ~count:150 dense_blocked_gen
+      (wrap dense_blocked_body);
+  ]
+
+let test_backend_empty_sets backend () =
+  with_backend backend test_intersection_kernels_empty_sets
+
+(* Structured edge inputs — whole-word masks (every bit of the ragged
+   last word set), empty sets, half-full vectors, self-intersection —
+   evaluated under swar and under c, compared output-for-output. *)
+let test_backends_agree () =
+  Array.iter
+    (fun len ->
+      let full = Bitvec.of_list len (List.init len Fun.id) in
+      let empty = Bitvec.create len in
+      let a = dense_of_seed len 101 and b = dense_of_seed len 202 in
+      List.iter
+        (fun (label, p, q) ->
+          let run () =
+            let targets = [| q; p; empty; full |] in
+            let packed = Bitvec.Blocked.pack ~block_size:3 targets in
+            let dst = Array.make 3 0 in
+            let blocked =
+              List.concat
+                (List.init (Bitvec.Blocked.block_count packed) (fun blk ->
+                     let k =
+                       Bitvec.Blocked.inter_counts_into packed ~block:blk p dst
+                     in
+                     Array.to_list (Array.sub dst 0 k)))
+            in
+            ( Bitvec.count p,
+              Bitvec.inter_count p q,
+              Bitvec.inter_count_upto ~limit:7 p q,
+              Bitvec.inter_count_many p targets,
+              blocked )
+          in
+          let swar = with_backend "swar" run in
+          let c = with_backend "c" run in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s len=%d" label len)
+            true (swar = c))
+        [
+          ("full∩dense", full, a);
+          ("dense∩dense", a, b);
+          ("empty∩dense", empty, b);
+          ("full∩full", full, full);
+        ])
+    ragged_lengths
+
+let test_backend_registry () =
+  List.iteri
+    (fun i (name, (module B : Kernel.KERNEL)) ->
+      Alcotest.(check string) "registered under its own name" name B.name;
+      with_backend name (fun () ->
+          Alcotest.(check string) "current_name" name (Kernel.current_name ());
+          Alcotest.(check int)
+            (Printf.sprintf "gauge tracks %s" name)
+            i
+            (Telemetry.counter_value "kernel.backend")))
+    Kernel.backends;
+  let before = Kernel.current_name () in
+  (match Kernel.select "no-such-backend" with
+  | Ok () -> Alcotest.fail "unknown backend accepted"
+  | Error m ->
+    Alcotest.(check bool)
+      "error lists the registered names" true
+      (Helpers.contains_substring m "swar"));
+  Alcotest.(check string) "selection unchanged on error" before
+    (Kernel.current_name ())
 
 let prop_equal_compare_hash =
   QCheck.make
@@ -526,6 +644,22 @@ let () =
           Helpers.qcheck prop_equal_compare_hash;
           Helpers.qcheck prop_equal_reflexive;
         ] );
+      ( "kernel backends",
+        List.concat_map
+          (fun (name, _) -> List.map Helpers.qcheck (backend_props name))
+          Kernel.backends
+        @ List.map
+            (fun (name, _) ->
+              Alcotest.test_case
+                (Printf.sprintf "empty sets [%s]" name)
+                `Quick (test_backend_empty_sets name))
+            Kernel.backends
+        @ [
+            Alcotest.test_case "swar and c agree on edge inputs" `Quick
+              test_backends_agree;
+            Alcotest.test_case "registry: select, gauge, unknown name" `Quick
+              test_backend_registry;
+          ] );
       ( "parallel",
         [
           Alcotest.test_case "matches sequential" `Quick
