@@ -153,6 +153,24 @@ let bench_sim_naive =
          let faults = Stuck.collapse net in
          ignore (Naive.stuck_detection_set net faults.(0))))
 
+(* Cold full-table builds pinned to each simulation strategy — the stem
+   engine's headline comparison: one differential propagation per
+   fanout-free region (members recovered by critical path tracing)
+   against one per fault. Strategy selection is two ref stores, noise
+   next to a whole table build. *)
+let bench_table_build strategy net_lazy circuit_name =
+  Test.make
+    ~name:(Printf.sprintf "table-build-%s(%s)" strategy circuit_name)
+    (Staged.stage (fun () ->
+         let net = Lazy.force net_lazy in
+         let saved = Ndetect_sim.Strategy.current_name () in
+         (match Ndetect_sim.Strategy.select strategy with
+         | Ok () -> ()
+         | Error message -> failwith message);
+         Fun.protect
+           ~finally:(fun () -> ignore (Ndetect_sim.Strategy.select saved))
+           (fun () -> ignore (Detection_table.build net))))
+
 let bench_bridge_sim =
   Test.make ~name:"sim-bridge-enumerate+simulate(mc)"
     (Staged.stage (fun () ->
@@ -332,6 +350,10 @@ let all_benches =
       bench_encoding Encode.One_hot;
       bench_sim_parallel;
       bench_sim_naive;
+      bench_table_build "cone" mc_net "mc";
+      bench_table_build "stem" mc_net "mc";
+      bench_table_build "cone" dk27_net "dk27";
+      bench_table_build "stem" dk27_net "dk27";
       bench_bridge_sim;
       bench_untargeted_model Detection_table.Four_way "four-way";
       bench_untargeted_model

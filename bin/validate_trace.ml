@@ -243,6 +243,11 @@ let validate_record lineno doc =
       check
         (List.mem_assoc "kernel.backend" values)
         (where "counters must include the kernel.backend gauge");
+      (* Same for the fault-simulation strategy gauge: 0 = cone,
+         1 = stem (Strategy.names order). *)
+      check
+        (List.mem_assoc "sim.strategy" values)
+        (where "counters must include the sim.strategy gauge");
       let has name =
         match List.assoc_opt name values with
         | Some (Num f) -> f > 0.0
@@ -250,7 +255,13 @@ let validate_record lineno doc =
       in
       check
         (not (has "table.mmap_hits" <> has "table.mmap_bytes"))
-        (where "table.mmap_hits and table.mmap_bytes must move together")
+        (where "table.mmap_hits and table.mmap_bytes must move together");
+      (* Stem accounting travels together: a traced region has at least
+         one member fault, and traced faults only come from traced
+         regions. *)
+      check
+        (not (has "sim.stem_regions" <> has "sim.cpt_faults"))
+        (where "sim.stem_regions and sim.cpt_faults must move together")
     | _ -> raise (Bad (where "values missing or not an object")))
   | Some (Str other) -> raise (Bad (where ("unknown record type " ^ other)))
   | Some _ -> raise (Bad (where "type must be a string"))

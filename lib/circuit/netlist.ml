@@ -187,6 +187,37 @@ let fanout_cone_order t n =
     t.topo;
   cone
 
+(* Fanout-free regions: a node is a region root iff its value is
+   observed at more than one place (several (gate, pin) consumers, or a
+   consumer plus a primary-output observation) or at no place at all —
+   exactly the nodes where a fault effect stops travelling along a
+   unique path. Every non-root node has one consumer (gate, pin) and is
+   not an output, so its region root is its consumer's root; since
+   fanins always point to earlier ids, one descending-id pass resolves
+   the whole partition. Note a node feeding two pins of the same gate
+   has two (gate, pin) fanouts and is therefore a root, which is what
+   critical path tracing needs (the two paths reconverge immediately). *)
+type ffr = { ffr_root : int array; ffr_roots : int array }
+
+let ffr_is_root t id = is_output t id || fanout_count t id <> 1
+
+let ffr_partition t =
+  let n = node_count t in
+  let root = Array.make n (-1) in
+  let roots = ref [] in
+  for id = n - 1 downto 0 do
+    if ffr_is_root t id then begin
+      root.(id) <- id;
+      roots := id :: !roots
+    end
+    else begin
+      let consumer, _pin = t.fanouts.(id).(0) in
+      (* consumer > id, so its root is already resolved. *)
+      root.(id) <- root.(consumer)
+    end
+  done;
+  { ffr_root = root; ffr_roots = Array.of_list !roots }
+
 type stats = {
   inputs_n : int;
   outputs_n : int;

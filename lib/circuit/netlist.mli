@@ -74,6 +74,28 @@ val fanout_cone_order : t -> int -> int array
 (** Nodes in the transitive fanout of [n] (including [n]) in topological
     order: the update schedule for differential fault simulation. *)
 
+(** {2 Fanout-free regions} *)
+
+type ffr = {
+  ffr_root : int array;
+      (** [ffr_root.(n)] is the root of the fanout-free region containing
+          node [n] (equal to [n] when [n] is itself a root). *)
+  ffr_roots : int array;
+      (** All region roots, in increasing id order. Every node belongs to
+          exactly one root's region. *)
+}
+
+val ffr_is_root : t -> int -> bool
+(** A node is a region root iff it is observed at more than one place —
+    several [(gate, pin)] consumers, or a consumer plus a primary-output
+    observation — or at no place at all (dead node). Inside a region,
+    every fault effect travels along a unique path to the root. *)
+
+val ffr_partition : t -> ffr
+(** Partition all nodes into fanout-free regions. The update schedule of
+    critical path tracing in {!Ndetect_sim.Fault_sim}: one stem
+    simulation per root serves every fault inside the region. *)
+
 (** {2 Statistics} *)
 
 type stats = {

@@ -63,11 +63,35 @@ let build ?(keep_undetectable_targets = false) ?(collapse = true)
   Ndetect_util.Cancel.check_deadline cancel;
   let universe = Good.universe good in
   let stuck_list = if collapse then Stuck.collapse net else Stuck.all net in
-  let stuck_sets =
-    Telemetry.with_span "table.sim.targets"
-      ~args:[ ("faults", string_of_int (Array.length stuck_list)) ]
-      (fun () -> Fault_sim.stuck_detection_sets ~cancel good stuck_list)
+  (* Simulation and finalization are profiled separately: "table.sim"
+     is where the strategy choice (cone vs stem) shows up, while
+     "table.finalize" covers the undetectable filtering and set
+     dedup/sharing that cost the same either way. *)
+  let stuck_sets, (all_untargeted, all_sets) =
+    Telemetry.with_span "table.sim" @@ fun () ->
+    let stuck_sets =
+      Telemetry.with_span "table.sim.targets"
+        ~args:[ ("faults", string_of_int (Array.length stuck_list)) ]
+        (fun () -> Fault_sim.stuck_detection_sets ~cancel good stuck_list)
+    in
+    let untargeted =
+      match model with
+      | Four_way ->
+        let bridges = Bridge.enumerate net in
+        ( Array.map (fun b -> Bridge_fault b) bridges,
+          Telemetry.with_span "table.sim.untargeted"
+            ~args:[ ("faults", string_of_int (Array.length bridges)) ]
+            (fun () -> Fault_sim.bridge_detection_sets ~cancel good bridges) )
+      | Wired semantics ->
+        let wired = Wired.enumerate net semantics in
+        ( Array.map (fun w -> Wired_fault w) wired,
+          Telemetry.with_span "table.sim.untargeted"
+            ~args:[ ("faults", string_of_int (Array.length wired)) ]
+            (fun () -> Fault_sim.wired_detection_sets ~cancel good wired) )
+    in
+    (stuck_sets, untargeted)
   in
+  Telemetry.with_span "table.finalize" @@ fun () ->
   let keep_target i =
     keep_undetectable_targets || not (Bitvec.is_empty stuck_sets.(i))
   in
@@ -78,21 +102,6 @@ let build ?(keep_undetectable_targets = false) ?(collapse = true)
   let targets = Array.of_list (List.map snd kept_t) in
   let target_sets =
     Array.of_list (List.map (fun (i, _) -> stuck_sets.(i)) kept_t)
-  in
-  let all_untargeted, all_sets =
-    match model with
-    | Four_way ->
-      let bridges = Bridge.enumerate net in
-      ( Array.map (fun b -> Bridge_fault b) bridges,
-        Telemetry.with_span "table.sim.untargeted"
-          ~args:[ ("faults", string_of_int (Array.length bridges)) ]
-          (fun () -> Fault_sim.bridge_detection_sets ~cancel good bridges) )
-    | Wired semantics ->
-      let wired = Wired.enumerate net semantics in
-      ( Array.map (fun w -> Wired_fault w) wired,
-        Telemetry.with_span "table.sim.untargeted"
-          ~args:[ ("faults", string_of_int (Array.length wired)) ]
-          (fun () -> Fault_sim.wired_detection_sets ~cancel good wired) )
   in
   let kept_g =
     Array.to_list (Array.mapi (fun j g -> (j, g)) all_untargeted)

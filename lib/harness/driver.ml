@@ -8,6 +8,7 @@ module Example = Ndetect_suite.Example
 module Paper_tables = Ndetect_report.Paper_tables
 module Bitvec = Ndetect_util.Bitvec
 module Kernel = Ndetect_util.Kernel
+module Strategy = Ndetect_sim.Strategy
 module Supervise = Ndetect_util.Supervise
 module Telemetry = Ndetect_util.Telemetry
 
@@ -28,6 +29,7 @@ type options = {
   trace : string option;
   metrics : bool;
   kernel_backend : string option;
+  sim_strategy : string option;
   (* Campaign-mode flags (the [ndetect campaign] subcommand). *)
   workers : int option;
   lease_secs : float option;
@@ -54,6 +56,7 @@ let default_options =
     trace = None;
     metrics = false;
     kernel_backend = None;
+    sim_strategy = None;
     workers = None;
     lease_secs = None;
     max_unit_retries = None;
@@ -69,9 +72,9 @@ module Options = struct
       ?(only = default_options.only) ?(quiet = default_options.quiet)
       ?csv_dir ?checkpoint_dir ?(resume = default_options.resume)
       ?timeout_per_circuit ?inject ?domains ?table_cache ?trace
-      ?(metrics = default_options.metrics) ?kernel_backend ?workers
-      ?lease_secs ?max_unit_retries ?(chaos = default_options.chaos)
-      ?ledger_dir () =
+      ?(metrics = default_options.metrics) ?kernel_backend ?sim_strategy
+      ?workers ?lease_secs ?max_unit_retries
+      ?(chaos = default_options.chaos) ?ledger_dir () =
     {
       tier;
       k;
@@ -89,6 +92,7 @@ module Options = struct
       trace;
       metrics;
       kernel_backend;
+      sim_strategy;
       workers;
       lease_secs;
       max_unit_retries;
@@ -103,6 +107,7 @@ let usage =
   \                 [--checkpoint DIR] [--resume] [--timeout-per-circuit SECS]\n\
   \                 [--inject SPEC] [--domains N] [--table-cache DIR]\n\
   \                 [--trace FILE] [--metrics] [--kernel-backend swar|c]\n\
+  \                 [--sim-strategy cone|stem]\n\
   \                 [--workers N] [--lease-secs SECS] [--max-unit-retries N]\n\
   \                 [--chaos] [--ledger DIR]"
 
@@ -110,8 +115,8 @@ let value_flags =
   [
     "--tier"; "--k"; "--k2"; "--seed"; "--only"; "--csv"; "--checkpoint";
     "--timeout-per-circuit"; "--inject"; "--domains"; "--table-cache";
-    "--trace"; "--kernel-backend"; "--workers"; "--lease-secs";
-    "--max-unit-retries"; "--ledger";
+    "--trace"; "--kernel-backend"; "--sim-strategy"; "--workers";
+    "--lease-secs"; "--max-unit-retries"; "--ledger";
   ]
 
 (* The flag grammar is written with [failwith] (every arm wants to abort
@@ -189,6 +194,16 @@ let parse_args_exn args =
           (Printf.sprintf "--kernel-backend: unknown backend %S (expected %s)\n%s"
              v
              (String.concat ", " (List.map fst Kernel.backends))
+             usage)
+    | "--sim-strategy" :: v :: rest ->
+      let name = String.lowercase_ascii v in
+      if List.mem_assoc name Strategy.names then
+        go { opts with sim_strategy = Some name } rest
+      else
+        failwith
+          (Printf.sprintf
+             "--sim-strategy: unknown strategy %S (expected %s)\n%s" v
+             (String.concat ", " (List.map fst Strategy.names))
              usage)
     | "--workers" :: v :: rest -> (
       match int_of_string_opt v with
@@ -295,6 +310,14 @@ let create options =
     match Kernel.select name with
     | Ok () -> ()
     | Error message -> failwith (Printf.sprintf "--kernel-backend: %s" message)));
+  (* Same contract for the fault-simulation strategy: the flag wins over
+     NDETECT_SIM, applied before any table is built. *)
+  (match options.sim_strategy with
+  | None -> ()
+  | Some name -> (
+    match Strategy.select name with
+    | Ok () -> ()
+    | Error message -> failwith (Printf.sprintf "--sim-strategy: %s" message)));
   (match options.inject with
   | None -> Supervise.set_injection []
   | Some spec -> (

@@ -67,6 +67,15 @@ type options = {
           a pure throughput knob, excluded from checkpoint stamps and
           cache keys. The selection is visible as the
           ["kernel.backend"] gauge in [--metrics] and traces. *)
+  sim_strategy : string option;
+      (** When set, {!create} switches the process-wide fault-simulation
+          strategy ({!Ndetect_sim.Strategy.select}) before any analysis
+          runs — overriding the [NDETECT_SIM] environment default
+          (["stem"]). Both strategies produce bit-identical detection
+          tables, so this is a pure throughput knob like
+          [kernel_backend], excluded from checkpoint stamps and cache
+          keys. Visible as the ["sim.strategy"] gauge in [--metrics]
+          and traces. *)
   workers : int option;
       (** [ndetect campaign] only: worker subprocess count (>= 1).
           Ignored by the reproduction driver. *)
@@ -109,6 +118,7 @@ module Options : sig
     ?trace:string ->
     ?metrics:bool ->
     ?kernel_backend:string ->
+    ?sim_strategy:string ->
     ?workers:int ->
     ?lease_secs:float ->
     ?max_unit_retries:int ->
@@ -125,7 +135,8 @@ val parse_args_result : string list -> (options, string) result
     [--resume], [--timeout-per-circuit SECS], [--inject SPEC],
     [--domains N], [--table-cache DIR], [--trace FILE], [--metrics],
     [--kernel-backend NAME] (a registered
-    {!Ndetect_util.Kernel.backends} name), and the campaign flags [--workers N] (>= 1), [--lease-secs SECS]
+    {!Ndetect_util.Kernel.backends} name), [--sim-strategy NAME] (a
+    registered {!Ndetect_sim.Strategy.names} name), and the campaign flags [--workers N] (>= 1), [--lease-secs SECS]
     (>= 1), [--max-unit-retries N] (>= 1), [--chaos] (rejected unless
     [--workers >= 2]) and [--ledger DIR]. [Error message] names the
     offending flag (and includes the usage string) on malformed values,

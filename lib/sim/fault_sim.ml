@@ -123,14 +123,20 @@ let cached ~key build =
    fault or group, never per inner loop). "sim.detection_sets" is the
    counter the table-cache tests hold flat across a warm run;
    "sim.cone_propagations" counts per-batch propagation passes and
-   "sim.bridge_groups" the grouped (victim, aggressor) simulations.
-   All three count deterministic work, so their totals are identical
-   for every domain count. *)
+   "sim.bridge_groups" the grouped (victim, aggressor) simulations of
+   the cone strategy. The stem strategy adds "sim.stem_regions"
+   (regions traced), "sim.cpt_faults" (member faults recovered by
+   critical path tracing) and "sim.stem_fallbacks" (faults routed back
+   to the cone path, i.e. wired bridges). All count deterministic work,
+   so their totals are identical for every domain count. *)
 module Telemetry = Ndetect_util.Telemetry
 
 let c_sets = Telemetry.Counter.create "sim.detection_sets"
 let c_propagations = Telemetry.Counter.create "sim.cone_propagations"
 let c_bridge_groups = Telemetry.Counter.create "sim.bridge_groups"
+let c_stem_regions = Telemetry.Counter.create "sim.stem_regions"
+let c_cpt_faults = Telemetry.Counter.create "sim.cpt_faults"
+let c_stem_fallbacks = Telemetry.Counter.create "sim.stem_fallbacks"
 let detection_sets_computed () = Telemetry.Counter.value c_sets
 let note_sets n = Telemetry.Counter.add c_sets n
 
@@ -236,7 +242,7 @@ let bridge_seed good (fault : Bridge.t) =
 let bridge_detection_set good fault =
   detection_set_of_seed good (bridge_seed good fault)
 
-let stuck_detection_sets ?(cancel = Ndetect_util.Cancel.none) good faults =
+let stuck_detection_sets_cone ?(cancel = Ndetect_util.Cancel.none) good faults =
   Ndetect_util.Parallel.map_array
     (fun f ->
       Ndetect_util.Cancel.poll cancel;
@@ -291,7 +297,8 @@ let bridge_group_sets good (faults : Bridge.t array) members =
   Telemetry.Counter.add c_propagations !propagated;
   sets
 
-let bridge_detection_sets ?(cancel = Ndetect_util.Cancel.none) good faults =
+let bridge_detection_sets_cone ?(cancel = Ndetect_util.Cancel.none) good faults
+    =
   (* Group by (victim, aggressor) in first-seen order; members keep their
      enumeration order, so results scatter back positionally and the
      output is deterministic regardless of domain scheduling. *)
@@ -328,6 +335,358 @@ let bridge_detection_sets ?(cancel = Ndetect_util.Cancel.none) good faults =
     members;
   sets
 
+(* {2 Stem-region critical path tracing}
+
+   Inside a fanout-free region ({!Netlist.ffr_partition}) a fault
+   effect travels along a unique path to the region root, so one
+   propagation of the root — flipping it in {e every} lane at once —
+   plus per-gate sensitization words recovers every member fault's
+   detection mask exactly:
+
+     det(f) = act(f) AND [pinsens(entry pin)] AND sens(site -> root)
+              AND stemdiff(root)
+
+   where [act] is the fault's activation over fault-free values,
+   [pinsens(g, p)] the lanes where flipping pin [p] flips gate [g]'s
+   output (re-evaluated from fault-free values with the pin
+   complemented), [sens] the AND of [pinsens] along the unique path,
+   and [stemdiff] the lanes where some primary output differs when the
+   root flips. Lanes are independent, so the all-lane root flip is a
+   faithful downstream simulation per lane; the path product is exact
+   (not the classic CPT stem approximation) because reconvergence can
+   only happen at or beyond the root, where the real propagation takes
+   over. A region with k faults costs one propagation plus O(region)
+   word operations per batch instead of k propagations. *)
+
+(* Test-only: when set, every in-region sensitization word is
+   complemented, silently corrupting traced detection sets — the
+   differential campaign (`ndetect check`) must catch this. *)
+let debug_corrupt_sensitization = ref false
+
+(* How one fault enters its region: the activation condition over
+   fault-free values, an optional gate pin the effect enters through,
+   and the region node whose path-to-root sensitization gates
+   detection (the root itself for at-root faults; [sens(root)] is all
+   live lanes). *)
+(* Flat slot-indexed description of every traced fault (structure of
+   arrays): entry [s] describes the fault whose detection set is result
+   slot [s]. Activation is uniform for both fault models — detection
+   requires the fault-free value at [sj_node] to equal [sj_act_value]
+   (for a stuck-at-v fault that is NOT v; for a bridge, the victim's
+   required value), optionally ANDed with the same condition on an
+   aggressor node. Plain int/bool arrays keep grouping and the traced
+   inner loop allocation-free, which matters: on small universes the
+   bookkeeping around the sweep costs more than the sweep itself. *)
+type stem_jobs = {
+  sj_root : int array;  (* region root of the fault site *)
+  sj_node : int array;  (* activation node (stuck site / victim) *)
+  sj_act_value : bool array;  (* required fault-free value there *)
+  sj_agg : int array;  (* aggressor node, or -1 *)
+  sj_agg_value : bool array;
+  sj_pin_gate : int array;  (* gate whose pin the effect enters, or -1 *)
+  sj_pin : int array;
+  sj_sens : int array;  (* region node whose sens-to-root applies *)
+}
+
+let make_jobs n =
+  {
+    sj_root = Array.make n 0;
+    sj_node = Array.make n 0;
+    sj_act_value = Array.make n false;
+    sj_agg = Array.make n (-1);
+    sj_agg_value = Array.make n false;
+    sj_pin_gate = Array.make n (-1);
+    sj_pin = Array.make n 0;
+    sj_sens = Array.make n 0;
+  }
+
+(* Live regions (those with at least one member fault), grouped by
+   counting sort — no hashing, no per-member allocation. Region ids are
+   assigned in first-seen job order and members keep enumeration order
+   within each region, so the layout (and hence every downstream write)
+   is deterministic regardless of scheduling. [rn_*] hold each region's
+   non-root nodes in descending id order — consumers precede producers,
+   exactly the evaluation order of the sensitization recurrence. *)
+type regions = {
+  rg_count : int;
+  rg_root : int array;  (* region -> root node id *)
+  rg_node_off : int array;  (* region -> [off, off') into rn_* *)
+  rn_node : int array;
+  rn_cons_gate : int array;  (* unique consumer of rn_node.(i) *)
+  rn_cons_pin : int array;
+  rg_mem_off : int array;  (* region -> [off, off') into rg_member *)
+  rg_member : int array;  (* member slot ids *)
+}
+
+let build_regions net (part : Netlist.ffr) (jobs : stem_jobs) =
+  let n_jobs = Array.length jobs.sj_root in
+  let node_count = Netlist.node_count net in
+  let region_of_root = Array.make node_count (-1) in
+  let roots = Array.make (max 1 n_jobs) 0 in
+  let count = ref 0 in
+  for s = 0 to n_jobs - 1 do
+    let r = jobs.sj_root.(s) in
+    if region_of_root.(r) < 0 then begin
+      region_of_root.(r) <- !count;
+      roots.(!count) <- r;
+      incr count
+    end
+  done;
+  let count = !count in
+  let rg_root = Array.sub roots 0 count in
+  (* Members, bucketed by prefix sums. *)
+  let rg_mem_off = Array.make (count + 1) 0 in
+  for s = 0 to n_jobs - 1 do
+    let g = region_of_root.(jobs.sj_root.(s)) in
+    rg_mem_off.(g + 1) <- rg_mem_off.(g + 1) + 1
+  done;
+  for g = 1 to count do
+    rg_mem_off.(g) <- rg_mem_off.(g) + rg_mem_off.(g - 1)
+  done;
+  let cursor = Array.sub rg_mem_off 0 count in
+  let rg_member = Array.make (max 1 n_jobs) 0 in
+  for s = 0 to n_jobs - 1 do
+    let g = region_of_root.(jobs.sj_root.(s)) in
+    rg_member.(cursor.(g)) <- s;
+    cursor.(g) <- cursor.(g) + 1
+  done;
+  (* Non-root nodes of each live region, same bucketing; filling from
+     the top of each bucket while walking ids in ascending order yields
+     the required descending order. *)
+  let rg_node_off = Array.make (count + 1) 0 in
+  for id = 0 to node_count - 1 do
+    let r = part.Netlist.ffr_root.(id) in
+    if id <> r then begin
+      let g = region_of_root.(r) in
+      if g >= 0 then rg_node_off.(g + 1) <- rg_node_off.(g + 1) + 1
+    end
+  done;
+  for g = 1 to count do
+    rg_node_off.(g) <- rg_node_off.(g) + rg_node_off.(g - 1)
+  done;
+  let total_nodes = rg_node_off.(count) in
+  let top = Array.init count (fun g -> rg_node_off.(g + 1) - 1) in
+  let rn_node = Array.make (max 1 total_nodes) 0 in
+  let rn_cons_gate = Array.make (max 1 total_nodes) 0 in
+  let rn_cons_pin = Array.make (max 1 total_nodes) 0 in
+  for id = 0 to node_count - 1 do
+    let r = part.Netlist.ffr_root.(id) in
+    if id <> r then begin
+      let g = region_of_root.(r) in
+      if g >= 0 then begin
+        let pos = top.(g) in
+        let cg, cp = (Netlist.fanouts net id).(0) in
+        rn_node.(pos) <- id;
+        rn_cons_gate.(pos) <- cg;
+        rn_cons_pin.(pos) <- cp;
+        top.(g) <- pos - 1
+      end
+    end
+  done;
+  {
+    rg_count = count;
+    rg_root;
+    rg_node_off;
+    rn_node;
+    rn_cons_gate;
+    rn_cons_pin;
+    rg_mem_off;
+    rg_member;
+  }
+
+(* Lanes where flipping pin [pin] of [gate] flips the gate's output:
+   re-evaluate the gate from fault-free values with the pin
+   complemented and XOR against the fault-free output. Works for every
+   gate kind, including XOR-family gates where the classic
+   controlling-value shortcut does not apply. *)
+let pin_sensitization good scratch ~batch ~live ~gate ~pin =
+  let net = Good.net good in
+  let fanins = Netlist.fanins net gate in
+  let arity = Array.length fanins in
+  let args : Word.t array = scratch.(arity) in
+  for q = 0 to arity - 1 do
+    args.(q) <- Good.value good ~node:fanins.(q) ~batch
+  done;
+  args.(pin) <- Word.lognot args.(pin);
+  (Gate.eval_word (Netlist.kind net gate) args
+  lxor Good.value good ~node:gate ~batch)
+  land live
+
+let max_gate_arity net =
+  let m = ref 0 in
+  for id = 0 to Netlist.node_count net - 1 do
+    m := max !m (Array.length (Netlist.fanins net id))
+  done;
+  !m
+
+(* Batch-major parallel sweep: result Bitvecs are preallocated by the
+   caller, each task owns a contiguous batch range for {e all} regions
+   and writes the disjoint word range [lo, hi) of every set directly —
+   no per-fault arrays to merge, and the output is identical for every
+   domain count by construction. Word [b] of a detection set is batch
+   [b] of the universe (asserted in good.ml). Member activations skip
+   the explicit live mask: [stemdiff] is already masked, and the final
+   word is ANDed with it. *)
+let run_stem_regions ~cancel good (rg : regions) (jobs : stem_jobs) sets =
+  let net = Good.net good in
+  let batch_count = Good.batch_count good in
+  let node_count = Netlist.node_count net in
+  let max_arity = max_gate_arity net in
+  if rg.rg_count > 0 && batch_count > 0 then begin
+    (* More slices than domains so Parallel's n/2 cap still engages
+       every domain; contiguous ranges keep the writes disjoint. *)
+    let slice_count =
+      min batch_count (4 * Ndetect_util.Parallel.default_domains ())
+    in
+    let slices =
+      Array.init slice_count (fun s ->
+          (s * batch_count / slice_count, (s + 1) * batch_count / slice_count))
+    in
+    Ndetect_util.Parallel.map_array
+      (fun (lo, hi) ->
+        let sens = Array.make node_count Word.zeroes in
+        let scratch =
+          Array.init (max_arity + 1) (fun a -> Array.make a Word.zeroes)
+        in
+        for g = 0 to rg.rg_count - 1 do
+          Ndetect_util.Cancel.poll cancel;
+          let root = rg.rg_root.(g) in
+          let cone = cone_for good root in
+          let node_lo = rg.rg_node_off.(g)
+          and node_hi = rg.rg_node_off.(g + 1) in
+          let mem_lo = rg.rg_mem_off.(g)
+          and mem_hi = rg.rg_mem_off.(g + 1) in
+          for batch = lo to hi - 1 do
+            let live = Good.live_mask good ~batch in
+            let root_good = Good.value good ~node:root ~batch in
+            let stemdiff =
+              propagate good cone ~batch
+                ~seed_value:(Word.lognot root_good land live)
+            in
+            if stemdiff <> Word.zeroes then begin
+              sens.(root) <- live;
+              for i = node_lo to node_hi - 1 do
+                let ps =
+                  pin_sensitization good scratch ~batch ~live
+                    ~gate:rg.rn_cons_gate.(i) ~pin:rg.rn_cons_pin.(i)
+                in
+                (* The consumer is a later region node (or the root),
+                   so its sens is already set for this batch. *)
+                sens.(rg.rn_node.(i)) <- sens.(rg.rn_cons_gate.(i)) land ps
+              done;
+              if !debug_corrupt_sensitization then
+                for i = node_lo to node_hi - 1 do
+                  sens.(rg.rn_node.(i)) <- sens.(rg.rn_node.(i)) lxor live
+                done;
+              for m = mem_lo to mem_hi - 1 do
+                let s = rg.rg_member.(m) in
+                let act =
+                  value_match
+                    (Good.value good ~node:jobs.sj_node.(s) ~batch)
+                    ~value:jobs.sj_act_value.(s) ~live
+                in
+                let agg = jobs.sj_agg.(s) in
+                let act =
+                  if agg >= 0 then
+                    act
+                    land value_match
+                          (Good.value good ~node:agg ~batch)
+                          ~value:jobs.sj_agg_value.(s) ~live
+                  else act
+                in
+                let d = ref (act land stemdiff) in
+                if !d <> Word.zeroes then begin
+                  if jobs.sj_pin_gate.(s) >= 0 then
+                    d :=
+                      !d
+                      land pin_sensitization good scratch ~batch ~live
+                             ~gate:jobs.sj_pin_gate.(s) ~pin:jobs.sj_pin.(s);
+                  if !d <> Word.zeroes then
+                    d := !d land sens.(jobs.sj_sens.(s));
+                  if !d <> Word.zeroes then
+                    Bitvec.unsafe_set_word sets.(s) batch !d
+                end
+              done
+            end
+          done
+        done)
+      slices
+    |> ignore
+  end
+
+let stem_detection_sets ~cancel good part jobs =
+  let regions = build_regions (Good.net good) part jobs in
+  let universe = Good.universe good in
+  let n_jobs = Array.length jobs.sj_root in
+  (* One pooled allocation for every result set: on small universes the
+     per-set [Bitvec.create] calls would otherwise rival the simulation
+     itself (one bigarray allocation + zero-fill per fault). *)
+  let sets = Bitvec.create_many n_jobs universe in
+  note_sets n_jobs;
+  Telemetry.Counter.add c_cpt_faults n_jobs;
+  Telemetry.Counter.add c_stem_regions regions.rg_count;
+  Telemetry.Counter.add c_propagations
+    (regions.rg_count * Good.batch_count good);
+  run_stem_regions ~cancel good regions jobs sets;
+  sets
+
+(* A stem fault's effect starts at the node itself; a branch fault's
+   effect enters one pin of its gate, activated by the driver's
+   fault-free value. Either way the path-to-root sensitization applies
+   from the first in-region gate output. A stuck-at-[v] fault is
+   activated where the fault-free value is NOT [v]. *)
+let stuck_detection_sets_stem ?(cancel = Ndetect_util.Cancel.none) good faults
+    =
+  let net = Good.net good in
+  let part = Netlist.ffr_partition net in
+  let jobs = make_jobs (Array.length faults) in
+  Array.iteri
+    (fun s (f : Stuck.t) ->
+      jobs.sj_act_value.(s) <- not f.Stuck.value;
+      match f.Stuck.line with
+      | Line.Stem node ->
+        jobs.sj_root.(s) <- part.Netlist.ffr_root.(node);
+        jobs.sj_node.(s) <- node;
+        jobs.sj_sens.(s) <- node
+      | Line.Branch { gate; pin } ->
+        jobs.sj_root.(s) <- part.Netlist.ffr_root.(gate);
+        jobs.sj_node.(s) <- (Netlist.fanins net gate).(pin);
+        jobs.sj_pin_gate.(s) <- gate;
+        jobs.sj_pin.(s) <- pin;
+        jobs.sj_sens.(s) <- gate)
+    faults;
+  stem_detection_sets ~cancel good part jobs
+
+(* A four-way bridge flips the victim wherever both activation
+   conditions hold over fault-free values, so it traces exactly like a
+   stem fault at the victim with a compound activation. Every bridge
+   victimizing a node in the same region shares one root propagation. *)
+let bridge_detection_sets_stem ?(cancel = Ndetect_util.Cancel.none) good
+    faults =
+  let part = Netlist.ffr_partition (Good.net good) in
+  let jobs = make_jobs (Array.length faults) in
+  Array.iteri
+    (fun s (f : Bridge.t) ->
+      jobs.sj_root.(s) <- part.Netlist.ffr_root.(f.Bridge.victim);
+      jobs.sj_node.(s) <- f.Bridge.victim;
+      jobs.sj_act_value.(s) <- f.Bridge.victim_value;
+      jobs.sj_agg.(s) <- f.Bridge.aggressor;
+      jobs.sj_agg_value.(s) <- f.Bridge.aggressor_value;
+      jobs.sj_sens.(s) <- f.Bridge.victim)
+    faults;
+  stem_detection_sets ~cancel good part jobs
+
+
+let stuck_detection_sets ?cancel good faults =
+  match Strategy.current () with
+  | Strategy.Cone -> stuck_detection_sets_cone ?cancel good faults
+  | Strategy.Stem -> stuck_detection_sets_stem ?cancel good faults
+
+let bridge_detection_sets ?cancel good faults =
+  match Strategy.current () with
+  | Strategy.Cone -> bridge_detection_sets_cone ?cancel good faults
+  | Strategy.Stem -> bridge_detection_sets_stem ?cancel good faults
+
 let wired_detection_set good (fault : Ndetect_faults.Wired.t) =
   note_sets 1;
   Telemetry.Counter.add c_propagations (Good.batch_count good);
@@ -350,6 +709,13 @@ let wired_detection_set good (fault : Ndetect_faults.Wired.t) =
       end)
 
 let wired_detection_sets ?(cancel = Ndetect_util.Cancel.none) good faults =
+  (* Wired bridges force two seeds at once, so the single-stem trace
+     does not apply; under the stem strategy they fall back to the cone
+     path and are counted so profiles show the untraced remainder. *)
+  (match Strategy.current () with
+  | Strategy.Stem ->
+    Telemetry.Counter.add c_stem_fallbacks (Array.length faults)
+  | Strategy.Cone -> ());
   Ndetect_util.Parallel.map_array
     (fun f ->
       Ndetect_util.Cancel.poll cancel;

@@ -44,6 +44,13 @@ let copy t =
   A1.blit t.buf b;
   { len = t.len; buf = b }
 
+let create_many n len =
+  if n < 0 then invalid_arg "Bitvec.create_many: negative count";
+  if len < 0 then invalid_arg "Bitvec.create_many: negative length";
+  let words = max 1 (word_count len) in
+  let pool = alloc_words (n * words) in
+  Array.init n (fun i -> { len; buf = A1.sub pool (i * words) words })
+
 let of_view len (buf : buf) =
   if len < 0 then invalid_arg "Bitvec.of_view: negative length";
   if A1.dim buf <> max 1 (word_count len) then

@@ -26,6 +26,16 @@ val word_count : int -> int
 val create : int -> t
 (** [create len] is an all-zero vector of [len] bits. *)
 
+val create_many : int -> int -> t array
+(** [create_many n len] is [n] all-zero vectors of [len] bits backed by
+    {e one} contiguous allocation (element [i] is a zero-copy view of
+    words [i * word_count len ..]). Behaviourally identical to
+    [Array.init n (fun _ -> create len)] but with a single zero-fill
+    instead of [n] — the batched fault simulator allocates every
+    detection set of a call this way, where per-set allocation would
+    dominate on small universes. The pool stays live while any element
+    does. *)
+
 val of_view : int -> Kernel.buf -> t
 (** [of_view len buf] wraps an external word buffer — typically an
     [Array1.sub] view into an mmap'd table file — as a [len]-bit vector

@@ -91,9 +91,11 @@ module Swar : KERNEL = struct
 end
 
 (* C stubs (lib/util/kernel_stubs.c): __builtin_popcountll, with AVX2
-   inner loops when the build probe granted -march=native. All are
-   [@@noalloc] — they only read bigarray data pointers and store
-   immediate ints, so no GC interaction. *)
+   inner loops when the build probe granted -march=native AND a runtime
+   CPUID probe confirms the executing host actually has AVX2 (a binary
+   compiled on a newer machine degrades to the scalar path instead of
+   dying on SIGILL). All are [@@noalloc] — they only read bigarray data
+   pointers and store immediate ints, so no GC interaction. *)
 external c_popcount_words : buf -> int -> int = "ndetect_c_popcount_words"
 [@@noalloc]
 

@@ -13,7 +13,11 @@
       popcount), bit-identical semantics by definition;
     - ["c"] — C stubs over [__builtin_popcountll], compiled with an
       AVX2 inner loop when the build probe grants [-march=native]
-      (see [lib/util/probe_cflags.sh]).
+      (see [lib/util/probe_cflags.sh]). The vector loop is additionally
+      gated at runtime by a memoized CPUID probe
+      ([__builtin_cpu_supports("avx2")]), so a binary built on a newer
+      host falls back to the scalar path — never SIGILL — on a machine
+      without AVX2; {!describe} reports which path the probe chose.
 
     Dispatch cost model: the current backend is a single mutable cell
     holding a flat record of closures ({!ops}); callers load it {e once

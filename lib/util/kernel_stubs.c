@@ -7,7 +7,12 @@
  * (lib/util/probe_cflags.sh) grants -march=native and the host has
  * AVX2, the long sweeps additionally run a 4-words-per-iteration
  * nibble-LUT popcount (Mula's method); the scalar tail keeps results
- * exactly equal to the SWAR reference on every length.
+ * exactly equal to the SWAR reference on every length. Compiling with
+ * AVX2 enabled is not the same as running on an AVX2 host (a binary
+ * built with -march=native can be copied to an older machine), so the
+ * vector loops are additionally gated by a memoized runtime
+ * __builtin_cpu_supports("avx2") probe and fall back to the scalar
+ * __builtin_popcountll path when the CPU lacks them.
  *
  * Every stub is [@@noalloc]: no OCaml allocation, no callbacks, and the
  * only OCaml-heap writes are immediate ints (Val_long) into int arrays,
@@ -21,6 +26,21 @@
 
 #if defined(__AVX2__)
 #include <immintrin.h>
+
+/* Runtime CPUID gate for the vector loops below. Memoized: -1 =
+ * unprobed; the benign race on first use is idempotent. The builtin
+ * handles cpuid caching itself, but __builtin_cpu_init() is required
+ * before __builtin_cpu_supports on older GCCs when not called from
+ * main, and is safe to call repeatedly. */
+static int ndetect_avx2_state = -1;
+
+static inline int ndetect_have_avx2(void) {
+  if (ndetect_avx2_state < 0) {
+    __builtin_cpu_init();
+    ndetect_avx2_state = __builtin_cpu_supports("avx2") ? 1 : 0;
+  }
+  return ndetect_avx2_state;
+}
 
 /* Per-64-bit-lane popcount of a 256-bit vector: nibble lookup + psadbw
  * horizontal byte sums (Mula). */
@@ -48,12 +68,14 @@ static intnat ndetect_pc_words(const uint64_t *a, intnat n) {
   intnat acc = 0;
   intnat i = 0;
 #if defined(__AVX2__)
-  __m256i vacc = _mm256_setzero_si256();
-  for (; i + 4 <= n; i += 4) {
-    __m256i va = _mm256_loadu_si256((const __m256i *)(a + i));
-    vacc = _mm256_add_epi64(vacc, ndetect_popcnt256(va));
+  if (ndetect_have_avx2()) {
+    __m256i vacc = _mm256_setzero_si256();
+    for (; i + 4 <= n; i += 4) {
+      __m256i va = _mm256_loadu_si256((const __m256i *)(a + i));
+      vacc = _mm256_add_epi64(vacc, ndetect_popcnt256(va));
+    }
+    acc = ndetect_hsum256(vacc);
   }
-  acc = ndetect_hsum256(vacc);
 #endif
   for (; i < n; i++) acc += __builtin_popcountll(a[i]);
   return acc;
@@ -63,13 +85,16 @@ static intnat ndetect_pc_and(const uint64_t *a, const uint64_t *b, intnat n) {
   intnat acc = 0;
   intnat i = 0;
 #if defined(__AVX2__)
-  __m256i vacc = _mm256_setzero_si256();
-  for (; i + 4 <= n; i += 4) {
-    __m256i va = _mm256_loadu_si256((const __m256i *)(a + i));
-    __m256i vb = _mm256_loadu_si256((const __m256i *)(b + i));
-    vacc = _mm256_add_epi64(vacc, ndetect_popcnt256(_mm256_and_si256(va, vb)));
+  if (ndetect_have_avx2()) {
+    __m256i vacc = _mm256_setzero_si256();
+    for (; i + 4 <= n; i += 4) {
+      __m256i va = _mm256_loadu_si256((const __m256i *)(a + i));
+      __m256i vb = _mm256_loadu_si256((const __m256i *)(b + i));
+      vacc =
+          _mm256_add_epi64(vacc, ndetect_popcnt256(_mm256_and_si256(va, vb)));
+    }
+    acc = ndetect_hsum256(vacc);
   }
-  acc = ndetect_hsum256(vacc);
 #endif
   for (; i < n; i++) acc += __builtin_popcountll(a[i] & b[i]);
   return acc;
@@ -239,7 +264,11 @@ CAMLprim value ndetect_c_verify_region(value vb, value voff, value vn) {
 CAMLprim value ndetect_c_description(value vunit) {
   (void)vunit;
 #if defined(__AVX2__)
-  return caml_copy_string("C __builtin_popcountll + AVX2 nibble-LUT sweeps");
+  if (ndetect_have_avx2())
+    return caml_copy_string(
+        "C __builtin_popcountll + AVX2 nibble-LUT sweeps (CPUID ok)");
+  return caml_copy_string(
+      "C __builtin_popcountll (AVX2 compiled but absent from CPUID; scalar)");
 #else
   return caml_copy_string("C __builtin_popcountll (no SIMD probed)");
 #endif

@@ -121,6 +121,25 @@ let test_mutate_campaign_catches_bug () =
       (Campaign.check_spec ~mutate:true spec <> []);
     Alcotest.(check bool) "divergence has a cell" true (d.Campaign.cell <> "")
 
+(* Stem-engine self-test, same philosophy as --mutate: corrupt the
+   critical-path sensitization words (complement every in-region rung)
+   and the differential campaign must notice. Proves the campaign
+   actually exercises the traced path, not just the dispatcher. *)
+let test_corrupt_sensitization_caught () =
+  let saved = Ndetect_sim.Strategy.current_name () in
+  (match Ndetect_sim.Strategy.select "stem" with
+  | Ok () -> ()
+  | Error message -> Alcotest.fail message);
+  Ndetect_sim.Fault_sim.debug_corrupt_sensitization := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Ndetect_sim.Fault_sim.debug_corrupt_sensitization := false;
+      ignore (Ndetect_sim.Strategy.select saved))
+    (fun () ->
+      Alcotest.(check bool)
+        "campaign catches corrupted sensitization" true
+        (Campaign.check_net ~seed:3 (Example.circuit ()) <> []))
+
 let test_corrupt_target_set_is_local () =
   let net = Example.circuit () in
   let table = Detection_table.build net in
@@ -188,6 +207,8 @@ let () =
             test_mutate_campaign_catches_bug;
           Alcotest.test_case "corruption is confined to one set" `Quick
             test_corrupt_target_set_is_local;
+          Alcotest.test_case "corrupted sensitization is caught" `Quick
+            test_corrupt_sensitization_caught;
           Alcotest.test_case "shrink rejects clean specs" `Quick
             test_shrink_requires_divergence;
         ] );

@@ -254,6 +254,52 @@ let test_random_circuit_profiles () =
     (Netlist.gate_ids net);
   Alcotest.(check int) "single output" 1 (Array.length (Netlist.outputs net))
 
+(* Fanout-free-region partition on the paper's example circuit: x1 and
+   x4 have a single fanout each, so they fold into their consuming
+   gate's region; x2 and x3 fan out twice and the three gates are
+   outputs, so all five are region roots. *)
+let test_example_ffr () =
+  let net = build_example () in
+  let part = Netlist.ffr_partition net in
+  (* ids: 0..3 = x1..x4, 4 = "9" (AND x1 x2), 5 = "10", 6 = "11". *)
+  Alcotest.(check (array int))
+    "roots" [| 1; 2; 4; 5; 6 |] part.Netlist.ffr_roots;
+  Alcotest.(check (array int))
+    "root of each node" [| 4; 1; 2; 6; 4; 5; 6 |] part.Netlist.ffr_root;
+  Alcotest.(check bool) "x1 not a root" false (Netlist.ffr_is_root net 0);
+  Alcotest.(check bool) "x2 a root" true (Netlist.ffr_is_root net 1)
+
+let prop_ffr_partition =
+  QCheck.Test.make ~name:"ffr partition is consistent" ~count:100
+    Helpers.circuit_arbitrary
+    (Helpers.apply_circuit (fun net ->
+         let part = Netlist.ffr_partition net in
+         let root = part.Netlist.ffr_root in
+         let n = Netlist.node_count net in
+         for id = 0 to n - 1 do
+           let is_root =
+             Netlist.is_output net id || Netlist.fanout_count net id <> 1
+           in
+           if Netlist.ffr_is_root net id <> is_root then
+             QCheck.Test.fail_reportf "node %d: ffr_is_root mismatch" id;
+           if is_root <> (root.(id) = id) then
+             QCheck.Test.fail_reportf "node %d: root fixpoint mismatch" id;
+           if not is_root then begin
+             (* A non-root has exactly one consumer; effects must reach
+                the root through it. *)
+             let consumer, _ = (Netlist.fanouts net id).(0) in
+             if root.(id) <> root.(consumer) then
+               QCheck.Test.fail_reportf "node %d: root differs from consumer"
+                 id
+           end
+         done;
+         (* ffr_roots is exactly the ascending list of fixpoints. *)
+         let expected =
+           List.filter (fun id -> root.(id) = id)
+             (List.init n (fun id -> id))
+         in
+         part.Netlist.ffr_roots = Array.of_list expected))
+
 let test_random_circuit_deterministic () =
   let a = Random_circuit.generate ~seed:9 ~inputs:4 ~gates:10 () in
   let b = Random_circuit.generate ~seed:9 ~inputs:4 ~gates:10 () in
@@ -279,6 +325,11 @@ let () =
           Alcotest.test_case "transitive fanout" `Quick
             test_transitive_fanout;
           Alcotest.test_case "transitive fanin" `Quick test_transitive_fanin;
+        ] );
+      ( "ffr",
+        [
+          Alcotest.test_case "example partition" `Quick test_example_ffr;
+          Helpers.qcheck prop_ffr_partition;
         ] );
       ( "gates",
         [

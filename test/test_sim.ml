@@ -10,6 +10,9 @@ module Naive = Ndetect_sim.Naive
 module Ternary_sim = Ndetect_sim.Ternary_sim
 module Ternary = Ndetect_logic.Ternary
 module Bitvec = Ndetect_util.Bitvec
+module Telemetry = Ndetect_util.Telemetry
+module Strategy = Ndetect_sim.Strategy
+module Wired = Ndetect_faults.Wired
 module Example = Ndetect_suite.Example
 
 let test_vector_codec () =
@@ -243,6 +246,98 @@ let test_naive_branch_fault_localized () =
   Alcotest.(check bool) "gate 9 sees forced 1" true values.(g9);
   Alcotest.(check bool) "gate 10 unaffected" false values.(g10)
 
+(* ------------------------------------------------------------------ *)
+(* Stem-region strategy: the critical-path-traced engine must be       *)
+(* bit-identical to the per-fault cone reference on every fault model. *)
+(* ------------------------------------------------------------------ *)
+
+let with_strategy name f =
+  let saved = Strategy.current_name () in
+  (match Strategy.select name with
+  | Ok () -> ()
+  | Error message -> Alcotest.fail message);
+  Fun.protect ~finally:(fun () -> ignore (Strategy.select saved)) f
+
+let prop_stuck_stem_matches_cone =
+  QCheck.Test.make ~name:"stem stuck sets == cone stuck sets" ~count:40
+    Helpers.circuit_arbitrary
+    (Helpers.apply_circuit (fun net ->
+         let good = Good.compute net in
+         let faults = Stuck.all net in
+         let cone = Fault_sim.stuck_detection_sets_cone good faults in
+         let stem = Fault_sim.stuck_detection_sets_stem good faults in
+         Array.for_all2 Bitvec.equal cone stem))
+
+let prop_bridge_stem_matches_cone =
+  QCheck.Test.make ~name:"stem bridge sets == cone bridge sets" ~count:40
+    Helpers.circuit_arbitrary
+    (Helpers.apply_circuit (fun net ->
+         let good = Good.compute net in
+         let faults = Bridge.enumerate net in
+         let cone = Fault_sim.bridge_detection_sets_cone good faults in
+         let stem = Fault_sim.bridge_detection_sets_stem good faults in
+         Array.for_all2 Bitvec.equal cone stem))
+
+(* Table 1 pinned a second time, directly against the stem engine, so a
+   dispatcher bug cannot hide a traced-engine regression. *)
+let test_example_detection_sets_stem () =
+  let net = Example.circuit () in
+  let good = Good.compute net in
+  let faults = Stuck.collapse net in
+  let sets = Fault_sim.stuck_detection_sets_stem good faults in
+  let set i = Bitvec.to_list sets.(i) in
+  Alcotest.(check (list int)) "T(1/1)" [ 4; 5; 6; 7 ] (set 0);
+  Alcotest.(check (list int)) "T(2/0)" [ 6; 7; 12; 13; 14; 15 ] (set 1);
+  Alcotest.(check (list int)) "T(3/0)" [ 2; 6; 7; 10; 14; 15 ] (set 3);
+  Alcotest.(check (list int)) "T(8/0)" [ 2; 6; 10; 14 ] (set 9);
+  Alcotest.(check (list int)) "T(9/1)" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11 ]
+    (set 11);
+  Alcotest.(check (list int)) "T(10/0)" [ 6; 7; 14; 15 ] (set 12);
+  Alcotest.(check (list int)) "T(11/0)"
+    [ 1; 2; 3; 5; 6; 7; 9; 10; 11; 13; 14; 15 ]
+    (set 14)
+
+(* Wired bridges force two seeds per batch, so the stem strategy routes
+   them to the cone path and counts each routed fault as a fallback. *)
+let test_wired_stem_fallback () =
+  let net = Example.circuit () in
+  let good = Good.compute net in
+  let faults = Wired.enumerate net Wired.Wired_and in
+  let under strategy =
+    with_strategy strategy (fun () ->
+        let before = Telemetry.counter_value "sim.stem_fallbacks" in
+        let sets = Fault_sim.wired_detection_sets good faults in
+        (sets, Telemetry.counter_value "sim.stem_fallbacks" - before))
+  in
+  let cone_sets, cone_delta = under "cone" in
+  let stem_sets, stem_delta = under "stem" in
+  Alcotest.(check int) "no fallbacks under cone" 0 cone_delta;
+  Alcotest.(check int) "every wired fault falls back under stem"
+    (Array.length faults) stem_delta;
+  Alcotest.(check bool) "identical sets" true
+    (Array.for_all2 Bitvec.equal cone_sets stem_sets)
+
+(* Stem work accounting is deterministic: the same batched call adds the
+   same counter deltas regardless of how the slices were scheduled. *)
+let test_stem_counter_determinism () =
+  let net = Example.circuit () in
+  let good = Good.compute net in
+  let faults = Stuck.collapse net in
+  let run () =
+    let regions0 = Telemetry.counter_value "sim.stem_regions" in
+    let cpt0 = Telemetry.counter_value "sim.cpt_faults" in
+    ignore (Fault_sim.stuck_detection_sets_stem good faults);
+    ( Telemetry.counter_value "sim.stem_regions" - regions0,
+      Telemetry.counter_value "sim.cpt_faults" - cpt0 )
+  in
+  let regions1, cpt1 = run () in
+  let regions2, cpt2 = run () in
+  Alcotest.(check int) "cpt_faults delta = fault count"
+    (Array.length faults) cpt1;
+  Alcotest.(check bool) "regions traced" true (regions1 > 0);
+  Alcotest.(check (pair int int))
+    "deltas identical across runs" (regions1, cpt1) (regions2, cpt2)
+
 let () =
   Alcotest.run "sim"
     [
@@ -266,6 +361,17 @@ let () =
           Helpers.qcheck prop_stuck_sim_matches_naive;
           Helpers.qcheck prop_bridge_sim_matches_naive;
           Helpers.qcheck prop_bridge_batch_matches_singles;
+        ] );
+      ( "stem",
+        [
+          Alcotest.test_case "example stuck sets (Table 1, stem)" `Quick
+            test_example_detection_sets_stem;
+          Alcotest.test_case "wired fallback accounting" `Quick
+            test_wired_stem_fallback;
+          Alcotest.test_case "counter determinism" `Quick
+            test_stem_counter_determinism;
+          Helpers.qcheck prop_stuck_stem_matches_cone;
+          Helpers.qcheck prop_bridge_stem_matches_cone;
         ] );
       ( "ternary",
         [

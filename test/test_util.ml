@@ -162,6 +162,28 @@ let test_length_mismatch () =
   Alcotest.check_raises "mismatch" (Invalid_argument "Bitvec: length mismatch")
     (fun () -> ignore (Bitvec.inter_count a b))
 
+(* Pooled allocation: the views behave exactly like independently
+   created vectors — all-zero, correct length, and mutation of one
+   element never leaks into a neighbour despite the shared backing. *)
+let test_create_many () =
+  let vs = Bitvec.create_many 5 100 in
+  Alcotest.(check int) "count" 5 (Array.length vs);
+  Array.iter
+    (fun v ->
+      Alcotest.(check int) "length" 100 (Bitvec.length v);
+      Alcotest.(check bool) "zeroed" true (Bitvec.is_empty v))
+    vs;
+  Bitvec.set vs.(2) 0;
+  Bitvec.set vs.(2) 99;
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "element %d" i)
+        (if i = 2 then [ 0; 99 ] else [])
+        (Bitvec.to_list v))
+    vs;
+  Alcotest.(check int) "empty pool" 0 (Array.length (Bitvec.create_many 0 7))
+
 (* Kernel properties: every fast path (SWAR popcount, De Bruijn ctz
    iteration, early-exit and batched intersection counts, the blocked
    word-major layout) against its naive list-based meaning. *)
@@ -623,6 +645,7 @@ let () =
             test_nth_diff_not_found;
           Alcotest.test_case "union in place" `Quick test_union_in_place;
           Alcotest.test_case "length mismatch" `Quick test_length_mismatch;
+          Alcotest.test_case "pooled create_many" `Quick test_create_many;
           Helpers.qcheck prop_inter_count;
           Helpers.qcheck prop_diff_and_union;
           Helpers.qcheck prop_nth_diff;

@@ -22,6 +22,11 @@ if ! find bin lib test bench tools -name '*.ml' -o -name '*.mli' \
   echo "check-fmt: lib/util/kernel.ml missing from the sweep"
   exit 1
 fi
+if ! find bin lib test bench tools -name '*.ml' -o -name '*.mli' \
+    | grep -q '^lib/sim/strategy\.ml$'; then
+  echo "check-fmt: lib/sim/strategy.ml missing from the sweep"
+  exit 1
+fi
 
 if ! command -v ocamlformat >/dev/null 2>&1; then
   echo "check-fmt: ocamlformat not installed; skipping"
