@@ -22,6 +22,10 @@ module Paper_tables = Ndetect_report.Paper_tables
 module Ascii_table = Ndetect_report.Ascii_table
 module Ndet_atpg = Ndetect_tgen.Ndet_atpg
 module Driver = Ndetect_harness.Driver
+module Api = Ndetect_harness.Api
+module Rpc = Ndetect_harness.Rpc
+module Serve = Ndetect_harness.Serve
+module Telemetry = Ndetect_util.Telemetry
 module Campaign = Ndetect_check.Campaign
 module Supervise = Ndetect_util.Supervise
 module Shard_spec = Ndetect_shard.Spec
@@ -31,34 +35,11 @@ open Cmdliner
 
 (* A circuit argument is a suite name or a .bench / .kiss2 / .pla /
    .blif file (chosen by extension; anything else parses as .bench).
-   File readers go through the non-raising [parse_file_result] entry
-   points, so a malformed or unreadable file reports filename and line
-   instead of an uncaught exception. *)
-let load_circuit ?(scheme = Encode.Binary) spec =
-  let friendly = function
-    | Ok v -> Ok v
-    | Error (`Parse d) ->
-      Error (Ndetect_netparse.Diagnostic.to_string ~file:spec d)
-    | Error (`Io message) -> Error (Printf.sprintf "%s: %s" spec message)
-  in
-  match Registry.find spec with
-  | Some entry -> Ok (Registry.circuit ~scheme entry)
-  | None ->
-    if not (Sys.file_exists spec) then
-      Error
-        (Printf.sprintf
-           "%s is neither a suite circuit nor a file; try `ndetect list`"
-           spec)
-    else if Filename.check_suffix spec ".kiss2" then
-      friendly (Kiss2.parse_file_result spec)
-      |> Result.map (fun fsm ->
-             Multilevel.decompose (Fsm_synth.synthesize ~scheme fsm))
-    else if Filename.check_suffix spec ".pla" then
-      friendly (Ndetect_netparse.Pla.parse_file_result spec)
-      |> Result.map Ndetect_synth.Pla_synth.synthesize
-    else if Filename.check_suffix spec ".blif" then
-      friendly (Ndetect_netparse.Blif.parse_file_result spec)
-    else friendly (Bench_format.parse_file_result spec)
+   Resolution lives in {!Api.load_source} — shared with the daemon —
+   so a malformed or unreadable file reports filename and line instead
+   of an uncaught exception. *)
+let load_circuit ?scheme spec =
+  Api.load_source ?scheme (Api.source_of_spec spec)
 
 let circuit_arg =
   let doc =
@@ -119,87 +100,101 @@ let list_cmd =
   let doc = "List the embedded benchmark suite." in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
-(* analyze *)
+(* analyze / average: both subcommands build a driver-grammar argument
+   list, parse it through [Driver.parse_args_result], lower the options
+   onto an [Api.Request.t] and funnel through [Api.run] — one validated
+   grammar and one execution path, shared with bin/reproduce and the
+   serve daemon (whose answers are byte-identical by construction). *)
 
-let analyze_run spec scheme csv =
-  match load_circuit ~scheme spec with
+let opt_args flag = function None -> [] | Some v -> [ flag; v ]
+
+let api_run_exit ~spec ~scheme ~nmax args =
+  match Driver.parse_args_result args with
   | Error message ->
     prerr_endline message;
-    exit 1
-  | Ok net ->
-    let a = Analysis.analyze ~name:spec net in
-    let s = a.Analysis.summary in
-    Format.printf "circuit: %s (%a)@." spec Netlist.pp_stats
-      (Netlist.stats net);
-    Printf.printf
-      "target faults (collapsed stuck-at): %d\n\
-       untargeted faults (4-way bridging): %d\n\n"
-      s.Analysis.target_faults s.Analysis.untargeted_faults;
-    let header =
-      "n" :: List.map (fun (n, _) -> string_of_int n) s.Analysis.percent_below
-    in
-    let row =
-      "% guaranteed"
-      :: List.map
-           (fun (_, pct) -> Printf.sprintf "%.2f" pct)
-           s.Analysis.percent_below
-    in
-    if csv then print_string (Ascii_table.render_csv ~header [ row ])
-    else print_string (Ascii_table.render ~header [ row ]);
-    print_newline ();
-    (match s.Analysis.max_finite_nmin with
-    | Some m ->
-      Printf.printf
-        "every detectable bridging fault is guaranteed by n = %d\n" m
-    | None -> print_endline "no untargeted faults");
-    let hard = Analysis.hard_faults a ~nmax:10 in
-    if Array.length hard > 0 then begin
-      Printf.printf "%d faults need n > 10; distribution:\n"
-        (Array.length hard);
-      print_string (Paper_tables.figure2 a.Analysis.worst ~min_value:11)
-    end
+    exit 2
+  | Ok opts -> (
+    match
+      Driver.Options.to_request ~scheme opts
+        ~source:(Api.source_of_spec spec) ~label:spec
+    with
+    | Error message ->
+      prerr_endline message;
+      exit 2
+    | Ok req -> (
+      match Api.run { req with Api.Request.nmax } with
+      | Error message ->
+        prerr_endline message;
+        exit 1
+      | Ok resp ->
+        print_string (Api.Response.render resp);
+        if resp.Api.Response.failures <> [] then exit 3))
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECS"
+        ~doc:"Wall-clock budget per supervised unit.")
+
+let table_cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "table-cache" ] ~docv:"DIR"
+        ~doc:"Detection-table cache directory.")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N" ~doc:"Procedure-1 worker domains.")
+
+let kernel_backend_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "kernel-backend" ] ~docv:"NAME"
+        ~doc:"Intersection kernel backend (swar or c).")
+
+let sim_strategy_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "sim-strategy" ] ~docv:"NAME"
+        ~doc:"Fault-simulation strategy (cone or stem).")
+
+let analyze_run spec scheme timeout cache_dir domains kernel sim =
+  api_run_exit ~spec ~scheme ~nmax:10
+    ([ "--only"; "table2" ]
+    @ opt_args "--timeout-per-circuit"
+        (Option.map (Printf.sprintf "%g") timeout)
+    @ opt_args "--table-cache" cache_dir
+    @ opt_args "--domains" (Option.map string_of_int domains)
+    @ opt_args "--kernel-backend" kernel
+    @ opt_args "--sim-strategy" sim)
 
 let analyze_cmd =
-  let csv =
-    Arg.(value & flag & info [ "csv" ] ~doc:"Emit the coverage row as CSV.")
-  in
   let doc = "Worst-case analysis: guaranteed bridging-fault coverage vs n." in
   Cmd.v
     (Cmd.info "analyze" ~doc)
-    Term.(const analyze_run $ circuit_arg $ scheme_arg $ csv)
+    Term.(
+      const analyze_run $ circuit_arg $ scheme_arg $ timeout_arg
+      $ table_cache_arg $ domains_arg $ kernel_backend_arg
+      $ sim_strategy_arg)
 
 (* average *)
 
-let average_run spec scheme k nmax def2 seed =
-  match load_circuit ~scheme spec with
-  | Error message ->
-    prerr_endline message;
-    exit 1
-  | Ok net ->
-    let a = Analysis.analyze ~name:spec net in
-    let hard = Analysis.hard_faults a ~nmax in
-    if Array.length hard = 0 then begin
-      Printf.printf
-        "every untargeted fault is guaranteed by an n = %d detection test \
-         set; nothing to estimate\n"
-        nmax;
-      exit 0
-    end;
-    let mode =
-      if def2 then Procedure1.Definition2 else Procedure1.Definition1
-    in
-    let outcome =
-      Procedure1.run ~report_faults:hard a.Analysis.table
-        { Procedure1.seed; set_count = k; nmax; mode }
-    in
-    let row =
-      {
-        Paper_tables.circuit = spec;
-        hard_faults = Array.length hard;
-        row = Average_case.summarize outcome ~n:nmax;
-      }
-    in
-    print_string (Paper_tables.table5 ~nmax [ row ])
+let average_run spec scheme k nmax def2 seed timeout cache_dir domains =
+  api_run_exit ~spec ~scheme ~nmax
+    ([ "--only"; (if def2 then "table6" else "table5"); "--seed";
+       string_of_int seed ]
+    @ (if def2 then [ "--k2"; string_of_int k ]
+       else [ "--k"; string_of_int k ])
+    @ opt_args "--timeout-per-circuit"
+        (Option.map (Printf.sprintf "%g") timeout)
+    @ opt_args "--table-cache" cache_dir
+    @ opt_args "--domains" (Option.map string_of_int domains))
 
 let average_cmd =
   let k =
@@ -217,7 +212,8 @@ let average_cmd =
       value & flag
       & info [ "def2" ]
           ~doc:
-            "Count detections with Definition 2 (pairwise-different tests).")
+            "Compare Definition 1 against Definition 2 \
+             (pairwise-different tests).")
   in
   let doc =
     "Average-case analysis: probability that an arbitrary n-detection test \
@@ -227,7 +223,7 @@ let average_cmd =
     (Cmd.info "average" ~doc)
     Term.(
       const average_run $ circuit_arg $ scheme_arg $ k $ nmax $ def2
-      $ seed_arg)
+      $ seed_arg $ timeout_arg $ table_cache_arg $ domains_arg)
 
 (* atpg *)
 
@@ -935,6 +931,368 @@ let worker_cmd =
     (Cmd.info "worker" ~doc)
     Term.(const worker_run $ ledger $ worker_id $ lease_secs $ inject)
 
+(* serve / client *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Unix-domain socket path (keep it short: the OS caps \
+           sockaddr_un at ~104 bytes).")
+
+let serve_run socket cache_dir queue_capacity resident_mb trace quiet inject =
+  (match inject with
+  | None -> ()
+  | Some spec -> (
+    match Supervise.parse_injection_spec spec with
+    | Ok plan -> Supervise.set_injection plan
+    | Error message ->
+      prerr_endline message;
+      exit 2));
+  Supervise.install_sigterm ();
+  let sink = Option.map (fun path -> Telemetry.Jsonl.attach ~path) trace in
+  let config =
+    {
+      (Serve.default_config ~socket) with
+      Serve.cache_dir;
+      queue_capacity;
+      resident_budget = resident_mb * 1024 * 1024;
+      quiet;
+    }
+  in
+  let code = Serve.run config in
+  Option.iter Telemetry.Jsonl.detach sink;
+  exit code
+
+let serve_cmd =
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "table-cache" ] ~docv:"DIR"
+          ~doc:
+            "Detection-table cache directory; also backs the resident \
+             table store.")
+  in
+  let queue =
+    Arg.(
+      value & opt int 16
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission-queue capacity; further requests get a structured \
+             overloaded response.")
+  in
+  let resident_mb =
+    Arg.(
+      value & opt int 256
+      & info [ "resident-mb" ] ~docv:"MB"
+          ~doc:"Resident detection-table budget (LRU-evicted past it).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Stream the daemon's own ndetect-trace/1 telemetry to FILE \
+             (sealed with the counters footer on shutdown).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress lifecycle lines.")
+  in
+  let inject =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"SPEC"
+          ~doc:"Fault-injection plan (for tests), as in reproduce.")
+  in
+  let doc =
+    "Run the batched analysis daemon: ndetect-rpc/1 over a Unix-domain \
+     socket, request deduplication, bounded admission, resident \
+     detection tables, per-request telemetry streaming. SIGTERM drains \
+     and exits 0."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const serve_run $ socket_arg $ cache_dir $ queue $ resident_mb $ trace
+      $ quiet $ inject)
+
+let frame_type j = Option.bind (Rpc.member "type" j) Rpc.to_str
+
+let read_hello ic =
+  match Rpc.read_frame ic with
+  | Error m -> Error ("hello: " ^ m)
+  | Ok j when frame_type j = Some "hello" -> (
+    match Option.bind (Rpc.member "protocol" j) Rpc.to_str with
+    | Some p when String.equal p Rpc.protocol -> Ok ()
+    | Some p ->
+      Error
+        (Printf.sprintf "protocol mismatch: server speaks %s, this client %s"
+           p Rpc.protocol)
+    | None -> Error "hello frame carries no protocol")
+  | Ok _ -> Error "expected a hello frame"
+
+type client_result = {
+  render : string;
+  remote_failures : int;
+  remote_trace : string list;
+}
+
+let read_result ic =
+  let trace = ref [] in
+  let rec loop () =
+    match Rpc.read_frame ic with
+    | Error m -> Error ("connection lost: " ^ m)
+    | Ok j -> (
+      match frame_type j with
+      | Some "trace" ->
+        (match Option.bind (Rpc.member "line" j) Rpc.to_str with
+        | Some line -> trace := line :: !trace
+        | None -> ());
+        loop ()
+      | Some "row" | Some "failure" ->
+        (* Incremental frames; the final render carries everything. *)
+        loop ()
+      | Some "done" ->
+        Ok
+          {
+            render =
+              Option.value
+                (Option.bind (Rpc.member "render" j) Rpc.to_str)
+                ~default:"";
+            remote_failures =
+              Option.value
+                (Option.bind (Rpc.member "failures" j) Rpc.to_int)
+                ~default:0;
+            remote_trace = List.rev !trace;
+          }
+      | Some "error" ->
+        Error
+          (Option.value
+             (Option.bind (Rpc.member "message" j) Rpc.to_str)
+             ~default:"server error")
+      | Some "overloaded" ->
+        Error "server overloaded (admission queue full); retry later"
+      | Some _ | None -> loop ())
+  in
+  loop ()
+
+(* A .bench file is shipped inline (the daemon need not share a
+   filesystem with the client); suite names and the formats needing
+   synthesis resolve server-side. *)
+let client_source spec =
+  match Api.source_of_spec spec with
+  | Api.Request.File path
+    when Sys.file_exists path
+         && not
+              (List.exists
+                 (Filename.check_suffix path)
+                 [ ".kiss2"; ".pla"; ".blif" ]) ->
+    let ic = open_in_bin path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Api.Request.Inline_bench text
+  | source -> source
+
+let client_run socket stats spec sections k k2 nmax seed deadline domains
+    count trace =
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+    | exception Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "cannot connect to %s: %s\n" socket
+        (Unix.error_message err);
+      exit 1
+  in
+  let hello_or_die ic =
+    match read_hello ic with
+    | Ok () -> ()
+    | Error m ->
+      prerr_endline m;
+      exit 1
+  in
+  if stats then begin
+    let ic, oc = connect () in
+    hello_or_die ic;
+    Rpc.write_frame oc (Rpc.Obj [ ("type", Rpc.Str "stats") ]);
+    match Rpc.read_frame ic with
+    | Error m ->
+      prerr_endline m;
+      exit 1
+    | Ok j -> (
+      match Rpc.member "counters" j with
+      | Some (Rpc.Obj members) ->
+        List.iter
+          (fun (name, v) ->
+            match Rpc.to_int v with
+            | Some n -> Printf.printf "%-28s %d\n" name n
+            | None -> ())
+          members
+      | _ ->
+        prerr_endline "malformed stats frame";
+        exit 1)
+  end
+  else begin
+    let spec =
+      match spec with
+      | Some s -> s
+      | None ->
+        prerr_endline "client: a CIRCUIT argument is required (or --stats)";
+        exit 2
+    in
+    let sections =
+      List.map
+        (fun name ->
+          match Api.Request.section_of_name (String.trim name) with
+          | Some s -> s
+          | None ->
+            Printf.eprintf
+              "unknown section %s (worst, average or average_def2)\n" name;
+            exit 2)
+        (String.split_on_char ',' sections)
+    in
+    let req =
+      Api.Request.make ~sections ~k ~k2 ~nmax ~seed ?deadline ?domains
+        ~label:spec (client_source spec)
+    in
+    let rj = Api.Request.to_json req in
+    (* All requests go out before any response is read, so --count 2
+       genuinely puts two identical requests in flight at once — the
+       daemon answers the duplicate by joining it to the first
+       computation (one table build, serve.dedup_joins >= 1). *)
+    let conns = List.init count (fun _ -> connect ()) in
+    List.iter (fun (ic, _) -> hello_or_die ic) conns;
+    List.iter
+      (fun (_, oc) ->
+        Rpc.write_frame oc
+          (Rpc.Obj [ ("type", Rpc.Str "request"); ("request", rj) ]))
+      conns;
+    let results =
+      List.mapi
+        (fun i (ic, _) ->
+          match read_result ic with
+          | Ok r -> r
+          | Error m ->
+            Printf.eprintf "request %d: %s\n" (i + 1) m;
+            exit 1)
+        conns
+    in
+    (match trace with
+    | None -> ()
+    | Some prefix ->
+      List.iteri
+        (fun i r ->
+          let path =
+            if count = 1 then prefix
+            else Printf.sprintf "%s.%d" prefix (i + 1)
+          in
+          let oc = open_out path in
+          List.iter
+            (fun line ->
+              output_string oc line;
+              output_char oc '\n')
+            r.remote_trace;
+          close_out oc)
+        results);
+    let first = List.hd results in
+    print_string first.render;
+    List.iteri
+      (fun i r ->
+        if i > 0 && not (String.equal r.render first.render) then begin
+          Printf.eprintf "request %d: render diverged from request 1\n"
+            (i + 1);
+          exit 1
+        end)
+      results;
+    if List.exists (fun r -> r.remote_failures > 0) results then exit 3
+  end
+
+let client_cmd =
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print the daemon's counters instead of sending a request.")
+  in
+  let spec =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"CIRCUIT"
+          ~doc:
+            "Suite benchmark name or netlist file (.bench content is \
+             shipped inline).")
+  in
+  let sections =
+    Arg.(
+      value & opt string "worst"
+      & info [ "sections" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated sections: worst, average, average_def2.")
+  in
+  let k =
+    Arg.(
+      value & opt int 1000
+      & info [ "k"; "sets" ] ~docv:"K" ~doc:"Test sets for average.")
+  in
+  let k2 =
+    Arg.(
+      value & opt int 200
+      & info [ "k2" ] ~docv:"K" ~doc:"Test sets for average_def2.")
+  in
+  let nmax =
+    Arg.(
+      value & opt int 10
+      & info [ "nmax" ] ~docv:"N" ~doc:"Largest number of detections.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECS"
+          ~doc:
+            "Per-request budget, counted from admission (queue time \
+             included).")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N" ~doc:"Procedure-1 worker domains.")
+  in
+  let count =
+    Arg.(
+      value & opt int 1
+      & info [ "count" ] ~docv:"N"
+          ~doc:
+            "Send the same request over N concurrent connections \
+             (exercises the daemon's deduplication).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write each response's streamed ndetect-trace/1 document to \
+             FILE (FILE.i per connection when --count > 1).")
+  in
+  let doc =
+    "Send an analysis request to a running $(b,ndetect serve) daemon and \
+     print the response (byte-identical to the local CLI's answer for \
+     the same request)."
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc)
+    Term.(
+      const client_run $ socket_arg $ stats $ spec $ sections $ k $ k2
+      $ nmax $ seed_arg $ deadline $ domains $ count $ trace)
+
 let main_cmd =
   let doc =
     "worst-case and average-case analysis of n-detection test sets \
@@ -945,7 +1303,7 @@ let main_cmd =
     [
       list_cmd; analyze_cmd; average_cmd; atpg_cmd; tables_cmd; check_cmd;
       synth_cmd; dot_cmd; evaluate_cmd; partition_cmd; transition_cmd;
-      equiv_cmd; scoap_cmd; campaign_cmd; worker_cmd;
+      equiv_cmd; scoap_cmd; campaign_cmd; worker_cmd; serve_cmd; client_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -261,7 +261,24 @@ let validate_record lineno doc =
          regions. *)
       check
         (not (has "sim.stem_regions" <> has "sim.cpt_faults"))
-        (where "sim.stem_regions and sim.cpt_faults must move together")
+        (where "sim.stem_regions and sim.cpt_faults must move together");
+      (* Daemon accounting: every dedup join is a joined *request*, so
+         joins never appear without the request counter and never
+         exceed it. *)
+      let num name =
+        match List.assoc_opt name values with
+        | Some (Num f) -> Some f
+        | _ -> None
+      in
+      (match num "serve.dedup_joins" with
+      | Some joins when joins > 0.0 -> (
+        match num "serve.requests" with
+        | Some requests ->
+          check (joins <= requests)
+            (where "serve.dedup_joins must not exceed serve.requests")
+        | None ->
+          raise (Bad (where "serve.dedup_joins without serve.requests")))
+      | _ -> ())
     | _ -> raise (Bad (where "values missing or not an object")))
   | Some (Str other) -> raise (Bad (where ("unknown record type " ^ other)))
   | Some _ -> raise (Bad (where "type must be a string"))

@@ -1,0 +1,171 @@
+(** The request/response core of every analysis entry point.
+
+    One analysis — "this netlist, these sections, these parameters" —
+    is a value: {!Request.t} going in, {!Response.t} coming out of
+    {!run}. The CLI subcommands, the reproduction driver's option
+    parser ({!Driver.Options.to_request}) and the {!Serve} daemon all
+    build the same request and funnel through the same [run], so a
+    daemon answer is byte-identical to the CLI answer for the same
+    request by construction: both print {!Response.render} of the same
+    value.
+
+    [run] never raises for an in-band reason. A request that cannot be
+    attempted (unknown kernel backend, unparsable netlist) is [Error];
+    per-unit analysis failures (timeouts, crashes) come back {e inside}
+    an [Ok] response as structured failure rows, exactly like the
+    supervised driver reports them. *)
+
+module Netlist = Ndetect_circuit.Netlist
+module Detection_table = Ndetect_core.Detection_table
+module Analysis = Ndetect_core.Analysis
+module Average_case = Ndetect_core.Average_case
+module Paper_tables = Ndetect_report.Paper_tables
+module Supervise = Ndetect_util.Supervise
+module Encode = Ndetect_synth.Encode
+
+module Request : sig
+  (** Where the netlist comes from. A [File] is resolved by extension
+      like the CLI's circuit argument (.kiss2/.pla/.blif, anything else
+      parses as .bench); [Inline_bench] carries .bench text in the
+      request itself — the form a remote client uses, since the daemon
+      need not share a filesystem with it. *)
+  type source =
+    | Suite of string  (** Embedded benchmark, by registry name. *)
+    | File of string
+    | Inline_bench of string
+
+  (** Which analyses to run, in request order. *)
+  type section =
+    | Worst  (** Worst-case summary (Table 2/3 row). *)
+    | Average  (** Procedure 1, Definition 1 (Table 5 row). *)
+    | Average_def2  (** Definition 1 vs Definition 2 (Table 6 row). *)
+
+  val section_name : section -> string
+  (** ["worst"] / ["average"] / ["average_def2"] — the wire names. *)
+
+  val section_of_name : string -> section option
+
+  type t = {
+    label : string;  (** Row/report name for this circuit. *)
+    source : source;
+    sections : section list;
+    k : int;  (** Random test sets for [Average]. *)
+    k2 : int;  (** Test sets per definition for [Average_def2]. *)
+    nmax : int;  (** Hard-fault threshold (the paper uses 10). *)
+    seed : int;
+    scheme : Encode.scheme;  (** FSM state encoding for KISS2 sources. *)
+    domains : int option;  (** Procedure-1 parallelism (None = sequential). *)
+    kernel_backend : string option;  (** {!Ndetect_util.Kernel.select} name. *)
+    sim_strategy : string option;  (** {!Ndetect_sim.Strategy.select} name. *)
+    cache_dir : string option;  (** Detection-table cache directory. *)
+    deadline : float option;  (** Per-supervised-unit budget, seconds. *)
+  }
+
+  val make :
+    ?sections:section list ->
+    ?k:int ->
+    ?k2:int ->
+    ?nmax:int ->
+    ?seed:int ->
+    ?scheme:Encode.scheme ->
+    ?domains:int ->
+    ?kernel_backend:string ->
+    ?sim_strategy:string ->
+    ?cache_dir:string ->
+    ?deadline:float ->
+    label:string ->
+    source ->
+    t
+  (** Defaults: sections [[Worst]], k 1000, k2 200, nmax 10, seed 1,
+      scheme [Encode.Binary], everything else off. *)
+
+  val to_json : t -> Rpc.json
+  (** Canonical encoding (fixed field order), used both on the wire and
+      as the daemon's dedup fingerprint: equal requests produce equal
+      documents. *)
+
+  val of_json : Rpc.json -> (t, string) result
+  (** Inverse of {!to_json}; [Error] names the offending field. Unknown
+      fields are ignored (forward compatibility), missing optional
+      fields take the {!make} defaults. *)
+end
+
+module Response : sig
+  (** The rows of one computed section. [None] rows mean the section
+      was not computed because a supervised unit failed — the reason is
+      in {!t.failures}; [Some []] means it ran and found nothing to
+      estimate (no fault needs more than [nmax] detections). *)
+  type section_rows =
+    | Worst_rows of Paper_tables.table_entry list
+    | Average_rows of {
+        nmax : int;
+        k : int;
+        rows : Paper_tables.average_row list option;
+      }
+    | Def2_rows of {
+        nmax : int;
+        k2 : int;
+        rows :
+          (string * int * Average_case.row * Average_case.row) list option;
+      }
+
+  type t = {
+    label : string;
+    sections : (Request.section * section_rows) list;
+        (** In request order. *)
+    failures : (string * Supervise.failure) list;
+        (** Supervised units that timed out / crashed / were skipped,
+            in occurrence order — empty for a clean run. *)
+    counters : (string * int) list;
+        (** {!Ndetect_util.Telemetry.delta} of the process counters
+            over this request: what work the answer cost. *)
+  }
+
+  val render_section : section_rows -> string
+  (** One section's block (header line plus table or placeholder) — the
+      text the daemon streams in its per-section [row] frames. *)
+
+  val render : t -> string
+  (** The human answer: a [circuit:] header, one paper-table block per
+      section, one [(label: reason)] footer line per failure — exactly
+      the concatenation of {!render_section} blocks between header and
+      footer. Both the CLI and the daemon client print exactly this. *)
+end
+
+val source_of_spec : string -> Request.source
+(** CLI resolution of a circuit argument: a registry name is [Suite],
+    anything else [File] (whose existence {!load_source} checks). *)
+
+val load_source :
+  ?scheme:Encode.scheme -> Request.source -> (Netlist.t, string) result
+(** Materialize a request's netlist. File readers go through the
+    non-raising parse entry points, so a malformed file reports
+    filename and line in the [Error]. *)
+
+val table_builder :
+  cache_dir:string option ->
+  (cancel:Ndetect_util.Cancel.token -> Netlist.t -> Detection_table.t) option
+(** The cache-aware builder {!Analysis.analyze} takes: [None] without a
+    cache directory (build by fault simulation every time). *)
+
+val detection_table :
+  cache_dir:string ->
+  ?cancel:Ndetect_util.Cancel.token ->
+  Netlist.t ->
+  Detection_table.t
+(** Load-or-build through the cache — the one-stop shop for callers
+    outside [run] (the sharded campaign's workers use this). *)
+
+val run :
+  ?build:
+    (cancel:Ndetect_util.Cancel.token -> Netlist.t -> Detection_table.t) ->
+  Request.t ->
+  (Response.t, string) result
+(** Execute the request: select backend/strategy, load the source, run
+    each section as a supervised unit (deadline = [req.deadline],
+    bounded retries, injection sites ["analyze:<label>"],
+    ["table5:<label>"], ["table6:<label>"]) and snapshot the counter
+    delta. [build] overrides the table builder derived from the
+    request's [cache_dir] — the daemon injects its resident store here.
+    [Error] only for requests that cannot be attempted at all — unknown
+    backend or strategy name, unloadable source. *)

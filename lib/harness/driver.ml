@@ -99,6 +99,29 @@ module Options = struct
       chaos;
       ledger_dir;
     }
+
+  let to_request ?scheme t ~source ~label =
+    let sections =
+      match t.only with
+      | "table2" | "table3" -> Ok [ Api.Request.Worst ]
+      | "table5" -> Ok [ Api.Request.Average ]
+      | "table6" -> Ok [ Api.Request.Average_def2 ]
+      | "all" ->
+        Ok [ Api.Request.Worst; Api.Request.Average; Api.Request.Average_def2 ]
+      | other ->
+        Error
+          (Printf.sprintf
+             "--only %s has no per-circuit request form (expected table2, \
+              table3, table5, table6 or all)"
+             other)
+    in
+    Result.map
+      (fun sections ->
+        Api.Request.make ~sections ~k:t.k ~k2:t.k2 ~seed:t.seed ?scheme
+          ?domains:t.domains ?kernel_backend:t.kernel_backend
+          ?sim_strategy:t.sim_strategy ?cache_dir:t.table_cache
+          ?deadline:t.timeout_per_circuit ~label source)
+      sections
 end
 
 let usage =
@@ -426,10 +449,7 @@ let supervised t ~label ~site f =
    to) the cache directory instead of being rebuilt by fault simulation
    on every run; the cache key covers the netlist and the default build
    parameters, so stale entries are impossible by construction. *)
-let table_builder t =
-  Option.map
-    (fun dir -> fun ~cancel net -> Table_cache.table ~dir ~cancel net)
-    t.options.table_cache
+let table_builder t = Api.table_builder ~cache_dir:t.options.table_cache
 
 let compute_analysis t entry =
   let name = entry.Registry.name in

@@ -127,6 +127,22 @@ module Options : sig
     unit ->
     t
   (** Every omitted argument takes its {!default_options} value. *)
+
+  val to_request :
+    ?scheme:Ndetect_synth.Encode.scheme ->
+    t ->
+    source:Api.Request.source ->
+    label:string ->
+    (Api.Request.t, string) result
+  (** Lower parsed driver options onto the request/response core: the
+      options become a thin parser, {!Api.run} does the work. The
+      [only] field picks the sections — [table2]/[table3] map to
+      [Worst], [table5] to [Average], [table6] to [Average_def2], [all]
+      to all three; the example-circuit sections ([table1], [table4],
+      [figure2]) have no per-request form and return [Error]. [k],
+      [k2], [seed], [domains], [kernel_backend], [sim_strategy],
+      [table_cache] and [timeout_per_circuit] carry over field for
+      field. *)
 end
 
 val parse_args_result : string list -> (options, string) result
@@ -143,8 +159,10 @@ val parse_args_result : string list -> (options, string) result
     missing values, or unknown arguments. *)
 
 val parse_args : string list -> options
-(** {!parse_args_result}, raising [Failure] instead of returning
-    [Error]. Prefer the result form in new code. *)
+  [@@ocaml.deprecated "use Driver.parse_args_result"]
+(** @deprecated {!parse_args_result}, raising [Failure] instead of
+    returning [Error]. Kept as a compatibility shim for out-of-tree
+    callers; everything in-tree parses through the result form. *)
 
 val usage : string
 (** The usage string appended to [parse_args] error messages. *)

@@ -112,6 +112,7 @@ let c_misses = Telemetry.Counter.create "table_cache.misses"
 let c_corrupt = Telemetry.Counter.create "table_cache.corrupt"
 let c_mmap_hits = Telemetry.Counter.create "table.mmap_hits"
 let c_mmap_bytes = Telemetry.Counter.create "table.mmap_bytes"
+let c_mmap_reuse = Telemetry.Counter.create "table.mmap_reuse"
 let hits () = Telemetry.Counter.value c_hits
 let misses () = Telemetry.Counter.value c_misses
 
@@ -358,8 +359,11 @@ let map_image file ~off ~len =
         (Unix.map_file fd ~pos:(Int64.of_int off) Bigarray.int
            Bigarray.c_layout false [| len |]))
 
+(* A hit carries the bytes backing the restored table: the mapped image
+   size on the v3 path, the marshalled payload length on the v2
+   fallback — what a resident store charges against its budget. *)
 type outcome =
-  | Hit of Detection_table.t
+  | Hit of Detection_table.t * int
   | Corrupt
   | Future
   | Absent
@@ -486,7 +490,7 @@ let decode_v3 ~map ~meta_words ~nwords net =
   in
   Telemetry.Counter.incr c_mmap_hits;
   Telemetry.Counter.add c_mmap_bytes (8 * (meta_words + nwords));
-  Hit table
+  Hit (table, 8 * (meta_words + nwords))
 
 let attempt_v3 ic ~size ~file ~key net ~header_end fields =
   match fields with
@@ -542,21 +546,21 @@ let attempt file ~key net =
           let snap : Detection_table.snapshot =
             Marshal.from_string payload 0
           in
-          Hit (Detection_table.restore net snap))
+          Hit (Detection_table.restore net snap, String.length payload))
       | Some n when n > version -> Future
       | _ -> Corrupt)
     | [] -> Corrupt
 
-let load ~dir ~key net =
+let load_sized ~dir ~key net =
   let file = path ~dir ~key in
   let outcome =
     if not (Sys.file_exists file) then Absent
     else try attempt file ~key net with _ -> Corrupt
   in
   match outcome with
-  | Hit table ->
+  | Hit (table, bytes) ->
     Telemetry.Counter.incr c_hits;
-    Some table
+    Some (table, bytes)
   | Absent ->
     Telemetry.Counter.incr c_misses;
     None
@@ -573,18 +577,51 @@ let load ~dir ~key net =
     Telemetry.Counter.incr c_corrupt;
     None
 
+let load ~dir ~key net = Option.map fst (load_sized ~dir ~key net)
+
+(* Single-slot resident mapping: [table] used to re-open and re-map the
+   same v3 file on every warm lookup in one process (each Analysis of
+   the same circuit paid a fresh map + checksum pass). The last adopted
+   table is kept, keyed by (dir, key), and handed back physically shared
+   on a repeat lookup — counted on "table.mmap_reuse", never on
+   "table_cache.hits" (no load happened). The slot lives here, not in
+   {!load}, so direct load calls (tests, damage sweeps) keep their
+   exact hit/mmap accounting; a server wanting more than one hot table
+   layers its own store (see {!Serve}) over {!load_sized}. *)
+let slot : (string * string * Detection_table.t) option ref = ref None
+let slot_lock = Mutex.create ()
+
+let slot_find ~dir ~key =
+  Mutex.protect slot_lock (fun () ->
+      match !slot with
+      | Some (d, k, table) when String.equal d dir && String.equal k key ->
+        Some table
+      | Some _ | None -> None)
+
+let slot_keep ~dir ~key table =
+  Mutex.protect slot_lock (fun () -> slot := Some (dir, key, table))
+
 let table ~dir ?keep_undetectable_targets ?collapse ?model
     ?(cancel = Ndetect_util.Cancel.none) net =
   Telemetry.with_span "table_cache.lookup" @@ fun () ->
   let key = key ?keep_undetectable_targets ?collapse ?model net in
-  match load ~dir ~key net with
-  | Some table -> table
+  match slot_find ~dir ~key with
+  | Some table ->
+    Telemetry.Counter.incr c_mmap_reuse;
+    table
   | None ->
     let table =
-      Detection_table.build ?keep_undetectable_targets ?collapse ?model ~cancel
-        net
+      match load ~dir ~key net with
+      | Some table -> table
+      | None ->
+        let table =
+          Detection_table.build ?keep_undetectable_targets ?collapse ?model
+            ~cancel net
+        in
+        (* Best-effort persistence: an unwritable cache directory must
+           not fail the analysis itself. *)
+        (try store ~dir ~key table with Sys_error _ -> ());
+        table
     in
-    (* Best-effort persistence: an unwritable cache directory must not
-       fail the analysis itself. *)
-    (try store ~dir ~key table with Sys_error _ -> ());
+    slot_keep ~dir ~key table;
     table

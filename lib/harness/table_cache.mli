@@ -57,7 +57,15 @@ val table :
   Detection_table.t
 (** Load the table for this netlist + parameters from [dir], or build it
     and persist it there. Storing is best-effort: an unwritable
-    directory never fails the analysis. *)
+    directory never fails the analysis.
+
+    A single-slot resident reuse sits in front of the disk lookup: the
+    most recently returned table is kept keyed by [(dir, key)], and a
+    repeat call with the same fingerprint in the same process hands the
+    resident table back physically shared — no re-open, no re-map, no
+    checksum pass. Reuses count on ["table.mmap_reuse"] (and {e not} on
+    ["table_cache.hits"]: no load happened). Servers holding more than
+    one table hot layer their own store over {!load_sized}. *)
 
 val store : dir:string -> key:string -> Detection_table.t -> unit
 (** Persist a table under [dir] (created if needed) in the current (v3)
@@ -75,6 +83,14 @@ val load : dir:string -> key:string -> Netlist.t -> Detection_table.t option
     fault simulation; on the v3 path its detection sets are zero-copy
     views into a private (copy-on-write) map of the cache file, and
     ["table.mmap_hits"] / ["table.mmap_bytes"] count the adoption. *)
+
+val load_sized :
+  dir:string -> key:string -> Netlist.t -> (Detection_table.t * int) option
+(** {!load}, also reporting the bytes backing the restored table: the
+    mapped image size (meta + words sections) on the v3 path, the
+    marshalled payload length on the v2 fallback. This is the figure a
+    resident store charges against its memory budget — what keeping the
+    table hot actually pins. *)
 
 val hits : unit -> int
 

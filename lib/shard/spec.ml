@@ -146,7 +146,7 @@ let table_of ~cancel ~tables_dir circuit =
   | None -> failwith (Printf.sprintf "unknown circuit %S" circuit)
   | Some entry ->
       let net = Registry.circuit entry in
-      Ndetect_harness.Table_cache.table ~dir:tables_dir ~cancel net
+      Ndetect_harness.Api.detection_table ~cache_dir:tables_dir ~cancel net
 
 let compute ?(cancel = Ndetect_util.Cancel.none) ~tables_dir c t =
   Ndetect_util.Supervise.inject ~cancel ("unit:" ^ t.id);

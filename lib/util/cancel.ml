@@ -13,15 +13,23 @@ type token = {
 let none =
   { flag = Atomic.make false; deadline = None; ticks = 0; never = true }
 
-let create ?deadline_in () =
+let create ?deadline_in ?deadline_at () =
   let deadline =
-    match deadline_in with
-    | None -> None
-    | Some s ->
+    match (deadline_in, deadline_at) with
+    | Some _, Some _ ->
+      invalid_arg "Cancel.create: deadline_in and deadline_at are exclusive"
+    | None, Some at -> Some at
+    | None, None -> None
+    | Some s, None ->
       if s <= 0.0 then invalid_arg "Cancel.create: deadline_in must be > 0";
       Some (Unix.gettimeofday () +. s)
   in
   { flag = Atomic.make false; deadline; ticks = 0; never = false }
+
+let deadline t = t.deadline
+
+let remaining t =
+  Option.map (fun d -> d -. Unix.gettimeofday ()) t.deadline
 
 let cancel t = if not t.never then Atomic.set t.flag true
 

@@ -16,10 +16,23 @@ val none : token
 (** A shared token that is never cancelled and has no deadline. Safe as
     the default for [?cancel] arguments. *)
 
-val create : ?deadline_in:float -> unit -> token
+val create : ?deadline_in:float -> ?deadline_at:float -> unit -> token
 (** [create ~deadline_in:secs ()] makes a token whose deadline is [secs]
-    seconds of wall clock from now; without [deadline_in] the token only
-    cancels when {!cancel} is called. [deadline_in] must be positive. *)
+    seconds of wall clock from now; [create ~deadline_at:t ()] pins the
+    deadline to the absolute [Unix.gettimeofday] time [t] instead (a
+    queued request's budget keeps draining while it waits — the admission
+    point mints the token, the executor inherits whatever is left).
+    Without either, the token only cancels when {!cancel} is called.
+    [deadline_in] must be positive; the two forms are exclusive. *)
+
+val deadline : token -> float option
+(** The token's absolute deadline ([Unix.gettimeofday] time), if any. *)
+
+val remaining : token -> float option
+(** Seconds until the deadline — negative once it has passed, [None]
+    when the token has no deadline. Does not set the flag; use
+    {!check_deadline} to expire. A server dequeuing work uses this to
+    hand the remaining (not the original) budget to the compute step. *)
 
 val cancel : token -> unit
 (** Set the flag. Every domain polling this token raises {!Cancelled} at

@@ -319,8 +319,13 @@ end
 (* JSON Lines trace sink. *)
 
 module Jsonl = struct
+  (* The sink writes whole lines through [write]; [seal] runs after the
+     counters footer on detach (flush + close for the file form, a
+     no-op for a caller-supplied writer streaming to e.g. a client
+     connection). *)
   type t = {
-    oc : out_channel;
+    write : string -> unit;
+    seal : unit -> unit;
     lock : Mutex.t;
     t0 : float;
     mutable handle : sink option;
@@ -340,10 +345,7 @@ module Jsonl = struct
       s;
     Buffer.contents buf
 
-  let write_line t line =
-    Mutex.protect t.lock (fun () ->
-        output_string t.oc line;
-        output_char t.oc '\n')
+  let write_line t line = Mutex.protect t.lock (fun () -> t.write line)
 
   let ts t = Printf.sprintf "%.6f" (now () -. t.t0)
 
@@ -371,27 +373,42 @@ module Jsonl = struct
         (Printf.sprintf "{\"type\":\"end\",\"id\":%d,\"name\":\"%s\",\"ts\":%s,\"dur\":%.6f}"
            span.id (escape span.name) (ts t) duration)
 
-  let attach ~path =
-    let oc = open_out path in
-    let t = { oc; lock = Mutex.create (); t0 = now (); handle = None } in
-    write_line t "{\"type\":\"meta\",\"schema\":\"ndetect-trace/1\",\"clock\":\"monotonic-s\"}";
+  let meta_line =
+    "{\"type\":\"meta\",\"schema\":\"ndetect-trace/1\",\"clock\":\"monotonic-s\"}"
+
+  let counters_line ~ts =
+    Printf.sprintf "{\"type\":\"counters\",\"ts\":%s,\"values\":{%s}}" ts
+      (String.concat ","
+         (List.map
+            (fun (name, v) -> Printf.sprintf "\"%s\":%d" (escape name) v)
+            (counters ())))
+
+  let make ~write ~seal =
+    let t = { write; seal; lock = Mutex.create (); t0 = now (); handle = None } in
+    write_line t meta_line;
     t.handle <- Some (register_sink (on_event t));
     t
+
+  let attach ~path =
+    let oc = open_out path in
+    make
+      ~write:(fun line ->
+        output_string oc line;
+        output_char oc '\n')
+      ~seal:(fun () ->
+        flush oc;
+        close_out_noerr oc)
+
+  let attach_writer write = make ~write ~seal:(fun () -> ())
+
+  let empty_trace () = [ meta_line; counters_line ~ts:"0.000000" ]
 
   let detach t =
     match t.handle with
     | Some id ->
       unregister_sink id;
       t.handle <- None;
-      write_line t
-        (Printf.sprintf "{\"type\":\"counters\",\"ts\":%s,\"values\":{%s}}"
-           (ts t)
-           (String.concat ","
-              (List.map
-                 (fun (name, v) ->
-                   Printf.sprintf "\"%s\":%d" (escape name) v)
-                 (counters ()))));
-      flush t.oc;
-      close_out_noerr t.oc
+      write_line t (counters_line ~ts:(ts t));
+      Mutex.protect t.lock t.seal
     | None -> ()
 end

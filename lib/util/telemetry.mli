@@ -159,7 +159,22 @@ module Jsonl : sig
   val attach : path:string -> t
   (** Open (truncate) [path], write the meta line and register. *)
 
+  val attach_writer : (string -> unit) -> t
+  (** Like {!attach} but every record line (without the newline) is
+      handed to the given writer instead of a file — the form a server
+      uses to stream one [ndetect-trace/1] trace per connection or per
+      request. The writer is called under the sink's own mutex, so lines
+      arrive whole and in order; it must not re-enter telemetry. *)
+
   val detach : t -> unit
-  (** Write the counters footer, unregister, flush and close.
-      Idempotent. *)
+  (** Write the counters footer, unregister, flush and close (the
+      writer form only emits the footer). Idempotent. *)
+
+  val empty_trace : unit -> string list
+  (** A complete, schema-valid [ndetect-trace/1] document with zero
+      spans: the meta line plus a counters footer snapshotted now. This
+      is the trace of a request that performed no work of its own (a
+      deduplicated join riding on another request's computation) —
+      handed out ready-made rather than by registering a sink, so spans
+      from concurrently executing work can never leak into it. *)
 end

@@ -23,8 +23,13 @@ let small_options =
   Driver.Options.make ~tier:Registry.Small ~k:20 ~k2:10 ~seed:1 ~only:"all"
     ~quiet:true ()
 
+let parse_ok args =
+  match Driver.parse_args_result args with
+  | Ok opts -> opts
+  | Error m -> Alcotest.fail ("unexpected parse error: " ^ m)
+
 let test_parse_args_defaults () =
-  let opts = Driver.parse_args [] in
+  let opts = parse_ok [] in
   Alcotest.(check int) "k" 1000 opts.Driver.k;
   Alcotest.(check int) "k2" 200 opts.Driver.k2;
   Alcotest.(check string) "only" "all" opts.Driver.only;
@@ -32,7 +37,7 @@ let test_parse_args_defaults () =
 
 let test_parse_args_full () =
   let opts =
-    Driver.parse_args
+    parse_ok
       [ "--tier"; "large"; "--k"; "42"; "--k2"; "7"; "--seed"; "9";
         "--only"; "Table5"; "--quiet" ]
   in
@@ -44,28 +49,22 @@ let test_parse_args_full () =
   Alcotest.(check bool) "quiet" true opts.Driver.quiet
 
 let test_parse_args_csv () =
-  let opts = Driver.parse_args [ "--csv"; "out/dir" ] in
+  let opts = parse_ok [ "--csv"; "out/dir" ] in
   Alcotest.(check (option string)) "csv dir" (Some "out/dir")
     opts.Driver.csv_dir;
   Alcotest.(check (option string)) "default none" None
-    (Driver.parse_args []).Driver.csv_dir
+    (parse_ok []).Driver.csv_dir
 
 let test_parse_args_errors () =
   Alcotest.(check bool) "bad tier" true
-    (try
-       ignore (Driver.parse_args [ "--tier"; "gigantic" ]);
-       false
-     with Failure _ -> true);
+    (Result.is_error (Driver.parse_args_result [ "--tier"; "gigantic" ]));
   Alcotest.(check bool) "unknown flag" true
-    (try
-       ignore (Driver.parse_args [ "--frobnicate" ]);
-       false
-     with Failure _ -> true)
+    (Result.is_error (Driver.parse_args_result [ "--frobnicate" ]))
 
 let failure_message args =
-  match Driver.parse_args args with
-  | _ -> Alcotest.fail "expected parse failure"
-  | exception Failure m -> m
+  match Driver.parse_args_result args with
+  | Ok _ -> Alcotest.fail "expected parse failure"
+  | Error m -> m
 
 let test_parse_args_friendly_messages () =
   let m = failure_message [ "--k"; "abc" ] in
@@ -92,9 +91,13 @@ let test_parse_args_result () =
   | Error m ->
     Alcotest.(check bool) "error names the flag" true
       (Helpers.contains_substring m "--k expects an integer");
-    (* The raising form reports the same message. *)
-    Alcotest.(check string) "parse_args raises same message" m
-      (failure_message [ "--k"; "abc" ]))
+    (* The deprecated raising shim reports the same message. *)
+    let shim_message =
+      match (Driver.parse_args [@alert "-deprecated"]) [ "--k"; "abc" ] with
+      | _ -> Alcotest.fail "expected parse failure"
+      | exception Failure shim -> shim
+    in
+    Alcotest.(check string) "parse_args raises same message" m shim_message)
 
 (* Flag combinations that every individual parser accepts but that are
    wrong as a whole must be an [Error], not a run that silently does
@@ -157,11 +160,11 @@ let test_parse_args_rejects_contradictions () =
     Alcotest.(check bool) "chaos off by default" false opts.Driver.chaos
 
 let test_parse_args_telemetry_flags () =
-  let opts = Driver.parse_args [ "--trace"; "out.jsonl"; "--metrics" ] in
+  let opts = parse_ok [ "--trace"; "out.jsonl"; "--metrics" ] in
   Alcotest.(check (option string)) "trace file" (Some "out.jsonl")
     opts.Driver.trace;
   Alcotest.(check bool) "metrics" true opts.Driver.metrics;
-  let defaults = Driver.parse_args [] in
+  let defaults = parse_ok [] in
   Alcotest.(check (option string)) "trace off by default" None
     defaults.Driver.trace;
   Alcotest.(check bool) "metrics off by default" false
@@ -183,7 +186,7 @@ let test_options_make () =
 
 let test_parse_args_supervision_flags () =
   let opts =
-    Driver.parse_args
+    parse_ok
       [ "--checkpoint"; "ck/dir"; "--resume"; "--timeout-per-circuit"; "2.5";
         "--inject"; "crash=analyze:mc" ]
   in

@@ -1,0 +1,549 @@
+(* Tests for the request/response core (Api), the ndetect-rpc/1 codec
+   and the in-process analysis daemon (Serve). The daemon tests drive a
+   real Unix-domain socket but stay in-process via Serve.start/stop —
+   never Supervise.request_termination, whose flag is sticky and would
+   poison every later supervised test in this binary. *)
+
+module Api = Ndetect_harness.Api
+module Rpc = Ndetect_harness.Rpc
+module Serve = Ndetect_harness.Serve
+module Driver = Ndetect_harness.Driver
+module Supervise = Ndetect_util.Supervise
+module Telemetry = Ndetect_util.Telemetry
+
+(* rpc codec: qcheck round trips *)
+
+let json_gen =
+  let open QCheck.Gen in
+  let any_byte_string = string_size ~gen:(map Char.chr (int_range 0 255)) (int_bound 24) in
+  let finite_float =
+    map
+      (fun (f, integral) -> if integral then Float.round f else f)
+      (pair (float_range (-1e9) 1e9) bool)
+  in
+  let scalar =
+    oneof
+      [
+        return Rpc.Null;
+        map (fun b -> Rpc.Bool b) bool;
+        map (fun n -> Rpc.Int n)
+          (frequency
+             [ (4, small_signed_int); (1, oneofl [ min_int; max_int; 0 ]) ]);
+        map (fun f -> Rpc.Float f) finite_float;
+        map (fun s -> Rpc.Str s) any_byte_string;
+      ]
+  in
+  let rec doc depth =
+    if depth = 0 then scalar
+    else
+      frequency
+        [
+          (3, scalar);
+          ( 1,
+            map (fun l -> Rpc.List l) (list_size (int_bound 4) (doc (depth - 1)))
+          );
+          ( 1,
+            map
+              (fun kvs -> Rpc.Obj kvs)
+              (list_size (int_bound 4)
+                 (pair any_byte_string (doc (depth - 1)))) );
+        ]
+  in
+  doc 3
+
+let json_arbitrary = QCheck.make ~print:Rpc.to_string json_gen
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"rpc json round trip" json_arbitrary
+    (fun j -> Rpc.of_string (Rpc.to_string j) = Ok j)
+
+let prop_escape_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"rpc string escaping round trip"
+    (QCheck.make ~print:(Printf.sprintf "%S")
+       QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_bound 64)))
+    (fun s -> Rpc.of_string ("\"" ^ Rpc.escape s ^ "\"") = Ok (Rpc.Str s))
+
+(* Frames written back to back must read back as the same sequence of
+   documents, regardless of payload contents (embedded newlines in
+   escaped strings must never split a frame), then hit a clean EOF
+   error. *)
+let prop_framing_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"rpc framing round trip"
+    (QCheck.make
+       ~print:(fun docs -> String.concat " | " (List.map Rpc.to_string docs))
+       QCheck.Gen.(list_size (int_range 1 5) json_gen))
+    (fun docs ->
+      let path = Filename.temp_file "ndetect-rpc" ".bin" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          let oc = open_out_bin path in
+          List.iter (fun d -> output_string oc (Rpc.frame d)) docs;
+          close_out oc;
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () ->
+              let read_back =
+                List.map (fun _ -> Rpc.read_frame ic) docs
+              in
+              read_back = List.map (fun d -> Ok d) docs
+              && Result.is_error (Rpc.read_frame ic))))
+
+let test_rpc_rejects_oversized_frame () =
+  let path = Filename.temp_file "ndetect-rpc" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      Printf.fprintf oc "%d\n" (Rpc.max_frame + 1);
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          Alcotest.(check bool) "oversized frame rejected" true
+            (Result.is_error (Rpc.read_frame ic))))
+
+(* request encoding *)
+
+let full_request =
+  Api.Request.make
+    ~sections:[ Api.Request.Worst; Api.Request.Average; Api.Request.Average_def2 ]
+    ~k:7 ~k2:3 ~nmax:4 ~seed:9 ~domains:2 ~kernel_backend:"portable"
+    ~cache_dir:"/tmp/tables" ~deadline:2.5 ~label:"lion"
+    (Api.Request.Suite "lion")
+
+let test_request_roundtrip () =
+  List.iter
+    (fun req ->
+      match Api.Request.of_json (Api.Request.to_json req) with
+      | Error m -> Alcotest.fail ("round trip: " ^ m)
+      | Ok back ->
+        Alcotest.(check bool)
+          ("request round trips: " ^ req.Api.Request.label)
+          true (back = req))
+    [
+      full_request;
+      Api.Request.make ~label:"defaults" (Api.Request.Suite "mc");
+      Api.Request.make ~label:"inline"
+        (Api.Request.Inline_bench "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n");
+      Api.Request.make ~label:"file" (Api.Request.File "x.bench");
+    ]
+
+let test_request_of_json_errors () =
+  Alcotest.(check bool) "non-object rejected" true
+    (Result.is_error (Api.Request.of_json (Rpc.Str "nope")));
+  Alcotest.(check bool) "bad section rejected" true
+    (Result.is_error
+       (Api.Request.of_json
+          (Rpc.Obj
+             [
+               ("label", Rpc.Str "x");
+               ("source", Rpc.Obj [ ("suite", Rpc.Str "lion") ]);
+               ("sections", Rpc.List [ Rpc.Str "table9" ]);
+             ])))
+
+let test_section_names () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        ("section name round trips: " ^ Api.Request.section_name s)
+        true
+        (Api.Request.section_of_name (Api.Request.section_name s) = Some s))
+    [ Api.Request.Worst; Api.Request.Average; Api.Request.Average_def2 ];
+  Alcotest.(check bool) "unknown section name" true
+    (Api.Request.section_of_name "table9" = None)
+
+(* options -> request lowering *)
+
+let test_options_to_request () =
+  let lower only =
+    Driver.Options.to_request
+      (Driver.Options.make ~only ~k:11 ~k2:5 ~seed:3
+         ~timeout_per_circuit:1.5 ~table_cache:"tc" ())
+      ~source:(Api.Request.Suite "lion") ~label:"lion"
+  in
+  (match lower "table2" with
+  | Error m -> Alcotest.fail m
+  | Ok req ->
+    Alcotest.(check bool) "table2 is worst" true
+      (req.Api.Request.sections = [ Api.Request.Worst ]);
+    Alcotest.(check int) "k carried" 11 req.Api.Request.k;
+    Alcotest.(check int) "k2 carried" 5 req.Api.Request.k2;
+    Alcotest.(check int) "seed carried" 3 req.Api.Request.seed;
+    Alcotest.(check bool) "deadline carried" true
+      (req.Api.Request.deadline = Some 1.5);
+    Alcotest.(check (option string)) "cache carried" (Some "tc")
+      req.Api.Request.cache_dir);
+  (match lower "table5" with
+  | Ok req ->
+    Alcotest.(check bool) "table5 is average" true
+      (req.Api.Request.sections = [ Api.Request.Average ])
+  | Error m -> Alcotest.fail m);
+  (match lower "table6" with
+  | Ok req ->
+    Alcotest.(check bool) "table6 is def2" true
+      (req.Api.Request.sections = [ Api.Request.Average_def2 ])
+  | Error m -> Alcotest.fail m);
+  (match lower "all" with
+  | Ok req ->
+    Alcotest.(check bool) "all three sections" true
+      (req.Api.Request.sections
+      = [ Api.Request.Worst; Api.Request.Average; Api.Request.Average_def2 ])
+  | Error m -> Alcotest.fail m);
+  List.iter
+    (fun only ->
+      Alcotest.(check bool)
+        (only ^ " has no request form")
+        true
+        (Result.is_error (lower only)))
+    [ "table1"; "table4"; "figure2" ]
+
+(* in-process daemon *)
+
+let fresh_dir () =
+  let dir = Filename.temp_file "ndetect-serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  dir
+
+let rm_rf dir =
+  Array.iter
+    (fun entry -> try Sys.remove (Filename.concat dir entry) with _ -> ())
+    (Sys.readdir dir);
+  try Unix.rmdir dir with _ -> ()
+
+let with_server ?(cache = false) ?(queue_capacity = 16) f =
+  let dir = fresh_dir () in
+  let cache_dir =
+    if cache then begin
+      let c = Filename.concat dir "tables" in
+      Unix.mkdir c 0o755;
+      Some c
+    end
+    else None
+  in
+  let config =
+    {
+      (Serve.default_config ~socket:(Filename.concat dir "s")) with
+      Serve.cache_dir;
+      queue_capacity;
+      quiet = true;
+    }
+  in
+  match Serve.start config with
+  | Error m ->
+    rm_rf dir;
+    Alcotest.fail ("server start: " ^ m)
+  | Ok t ->
+    Fun.protect
+      ~finally:(fun () ->
+        Supervise.set_injection [];
+        Serve.stop t;
+        Option.iter rm_rf cache_dir;
+        rm_rf dir)
+      (fun () -> f config.Serve.socket)
+
+let connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (match Rpc.read_frame ic with
+  | Ok hello ->
+    Alcotest.(check (option string)) "hello speaks the protocol"
+      (Some Rpc.protocol)
+      (Option.bind (Rpc.member "protocol" hello) Rpc.to_str)
+  | Error m -> Alcotest.fail ("hello: " ^ m));
+  (fd, ic, oc)
+
+let disconnect (fd, _, oc) =
+  (try flush oc with _ -> ());
+  try Unix.close fd with _ -> ()
+
+let send_request (_, _, oc) req =
+  Rpc.write_frame oc
+    (Rpc.Obj
+       [ ("type", Rpc.Str "request"); ("request", Api.Request.to_json req) ])
+
+type reply = {
+  render : string;
+  remote_failures : int;
+  trace : string list;
+  failure_spans : string list list;
+      (* one entry per failure frame: its open-span stack *)
+  overloaded : bool;
+}
+
+let read_reply (_, ic, _) =
+  let trace = ref [] in
+  let failure_spans = ref [] in
+  let rec loop () =
+    match Rpc.read_frame ic with
+    | Error m -> Alcotest.fail ("reply: " ^ m)
+    | Ok j -> (
+      match Option.bind (Rpc.member "type" j) Rpc.to_str with
+      | Some "trace" ->
+        (match Option.bind (Rpc.member "line" j) Rpc.to_str with
+        | Some line -> trace := line :: !trace
+        | None -> ());
+        loop ()
+      | Some "failure" ->
+        let spans =
+          match Rpc.member "spans" j with
+          | Some (Rpc.List l) -> List.filter_map Rpc.to_str l
+          | _ -> []
+        in
+        failure_spans := spans :: !failure_spans;
+        loop ()
+      | Some "done" ->
+        {
+          render =
+            Option.value ~default:""
+              (Option.bind (Rpc.member "render" j) Rpc.to_str);
+          remote_failures =
+            Option.value ~default:0
+              (Option.bind (Rpc.member "failures" j) Rpc.to_int);
+          trace = List.rev !trace;
+          failure_spans = List.rev !failure_spans;
+          overloaded = false;
+        }
+      | Some "overloaded" ->
+        {
+          render = "";
+          remote_failures = 0;
+          trace = [];
+          failure_spans = [];
+          overloaded = true;
+        }
+      | Some "error" ->
+        Alcotest.fail
+          ("server error: "
+          ^ Option.value ~default:"?"
+              (Option.bind (Rpc.member "message" j) Rpc.to_str))
+      | Some _ | None -> loop ())
+  in
+  loop ()
+
+let one_shot socket req =
+  let conn = connect socket in
+  Fun.protect
+    ~finally:(fun () -> disconnect conn)
+    (fun () ->
+      send_request conn req;
+      read_reply conn)
+
+let has_span trace needle =
+  List.exists (fun line -> Helpers.contains_substring line needle) trace
+
+let span_count trace =
+  List.length
+    (List.filter
+       (fun line -> Helpers.contains_substring line "\"type\":\"begin\"")
+       trace)
+
+let quick_request ?deadline ?cache_dir label =
+  Api.Request.make ~sections:[ Api.Request.Worst ] ~nmax:3 ?deadline
+    ?cache_dir ~label (Api.Request.Suite "lion")
+
+(* The core acceptance property: the daemon's render is byte-identical
+   to running the same request locally, because both print
+   Api.Response.render of the same value. *)
+let test_serve_matches_local_run () =
+  with_server (fun socket ->
+      let req =
+        Api.Request.make
+          ~sections:[ Api.Request.Worst; Api.Request.Average ]
+          ~k:5 ~nmax:3 ~label:"lion" (Api.Request.Suite "lion")
+      in
+      let reply = one_shot socket req in
+      match Api.run req with
+      | Error m -> Alcotest.fail m
+      | Ok local ->
+        Alcotest.(check string) "daemon render byte-identical to local"
+          (Api.Response.render local) reply.render;
+        Alcotest.(check int) "clean run" 0 reply.remote_failures;
+        Alcotest.(check bool) "trace streamed" true (span_count reply.trace > 0))
+
+let test_serve_stats_frame () =
+  with_server (fun socket ->
+      ignore (one_shot socket (quick_request "lion"));
+      let conn = connect socket in
+      Fun.protect
+        ~finally:(fun () -> disconnect conn)
+        (fun () ->
+          let _, ic, oc = conn in
+          Rpc.write_frame oc (Rpc.Obj [ ("type", Rpc.Str "stats") ]);
+          match Rpc.read_frame ic with
+          | Error m -> Alcotest.fail m
+          | Ok j ->
+            let counters =
+              match Rpc.member "counters" j with
+              | Some (Rpc.Obj members) -> members
+              | _ -> Alcotest.fail "stats frame has no counters object"
+            in
+            Alcotest.(check bool) "requests counted" true
+              (match List.assoc_opt "serve.requests" counters with
+              | Some (Rpc.Int n) -> n >= 1
+              | _ -> false)))
+
+(* Two identical requests in flight: the second joins the first's
+   computation. Exactly one of the two traces carries spans; the
+   joiner's is the schema-valid empty document. *)
+let test_serve_dedups_concurrent_identical_requests () =
+  with_server ~cache:true (fun socket ->
+      (match Supervise.parse_injection_spec "stall=analyze:lion:0.6" with
+      | Ok plan -> Supervise.set_injection plan
+      | Error m -> Alcotest.fail m);
+      let joins_before = Telemetry.counter_value "serve.dedup_joins" in
+      let req = quick_request "lion" in
+      let a = connect socket and b = connect socket in
+      Fun.protect
+        ~finally:(fun () ->
+          Supervise.set_injection [];
+          disconnect a;
+          disconnect b)
+        (fun () ->
+          send_request a req;
+          send_request b req;
+          let ra = read_reply a and rb = read_reply b in
+          Alcotest.(check string) "joiner got the owner's answer" ra.render
+            rb.render;
+          Alcotest.(check int) "both clean" 0
+            (ra.remote_failures + rb.remote_failures);
+          Alcotest.(check int) "one dedup join counted" (joins_before + 1)
+            (Telemetry.counter_value "serve.dedup_joins");
+          let spans = List.sort compare [ span_count ra.trace; span_count rb.trace ] in
+          Alcotest.(check bool) "exactly one computation traced" true
+            (List.hd spans = 0 && List.nth spans 1 > 0)))
+
+(* Deadline from admission: a stalled unit comes back as a structured
+   timeout row; the daemon survives and answers the next request. *)
+let test_serve_deadline_is_structured () =
+  with_server (fun socket ->
+      (match Supervise.parse_injection_spec "stall=analyze:dl:10" with
+      | Ok plan -> Supervise.set_injection plan
+      | Error m -> Alcotest.fail m);
+      let reply =
+        Fun.protect
+          ~finally:(fun () -> Supervise.set_injection [])
+          (fun () ->
+            one_shot socket
+              {
+                (quick_request ~deadline:0.4 "dl") with
+                Api.Request.source = Api.Request.Suite "lion";
+              })
+      in
+      Alcotest.(check int) "one failure row" 1 reply.remote_failures;
+      Alcotest.(check bool) "render names the timeout" true
+        (Helpers.contains_substring reply.render "timed out");
+      (* The failure frame carries the span stack that was open when
+         the deadline unwound — the budget went into the analysis. *)
+      (match reply.failure_spans with
+      | [ spans ] ->
+        Alcotest.(check bool) "timeout reports its open span stack" true
+          (List.exists
+             (fun s -> Helpers.contains_substring s "analyze")
+             spans)
+      | other ->
+        Alcotest.fail
+          (Printf.sprintf "expected 1 failure frame, got %d"
+             (List.length other)));
+      (* The daemon is still alive and clean for the next request. *)
+      let after = one_shot socket (quick_request "lion") in
+      Alcotest.(check int) "daemon survived the timeout" 0
+        after.remote_failures)
+
+(* Clean-then-warm: with a cache directory, the second identical
+   (sequential, so not deduplicated) request answers from the resident
+   table — its trace has no simulation or build spans at all. *)
+let test_serve_warm_request_simulates_nothing () =
+  with_server ~cache:true (fun socket ->
+      let req = quick_request "lion" in
+      let cold = one_shot socket req in
+      let warm = one_shot socket req in
+      Alcotest.(check string) "warm answer identical" cold.render warm.render;
+      Alcotest.(check bool) "cold run built the table" true
+        (has_span cold.trace "\"name\":\"table.build\"");
+      Alcotest.(check bool) "warm run still traced" true
+        (span_count warm.trace > 0);
+      List.iter
+        (fun forbidden ->
+          Alcotest.(check bool)
+            (forbidden ^ " absent from warm trace")
+            true
+            (not (has_span warm.trace forbidden)))
+        [ "\"name\":\"table.build\""; "\"name\":\"table.sim" ])
+
+(* A full admission queue answers overloaded immediately instead of
+   queueing unbounded work. *)
+let test_serve_overload_is_structured () =
+  with_server ~queue_capacity:1 (fun socket ->
+      (match Supervise.parse_injection_spec "stall=analyze:ov:1.2" with
+      | Ok plan -> Supervise.set_injection plan
+      | Error m -> Alcotest.fail m);
+      let a = connect socket and b = connect socket and c = connect socket in
+      Fun.protect
+        ~finally:(fun () ->
+          Supervise.set_injection [];
+          disconnect a;
+          disconnect b;
+          disconnect c)
+        (fun () ->
+          send_request a (quick_request "ov");
+          (* Let the executor dequeue the stalled request so the queue
+             is empty, then fill it and overflow it with two distinct
+             requests (identical ones would dedup, not queue). Their
+             connection threads race, so either may be the one shed —
+             but with a stalled executor and a one-slot queue, exactly
+             one of them must be. *)
+          Unix.sleepf 0.3;
+          send_request b (quick_request "ov-b");
+          send_request c (quick_request "ov-c");
+          let rb = read_reply b in
+          let rc = read_reply c in
+          let ra = read_reply a in
+          Alcotest.(check bool) "exactly one request shed" true
+            (rb.overloaded <> rc.overloaded);
+          let admitted = if rb.overloaded then rc else rb in
+          Alcotest.(check int) "queued and running requests answered" 0
+            (ra.remote_failures + admitted.remote_failures);
+          Alcotest.(check bool) "overload counted" true
+            (Telemetry.counter_value "serve.overloaded" >= 1)))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "rpc",
+        [
+          Helpers.qcheck prop_json_roundtrip;
+          Helpers.qcheck prop_escape_roundtrip;
+          Helpers.qcheck prop_framing_roundtrip;
+          Alcotest.test_case "oversized frame rejected" `Quick
+            test_rpc_rejects_oversized_frame;
+        ] );
+      ( "request",
+        [
+          Alcotest.test_case "json round trip" `Quick test_request_roundtrip;
+          Alcotest.test_case "of_json errors" `Quick
+            test_request_of_json_errors;
+          Alcotest.test_case "section names" `Quick test_section_names;
+          Alcotest.test_case "options lowering" `Quick
+            test_options_to_request;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "matches local run" `Quick
+            test_serve_matches_local_run;
+          Alcotest.test_case "stats frame" `Quick test_serve_stats_frame;
+          Alcotest.test_case "dedups concurrent identical requests" `Quick
+            test_serve_dedups_concurrent_identical_requests;
+          Alcotest.test_case "deadline is a structured row" `Quick
+            test_serve_deadline_is_structured;
+          Alcotest.test_case "warm request simulates nothing" `Quick
+            test_serve_warm_request_simulates_nothing;
+          Alcotest.test_case "overload is structured" `Quick
+            test_serve_overload_is_structured;
+        ] );
+    ]
