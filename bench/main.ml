@@ -171,6 +171,26 @@ let bench_table_build strategy net_lazy circuit_name =
            ~finally:(fun () -> ignore (Ndetect_sim.Strategy.select saved))
            (fun () -> ignore (Detection_table.build net))))
 
+(* Sampled-universe counterpart: the same circuit analyzed from 200
+   stratified random vectors instead of the full 2^PI enumeration.
+   Small circuits make sampling a constant-factor loss (the sample
+   exceeds the universe); the payoff column is the wide-PI netlist in
+   BENCH_PR10.json, where enumeration is infeasible. *)
+let sampled_spec =
+  lazy
+    (match
+       Ndetect_estimate.Estimate.Spec.make ~samples:200 ~strata:8 ()
+     with
+    | Ok spec -> spec
+    | Error message -> failwith message)
+
+let bench_table_build_sampled =
+  Test.make ~name:"table-build-sampled(mc)"
+    (Staged.stage (fun () ->
+         ignore
+           (Ndetect_estimate.Estimate.analyze ~spec:(Lazy.force sampled_spec)
+              ~seed:1 ~name:"mc" (Lazy.force mc_net))))
+
 let bench_bridge_sim =
   Test.make ~name:"sim-bridge-enumerate+simulate(mc)"
     (Staged.stage (fun () ->
@@ -354,6 +374,7 @@ let all_benches =
       bench_table_build "stem" mc_net "mc";
       bench_table_build "cone" dk27_net "dk27";
       bench_table_build "stem" dk27_net "dk27";
+      bench_table_build_sampled;
       bench_bridge_sim;
       bench_untargeted_model Detection_table.Four_way "four-way";
       bench_untargeted_model

@@ -27,6 +27,7 @@ module Rpc = Ndetect_harness.Rpc
 module Serve = Ndetect_harness.Serve
 module Telemetry = Ndetect_util.Telemetry
 module Campaign = Ndetect_check.Campaign
+module Ref_estimate = Ndetect_check.Ref_estimate
 module Supervise = Ndetect_util.Supervise
 module Shard_spec = Ndetect_shard.Spec
 module Coordinator = Ndetect_shard.Coordinator
@@ -164,7 +165,42 @@ let sim_strategy_arg =
     & info [ "sim-strategy" ] ~docv:"NAME"
         ~doc:"Fault-simulation strategy (cone or stem).")
 
-let analyze_run spec scheme timeout cache_dir domains kernel sim =
+(* Sampled-universe mode, shared by analyze/average/campaign/client.
+   The values always round-trip through [Driver.parse_args_result] (or
+   [Driver.Options.universe] for the client), so the validation rules
+   live in exactly one place. *)
+let samples_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "samples" ] ~docv:"N"
+        ~doc:
+          "Estimate from N stratified random vectors (with confidence \
+           intervals) instead of enumerating all 2^PI.")
+
+let strata_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "strata" ] ~docv:"N"
+        ~doc:"Sampling strata (requires --samples; default 16).")
+
+let confidence_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "confidence" ] ~docv:"P"
+        ~doc:
+          "Interval confidence, strictly between 0 and 1 (requires \
+           --samples; default 0.95).")
+
+let sample_args samples strata confidence =
+  opt_args "--samples" (Option.map string_of_int samples)
+  @ opt_args "--strata" (Option.map string_of_int strata)
+  @ opt_args "--confidence" (Option.map (Printf.sprintf "%.17g") confidence)
+
+let analyze_run spec scheme timeout cache_dir domains kernel sim samples
+    strata confidence =
   api_run_exit ~spec ~scheme ~nmax:10
     ([ "--only"; "table2" ]
     @ opt_args "--timeout-per-circuit"
@@ -172,7 +208,8 @@ let analyze_run spec scheme timeout cache_dir domains kernel sim =
     @ opt_args "--table-cache" cache_dir
     @ opt_args "--domains" (Option.map string_of_int domains)
     @ opt_args "--kernel-backend" kernel
-    @ opt_args "--sim-strategy" sim)
+    @ opt_args "--sim-strategy" sim
+    @ sample_args samples strata confidence)
 
 let analyze_cmd =
   let doc = "Worst-case analysis: guaranteed bridging-fault coverage vs n." in
@@ -181,11 +218,12 @@ let analyze_cmd =
     Term.(
       const analyze_run $ circuit_arg $ scheme_arg $ timeout_arg
       $ table_cache_arg $ domains_arg $ kernel_backend_arg
-      $ sim_strategy_arg)
+      $ sim_strategy_arg $ samples_arg $ strata_arg $ confidence_arg)
 
 (* average *)
 
-let average_run spec scheme k nmax def2 seed timeout cache_dir domains =
+let average_run spec scheme k nmax def2 seed timeout cache_dir domains
+    samples strata confidence =
   api_run_exit ~spec ~scheme ~nmax
     ([ "--only"; (if def2 then "table6" else "table5"); "--seed";
        string_of_int seed ]
@@ -194,7 +232,8 @@ let average_run spec scheme k nmax def2 seed timeout cache_dir domains =
     @ opt_args "--timeout-per-circuit"
         (Option.map (Printf.sprintf "%g") timeout)
     @ opt_args "--table-cache" cache_dir
-    @ opt_args "--domains" (Option.map string_of_int domains))
+    @ opt_args "--domains" (Option.map string_of_int domains)
+    @ sample_args samples strata confidence)
 
 let average_cmd =
   let k =
@@ -223,7 +262,8 @@ let average_cmd =
     (Cmd.info "average" ~doc)
     Term.(
       const average_run $ circuit_arg $ scheme_arg $ k $ nmax $ def2
-      $ seed_arg $ timeout_arg $ table_cache_arg $ domains_arg)
+      $ seed_arg $ timeout_arg $ table_cache_arg $ domains_arg
+      $ samples_arg $ strata_arg $ confidence_arg)
 
 (* atpg *)
 
@@ -590,21 +630,47 @@ let tables_cmd =
 
 (* check *)
 
-let check_run circuits seed max_pi mutate =
-  let report =
-    try Campaign.run ~mutate ~circuits ~seed ~max_pi ()
-    with Invalid_argument message ->
-      prerr_endline message;
-      exit 2
-  in
-  print_string (Campaign.render report);
-  let divergent = report.Campaign.failures <> [] in
-  if mutate && not divergent then begin
-    prerr_endline
-      "check --mutate: the injected bug was NOT caught (checker is broken)";
-    exit 1
-  end;
-  if (not mutate) && divergent then exit 1
+let check_run circuits seed max_pi mutate estimate samples confidence =
+  if estimate then begin
+    (* Calibration mode: sampled intervals against the exhaustive
+       oracle; --mutate biases the sampler instead of flipping a table
+       bit, and must likewise be caught. *)
+    let report =
+      try
+        Ref_estimate.run ~mutate ~samples
+          ?confidence:
+            (match confidence with c when c > 0.0 -> Some c | _ -> None)
+          ~trials:circuits ~seed ~max_pi ()
+      with Invalid_argument message ->
+        prerr_endline message;
+        exit 2
+    in
+    print_string (Ref_estimate.render report);
+    let caught = Ref_estimate.failed report in
+    if mutate && not caught then begin
+      prerr_endline
+        "check --estimate --mutate: the biased sampler was NOT caught \
+         (checker is broken)";
+      exit 1
+    end;
+    if (not mutate) && caught then exit 1
+  end
+  else begin
+    let report =
+      try Campaign.run ~mutate ~circuits ~seed ~max_pi ()
+      with Invalid_argument message ->
+        prerr_endline message;
+        exit 2
+    in
+    print_string (Campaign.render report);
+    let divergent = report.Campaign.failures <> [] in
+    if mutate && not divergent then begin
+      prerr_endline
+        "check --mutate: the injected bug was NOT caught (checker is broken)";
+      exit 1
+    end;
+    if (not mutate) && divergent then exit 1
+  end
 
 let check_cmd =
   let circuits =
@@ -624,7 +690,30 @@ let check_cmd =
       & info [ "mutate" ]
           ~doc:
             "Self-test: flip one bit of one optimized detection set per \
-             circuit and require the checker to report a divergence.")
+             circuit (or bias the sampler under $(b,--estimate)) and \
+             require the checker to report it.")
+  in
+  let estimate =
+    Arg.(
+      value & flag
+      & info [ "estimate" ]
+          ~doc:
+            "Calibration mode: check that exhaustive N(f)/nmin(g) fall \
+             inside the sampled confidence intervals at the nominal rate.")
+  in
+  let samples =
+    Arg.(
+      value & opt int 400
+      & info [ "samples" ] ~docv:"N"
+          ~doc:"Sample size per circuit (with $(b,--estimate)).")
+  in
+  let confidence =
+    Arg.(
+      value & opt float 0.0
+      & info [ "confidence" ] ~docv:"P"
+          ~doc:
+            "Interval confidence (with $(b,--estimate); 0 keeps the \
+             default 0.95).")
   in
   let doc =
     "Differential check: run the optimized analyses and a brute-force \
@@ -633,7 +722,9 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc)
-    Term.(const check_run $ circuits $ seed_arg $ max_pi $ mutate)
+    Term.(
+      const check_run $ circuits $ seed_arg $ max_pi $ mutate $ estimate
+      $ samples $ confidence)
 
 (* synth *)
 
@@ -720,7 +811,8 @@ let dot_cmd =
    CLI and the reproduction driver share one validated grammar (worker
    and lease bounds, the chaos/workers cross-check, injection specs). *)
 let campaign_run tier k seed nmax fault_block set_chunk circuits workers
-    lease_secs max_unit_retries chaos ledger inject quiet max_wall =
+    lease_secs max_unit_retries chaos ledger inject quiet max_wall samples
+    strata confidence =
   let args =
     [
       "--tier"; tier; "--k"; string_of_int k; "--seed"; string_of_int seed;
@@ -730,6 +822,7 @@ let campaign_run tier k seed nmax fault_block set_chunk circuits workers
     ]
     @ (if chaos then [ "--chaos" ] else [])
     @ (match inject with Some s -> [ "--inject"; s ] | None -> [])
+    @ sample_args samples strata confidence
   in
   match Driver.parse_args_result args with
   | Error message ->
@@ -753,8 +846,9 @@ let campaign_run tier k seed nmax fault_block set_chunk circuits workers
             | None -> None
             | Some names ->
               Some (String.split_on_char ',' names |> List.map String.trim))
-          ~nmax ~tier:opts.Driver.tier ~seed:opts.Driver.seed
-          ~set_count:opts.Driver.k ()
+          ~nmax ?samples:opts.Driver.samples ?strata:opts.Driver.strata
+          ?confidence:opts.Driver.confidence ~tier:opts.Driver.tier
+          ~seed:opts.Driver.seed ~set_count:opts.Driver.k ()
       with Invalid_argument message ->
         prerr_endline message;
         exit 2
@@ -885,7 +979,8 @@ let campaign_cmd =
     Term.(
       const campaign_run $ tier $ k $ seed_arg $ nmax $ fault_block
       $ set_chunk $ circuits $ workers $ lease_secs $ max_unit_retries
-      $ chaos $ ledger $ inject $ quiet $ max_wall)
+      $ chaos $ ledger $ inject $ quiet $ max_wall $ samples_arg
+      $ strata_arg $ confidence_arg)
 
 let worker_run ledger worker_id lease_secs inject =
   (match inject with
@@ -1099,7 +1194,7 @@ let client_source spec =
   | source -> source
 
 let client_run socket stats spec sections k k2 nmax seed deadline domains
-    count trace =
+    count trace samples strata confidence =
   let connect () =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     match Unix.connect fd (Unix.ADDR_UNIX socket) with
@@ -1156,9 +1251,21 @@ let client_run socket stats spec sections k k2 nmax seed deadline domains
             exit 2)
         (String.split_on_char ',' sections)
     in
+    let universe =
+      (* Same validation as the local CLI: the three flags lower through
+         the driver's universe rule. *)
+      match
+        Driver.Options.universe
+          (Driver.Options.make ?samples ?strata ?confidence ())
+      with
+      | Ok u -> u
+      | Error message ->
+        prerr_endline message;
+        exit 2
+    in
     let req =
       Api.Request.make ~sections ~k ~k2 ~nmax ~seed ?deadline ?domains
-        ~label:spec (client_source spec)
+        ~universe ~label:spec (client_source spec)
     in
     let rj = Api.Request.to_json req in
     (* All requests go out before any response is read, so --count 2
@@ -1291,7 +1398,8 @@ let client_cmd =
     (Cmd.info "client" ~doc)
     Term.(
       const client_run $ socket_arg $ stats $ spec $ sections $ k $ k2
-      $ nmax $ seed_arg $ deadline $ domains $ count $ trace)
+      $ nmax $ seed_arg $ deadline $ domains $ count $ trace $ samples_arg
+      $ strata_arg $ confidence_arg)
 
 let main_cmd =
   let doc =

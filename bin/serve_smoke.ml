@@ -6,7 +6,8 @@
 
    1. byte identity: `ndetect client` against the daemon prints exactly
       what `ndetect analyze` prints for the same request — both are
-      Api.Response.render of the same value;
+      Api.Response.render of the same value — for an exhaustive and a
+      sampled-universe (--samples/--strata/--confidence) request;
    2. deduplication: two identical requests in flight at once (the
       daemon is started with --inject stall=analyze:lion:0.75 to hold
       the first one open) cost one computation — serve.dedup_joins >= 1
@@ -130,6 +131,38 @@ let () =
     die "daemon answer differs from the CLI's for the same request";
   if expected = "" then die "empty render cannot witness byte identity";
 
+  (* 1b. Byte identity for a sampled-universe request: the daemon must
+     thread the universe spec through Api.Request untouched, so the
+     estimated table (point [lo,hi] cells) matches the CLI byte for
+     byte. A different spec must not alias to the exhaustive answer. *)
+  let sampled = [ "--samples"; "150"; "--strata"; "8"; "--confidence"; "0.9" ] in
+  let cli_sampled = path "cli-sampled.out" in
+  let client_sampled = path "client-sampled.out" in
+  let code = run cli ([ "analyze"; "lion" ] @ sampled) ~out:cli_sampled in
+  if code <> 0 then die "sampled ndetect analyze lion exited %d" code;
+  let sampled_trace = path "sampled.jsonl" in
+  let code =
+    run cli
+      ([ "client"; "--socket"; socket; "lion"; "--trace"; sampled_trace ]
+      @ sampled)
+      ~out:client_sampled
+  in
+  if code <> 0 then die "sampled ndetect client exited %d" code;
+  let sampled_spans = read_file sampled_trace in
+  if not (contains sampled_spans "\"name\":\"est.scan\"") then
+    die "sampled trace has no est.scan span";
+  if not (contains sampled_spans "est.samples_drawn") then
+    die "sampled trace has no est.samples_drawn counter";
+  if not (contains sampled_spans "est.strata") then
+    die "sampled trace has no est.strata counter";
+  let expected_sampled = read_file cli_sampled in
+  if read_file client_sampled <> expected_sampled then
+    die "daemon sampled answer differs from the CLI's for the same request";
+  if expected_sampled = expected then
+    die "sampled request aliased to the exhaustive answer";
+  if not (contains expected_sampled "sampled") then
+    die "sampled render lacks the sampled table marker";
+
   (* 2. Two identical requests in flight cost one computation. *)
   let trace_prefix = path "pair.jsonl" in
   let code =
@@ -204,6 +237,7 @@ let () =
         die "validate_trace rejected %s:\n%s" trace
           (read_file (path "validate.out")))
     [
-      daemon_trace; trace_prefix ^ ".1"; trace_prefix ^ ".2"; warm_trace;
+      daemon_trace; sampled_trace; trace_prefix ^ ".1"; trace_prefix ^ ".2";
+      warm_trace;
     ];
   print_endline "serve-smoke: OK"

@@ -262,6 +262,11 @@ let validate_record lineno doc =
       check
         (not (has "sim.stem_regions" <> has "sim.cpt_faults"))
         (where "sim.stem_regions and sim.cpt_faults must move together");
+      (* Estimation accounting travels together: samples are only ever
+         drawn from strata, and a sampled scan always draws. *)
+      check
+        (not (has "est.samples_drawn" <> has "est.strata"))
+        (where "est.samples_drawn and est.strata must move together");
       (* Daemon accounting: every dedup join is a joined *request*, so
          joins never appear without the request counter and never
          exceed it. *)

@@ -1,0 +1,238 @@
+module Rng = Ndetect_util.Rng
+module Detection_table = Ndetect_core.Detection_table
+module Random_circuit = Ndetect_suite.Random_circuit
+module Estimate = Ndetect_estimate.Estimate
+module Sampler = Ndetect_estimate.Sampler
+
+type miss = {
+  cell : string;
+  exact : int;
+  lo : float;
+  hi : float;
+}
+
+type circuit_result = {
+  spec : Random_circuit.spec;
+  checks : int;
+  covered : int;
+  misses : miss list;  (** Capped at {!max_misses}. *)
+}
+
+type report = {
+  trials : int;
+  confidence : float;
+  slack : float;
+  target_checks : int;
+  target_covered : int;
+  nmin_checks : int;
+  nmin_covered : int;
+  worst : circuit_result option;  (** Lowest per-circuit coverage. *)
+  reproducer : circuit_result option;  (** Shrunk, only when failed. *)
+}
+
+let max_misses = 8
+
+let rate ~covered ~checks =
+  if checks = 0 then 1.0 else float_of_int covered /. float_of_int checks
+
+let target_rate r = rate ~covered:r.target_covered ~checks:r.target_checks
+let nmin_rate r = rate ~covered:r.nmin_covered ~checks:r.nmin_checks
+
+let failed r =
+  let floor = r.confidence -. r.slack in
+  target_rate r < floor || nmin_rate r < floor
+
+(* Exact nmin(g) from the exhaustive oracle table (built with both
+   keep flags, so fault indices align with the sampled table):
+   min over f with M(g,f) > 0 of N(f) - M(g,f) + 1, or None when no
+   target set intersects T(g). *)
+let exact_nmin table gj =
+  let f_count = Detection_table.target_count table in
+  let best = ref None in
+  for fi = 0 to f_count - 1 do
+    let m = Detection_table.m table ~gj ~fi in
+    if m > 0 then
+      let d = Detection_table.target_n table fi - m in
+      match !best with
+      | Some b when b <= d -> ()
+      | _ -> best := Some d
+  done;
+  Option.map (fun d -> d + 1) !best
+
+(* Interval membership with a whisker of float slop: the endpoints are
+   products of a Wilson bound and 2^PI, so exact integers can land
+   within one ulp of them. *)
+let inside exact ~lo ~hi =
+  let x = float_of_int exact in
+  x >= lo -. 1e-9 && x <= hi +. 1e-9
+
+let check_circuit ~spec (cspec : Random_circuit.spec) =
+  let net = Random_circuit.of_spec cspec in
+  let table =
+    Detection_table.build ~keep_undetectable_targets:true
+      ~keep_undetectable_untargeted:true net
+  in
+  let est =
+    Estimate.analyze ~spec ~seed:cspec.Random_circuit.seed
+      ~name:(Random_circuit.spec_to_string cspec)
+      net
+  in
+  let t_checks = ref 0 and t_cov = ref 0 in
+  let n_checks = ref 0 and n_cov = ref 0 in
+  let misses = ref [] and miss_count = ref 0 in
+  let miss cell exact lo hi =
+    incr miss_count;
+    if !miss_count <= max_misses then
+      misses := { cell; exact; lo; hi } :: !misses
+  in
+  for fi = 0 to Detection_table.target_count table - 1 do
+    let exact = Detection_table.target_n table fi in
+    let lo, _, hi = Estimate.target_interval est fi in
+    incr t_checks;
+    if inside exact ~lo ~hi then incr t_cov
+    else miss (Printf.sprintf "N(f%d)" fi) exact lo hi
+  done;
+  for gj = 0 to Detection_table.untargeted_count table - 1 do
+    match exact_nmin table gj with
+    | None ->
+      (* Truly unbounded: a sampled set is a subset of the exhaustive
+         one, so the estimator necessarily agrees — nothing to score. *)
+      ()
+    | Some exact -> (
+      incr n_checks;
+      match Estimate.nmin_interval est gj with
+      | Some (lo, _, hi) ->
+        if inside exact ~lo ~hi then incr n_cov
+        else miss (Printf.sprintf "nmin(g%d)" gj) exact lo hi
+      | None ->
+        (* The sample found no intersecting target although one
+           exists: an uncovered check, with the "interval" empty. *)
+        miss (Printf.sprintf "nmin(g%d)" gj) exact nan nan)
+  done;
+  ( {
+      spec = cspec;
+      checks = !t_checks + !n_checks;
+      covered = !t_cov + !n_cov;
+      misses = List.rev !misses;
+    },
+    (!t_checks, !t_cov, !n_checks, !n_cov) )
+
+let circuit_rate c = rate ~covered:c.covered ~checks:c.checks
+
+(* Greedy shrink on the per-circuit coverage predicate: each candidate
+   strictly decreases one spec field, so the walk terminates. *)
+let shrink ~spec ~floor cspec0 =
+  let bad cspec =
+    let c, _ = check_circuit ~spec cspec in
+    if c.checks > 0 && circuit_rate c < floor then Some c else None
+  in
+  match bad cspec0 with
+  | None -> None
+  | Some c0 ->
+    let rec go (cspec : Random_circuit.spec) c =
+      let candidates =
+        [
+          { cspec with Random_circuit.gates = cspec.Random_circuit.gates / 2 };
+          { cspec with Random_circuit.gates = cspec.Random_circuit.gates - 1 };
+          { cspec with Random_circuit.inputs = cspec.Random_circuit.inputs - 1 };
+          { cspec with Random_circuit.seed = cspec.Random_circuit.seed / 2 };
+        ]
+        |> List.filter (fun (s : Random_circuit.spec) ->
+               s.Random_circuit.gates >= 1
+               && s.Random_circuit.inputs >= 1
+               && s <> cspec)
+      in
+      match
+        List.find_map (fun s -> Option.map (fun c -> (s, c)) (bad s)) candidates
+      with
+      | Some (_, c) -> go c.spec c
+      | None -> (cspec, c)
+    in
+    Some (snd (go cspec0 c0))
+
+let run ?(mutate = false) ?(samples = 400) ?(strata = 8)
+    ?(confidence = 0.95) ?(slack = 0.05) ~trials ~seed ~max_pi () =
+  if trials < 1 then invalid_arg "Ref_estimate.run: trials < 1";
+  if max_pi < 1 || max_pi > 10 then
+    invalid_arg "Ref_estimate.run: max_pi must be in 1..10 (exhaustive oracle)";
+  if slack < 0.0 || slack >= 1.0 then
+    invalid_arg "Ref_estimate.run: slack must be in [0, 1)";
+  let spec =
+    match Estimate.Spec.make ~strata ~confidence ~samples () with
+    | Ok s -> s
+    | Error m -> invalid_arg ("Ref_estimate.run: " ^ m)
+  in
+  (* The self-test hook: a deliberately biased sampler (every draw
+     returns its stratum's first vector). The coverage floor must
+     catch it. *)
+  Sampler.debug_bias := mutate;
+  Fun.protect ~finally:(fun () -> Sampler.debug_bias := false) @@ fun () ->
+  let rng = Rng.create ~seed in
+  let t_checks = ref 0 and t_cov = ref 0 in
+  let n_checks = ref 0 and n_cov = ref 0 in
+  let worst = ref None in
+  for _ = 1 to trials do
+    let cspec =
+      Random_circuit.draw_spec rng ~max_inputs:max_pi
+        ~max_gates:((2 * max_pi) + 6)
+    in
+    let c, (tc, tv, nc, nv) = check_circuit ~spec cspec in
+    t_checks := !t_checks + tc;
+    t_cov := !t_cov + tv;
+    n_checks := !n_checks + nc;
+    n_cov := !n_cov + nv;
+    if c.checks > 0 then
+      match !worst with
+      | Some w when circuit_rate w <= circuit_rate c -> ()
+      | _ -> worst := Some c
+  done;
+  let report =
+    {
+      trials;
+      confidence;
+      slack;
+      target_checks = !t_checks;
+      target_covered = !t_cov;
+      nmin_checks = !n_checks;
+      nmin_covered = !n_cov;
+      worst = !worst;
+      reproducer = None;
+    }
+  in
+  if failed report then
+    let reproducer =
+      Option.bind !worst (fun w ->
+          shrink ~spec ~floor:(confidence -. slack) w.spec)
+    in
+    { report with reproducer }
+  else report
+
+let render r =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b
+    "estimator calibration: %d trial(s), floor %.3f (confidence %.3f - \
+     slack %.3f)\n"
+    r.trials
+    (r.confidence -. r.slack)
+    r.confidence r.slack;
+  Printf.bprintf b "  N(f) coverage:    %d/%d = %.4f\n" r.target_covered
+    r.target_checks (target_rate r);
+  Printf.bprintf b "  nmin(g) coverage: %d/%d = %.4f\n" r.nmin_covered
+    r.nmin_checks (nmin_rate r);
+  if failed r then begin
+    Printf.bprintf b "FAIL: coverage below the floor\n";
+    let describe label c =
+      Printf.bprintf b "%s: %s coverage %d/%d\n" label
+        (Random_circuit.spec_to_string c.spec)
+        c.covered c.checks;
+      List.iter
+        (fun m ->
+          Printf.bprintf b "  %s = %d outside [%.2f, %.2f]\n" m.cell m.exact
+            m.lo m.hi)
+        c.misses
+    in
+    Option.iter (describe "worst circuit") r.worst;
+    Option.iter (describe "shrunk reproducer") r.reproducer
+  end
+  else Printf.bprintf b "PASS: every family at or above the floor\n";
+  Buffer.contents b

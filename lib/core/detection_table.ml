@@ -53,13 +53,18 @@ and target_layout = {
   blocked : Bitvec.Blocked.t;
 }
 
-let build ?(keep_undetectable_targets = false) ?(collapse = true)
-    ?(model = Four_way) ?(cancel = Ndetect_util.Cancel.none) net =
+let build ?(keep_undetectable_targets = false)
+    ?(keep_undetectable_untargeted = false) ?(collapse = true)
+    ?(model = Four_way) ?(cancel = Ndetect_util.Cancel.none) ?vectors net =
   Telemetry.Counter.incr c_builds;
   Telemetry.with_span "table.build"
     ~args:[ ("inputs", string_of_int (Netlist.input_count net)) ]
   @@ fun () ->
-  let good = Good.compute net in
+  let good =
+    match vectors with
+    | None -> Good.compute net
+    | Some vs -> Good.of_vectors net vs
+  in
   Ndetect_util.Cancel.check_deadline cancel;
   let universe = Good.universe good in
   let stuck_list = if collapse then Stuck.collapse net else Stuck.all net in
@@ -105,7 +110,8 @@ let build ?(keep_undetectable_targets = false) ?(collapse = true)
   in
   let kept_g =
     Array.to_list (Array.mapi (fun j g -> (j, g)) all_untargeted)
-    |> List.filter (fun (j, _) -> not (Bitvec.is_empty all_sets.(j)))
+    |> List.filter (fun (j, _) ->
+           keep_undetectable_untargeted || not (Bitvec.is_empty all_sets.(j)))
   in
   let untargeted = Array.of_list (List.map snd kept_g) in
   (* Symmetric bridges (and equivalent stuck-at targets) often share

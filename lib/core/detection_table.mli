@@ -25,9 +25,11 @@ type t
 
 val build :
   ?keep_undetectable_targets:bool ->
+  ?keep_undetectable_untargeted:bool ->
   ?collapse:bool ->
   ?model:untargeted_model ->
   ?cancel:Ndetect_util.Cancel.token ->
+  ?vectors:int array ->
   Netlist.t ->
   t
 (** Runs one exhaustive fault-free simulation plus one differential fault
@@ -35,7 +37,18 @@ val build :
     collapsing to the stuck-at list — the paper's setting; turning it off,
     like switching the untargeted [model] (default [Four_way]), is exposed
     for the ablation benches. [cancel] is polled between per-fault
-    simulation jobs (cooperative deadline support). *)
+    simulation jobs (cooperative deadline support).
+
+    [vectors] switches the table from the exhaustive universe to a
+    {e sampled} one: the fault-free and fault simulations run only the
+    given input vectors ({!Ndetect_sim.Good.of_vectors}), the table's
+    [universe] is the vector count, and every detection set is indexed
+    by {e position} in [vectors], not by vector value. Sampled tables
+    are built with both [keep_undetectable_*] flags set by the
+    estimation layer so fault indices align with an exhaustive table of
+    the same netlist (a fault empty in the sample need not be empty in
+    truth). [keep_undetectable_untargeted] (default [false]) keeps
+    bridging faults whose sampled/exhaustive detection set is empty. *)
 
 val net : t -> Netlist.t
 val universe : t -> int

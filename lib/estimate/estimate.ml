@@ -1,0 +1,302 @@
+module Netlist = Ndetect_circuit.Netlist
+module Bitvec = Ndetect_util.Bitvec
+module Cancel = Ndetect_util.Cancel
+module Telemetry = Ndetect_util.Telemetry
+module Detection_table = Ndetect_core.Detection_table
+module Analysis = Ndetect_core.Analysis
+
+let c_samples = Telemetry.Counter.create "est.samples_drawn"
+let c_strata = Telemetry.Counter.create "est.strata"
+
+module Spec = struct
+  type t = { samples : int; strata : int; confidence : float }
+
+  let default_strata = 16
+  let default_confidence = 0.95
+
+  let validate t =
+    if t.samples < 1 then Error "samples must be >= 1"
+    else if t.strata < 1 then Error "strata must be >= 1"
+    else if t.samples < t.strata then
+      Error
+        (Printf.sprintf
+           "samples (%d) must be >= strata (%d): every stratum draws at \
+            least once"
+           t.samples t.strata)
+    else if not (t.confidence > 0.0 && t.confidence < 1.0) then
+      Error "confidence must be strictly inside (0, 1)"
+    else Ok t
+
+  let make ?strata ?confidence ~samples () =
+    let strata =
+      match strata with
+      | Some s -> s
+      | None -> if samples < default_strata then samples else default_strata
+    in
+    let confidence = Option.value confidence ~default:default_confidence in
+    validate { samples; strata; confidence }
+
+  let to_string t =
+    Printf.sprintf "samples=%d strata=%d confidence=%g" t.samples t.strata
+      t.confidence
+end
+
+let effective_strata ~spec ~universe_bits =
+  let u = 1 lsl universe_bits in
+  if spec.Spec.strata < u then spec.Spec.strata else u
+
+type t = {
+  name : string;
+  spec : Spec.t;
+  seed : int;
+  universe_bits : int;
+  table : Detection_table.t;
+  z : float;
+  target_k : int array;
+  dmin : int array;
+}
+
+let name t = t.name
+let spec t = t.spec
+let seed t = t.seed
+let universe_bits t = t.universe_bits
+let table t = t.table
+
+let check_inputs ~name net =
+  let bits = Netlist.input_count net in
+  if bits < 1 then failwith (name ^ ": circuit has no primary inputs");
+  if bits > Sampler.max_inputs then
+    failwith
+      (Printf.sprintf
+         "%s: %d primary inputs exceed the sampled-universe limit of %d \
+          (vectors are OCaml ints)"
+         name bits Sampler.max_inputs);
+  bits
+
+(* 2^bits exactly (bits <= 61, so this is an exact float). *)
+let universe_float bits = Float.ldexp 1.0 bits
+
+let scan_sets ?(cancel = Cancel.none) ~target_sets ~untargeted_sets () =
+  Telemetry.with_span "est.scan"
+    ~args:
+      [
+        ("targets", string_of_int (Array.length target_sets));
+        ("untargeted", string_of_int (Array.length untargeted_sets));
+      ]
+  @@ fun () ->
+  let tcount = Array.length target_sets in
+  let target_k = Array.map Bitvec.count target_sets in
+  let dmin =
+    Array.map
+      (fun gset ->
+        Cancel.check_deadline cancel;
+        let best = ref (-1) in
+        (try
+           for fi = 0 to tcount - 1 do
+             let m = Bitvec.inter_count gset target_sets.(fi) in
+             if m > 0 then begin
+               let d = target_k.(fi) - m in
+               if !best < 0 || d < !best then best := d;
+               if d = 0 then raise Exit
+             end
+           done
+         with Exit -> ());
+        !best)
+      untargeted_sets
+  in
+  (target_k, dmin)
+
+let table_sets table =
+  ( Array.init (Detection_table.target_count table) (fun i ->
+        Detection_table.target_set table i),
+    Array.init (Detection_table.untargeted_count table) (fun j ->
+        Detection_table.untargeted_set table j) )
+
+(* Sampled tables keep every fault — a set empty in the sample need not
+   be empty in truth, and the calibration oracle indexes faults
+   positionally against an exhaustive table built with the same
+   flags. *)
+let build_sampled_table ~cancel ~vectors net =
+  Detection_table.build ~keep_undetectable_targets:true
+    ~keep_undetectable_untargeted:true ~cancel ~vectors net
+
+let draw_counted ~universe_bits ~spec ~seed ~lo ~hi =
+  let vectors =
+    Sampler.draw_range ~universe_bits ~samples:spec.Spec.samples
+      ~strata:(effective_strata ~spec ~universe_bits)
+      ~seed ~lo ~hi
+  in
+  Telemetry.Counter.add c_samples (Array.length vectors);
+  Telemetry.Counter.add c_strata (hi - lo);
+  vectors
+
+let analyze ?(cancel = Cancel.none) ~spec ~seed ~name net =
+  let universe_bits = check_inputs ~name net in
+  let strata = effective_strata ~spec ~universe_bits in
+  let vectors = draw_counted ~universe_bits ~spec ~seed ~lo:0 ~hi:strata in
+  let table = build_sampled_table ~cancel ~vectors net in
+  let target_sets, untargeted_sets = table_sets table in
+  let target_k, dmin = scan_sets ~cancel ~target_sets ~untargeted_sets () in
+  {
+    name;
+    spec;
+    seed;
+    universe_bits;
+    table;
+    z = Interval.z_of_confidence spec.Spec.confidence;
+    target_k;
+    dmin;
+  }
+
+let target_interval t fi =
+  let s = t.spec.Spec.samples in
+  let u = universe_float t.universe_bits in
+  let lo, hi = Interval.wilson ~z:t.z ~trials:s ~successes:t.target_k.(fi) in
+  ( u *. lo,
+    u *. float_of_int t.target_k.(fi) /. float_of_int s,
+    u *. hi )
+
+(* For the minimizing target f, nmin(g) = |T(f) - T(g)| + 1: scale the
+   sampled miss proportion dmin/s back to the count scale and add 1.
+   Both Wilson endpoints are monotone in the success count, so the
+   minimizing dmin yields the interval endpoints too. *)
+let nmin_interval_of ~z ~samples ~universe dmin_g =
+  if dmin_g < 0 then None
+  else
+    let lo, hi = Interval.wilson ~z ~trials:samples ~successes:dmin_g in
+    Some
+      ( (universe *. lo) +. 1.0,
+        (universe *. float_of_int dmin_g /. float_of_int samples) +. 1.0,
+        (universe *. hi) +. 1.0 )
+
+let nmin_interval t gj =
+  nmin_interval_of ~z:t.z ~samples:t.spec.Spec.samples
+    ~universe:(universe_float t.universe_bits)
+    t.dmin.(gj)
+
+let hard_faults t ~nmax =
+  let bound = float_of_int nmax in
+  let acc = ref [] in
+  for gj = Array.length t.dmin - 1 downto 0 do
+    let hard =
+      match nmin_interval t gj with
+      | None -> true
+      | Some (_, point, _) -> point > bound
+    in
+    if hard then acc := gj :: !acc
+  done;
+  Array.of_list !acc
+
+type summary = {
+  circuit : string;
+  spec : Spec.t;
+  universe_bits : int;
+  strata_used : int;
+  target_faults : int;
+  untargeted_faults : int;
+  percent_below : (int * float * float * float) list;
+  unbounded_count : int;
+}
+
+let summary_of_scan ~name ~spec ~universe_bits ~target_k ~dmin =
+  let z = Interval.z_of_confidence spec.Spec.confidence in
+  let u = universe_float universe_bits in
+  let samples = spec.Spec.samples in
+  let total = Array.length dmin in
+  let percent count =
+    if total = 0 then 0.0
+    else 100.0 *. float_of_int count /. float_of_int total
+  in
+  let percent_below =
+    List.map
+      (fun n0 ->
+        let bound = float_of_int n0 in
+        let guaranteed = ref 0 and point_count = ref 0 and optimistic = ref 0 in
+        Array.iter
+          (fun d ->
+            match nmin_interval_of ~z ~samples ~universe:u d with
+            | None -> ()
+            | Some (lo, point, hi) ->
+              if hi <= bound then incr guaranteed;
+              if point <= bound then incr point_count;
+              if lo <= bound then incr optimistic)
+          dmin;
+        (n0, percent !guaranteed, percent !point_count, percent !optimistic))
+      Analysis.worst_thresholds_below
+  in
+  {
+    circuit = name;
+    spec;
+    universe_bits;
+    strata_used = effective_strata ~spec ~universe_bits;
+    target_faults = Array.length target_k;
+    untargeted_faults = total;
+    percent_below;
+    unbounded_count =
+      Array.fold_left (fun acc d -> if d < 0 then acc + 1 else acc) 0 dmin;
+  }
+
+let summary t =
+  summary_of_scan ~name:t.name ~spec:t.spec ~universe_bits:t.universe_bits
+    ~target_k:t.target_k ~dmin:t.dmin
+
+type slice = {
+  slice_lo : int;
+  slice_hi : int;
+  positions : int;
+  slice_target_k : int array;
+  slice_target_sets : Bitvec.t array;
+  slice_untargeted_sets : Bitvec.t array;
+}
+
+let stratum_slice ?(cancel = Cancel.none) ~spec ~seed ~lo ~hi net =
+  let universe_bits = check_inputs ~name:"stratum_slice" net in
+  let vectors = draw_counted ~universe_bits ~spec ~seed ~lo ~hi in
+  let table = build_sampled_table ~cancel ~vectors net in
+  let slice_target_sets, slice_untargeted_sets = table_sets table in
+  {
+    slice_lo = lo;
+    slice_hi = hi;
+    positions = Array.length vectors;
+    slice_target_k = Array.map Bitvec.count slice_target_sets;
+    slice_target_sets;
+    slice_untargeted_sets;
+  }
+
+let concat_slices ~spec slices =
+  let fail fmt = Printf.ksprintf invalid_arg ("Estimate.concat_slices: " ^^ fmt) in
+  match slices with
+  | [] -> fail "no slices"
+  | first :: rest ->
+    let tcount = Array.length first.slice_target_sets in
+    let gcount = Array.length first.slice_untargeted_sets in
+    let _ =
+      List.fold_left
+        (fun expected_lo s ->
+          if s.slice_lo <> expected_lo then
+            fail "stratum ranges not contiguous (gap or overlap at %d)"
+              s.slice_lo;
+          if
+            Array.length s.slice_target_sets <> tcount
+            || Array.length s.slice_untargeted_sets <> gcount
+          then fail "slices disagree on fault counts";
+          s.slice_hi)
+        first.slice_lo (first :: rest)
+    in
+    let total = List.fold_left (fun acc s -> acc + s.positions) 0 slices in
+    if total <> spec.Spec.samples then
+      fail "slices hold %d positions, expected %d samples" total
+        spec.Spec.samples;
+    let concat count get =
+      Array.init count (fun i ->
+          let full = Bitvec.create total in
+          let offset = ref 0 in
+          List.iter
+            (fun s ->
+              Bitvec.iter_set (get s i) (fun v -> Bitvec.set full (!offset + v));
+              offset := !offset + s.positions)
+            slices;
+          full)
+    in
+    ( concat tcount (fun s i -> s.slice_target_sets.(i)),
+      concat gcount (fun s i -> s.slice_untargeted_sets.(i)) )

@@ -3,6 +3,7 @@ module Detection_table = Ndetect_core.Detection_table
 module Analysis = Ndetect_core.Analysis
 module Procedure1 = Ndetect_core.Procedure1
 module Average_case = Ndetect_core.Average_case
+module Estimate = Ndetect_estimate.Estimate
 module Registry = Ndetect_suite.Registry
 module Paper_tables = Ndetect_report.Paper_tables
 module Supervise = Ndetect_util.Supervise
@@ -21,10 +22,13 @@ module Request = struct
 
   type section = Worst | Average | Average_def2
 
+  type universe = Exhaustive | Sampled of Estimate.Spec.t
+
   type t = {
     label : string;
     source : source;
     sections : section list;
+    universe : universe;
     k : int;
     k2 : int;
     nmax : int;
@@ -37,13 +41,14 @@ module Request = struct
     deadline : float option;
   }
 
-  let make ?(sections = [ Worst ]) ?(k = 1000) ?(k2 = 200) ?(nmax = 10)
-      ?(seed = 1) ?(scheme = Encode.Binary) ?domains ?kernel_backend
-      ?sim_strategy ?cache_dir ?deadline ~label source =
+  let make ?(sections = [ Worst ]) ?(universe = Exhaustive) ?(k = 1000)
+      ?(k2 = 200) ?(nmax = 10) ?(seed = 1) ?(scheme = Encode.Binary) ?domains
+      ?kernel_backend ?sim_strategy ?cache_dir ?deadline ~label source =
     {
       label;
       source;
       sections;
+      universe;
       k;
       k2;
       nmax;
@@ -98,6 +103,18 @@ module Request = struct
         ("sim_strategy", opt_str t.sim_strategy);
         ("cache_dir", opt_str t.cache_dir);
         ("deadline", opt_float t.deadline);
+        (* Null for the exhaustive default, so every pre-sampling
+           fingerprint is unchanged. *)
+        ("universe",
+         match t.universe with
+         | Exhaustive -> Rpc.Null
+         | Sampled spec ->
+           Rpc.Obj
+             [
+               ("samples", Rpc.Int spec.Estimate.Spec.samples);
+               ("strata", Rpc.Int spec.Estimate.Spec.strata);
+               ("confidence", Rpc.Float spec.Estimate.Spec.confidence);
+             ]);
       ]
 
   let of_json j =
@@ -191,6 +208,32 @@ module Request = struct
       | Some (Rpc.Int n) when n > 0 -> Ok (Some (float_of_int n))
       | Some _ -> Error "request field \"deadline\" must be a positive number"
     in
+    let* universe =
+      match field "universe" with
+      | Some Rpc.Null | None -> Ok Exhaustive
+      | Some (Rpc.Obj _ as u) -> (
+        let int_of name =
+          match Option.bind (Rpc.member name u) Rpc.to_int with
+          | Some n -> Ok n
+          | None ->
+            Error
+              (Printf.sprintf "universe field %S must be an integer" name)
+        in
+        let* samples = int_of "samples" in
+        let* strata = int_of "strata" in
+        let* confidence =
+          match Rpc.member "confidence" u with
+          | Some (Rpc.Float f) -> Ok f
+          | Some (Rpc.Int n) -> Ok (float_of_int n)
+          | _ -> Error "universe field \"confidence\" must be a number"
+        in
+        match
+          Estimate.Spec.validate { Estimate.Spec.samples; strata; confidence }
+        with
+        | Ok spec -> Ok (Sampled spec)
+        | Error msg -> Error ("request field \"universe\": " ^ msg))
+      | Some _ -> Error "request field \"universe\" must be an object or null"
+    in
     if k < 1 then Error "request field \"k\" must be >= 1"
     else if k2 < 1 then Error "request field \"k2\" must be >= 1"
     else if nmax < 1 then Error "request field \"nmax\" must be >= 1"
@@ -200,6 +243,7 @@ module Request = struct
           label;
           source;
           sections;
+          universe;
           k;
           k2;
           nmax;
@@ -216,6 +260,10 @@ end
 module Response = struct
   type section_rows =
     | Worst_rows of Paper_tables.table_entry list
+    | Est_rows of {
+        confidence : float;
+        entries : Paper_tables.est_entry list;
+      }
     | Average_rows of {
         nmax : int;
         k : int;
@@ -241,6 +289,9 @@ module Response = struct
     | Worst_rows entries ->
       Buffer.add_string b "== worst-case ==\n";
       Buffer.add_string b (Paper_tables.table2_entries entries)
+    | Est_rows { confidence; entries } ->
+      Buffer.add_string b "== worst-case (sampled) ==\n";
+      Buffer.add_string b (Paper_tables.est_entries ~confidence entries)
     | Average_rows { nmax; k; rows } -> (
       Printf.bprintf b "== average-case (K = %d) ==\n" k;
       match rows with
@@ -333,6 +384,12 @@ let select_runtime (req : Request.t) =
   | None -> Ok ()
   | Some name -> Strategy.select name
 
+(* What the [analyze] unit produced: the exhaustive analysis or the
+   sampled estimate. Either way the average-case sections run Procedure 1
+   over the unit's detection table (sampled tables run it unchanged —
+   the universe is simply the sample). *)
+type computed = Exact of Analysis.t | Sampled_est of Estimate.t
+
 let run ?build (req : Request.t) =
   match select_runtime req with
   | Error message -> Error message
@@ -369,7 +426,17 @@ let run ?build (req : Request.t) =
       let analysis =
         lazy
           (supervised ~label:("analyze " ^ name) ~site:("analyze:" ^ name)
-             (fun cancel -> Analysis.analyze ?build ~cancel ~name net))
+             (fun cancel ->
+               match req.Request.universe with
+               | Request.Exhaustive ->
+                 Exact (Analysis.analyze ?build ~cancel ~name net)
+               | Request.Sampled spec ->
+                 (* The sampled table depends on spec and seed, not just
+                    the netlist, so it never goes through the table
+                    cache — the build is cheap by construction. *)
+                 Sampled_est
+                   (Estimate.analyze ~cancel ~spec ~seed:req.Request.seed
+                      ~name net)))
       in
       (* The hard-fault population is shared by both average sections;
          computing it is cheap once the analysis exists. *)
@@ -377,11 +444,15 @@ let run ?build (req : Request.t) =
         lazy
           (match Lazy.force analysis with
           | Error _ -> None
-          | Ok a -> Some (a, Analysis.hard_faults a ~nmax:req.Request.nmax))
+          | Ok (Exact a) ->
+            Some
+              (a.Analysis.table, Analysis.hard_faults a ~nmax:req.Request.nmax)
+          | Ok (Sampled_est e) ->
+            Some (Estimate.table e, Estimate.hard_faults e ~nmax:req.Request.nmax))
       in
-      let procedure1 ~set_count mode a hard cancel =
+      let procedure1 ~set_count mode table hard cancel =
         Procedure1.run ~cancel ?domains:req.Request.domains
-          ~report_faults:hard a.Analysis.table
+          ~report_faults:hard table
           {
             Procedure1.seed = req.Request.seed;
             set_count;
@@ -392,23 +463,37 @@ let run ?build (req : Request.t) =
       let section_rows = function
         | Request.Worst -> (
           match Lazy.force analysis with
-          | Ok a -> Response.Worst_rows [ Paper_tables.Row a.Analysis.summary ]
-          | Error failure ->
-            Response.Worst_rows
-              [
-                Paper_tables.Failed_row
-                  { circuit = name; reason = Supervise.describe failure };
-              ])
+          | Ok (Exact a) ->
+            Response.Worst_rows [ Paper_tables.Row a.Analysis.summary ]
+          | Ok (Sampled_est e) ->
+            Response.Est_rows
+              {
+                confidence = (Estimate.spec e).Estimate.Spec.confidence;
+                entries = [ Paper_tables.Est_row (Estimate.summary e) ];
+              }
+          | Error failure -> (
+            let reason = Supervise.describe failure in
+            match req.Request.universe with
+            | Request.Exhaustive ->
+              Response.Worst_rows
+                [ Paper_tables.Failed_row { circuit = name; reason } ]
+            | Request.Sampled spec ->
+              Response.Est_rows
+                {
+                  confidence = spec.Estimate.Spec.confidence;
+                  entries =
+                    [ Paper_tables.Est_failed_row { circuit = name; reason } ];
+                }))
         | Request.Average -> (
           let nmax = req.Request.nmax and k = req.Request.k in
           match Lazy.force hard with
           | None -> Response.Average_rows { nmax; k; rows = None }
           | Some (_, [||]) -> Response.Average_rows { nmax; k; rows = Some [] }
-          | Some (a, hard) -> (
+          | Some (table, hard) -> (
             match
               supervised ~label:("procedure1 " ^ name)
                 ~site:("table5:" ^ name)
-                (procedure1 ~set_count:k Procedure1.Definition1 a hard)
+                (procedure1 ~set_count:k Procedure1.Definition1 table hard)
             with
             | Error _ -> Response.Average_rows { nmax; k; rows = None }
             | Ok outcome ->
@@ -431,18 +516,18 @@ let run ?build (req : Request.t) =
           match Lazy.force hard with
           | None -> Response.Def2_rows { nmax; k2; rows = None }
           | Some (_, [||]) -> Response.Def2_rows { nmax; k2; rows = Some [] }
-          | Some (a, hard) -> (
+          | Some (table, hard) -> (
             match
               supervised
                 ~label:("procedure1-def2 " ^ name)
                 ~site:("table6:" ^ name)
                 (fun cancel ->
                   let def1 =
-                    procedure1 ~set_count:k2 Procedure1.Definition1 a hard
+                    procedure1 ~set_count:k2 Procedure1.Definition1 table hard
                       cancel
                   in
                   let def2 =
-                    procedure1 ~set_count:k2 Procedure1.Definition2 a hard
+                    procedure1 ~set_count:k2 Procedure1.Definition2 table hard
                       cancel
                   in
                   (def1, def2))

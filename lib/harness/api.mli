@@ -19,6 +19,7 @@ module Netlist = Ndetect_circuit.Netlist
 module Detection_table = Ndetect_core.Detection_table
 module Analysis = Ndetect_core.Analysis
 module Average_case = Ndetect_core.Average_case
+module Estimate = Ndetect_estimate.Estimate
 module Paper_tables = Ndetect_report.Paper_tables
 module Supervise = Ndetect_util.Supervise
 module Encode = Ndetect_synth.Encode
@@ -45,10 +46,20 @@ module Request : sig
 
   val section_of_name : string -> section option
 
+  (** How the test-vector universe is enumerated. [Exhaustive] is the
+      paper's setting — all [2^PI] vectors, exact counts. [Sampled]
+      draws a stratified random sample ({!Ndetect_estimate.Sampler})
+      and reports confidence intervals instead of exact counts; this is
+      the mode that reaches ISCAS-scale PI counts. Sampled requests
+      bypass the detection-table cache (the sampled table depends on
+      spec and seed, not just the netlist, and is cheap to rebuild). *)
+  type universe = Exhaustive | Sampled of Estimate.Spec.t
+
   type t = {
     label : string;  (** Row/report name for this circuit. *)
     source : source;
     sections : section list;
+    universe : universe;
     k : int;  (** Random test sets for [Average]. *)
     k2 : int;  (** Test sets per definition for [Average_def2]. *)
     nmax : int;  (** Hard-fault threshold (the paper uses 10). *)
@@ -63,6 +74,7 @@ module Request : sig
 
   val make :
     ?sections:section list ->
+    ?universe:universe ->
     ?k:int ->
     ?k2:int ->
     ?nmax:int ->
@@ -76,8 +88,9 @@ module Request : sig
     label:string ->
     source ->
     t
-  (** Defaults: sections [[Worst]], k 1000, k2 200, nmax 10, seed 1,
-      scheme [Encode.Binary], everything else off. *)
+  (** Defaults: sections [[Worst]], universe [Exhaustive], k 1000,
+      k2 200, nmax 10, seed 1, scheme [Encode.Binary], everything else
+      off. *)
 
   val to_json : t -> Rpc.json
   (** Canonical encoding (fixed field order), used both on the wire and
@@ -97,6 +110,10 @@ module Response : sig
       estimate (no fault needs more than [nmax] detections). *)
   type section_rows =
     | Worst_rows of Paper_tables.table_entry list
+    | Est_rows of {
+        confidence : float;
+        entries : Paper_tables.est_entry list;
+      }  (** The [Worst] section of a sampled request: interval rows. *)
     | Average_rows of {
         nmax : int;
         k : int;

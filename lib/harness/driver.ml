@@ -30,6 +30,12 @@ type options = {
   metrics : bool;
   kernel_backend : string option;
   sim_strategy : string option;
+  (* Sampled-universe flags: [samples = None] is exhaustive mode.
+     [strata]/[confidence] refine a sampled run and require
+     [--samples]. *)
+  samples : int option;
+  strata : int option;
+  confidence : float option;
   (* Campaign-mode flags (the [ndetect campaign] subcommand). *)
   workers : int option;
   lease_secs : float option;
@@ -57,6 +63,9 @@ let default_options =
     metrics = false;
     kernel_backend = None;
     sim_strategy = None;
+    samples = None;
+    strata = None;
+    confidence = None;
     workers = None;
     lease_secs = None;
     max_unit_retries = None;
@@ -73,7 +82,7 @@ module Options = struct
       ?csv_dir ?checkpoint_dir ?(resume = default_options.resume)
       ?timeout_per_circuit ?inject ?domains ?table_cache ?trace
       ?(metrics = default_options.metrics) ?kernel_backend ?sim_strategy
-      ?workers ?lease_secs ?max_unit_retries
+      ?samples ?strata ?confidence ?workers ?lease_secs ?max_unit_retries
       ?(chaos = default_options.chaos) ?ledger_dir () =
     {
       tier;
@@ -93,12 +102,31 @@ module Options = struct
       metrics;
       kernel_backend;
       sim_strategy;
+      samples;
+      strata;
+      confidence;
       workers;
       lease_secs;
       max_unit_retries;
       chaos;
       ledger_dir;
     }
+
+  (* The universe mode an options value denotes; shared between
+     [to_request] and the campaign subcommand, which builds a campaign
+     spec rather than a request but must validate identically. *)
+  let universe t =
+    match t.samples with
+    | None ->
+      if t.strata <> None then Error "--strata requires --samples"
+      else if t.confidence <> None then
+        Error "--confidence requires --samples"
+      else Ok Api.Request.Exhaustive
+    | Some samples ->
+      Ndetect_estimate.Estimate.Spec.make ?strata:t.strata
+        ?confidence:t.confidence ~samples ()
+      |> Result.map (fun spec -> Api.Request.Sampled spec)
+      |> Result.map_error (fun msg -> "--samples: " ^ msg)
 
   let to_request ?scheme t ~source ~label =
     let sections =
@@ -115,13 +143,14 @@ module Options = struct
               table3, table5, table6 or all)"
              other)
     in
-    Result.map
-      (fun sections ->
-        Api.Request.make ~sections ~k:t.k ~k2:t.k2 ~seed:t.seed ?scheme
-          ?domains:t.domains ?kernel_backend:t.kernel_backend
-          ?sim_strategy:t.sim_strategy ?cache_dir:t.table_cache
-          ?deadline:t.timeout_per_circuit ~label source)
-      sections
+    Result.bind sections (fun sections ->
+        Result.map
+          (fun universe ->
+            Api.Request.make ~sections ~universe ~k:t.k ~k2:t.k2 ~seed:t.seed
+              ?scheme ?domains:t.domains ?kernel_backend:t.kernel_backend
+              ?sim_strategy:t.sim_strategy ?cache_dir:t.table_cache
+              ?deadline:t.timeout_per_circuit ~label source)
+          (universe t))
 end
 
 let usage =
@@ -131,6 +160,7 @@ let usage =
   \                 [--inject SPEC] [--domains N] [--table-cache DIR]\n\
   \                 [--trace FILE] [--metrics] [--kernel-backend swar|c]\n\
   \                 [--sim-strategy cone|stem]\n\
+  \                 [--samples N] [--strata N] [--confidence P]\n\
   \                 [--workers N] [--lease-secs SECS] [--max-unit-retries N]\n\
   \                 [--chaos] [--ledger DIR]"
 
@@ -138,8 +168,9 @@ let value_flags =
   [
     "--tier"; "--k"; "--k2"; "--seed"; "--only"; "--csv"; "--checkpoint";
     "--timeout-per-circuit"; "--inject"; "--domains"; "--table-cache";
-    "--trace"; "--kernel-backend"; "--sim-strategy"; "--workers";
-    "--lease-secs"; "--max-unit-retries"; "--ledger";
+    "--trace"; "--kernel-backend"; "--sim-strategy"; "--samples"; "--strata";
+    "--confidence"; "--workers"; "--lease-secs"; "--max-unit-retries";
+    "--ledger";
   ]
 
 (* The flag grammar is written with [failwith] (every arm wants to abort
@@ -228,6 +259,30 @@ let parse_args_exn args =
              "--sim-strategy: unknown strategy %S (expected %s)\n%s" v
              (String.concat ", " (List.map fst Strategy.names))
              usage)
+    | "--samples" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> go { opts with samples = Some n } rest
+      | Some _ | None ->
+        failwith
+          (Printf.sprintf "--samples expects an integer >= 1, got %S\n%s" v
+             usage))
+    | "--strata" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> go { opts with strata = Some n } rest
+      | Some _ | None ->
+        failwith
+          (Printf.sprintf "--strata expects an integer >= 1, got %S\n%s" v
+             usage))
+    | "--confidence" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some p when p > 0.0 && p < 1.0 ->
+        go { opts with confidence = Some p } rest
+      | Some _ | None ->
+        failwith
+          (Printf.sprintf
+             "--confidence expects a probability strictly inside (0, 1), \
+              got %S\n%s"
+             v usage))
     | "--workers" :: v :: rest -> (
       match int_of_string_opt v with
       | Some n when n >= 1 -> go { opts with workers = Some n } rest
@@ -279,6 +334,17 @@ let parse_args_exn args =
     failwith
       (Printf.sprintf "--k2 expects a positive sample count, got %d\n%s"
          opts.k2 usage);
+  (match (opts.samples, opts.strata, opts.confidence) with
+  | None, Some _, _ ->
+    failwith (Printf.sprintf "--strata requires --samples N\n%s" usage)
+  | None, _, Some _ ->
+    failwith (Printf.sprintf "--confidence requires --samples N\n%s" usage)
+  | Some samples, Some strata, _ when samples < strata ->
+    failwith
+      (Printf.sprintf "--samples %d < --strata %d (every stratum must draw \
+                       at least once)\n%s"
+         samples strata usage)
+  | _ -> ());
   (match (opts.chaos, opts.workers) with
   | true, Some w when w >= 2 -> ()
   | true, _ ->

@@ -76,6 +76,20 @@ type options = {
           [kernel_backend], excluded from checkpoint stamps and cache
           keys. Visible as the ["sim.strategy"] gauge in [--metrics]
           and traces. *)
+  samples : int option;
+      (** When set (>= 1), analyses run in sampled-universe mode:
+          detection quantities are estimated from this many stratified
+          random vectors instead of all [2^PI], and the worst-case
+          section reports confidence intervals
+          ({!Ndetect_estimate.Estimate}). [None] is exhaustive mode. *)
+  strata : int option;
+      (** Sampled mode only: stratum count (>= 1, and at most
+          [samples]); requires [samples]. Default
+          {!Ndetect_estimate.Estimate.Spec.default_strata}. *)
+  confidence : float option;
+      (** Sampled mode only: interval confidence, strictly inside
+          (0, 1); requires [samples]. Default
+          {!Ndetect_estimate.Estimate.Spec.default_confidence}. *)
   workers : int option;
       (** [ndetect campaign] only: worker subprocess count (>= 1).
           Ignored by the reproduction driver. *)
@@ -119,6 +133,9 @@ module Options : sig
     ?metrics:bool ->
     ?kernel_backend:string ->
     ?sim_strategy:string ->
+    ?samples:int ->
+    ?strata:int ->
+    ?confidence:float ->
     ?workers:int ->
     ?lease_secs:float ->
     ?max_unit_retries:int ->
@@ -127,6 +144,14 @@ module Options : sig
     unit ->
     t
   (** Every omitted argument takes its {!default_options} value. *)
+
+  val universe :
+    t -> (Api.Request.universe, string) result
+  (** The universe mode the options denote: [Exhaustive] without
+      [samples], otherwise a validated
+      [Sampled of Estimate.Spec.t] ([Error] on an invalid
+      samples/strata/confidence combination — same validation as
+      {!Ndetect_estimate.Estimate.Spec.make}). *)
 
   val to_request :
     ?scheme:Ndetect_synth.Encode.scheme ->
@@ -142,7 +167,8 @@ module Options : sig
       [figure2]) have no per-request form and return [Error]. [k],
       [k2], [seed], [domains], [kernel_backend], [sim_strategy],
       [table_cache] and [timeout_per_circuit] carry over field for
-      field. *)
+      field; [samples]/[strata]/[confidence] lower to the request's
+      {!universe} mode. *)
 end
 
 val parse_args_result : string list -> (options, string) result
@@ -152,7 +178,10 @@ val parse_args_result : string list -> (options, string) result
     [--domains N], [--table-cache DIR], [--trace FILE], [--metrics],
     [--kernel-backend NAME] (a registered
     {!Ndetect_util.Kernel.backends} name), [--sim-strategy NAME] (a
-    registered {!Ndetect_sim.Strategy.names} name), and the campaign flags [--workers N] (>= 1), [--lease-secs SECS]
+    registered {!Ndetect_sim.Strategy.names} name), the sampled-universe
+    flags [--samples N] (>= 1), [--strata N] (>= 1, requires
+    [--samples], rejected when above it) and [--confidence P] (strictly
+    inside (0, 1), requires [--samples]), and the campaign flags [--workers N] (>= 1), [--lease-secs SECS]
     (>= 1), [--max-unit-retries N] (>= 1), [--chaos] (rejected unless
     [--workers >= 2]) and [--ledger DIR]. [Error message] names the
     offending flag (and includes the usage string) on malformed values,

@@ -133,6 +133,59 @@ let table3_csv_entries entries =
 let table3 summaries = table3_entries (rows_of_summaries summaries)
 let table3_csv summaries = table3_csv_entries (rows_of_summaries summaries)
 
+(* The sampled analog of Table 2. Each threshold column carries the
+   point estimate bracketed by its confidence interval: "point [lo,hi]"
+   where lo is the guaranteed (lower-confidence) percentage — faults
+   whose interval's upper endpoint clears the threshold — and hi the
+   optimistic one. No saturation blanking: a sampled 100.00 still has
+   an informative lower bound next to it. *)
+module Estimate = Ndetect_estimate.Estimate
+
+type est_entry =
+  | Est_row of Estimate.summary
+  | Est_failed_row of { circuit : string; reason : string }
+
+let est_rows entries =
+  let column_count = List.length Analysis.worst_thresholds_below + 2 in
+  let rows =
+    List.map
+      (function
+        | Est_row (s : Estimate.summary) ->
+          s.Estimate.circuit
+          :: string_of_int s.Estimate.untargeted_faults
+          :: Printf.sprintf "%d/2^%d" s.Estimate.spec.Estimate.Spec.samples
+               s.Estimate.universe_bits
+          :: (List.map
+                (fun (_, guaranteed, point, optimistic) ->
+                  Printf.sprintf "%s [%s,%s]" (percent point)
+                    (percent guaranteed) (percent optimistic))
+                s.Estimate.percent_below
+             @ [ string_of_int s.Estimate.unbounded_count ])
+        | Est_failed_row { circuit; reason } ->
+          failed_cells circuit reason column_count)
+      entries
+  in
+  let header =
+    "circuit" :: "faults" :: "samples"
+    :: (List.map
+          (fun n0 -> Printf.sprintf "n<=%d" n0)
+          Analysis.worst_thresholds_below
+       @ [ "no-bound" ])
+  in
+  (header, rows)
+
+let est_entries ~confidence entries =
+  let header, rows = est_rows entries in
+  Printf.sprintf
+    "Table 2 (sampled): estimated worst-case percentages, point [lo,hi] at \
+     %g%% confidence\n%s"
+    (100.0 *. confidence)
+    (Ascii_table.render ~header rows)
+
+let est_csv_entries entries =
+  let header, rows = est_rows entries in
+  Ascii_table.render_csv ~header rows
+
 let figure2_of_histogram hist ~min_value =
   let max_count =
     List.fold_left (fun acc (_, c) -> max acc c) 1 hist

@@ -40,6 +40,22 @@ val table3_entries : table_entry list -> string
 
 val table3_csv_entries : table_entry list -> string
 
+(** {2 Sampled-mode variant} *)
+
+module Estimate = Ndetect_estimate.Estimate
+
+type est_entry =
+  | Est_row of Estimate.summary
+  | Est_failed_row of { circuit : string; reason : string }
+
+val est_entries : confidence:float -> est_entry list -> string
+(** The sampled analog of {!table2_entries}: per threshold,
+    ["point [lo,hi]"] percentages where [lo] is the guaranteed
+    (lower-confidence) value and [hi] the optimistic one, plus a
+    ["no-bound"] column counting faults the sample cannot bound. *)
+
+val est_csv_entries : est_entry list -> string
+
 val figure2 : Worst_case.t -> min_value:int -> string
 (** Figure 2: the distribution of nmin values at least [min_value], as an
     ASCII bar chart of (nmin, #faults). *)

@@ -308,18 +308,29 @@ let run cfg campaign =
         false
     in
 
+    (* Sampled campaigns shard generation 1 over strata instead of
+       fault blocks, and have no generation 2: the merge scans the
+       concatenated sample slices directly. *)
+    let sampled = Spec.estimate_spec campaign <> None in
+
     let worst_units_of_plans plans =
       List.concat_map
         (fun u ->
           match Ledger.read_result ledger u with
           | Some (_, Spec.Plan_result info) ->
-            Spec.worst_units campaign ~circuit:(Spec.circuit_of u)
-              ~untargeted:info.untargeted
+            if sampled then
+              Spec.sample_units campaign ~circuit:(Spec.circuit_of u)
+                ~pi:info.pi
+            else
+              Spec.worst_units campaign ~circuit:(Spec.circuit_of u)
+                ~untargeted:info.untargeted
           | _ -> [])
         plans
     in
 
     let avg_units_of plans worst =
+      if sampled then []
+      else
       List.concat_map
         (fun plan_u ->
           let circuit = Spec.circuit_of plan_u in

@@ -1,6 +1,7 @@
 module Analysis = Ndetect_core.Analysis
 module Average_case = Ndetect_core.Average_case
 module Paper_tables = Ndetect_report.Paper_tables
+module Estimate = Ndetect_estimate.Estimate
 
 type outcome = {
   report : string;
@@ -22,6 +23,111 @@ let state_of ledger u =
     | None -> None)
 
 let of_circuit circuit (u : Spec.t) = Spec.circuit_of u = circuit
+
+(* Sampled campaigns: reassemble each circuit's detection-set slices in
+   stratum order and run the one shared scan ({!Estimate.scan_sets}), so
+   the merged summary is bit-identical to a single-process
+   [ndetect analyze --samples] of the same seed and spec. *)
+let merge_sampled c spec states poisoned_units =
+  let entries = ref [] in
+  List.iter
+    (fun circuit ->
+      let mine =
+        List.filter (fun ((u : Spec.t), _) -> of_circuit circuit u) states
+      in
+      let plan =
+        List.find_map
+          (function
+            | ({ Spec.kind = Plan _; _ } : Spec.t), s -> Some s | _ -> None)
+          mine
+      in
+      let sample =
+        List.filter
+          (function
+            | ({ Spec.kind = Sample _; _ } : Spec.t), _ -> true | _ -> false)
+          mine
+      in
+      let failed reason =
+        entries := Paper_tables.Est_failed_row { circuit; reason } :: !entries
+      in
+      match plan with
+      | None | Some (Poisoned _) ->
+        failed
+          (match plan with
+          | Some (Poisoned r) -> "poisoned: " ^ r
+          | _ -> "no plan unit")
+      | Some (Computed (Spec.Plan_result info)) -> (
+        match
+          List.find_map (function _, Poisoned r -> Some r | _ -> None) sample
+        with
+        | Some r -> failed ("poisoned: " ^ r)
+        | None -> (
+          let slices =
+            List.sort
+              (fun a b -> compare a.Estimate.slice_lo b.Estimate.slice_lo)
+              (List.filter_map
+                 (function
+                   | _, Computed (Spec.Sample_result s) -> Some s | _ -> None)
+                 sample)
+          in
+          match Estimate.concat_slices ~spec slices with
+          | exception Invalid_argument msg -> failed msg
+          | target_sets, untargeted_sets ->
+            if
+              Array.length target_sets <> info.target_faults
+              || Array.length untargeted_sets <> info.untargeted
+            then
+              failed
+                (Printf.sprintf
+                   "merge mismatch: %d/%d fault sets for %d/%d faults"
+                   (Array.length target_sets)
+                   (Array.length untargeted_sets)
+                   info.target_faults info.untargeted)
+            else
+              let target_k, dmin =
+                Estimate.scan_sets ~target_sets ~untargeted_sets ()
+              in
+              entries :=
+                Paper_tables.Est_row
+                  (Estimate.summary_of_scan ~name:circuit ~spec
+                     ~universe_bits:info.pi ~target_k ~dmin)
+                :: !entries))
+      | Some (Computed _) -> failed "plan unit carries a non-plan result")
+    c.Spec.circuits;
+  let entries = List.rev !entries in
+  let count pred =
+    List.length (List.filter (fun ((u : Spec.t), _) -> pred u.kind) states)
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "ndetect campaign report (ndetect-campaign/1)\n";
+  Buffer.add_string buf
+    (Printf.sprintf "tier=%s seed=%d samples=%d strata=%d confidence=%g nmax=%d\n"
+       c.Spec.tier c.Spec.seed spec.Estimate.Spec.samples
+       spec.Estimate.Spec.strata spec.Estimate.Spec.confidence c.Spec.nmax);
+  Buffer.add_string buf
+    (Printf.sprintf "circuits=%d units: plan=%d sample=%d poisoned=%d\n\n"
+       (List.length c.Spec.circuits)
+       (count (function Spec.Plan _ -> true | _ -> false))
+       (count (function Spec.Sample _ -> true | _ -> false))
+       (List.length poisoned_units));
+  Buffer.add_string buf
+    (Paper_tables.est_entries ~confidence:spec.Estimate.Spec.confidence entries);
+  Buffer.add_char buf '\n';
+  (match poisoned_units with
+  | [] -> Buffer.add_string buf "poisoned units: (none)\n"
+  | ps ->
+    Buffer.add_string buf "poisoned units:\n";
+    List.iter
+      (fun (id, reason) ->
+        Buffer.add_string buf (Printf.sprintf "  %s: %s\n" id reason))
+      ps);
+  let failed_circuits =
+    List.length
+      (List.filter
+         (function Paper_tables.Est_failed_row _ -> true | _ -> false)
+         entries)
+  in
+  Ok { report = Buffer.contents buf; failed_circuits; poisoned_units }
 
 (* Concatenate a circuit's worst-case slices (already in ascending [lo]
    order from the deterministic unit enumeration). *)
@@ -57,6 +163,9 @@ let merge ledger =
         (function (u : Spec.t), Poisoned r -> Some (u.id, r) | _ -> None)
         states
     in
+    match Spec.estimate_spec c with
+    | Some spec -> merge_sampled c spec states poisoned_units
+    | None ->
     (* Per circuit, in campaign order: a worst-case table entry, and —
        when it has hard faults and a complete avg generation — a
        Table 5 row. *)

@@ -20,6 +20,14 @@
       ({!Ndetect_core.Procedure1.run_slice}), reported over the hard
       faults carried in the unit spec.
 
+    Sampled-universe campaigns ([samples > 0]) replace the worst and
+    avg generations with {b sample} units (one per circuit × stratum
+    range): each simulates its strata's random vectors and returns the
+    detection-set slice ({!Ndetect_estimate.Estimate.stratum_slice});
+    the merge concatenates the slices and scans them once, so the
+    campaign output is bit-identical to a single-process
+    [ndetect analyze --samples] run.
+
     Every computation is a pure function of the spec, so re-executing a
     unit anywhere yields a bit-identical result — the property the
     coordinator's speculative re-execution and the chaos acceptance
@@ -34,16 +42,26 @@ type campaign = {
   nmax : int;
   fault_block : int;  (** Untargeted faults per worst unit; >= 1. *)
   set_chunk : int;  (** Test sets per avg unit; >= 1. *)
+  samples : int;
+      (** Sampled-universe mode when non-zero; [0] is exhaustive. *)
+  strata : int;  (** Stratum count when sampled, else [0]. *)
+  confidence : float;  (** Interval confidence when sampled, else [0.]. *)
 }
 
 val format_version : int
 (** Bumping it invalidates every ledger record. *)
+
+val estimate_spec : campaign -> Ndetect_estimate.Estimate.Spec.t option
+(** [None] for exhaustive campaigns ([samples = 0]). *)
 
 val make_campaign :
   ?fault_block:int ->
   ?set_chunk:int ->
   ?nmax:int ->
   ?circuits:string list ->
+  ?samples:int ->
+  ?strata:int ->
+  ?confidence:float ->
   tier:Ndetect_suite.Registry.tier ->
   seed:int ->
   set_count:int ->
@@ -53,7 +71,10 @@ val make_campaign :
     registry order; [circuits] restricts to a subset (order-insensitive,
     [Invalid_argument] for names outside the tier). Defaults:
     [fault_block = 256], [set_chunk = max 1 (set_count / 8)],
-    [nmax = 10]. *)
+    [nmax = 10]. Passing [samples] makes the campaign sampled-universe
+    ([strata]/[confidence] are validated through
+    {!Ndetect_estimate.Estimate.Spec.make} and are [Invalid_argument]
+    without [samples]). *)
 
 val stamp : campaign -> string
 (** One-line fingerprint of every result-affecting campaign parameter;
@@ -67,6 +88,9 @@ type kind =
       (** Detection matrix of test sets [lo, hi) over the [hard]
           faults (untargeted indices with nmin > nmax, in ascending
           order, computed from the merged worst generation). *)
+  | Sample of { circuit : string; lo : int; hi : int }
+      (** Sampled campaigns only: detection-set slice for strata
+          [lo, hi). *)
 
 type t = { id : string; kind : kind }
 (** [id] is unique within a campaign and filename-safe
@@ -89,7 +113,17 @@ val worst_units : campaign -> circuit:string -> untargeted:int -> t list
 val avg_units : campaign -> circuit:string -> hard:int array -> t list
 (** Generation 2 units for one circuit; [[]] when [hard] is empty. *)
 
-type plan_info = { untargeted : int; target_faults : int }
+val sample_units : campaign -> circuit:string -> pi:int -> t list
+(** Sampled campaigns: one unit per stratum range for the circuit
+    ([pi] from its plan result fixes the effective stratum count,
+    {!Ndetect_estimate.Estimate.effective_strata}). [[]] for exhaustive
+    campaigns. *)
+
+type plan_info = {
+  untargeted : int;
+  target_faults : int;
+  pi : int;  (** Primary-input count; sizes the sampled universe. *)
+}
 
 type result =
   | Plan_result of plan_info
@@ -97,6 +131,8 @@ type result =
   | Avg_result of int array array
       (** [d.(n-1).(pos)] over the unit's sets, positions indexing the
           spec's [hard] array. *)
+  | Sample_result of Ndetect_estimate.Estimate.slice
+      (** Detection sets over the unit's strata samples. *)
 
 val compute :
   ?cancel:Ndetect_util.Cancel.token ->
@@ -108,6 +144,9 @@ val compute :
     persisted to) [tables_dir] — a {!Ndetect_harness.Table_cache}
     directory shared by the whole campaign, so whichever process first
     needs a circuit's table builds it and every other unit gets a warm
-    hit. Passes the injection site ["unit:<id>"]
+    hit. Sampled campaigns never read or write that cache: their tables
+    depend on the sample spec and seed and are cheap to rebuild. Passes
+    the injection site ["unit:<id>"]
     ({!Ndetect_util.Supervise.inject}) before computing. Raises
-    [Failure] for a circuit name the registry does not know. *)
+    [Failure] for a circuit name the registry does not know, or for a
+    [Sample] unit handed to an exhaustive campaign. *)

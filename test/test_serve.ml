@@ -129,7 +129,41 @@ let test_request_roundtrip () =
       Api.Request.make ~label:"inline"
         (Api.Request.Inline_bench "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n");
       Api.Request.make ~label:"file" (Api.Request.File "x.bench");
+      Api.Request.make ~label:"sampled"
+        ~universe:
+          (Api.Request.Sampled
+             { Api.Estimate.Spec.samples = 500; strata = 8; confidence = 0.9 })
+        (Api.Request.Suite "mc");
     ]
+
+(* The universe field round-trips for every validly constructible spec,
+   not just hand-picked ones (the daemon's dedup fingerprint is the
+   encoded request, so any encode/decode asymmetry would split or
+   alias cache entries). *)
+let prop_universe_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"request universe JSON round trip"
+    (QCheck.make
+       ~print:(fun (samples, strata, conf_mil) ->
+         Printf.sprintf "samples=%d strata=%d confidence=%d/1000" samples
+           strata conf_mil)
+       QCheck.Gen.(
+         triple (int_range 1 5000) (int_range 1 64) (int_range 1 999)))
+    (fun (samples, strata, conf_mil) ->
+      let universe =
+        match
+          Api.Estimate.Spec.make ~strata
+            ~confidence:(float_of_int conf_mil /. 1000.0)
+            ~samples ()
+        with
+        | Ok spec -> Api.Request.Sampled spec
+        | Error _ -> Api.Request.Exhaustive
+      in
+      let req =
+        Api.Request.make ~label:"prop" ~universe (Api.Request.Suite "mc")
+      in
+      match Api.Request.of_json (Api.Request.to_json req) with
+      | Ok back -> back = req
+      | Error _ -> false)
 
 let test_request_of_json_errors () =
   Alcotest.(check bool) "non-object rejected" true
@@ -142,7 +176,49 @@ let test_request_of_json_errors () =
                ("label", Rpc.Str "x");
                ("source", Rpc.Obj [ ("suite", Rpc.Str "lion") ]);
                ("sections", Rpc.List [ Rpc.Str "table9" ]);
-             ])))
+             ])));
+  let with_universe u =
+    Api.Request.of_json
+      (Rpc.Obj
+         [
+           ("label", Rpc.Str "x");
+           ( "source",
+             Rpc.Obj
+               [ ("kind", Rpc.Str "suite"); ("value", Rpc.Str "lion") ] );
+           ("universe", u);
+         ])
+  in
+  (* The error cases below must fail on the universe field, not on an
+     accidentally malformed envelope. *)
+  (match with_universe Rpc.Null with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "envelope itself rejected: %s" m);
+  let universe_error u =
+    match with_universe u with
+    | Ok _ -> false
+    | Error m -> Helpers.contains_substring m "universe"
+  in
+  Alcotest.(check bool) "invalid sampled universe rejected" true
+    (universe_error
+       (Rpc.Obj
+          [
+            ("samples", Rpc.Int 0); ("strata", Rpc.Int 4);
+            ("confidence", Rpc.Float 0.95);
+          ]));
+  Alcotest.(check bool) "confidence 1.0 rejected" true
+    (universe_error
+       (Rpc.Obj
+          [
+            ("samples", Rpc.Int 100); ("strata", Rpc.Int 4);
+            ("confidence", Rpc.Float 1.0);
+          ]));
+  (* Old encoders omit the field entirely; both spellings of "not
+     sampled" must decode to Exhaustive. *)
+  (match with_universe Rpc.Null with
+  | Ok req ->
+    Alcotest.(check bool) "null universe is exhaustive" true
+      (req.Api.Request.universe = Api.Request.Exhaustive)
+  | Error m -> Alcotest.fail m)
 
 let test_section_names () =
   List.iter
@@ -198,7 +274,47 @@ let test_options_to_request () =
         (only ^ " has no request form")
         true
         (Result.is_error (lower only)))
-    [ "table1"; "table4"; "figure2" ]
+    [ "table1"; "table4"; "figure2" ];
+  (* Sampled-universe lowering: the three flags become the request's
+     universe, with defaults filled in and invalid combinations
+     becoming structured errors. *)
+  let lower_sampled ?samples ?strata ?confidence () =
+    Driver.Options.to_request
+      (Driver.Options.make ~only:"table2" ?samples ?strata ?confidence ())
+      ~source:(Api.Request.Suite "lion") ~label:"lion"
+  in
+  (match lower_sampled ~samples:300 ~strata:4 ~confidence:0.99 () with
+  | Error m -> Alcotest.fail m
+  | Ok req ->
+    Alcotest.(check bool) "sampled universe lowered" true
+      (req.Api.Request.universe
+      = Api.Request.Sampled
+          { Api.Estimate.Spec.samples = 300; strata = 4; confidence = 0.99 }));
+  (match lower_sampled ~samples:300 () with
+  | Error m -> Alcotest.fail m
+  | Ok req ->
+    Alcotest.(check bool) "strata and confidence default" true
+      (match req.Api.Request.universe with
+      | Api.Request.Sampled
+          { Api.Estimate.Spec.samples = 300; strata = 16; confidence = c } ->
+        c = Api.Estimate.Spec.default_confidence
+      | _ -> false));
+  (match lower_sampled () with
+  | Error m -> Alcotest.fail m
+  | Ok req ->
+    Alcotest.(check bool) "no samples is exhaustive" true
+      (req.Api.Request.universe = Api.Request.Exhaustive));
+  List.iter
+    (fun (label, req) ->
+      Alcotest.(check bool) label true (Result.is_error req))
+    [
+      ("samples below strata rejected",
+       lower_sampled ~samples:3 ~strata:8 ());
+      ("confidence 1.0 rejected", lower_sampled ~samples:10 ~confidence:1.0 ());
+      ("strata without samples rejected", lower_sampled ~strata:4 ());
+      ("confidence without samples rejected",
+       lower_sampled ~confidence:0.9 ());
+    ]
 
 (* in-process daemon *)
 
@@ -526,6 +642,7 @@ let () =
       ( "request",
         [
           Alcotest.test_case "json round trip" `Quick test_request_roundtrip;
+          Helpers.qcheck prop_universe_roundtrip;
           Alcotest.test_case "of_json errors" `Quick
             test_request_of_json_errors;
           Alcotest.test_case "section names" `Quick test_section_names;

@@ -182,8 +182,8 @@ let test_ledger_result_first_wins () =
       let u = unit_of_id c "plan-mc" in
       Alcotest.(check bool) "unresolved at start" false
         (Ledger.resolved led u);
-      let r1 = Spec.Plan_result { untargeted = 10; target_faults = 3 } in
-      let r2 = Spec.Plan_result { untargeted = 99; target_faults = 9 } in
+      let r1 = Spec.Plan_result { untargeted = 10; target_faults = 3; pi = 4 } in
+      let r2 = Spec.Plan_result { untargeted = 99; target_faults = 9; pi = 4 } in
       Alcotest.(check bool) "first result stored" true
         (Ledger.write_result led ~worker:"w0" u r1 = `Stored);
       Alcotest.(check bool) "speculative loser told so" true
@@ -241,7 +241,7 @@ let test_ledger_damage_sweep () =
       let c = tiny_campaign () in
       let led = Result.get_ok (Ledger.create ~dir c) in
       let u = unit_of_id c "plan-mc" in
-      let result = Spec.Plan_result { untargeted = 10; target_faults = 3 } in
+      let result = Spec.Plan_result { untargeted = 10; target_faults = 3; pi = 4 } in
       ignore (Ledger.write_result led ~worker:"w0" u result);
       let file = Filename.concat dir "result-plan-mc.rec" in
       let pristine = In_channel.with_open_bin file In_channel.input_all in
@@ -388,7 +388,7 @@ let test_worker_execute () =
       | `Failed r -> Alcotest.fail ("execute failed: " ^ r)
       | `Terminating -> Alcotest.fail "unexpected termination");
       (match Ledger.read_result led u with
-      | Some ("w0", Spec.Plan_result { untargeted; target_faults }) ->
+      | Some ("w0", Spec.Plan_result { untargeted; target_faults; pi = _ }) ->
         let table = Lazy.force mc_table in
         Alcotest.(check int) "untargeted"
           (Detection_table.untargeted_count table)

@@ -27,6 +27,11 @@ if ! find bin lib test bench tools -name '*.ml' -o -name '*.mli' \
   echo "check-fmt: lib/sim/strategy.ml missing from the sweep"
   exit 1
 fi
+if ! find bin lib test bench tools -name '*.ml' -o -name '*.mli' \
+    | grep -q '^lib/estimate/'; then
+  echo "check-fmt: lib/estimate sources missing from the sweep"
+  exit 1
+fi
 
 if ! command -v ocamlformat >/dev/null 2>&1; then
   echo "check-fmt: ocamlformat not installed; skipping"
